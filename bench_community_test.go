@@ -1,0 +1,35 @@
+package repro_test
+
+import (
+	"repro/internal/community"
+	"repro/internal/redteam"
+)
+
+// benchManager bundles a community manager with a node factory over the
+// in-process transport for BenchmarkCommunityProtection.
+type benchManager struct {
+	m   *community.Manager
+	app *redteam.Setup
+}
+
+func newBenchManager(setup *redteam.Setup) (*benchManager, error) {
+	m, err := community.NewManager(community.ManagerConfig{
+		Image:           setup.App.Image,
+		Seed:            setup.DB,
+		BootstrapInputs: [][]byte{redteam.LearningCorpus()},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &benchManager{m: m, app: setup}, nil
+}
+
+func (bm *benchManager) node(id string) *community.Node {
+	nodeSide, mgrSide := community.Pipe()
+	go func() { _ = bm.m.Serve(mgrSide) }()
+	n := community.NewNode(id, bm.app.App.Image, nodeSide)
+	if err := n.Connect(); err != nil {
+		panic(err)
+	}
+	return n
+}

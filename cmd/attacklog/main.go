@@ -1,0 +1,81 @@
+// Command attacklog narrates one exploit campaign presentation by
+// presentation: outcomes, failure sites, case states, candidate
+// invariants, correlations, and the score of every candidate repair. It is
+// the debugging lens behind the Table 1/Table 3 numbers.
+//
+//	attacklog 290162
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/redteam"
+)
+
+func main() {
+	id := os.Args[1]
+	scope := 1
+	expanded := false
+	var ex redteam.Exploit
+	for _, e := range redteam.Exploits() {
+		if e.Bugzilla == id {
+			ex = e
+			scope = e.NeedsStackScope
+			expanded = e.NeedsExpandedCorpus
+		}
+	}
+	setup, err := redteam.NewSetup(expanded)
+	if err != nil {
+		panic(err)
+	}
+	cv, err := setup.ClearView(scope)
+	if err != nil {
+		panic(err)
+	}
+	label := func(pc uint32) string {
+		var best string
+		var bestAddr uint32
+		for name, addr := range setup.App.Labels {
+			if addr <= pc && addr > bestAddr {
+				bestAddr, best = addr, name
+			}
+		}
+		return fmt.Sprintf("%s+%d", best, pc-bestAddr)
+	}
+	for i := 1; i <= 16; i++ {
+		res := cv.Execute(redteam.AttackInput(setup.App, ex, 0))
+		fmt.Printf("pres %2d: %v exit=%d", i, res.Outcome, res.ExitCode)
+		if res.Failure != nil {
+			fmt.Printf(" at %s (%s)", label(res.Failure.PC), res.Failure.Monitor)
+		}
+		if res.Crash != nil {
+			fmt.Printf(" crash at %s: %s", label(res.Crash.PC), res.Crash.Reason)
+		}
+		fmt.Println()
+		for _, fc := range cv.Cases() {
+			fmt.Printf("   case %s state=%v cands=%d repairs=%d current=%s unsucc=%d\n",
+				label(fc.PC), fc.State, fc.Metrics.CandidateCount, fc.Metrics.RepairCount,
+				fc.CurrentRepairID(), fc.Metrics.Unsuccessful)
+			if fc.State == core.StateEvaluating || (fc.State == core.StatePatched && i < 20) {
+				for _, e := range fc.Evaluator.Entries() {
+					fmt.Printf("      repair %-60s s=%d f=%d\n", e.Repair.ID(), e.Successes, e.Failures)
+				}
+			}
+			if i == 1 {
+				for _, c := range fc.Candidates {
+					fmt.Printf("      cand d%d %-60s\n", c.Depth, c.Inv)
+				}
+			}
+			if fc.Correlations != nil {
+				for id, c := range fc.Correlations {
+					fmt.Printf("      corr %-60s %v\n", id, c)
+				}
+			}
+		}
+		if res.Outcome == 0 && res.ExitCode == 0 { // normal exit
+			break
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Command clearview runs the full Red Team exercise against the protected
+// application and regenerates the paper's evaluation artifacts:
+//
+//	clearview -table 1          Table 1 (presentations per exploit)
+//	clearview -table 3          Table 3 (attack processing breakdown)
+//	clearview -table reconfig   §4.3.2 reconfiguration results
+//	clearview -table autoimmune §4.3.6 repair-quality evaluation
+//	clearview -table falsepos   §4.3.7 false-positive evaluation
+//	clearview -table summary    §4.4.3 aggregate statistics
+//	clearview -table all        everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/redteam"
+)
+
+func main() {
+	table := flag.String("table", "all", "which artifact to regenerate: 1, 3, reconfig, autoimmune, falsepos, summary, reports, all")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		switch *table {
+		case name, "all":
+			if err := f(); err != nil {
+				fmt.Fprintf(os.Stderr, "clearview: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	}
+
+	run("1", table1)
+	run("3", table3)
+	run("reconfig", reconfig)
+	run("autoimmune", autoimmune)
+	run("falsepos", falsePositives)
+	run("summary", summary)
+	run("reports", maintainerReports)
+}
+
+func table1() error {
+	rows, err := redteam.RunTable1()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 1: exploit presentations before a protective patch")
+	redteam.PrintTable1(os.Stdout, rows)
+	return nil
+}
+
+func table3() error {
+	rows, err := redteam.RunTable3()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 3: attack processing breakdown per failure case")
+	redteam.PrintTable3(os.Stdout, rows)
+	return nil
+}
+
+func summary() error {
+	rows, err := redteam.RunTable1()
+	if err != nil {
+		return err
+	}
+	s := redteam.Summarize(rows)
+	fmt.Println("Aggregate (§4.4.3 analog):")
+	fmt.Printf("  exploits: %d  blocked: %d  patched: %d  unrepairable: %d\n",
+		s.Exploits, s.Blocked, s.Patched, s.NeverRepairable)
+	fmt.Printf("  mean presentations to patch: %.1f\n", s.MeanPresent)
+	return nil
+}
+
+func reconfig() error {
+	fmt.Println("§4.3.2 reconfiguration results:")
+	base, err := redteam.NewSetup(false)
+	if err != nil {
+		return err
+	}
+	expanded, err := redteam.NewSetup(true)
+	if err != nil {
+		return err
+	}
+	find := func(id string) redteam.Exploit {
+		for _, ex := range redteam.Exploits() {
+			if ex.Bugzilla == id {
+				return ex
+			}
+		}
+		panic("unknown exploit " + id)
+	}
+	show := func(label string, setup *redteam.Setup, scope int, id string) error {
+		cv, err := setup.ClearView(scope)
+		if err != nil {
+			return err
+		}
+		res := redteam.RunSingleVariant(cv, setup.App, find(id), 20)
+		state := "not patched (attacks remain blocked)"
+		if res.Patched {
+			state = fmt.Sprintf("patched after %d presentations", res.Presentations)
+		}
+		fmt.Printf("  %-42s %s\n", label, state)
+		return nil
+	}
+	if err := show("285595 @ stack scope 1 (exercise config):", base, 1, "285595"); err != nil {
+		return err
+	}
+	if err := show("285595 @ stack scope 2 (reconfigured):", base, 2, "285595"); err != nil {
+		return err
+	}
+	if err := show("325403 @ default learning corpus:", base, 1, "325403"); err != nil {
+		return err
+	}
+	if err := show("325403 @ expanded learning corpus:", expanded, 1, "325403"); err != nil {
+		return err
+	}
+	if err := show("307259 (invariant outside the grammar):", base, 1, "307259"); err != nil {
+		return err
+	}
+	return nil
+}
+
+func autoimmune() error {
+	setup, err := redteam.NewSetup(false)
+	if err != nil {
+		return err
+	}
+	cv, err := setup.ClearView(2)
+	if err != nil {
+		return err
+	}
+	for _, ex := range redteam.Exploits() {
+		if !ex.Repairable || ex.NeedsExpandedCorpus {
+			continue
+		}
+		res := redteam.RunSingleVariant(cv, setup.App, ex, 24)
+		if !res.Patched {
+			return fmt.Errorf("%s not patched during setup", ex.Bugzilla)
+		}
+	}
+	diffs, err := redteam.Autoimmune(cv, setup.App)
+	if err != nil {
+		return err
+	}
+	patched := 0
+	for _, fc := range cv.Cases() {
+		if fc.State == core.StatePatched {
+			patched++
+		}
+	}
+	fmt.Printf("§4.3.6 repair evaluation: %d adopted patches applied;\n", patched)
+	if len(diffs) == 0 {
+		fmt.Println("  all 57 evaluation pages display bit-identically to the unpatched application")
+	} else {
+		fmt.Printf("  AUTOIMMUNE EFFECT on pages %v\n", diffs)
+	}
+	return nil
+}
+
+func falsePositives() error {
+	setup, err := redteam.NewSetup(false)
+	if err != nil {
+		return err
+	}
+	cv, err := setup.ClearView(1)
+	if err != nil {
+		return err
+	}
+	patches, cases := redteam.FalsePositives(cv)
+	fmt.Printf("§4.3.7 false positives: %d patches generated, %d failure cases opened across 57 legitimate pages\n",
+		patches, cases)
+	if patches != 0 || cases != 0 {
+		return fmt.Errorf("false positives detected")
+	}
+	return nil
+}
+
+// maintainerReports prints the §1 defect reports ClearView hands to the
+// application's maintainers for each failure it processed.
+func maintainerReports() error {
+	setup, err := redteam.NewSetup(false)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Maintainer defect reports (§1):")
+	for _, id := range []string{"290162", "269095", "307259"} {
+		var ex redteam.Exploit
+		for _, e := range redteam.Exploits() {
+			if e.Bugzilla == id {
+				ex = e
+			}
+		}
+		cv, err := setup.ClearView(1)
+		if err != nil {
+			return err
+		}
+		redteam.RunSingleVariant(cv, setup.App, ex, 24)
+		for _, fc := range cv.Cases() {
+			fmt.Println(fc.Report())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+// Command disasm inspects the protected application's stripped binary: it
+// lists the label map (a build-time artifact — the binary itself carries
+// no symbols) or disassembles the code around an address. It is the
+// debugging companion to failure locations reported by the monitors.
+//
+//	disasm                  list all labels
+//	disasm 0x4010b8         disassemble around an address
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/webapp"
+)
+
+func main() {
+	app, err := webapp.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "disasm:", err)
+		os.Exit(1)
+	}
+	if len(os.Args) < 2 {
+		for _, name := range asm.SortedLabels(app.Labels) {
+			fmt.Printf("%08x  %s\n", app.Labels[name], name)
+		}
+		return
+	}
+	target64, err := strconv.ParseUint(os.Args[1], 0, 32)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "disasm: bad address:", err)
+		os.Exit(1)
+	}
+	target := uint32(target64)
+	if !app.Image.Contains(target) {
+		fmt.Fprintf(os.Stderr, "disasm: %#x outside code [%#x,%#x)\n",
+			target, app.Image.Base, app.Image.End())
+		os.Exit(1)
+	}
+
+	var best string
+	var bestAddr uint32
+	for name, addr := range app.Labels {
+		if addr <= target && addr > bestAddr {
+			bestAddr, best = addr, name
+		}
+	}
+	fmt.Printf("%#x is %s+%d\n\n", target, best, target-bestAddr)
+
+	off := int(target - app.Image.Base)
+	lo := off - 4*isa.InstSize
+	if lo < 0 {
+		lo = 0
+	}
+	hi := off + 6*isa.InstSize
+	if hi > len(app.Image.Code) {
+		hi = len(app.Image.Code)
+	}
+	for _, line := range asm.Disassemble(app.Image.Code[lo:hi], app.Image.Base+uint32(lo)) {
+		fmt.Println(line)
+	}
+}

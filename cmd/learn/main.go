@@ -1,0 +1,64 @@
+// Command learn runs the invariant-learning phase over a page corpus and
+// reports (or saves) the resulting database — the standalone analog of the
+// Blue Team's pre-exercise learning run (§4.2.2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/daikon"
+	"repro/internal/redteam"
+	"repro/internal/webapp"
+)
+
+func main() {
+	expanded := flag.Bool("expanded", false, "use the §4.3.2 expanded corpus")
+	out := flag.String("o", "", "write the serialized invariant database to this file")
+	verbose := flag.Bool("v", false, "list every invariant")
+	flag.Parse()
+
+	app, err := webapp.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "learn:", err)
+		os.Exit(1)
+	}
+	corpus := redteam.LearningCorpus()
+	name := "default (12 pages)"
+	if *expanded {
+		corpus = redteam.ExpandedCorpus()
+		name = "expanded"
+	}
+	db, stats, err := core.Learn(app.Image, core.LearnConfig{Inputs: [][]byte{corpus}})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "learn:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("corpus: %s\n", name)
+	fmt.Printf("runs: %d (%d normal, %d discarded)\n", stats.Runs, stats.NormalRuns, stats.Discarded)
+	fmt.Printf("trace entries: %d\n", stats.Observations)
+	counts := db.CountByKind()
+	fmt.Printf("invariants: %d total (one-of %d, lower-bound %d, less-than %d, sp-offset %d)\n",
+		db.Len(), counts[daikon.KindOneOf], counts[daikon.KindLowerBound],
+		counts[daikon.KindLessThan], counts[daikon.KindSPOffset])
+
+	if *verbose {
+		for _, inv := range db.All() {
+			fmt.Printf("  %s\n", inv)
+		}
+	}
+	if *out != "" {
+		raw, err := db.Marshal()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "learn:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, raw, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "learn:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("database written to %s (%d bytes)\n", *out, len(raw))
+	}
+}

@@ -1,0 +1,101 @@
+// Command redteam drives individual attack campaigns against the
+// protected application:
+//
+//	redteam -exploit 290162                    single-variant attack (§4.3.1)
+//	redteam -exploit 290162 -mode variants     interleaved variants (§4.3.4)
+//	redteam -mode simultaneous                 interleaved exploits (§4.3.5)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/redteam"
+)
+
+func main() {
+	exploitID := flag.String("exploit", "", "Bugzilla id of the exploit to run (empty = all)")
+	mode := flag.String("mode", "single", "single | variants | simultaneous")
+	max := flag.Int("max", 24, "maximum presentations")
+	flag.Parse()
+
+	if err := run(*exploitID, *mode, *max); err != nil {
+		fmt.Fprintln(os.Stderr, "redteam:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exploitID, mode string, max int) error {
+	exploits := redteam.Exploits()
+	selected := exploits
+	if exploitID != "" {
+		selected = nil
+		for _, ex := range exploits {
+			if ex.Bugzilla == exploitID {
+				selected = []redteam.Exploit{ex}
+			}
+		}
+		if selected == nil {
+			return fmt.Errorf("unknown exploit %q", exploitID)
+		}
+	}
+
+	if mode == "simultaneous" {
+		setup, err := redteam.NewSetup(false)
+		if err != nil {
+			return err
+		}
+		cv, err := setup.ClearView(1)
+		if err != nil {
+			return err
+		}
+		var sim []redteam.Exploit
+		for _, ex := range selected {
+			if ex.Repairable && !ex.NeedsExpandedCorpus && ex.NeedsStackScope <= 1 {
+				sim = append(sim, ex)
+			}
+		}
+		results := redteam.RunSimultaneous(cv, setup.App, sim, max)
+		ids := make([]string, 0, len(results))
+		for id := range results {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Println("Simultaneous multiple-exploit attack (§4.3.5):")
+		for _, id := range ids {
+			r := results[id]
+			fmt.Printf("  %s: patched=%v after %d of its own presentations\n",
+				id, r.Patched, r.Presentations)
+		}
+		return nil
+	}
+
+	for _, ex := range selected {
+		setup, err := redteam.NewSetup(ex.NeedsExpandedCorpus)
+		if err != nil {
+			return err
+		}
+		cv, err := setup.ClearView(ex.NeedsStackScope)
+		if err != nil {
+			return err
+		}
+		var res redteam.AttackResult
+		switch mode {
+		case "single":
+			res = redteam.RunSingleVariant(cv, setup.App, ex, max)
+		case "variants":
+			res = redteam.RunMultiVariant(cv, setup.App, ex, max)
+		default:
+			return fmt.Errorf("unknown mode %q", mode)
+		}
+		status := "blocked but not patched"
+		if res.Patched {
+			status = fmt.Sprintf("patched after %d presentations", res.Presentations)
+		}
+		fmt.Printf("%s (%s): %s (unsuccessful repair runs: %d)\n",
+			ex.Bugzilla, ex.ErrorType, status, res.Unsuccessful)
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+// Package repro is a from-scratch Go reproduction of "Automatically
+// Patching Errors in Deployed Software" (Perkins et al., SOSP 2009) — the
+// ClearView system: learning invariants from normal executions of a
+// stripped binary, detecting failures with monitors, identifying
+// invariants whose violation correlates with a failure, generating
+// candidate repair patches that enforce them, and evaluating the patches
+// on continued executions, coordinated across an application community.
+//
+// The root package carries the module documentation and the benchmark
+// harness (bench_test.go) that regenerates every table and figure of the
+// paper's evaluation; the implementation lives under internal/:
+//
+//	internal/isa        the simulated x86-flavoured instruction set
+//	internal/asm        two-pass assembler
+//	internal/image      stripped binary image format
+//	internal/mem        paged memory + canary-guarded heap allocator
+//	internal/vm         managed execution environment (code cache, patches)
+//	internal/cfg        dynamic procedure discovery + predominators
+//	internal/trace      Daikon front end (per-instruction operand tracing)
+//	internal/daikon     invariant inference engine + community DB merge
+//	internal/monitor    Memory Firewall, Heap Guard, Shadow Stack
+//	internal/correlate  candidate selection, checking patches, classification
+//	internal/repair     candidate repair generation
+//	internal/evaluate   repair scoring and ranking
+//	internal/core       the ClearView pipeline orchestrator
+//	internal/community  central manager + node managers (pipe & TCP)
+//	internal/webapp     the protected application (ten seeded defects)
+//	internal/redteam    exploit builders, corpora, drivers, reports
+//
+// See README.md for a tour, DESIGN.md for the paper-to-code mapping, and
+// EXPERIMENTS.md for measured-versus-paper results.
+package repro

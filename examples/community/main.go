@@ -1,0 +1,104 @@
+// Application community over TCP: a central manager and three node
+// managers on localhost. One member absorbs an attack until the community
+// finds a patch; the others then survive their first exposure
+// ("protection without exposure", §3).
+//
+// Run:  go run ./examples/community
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/community"
+	"repro/internal/core"
+	"repro/internal/redteam"
+	"repro/internal/vm"
+	"repro/internal/webapp"
+)
+
+func main() {
+	app, err := webapp.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	seed, _, err := core.Learn(app.Image, core.LearnConfig{
+		Inputs: [][]byte{redteam.LearningCorpus()},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	manager, err := community.NewManager(community.ManagerConfig{
+		Image:           app.Image,
+		Seed:            seed,
+		BootstrapInputs: [][]byte{redteam.LearningCorpus()},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	listener, err := community.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer listener.Close()
+	go func() {
+		for {
+			conn, err := listener.Accept()
+			if err != nil {
+				return
+			}
+			go func() { _ = manager.Serve(conn) }()
+		}
+	}()
+	fmt.Printf("manager listening on %s\n", listener.Addr())
+
+	newNode := func(id string) *community.Node {
+		conn, err := community.Dial(listener.Addr())
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := community.NewNode(id, app.Image, conn)
+		if err := n.Connect(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("node %q connected\n", id)
+		return n
+	}
+	victim := newNode("victim")
+	peers := []*community.Node{newNode("peer-1"), newNode("peer-2")}
+
+	var ex redteam.Exploit
+	for _, e := range redteam.Exploits() {
+		if e.Bugzilla == "290162" {
+			ex = e
+		}
+	}
+	attack := redteam.AttackInput(app, ex, 0)
+
+	fmt.Printf("\nattacking %q with exploit %s...\n", victim.ID, ex.Bugzilla)
+	for i := 1; ; i++ {
+		res, err := victim.RunOnce(attack)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Outcome == vm.OutcomeExit && res.ExitCode == 0 {
+			fmt.Printf("  presentation %d: survived — community patch adopted\n", i)
+			break
+		}
+		fmt.Printf("  presentation %d: %v (community responding)\n", i, res.Outcome)
+		if i > 12 {
+			log.Fatal("community never patched")
+		}
+	}
+
+	fmt.Println("\nfirst exposure of the other members:")
+	for _, peer := range peers {
+		res, err := peer.RunOnce(attack)
+		if err != nil {
+			log.Fatal(err)
+		}
+		immune := res.Outcome == vm.OutcomeExit && res.ExitCode == 0
+		fmt.Printf("  %q survives first exposure: %v\n", peer.ID, immune)
+	}
+}

@@ -1,0 +1,91 @@
+// Amortized distributed learning (§3.1): four community members each trace
+// only a quarter of the application; the central manager merges their
+// uploads into a community-wide invariant database that is both larger
+// than any member's contribution and sound (an invariant survives the
+// merge only if it held everywhere it was observed).
+//
+// Run:  go run ./examples/learning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/community"
+	"repro/internal/core"
+	"repro/internal/daikon"
+	"repro/internal/redteam"
+	"repro/internal/webapp"
+)
+
+func main() {
+	app, err := webapp.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	manager, err := community.NewManager(community.ManagerConfig{
+		Image:           app.Image,
+		BootstrapInputs: [][]byte{redteam.LearningCorpus()},
+		LearnShards:     4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	corpus := redteam.LearningCorpus()
+	nodes := make([]*community.Node, 4)
+	for i := range nodes {
+		nodeSide, mgrSide := community.Pipe()
+		go func() { _ = manager.Serve(mgrSide) }()
+		nodes[i] = community.NewNode(fmt.Sprintf("member-%d", i), app.Image, nodeSide)
+		if err := nodes[i].Connect(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for _, n := range nodes {
+		d := n.Directives()
+		fmt.Printf("%s traces [%#x, %#x) — %.0f%% of the code\n",
+			n.ID, d.LearnLo, d.LearnHi,
+			100*float64(d.LearnHi-d.LearnLo)/float64(len(app.Image.Code)))
+		if _, err := n.RunOnce(corpus); err != nil {
+			log.Fatal(err)
+		}
+		if err := n.UploadLearning(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("\nmanager merged %d uploads into %d community invariants\n",
+		manager.Uploads(), manager.InvariantCount())
+
+	// Compare against a single member tracing everything.
+	full, stats, err := core.Learn(app.Image, core.LearnConfig{Inputs: [][]byte{corpus}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single full-trace member: %d invariants from %d trace entries\n",
+		full.Len(), stats.Observations)
+
+	// And against what one shard alone could contribute.
+	quarter, qstats, err := core.Learn(app.Image, core.LearnConfig{
+		Inputs: [][]byte{corpus},
+		Filter: func(pc uint32) bool {
+			span := uint32(len(app.Image.Code)) / 4
+			return pc < app.Image.Base+span
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one quarter-shard member:  %d invariants from %d trace entries\n",
+		quarter.Len(), qstats.Observations)
+
+	counts := manager.InvariantCount()
+	_ = daikon.DefaultMaxOneOf
+	if counts <= quarter.Len() {
+		log.Fatal("merged community database no larger than one shard")
+	}
+	fmt.Println("\nthe community database covers the whole application while each")
+	fmt.Println("member paid only a quarter of the tracing overhead")
+}

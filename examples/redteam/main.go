@@ -1,0 +1,66 @@
+// Red Team exercise walkthrough: the protected browser-like application
+// under the ten exploits of §4, printing a live narration of each
+// campaign — detection, invariant checking, repair evaluation, adoption.
+//
+// Run:  go run ./examples/redteam
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/redteam"
+	"repro/internal/vm"
+)
+
+func main() {
+	fmt.Println("Building the application and learning the invariant database...")
+	setups := map[bool]*redteam.Setup{}
+	for _, expanded := range []bool{false, true} {
+		s, err := redteam.NewSetup(expanded)
+		if err != nil {
+			log.Fatal(err)
+		}
+		setups[expanded] = s
+	}
+
+	for _, ex := range redteam.Exploits() {
+		setup := setups[ex.NeedsExpandedCorpus]
+		cv, err := setup.ClearView(ex.NeedsStackScope)
+		if err != nil {
+			log.Fatal(err)
+		}
+		note := ""
+		if ex.NeedsStackScope > 1 {
+			note = " (stack scope widened per §4.3.2)"
+		}
+		if ex.NeedsExpandedCorpus {
+			note = " (expanded learning corpus per §4.3.2)"
+		}
+		fmt.Printf("\n== Bugzilla %s — %s%s ==\n", ex.Bugzilla, ex.ErrorType, note)
+
+		patched := false
+		for i := 1; i <= 16 && !patched; i++ {
+			res := cv.Execute(redteam.AttackInput(setup.App, ex, 0))
+			switch {
+			case res.Outcome == vm.OutcomeExit && res.ExitCode == 0:
+				fmt.Printf("  presentation %2d: application SURVIVED — patch adopted\n", i)
+				patched = true
+			case res.Outcome == vm.OutcomeFailure:
+				fmt.Printf("  presentation %2d: blocked by %s at %#x\n",
+					i, res.Failure.Monitor, res.Failure.PC)
+			default:
+				fmt.Printf("  presentation %2d: candidate repair failed (%v); discarded\n",
+					i, res.Outcome)
+			}
+		}
+		if !patched {
+			if ex.Repairable {
+				fmt.Println("  -> NOT patched (unexpected)")
+			} else {
+				fmt.Println("  -> never patched: the correcting invariant is outside")
+				fmt.Println("     Daikon's grammar (§4.3.2); every attack stays blocked")
+			}
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package asm is a two-pass assembler for the simulated ISA. It is used to
+// hand-assemble the protected application (internal/webapp) and the small
+// programs exercised by tests and examples.
+//
+// The assembler produces a raw code image plus a label map. The label map
+// exists only for the convenience of test harnesses and exploit builders;
+// it is never given to ClearView, which sees only the stripped bytes.
+package asm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Mem describes a memory operand base+index<<scale+disp.
+type Mem struct {
+	Base  isa.Reg
+	Index isa.Reg // isa.NoReg if absent
+	Scale uint8
+	Disp  int32
+}
+
+// M is shorthand for a base+displacement memory operand.
+func M(base isa.Reg, disp int32) Mem {
+	return Mem{Base: base, Index: isa.NoReg, Disp: disp}
+}
+
+// MX is shorthand for a base+index<<scale+displacement memory operand.
+func MX(base, index isa.Reg, scale uint8, disp int32) Mem {
+	return Mem{Base: base, Index: index, Scale: scale, Disp: disp}
+}
+
+type fixupKind uint8
+
+const (
+	fixNone     fixupKind = iota
+	fixRelative           // imm = label - (addr + InstSize)
+	fixAbsolute           // imm = label (absolute address)
+)
+
+type item struct {
+	inst  isa.Inst
+	data  []byte // raw data bytes; if non-nil this is a data item
+	fixup fixupKind
+	label string
+}
+
+// Assembler accumulates instructions and data, resolving label references
+// in a second pass.
+type Assembler struct {
+	base   uint32
+	items  []item
+	labels map[string]uint32
+	sizes  []uint32 // running offset of each item
+	off    uint32
+	errs   []error
+}
+
+// New returns an assembler whose first emitted byte lands at base.
+func New(base uint32) *Assembler {
+	return &Assembler{base: base, labels: make(map[string]uint32)}
+}
+
+// PC returns the address of the next emitted item.
+func (a *Assembler) PC() uint32 { return a.base + a.off }
+
+// Label defines a label at the current position. Defining the same label
+// twice is an error reported by Assemble.
+func (a *Assembler) Label(name string) {
+	if _, dup := a.labels[name]; dup {
+		a.errs = append(a.errs, fmt.Errorf("asm: duplicate label %q", name))
+		return
+	}
+	a.labels[name] = a.PC()
+}
+
+func (a *Assembler) emit(it item) {
+	a.sizes = append(a.sizes, a.off)
+	a.items = append(a.items, it)
+	if it.data != nil {
+		a.off += uint32(len(it.data))
+	} else {
+		a.off += isa.InstSize
+	}
+}
+
+func (a *Assembler) inst(in isa.Inst) { a.emit(item{inst: in}) }
+
+// Nop emits a no-op.
+func (a *Assembler) Nop() { a.inst(isa.Inst{Op: isa.NOP, X: isa.NoReg}) }
+
+// Halt emits a machine halt.
+func (a *Assembler) Halt() { a.inst(isa.Inst{Op: isa.HALT, X: isa.NoReg}) }
+
+// MovRI emits A = imm.
+func (a *Assembler) MovRI(dst isa.Reg, imm int32) {
+	a.inst(isa.Inst{Op: isa.MOVRI, A: dst, X: isa.NoReg, Imm: imm})
+}
+
+// MovLabel emits A = address-of(label).
+func (a *Assembler) MovLabel(dst isa.Reg, label string) {
+	a.emit(item{inst: isa.Inst{Op: isa.MOVRI, A: dst, X: isa.NoReg}, fixup: fixAbsolute, label: label})
+}
+
+// MovRR emits A = B.
+func (a *Assembler) MovRR(dst, src isa.Reg) {
+	a.inst(isa.Inst{Op: isa.MOVRR, A: dst, B: src, X: isa.NoReg})
+}
+
+func memInst(op isa.Op, reg isa.Reg, m Mem) isa.Inst {
+	return isa.Inst{Op: op, A: reg, B: m.Base, X: m.Index, Scale: m.Scale, Imm: m.Disp}
+}
+
+// Load emits A = mem32[m].
+func (a *Assembler) Load(dst isa.Reg, m Mem) { a.inst(memInst(isa.LOAD, dst, m)) }
+
+// Store emits mem32[m] = A.
+func (a *Assembler) Store(m Mem, src isa.Reg) { a.inst(memInst(isa.STORE, src, m)) }
+
+// LoadB emits A = zero-extended mem8[m].
+func (a *Assembler) LoadB(dst isa.Reg, m Mem) { a.inst(memInst(isa.LOADB, dst, m)) }
+
+// StoreB emits mem8[m] = low byte of A.
+func (a *Assembler) StoreB(m Mem, src isa.Reg) { a.inst(memInst(isa.STOREB, src, m)) }
+
+// Lea emits A = address-of(m).
+func (a *Assembler) Lea(dst isa.Reg, m Mem) { a.inst(memInst(isa.LEA, dst, m)) }
+
+func (a *Assembler) aluRR(op isa.Op, dst, src isa.Reg) {
+	a.inst(isa.Inst{Op: op, A: dst, B: src, X: isa.NoReg})
+}
+
+func (a *Assembler) aluRI(op isa.Op, dst isa.Reg, imm int32) {
+	a.inst(isa.Inst{Op: op, A: dst, X: isa.NoReg, Imm: imm})
+}
+
+// Arithmetic and logic emitters.
+func (a *Assembler) AddRR(dst, src isa.Reg)       { a.aluRR(isa.ADDRR, dst, src) }
+func (a *Assembler) AddRI(dst isa.Reg, imm int32) { a.aluRI(isa.ADDRI, dst, imm) }
+func (a *Assembler) SubRR(dst, src isa.Reg)       { a.aluRR(isa.SUBRR, dst, src) }
+func (a *Assembler) SubRI(dst isa.Reg, imm int32) { a.aluRI(isa.SUBRI, dst, imm) }
+func (a *Assembler) MulRR(dst, src isa.Reg)       { a.aluRR(isa.MULRR, dst, src) }
+func (a *Assembler) MulRI(dst isa.Reg, imm int32) { a.aluRI(isa.MULRI, dst, imm) }
+func (a *Assembler) AndRR(dst, src isa.Reg)       { a.aluRR(isa.ANDRR, dst, src) }
+func (a *Assembler) AndRI(dst isa.Reg, imm int32) { a.aluRI(isa.ANDRI, dst, imm) }
+func (a *Assembler) OrRR(dst, src isa.Reg)        { a.aluRR(isa.ORRR, dst, src) }
+func (a *Assembler) OrRI(dst isa.Reg, imm int32)  { a.aluRI(isa.ORRI, dst, imm) }
+func (a *Assembler) XorRR(dst, src isa.Reg)       { a.aluRR(isa.XORRR, dst, src) }
+func (a *Assembler) XorRI(dst isa.Reg, imm int32) { a.aluRI(isa.XORRI, dst, imm) }
+func (a *Assembler) ShlRI(dst isa.Reg, imm int32) { a.aluRI(isa.SHLRI, dst, imm) }
+func (a *Assembler) ShrRI(dst isa.Reg, imm int32) { a.aluRI(isa.SHRRI, dst, imm) }
+func (a *Assembler) SarRI(dst isa.Reg, imm int32) { a.aluRI(isa.SARRI, dst, imm) }
+
+// SextB emits A = sign-extend(low byte of A).
+func (a *Assembler) SextB(dst isa.Reg) { a.aluRI(isa.SEXTB, dst, 0) }
+
+// CmpRR emits flags = compare(A, B).
+func (a *Assembler) CmpRR(x, y isa.Reg) { a.aluRR(isa.CMPRR, x, y) }
+
+// CmpRI emits flags = compare(A, imm).
+func (a *Assembler) CmpRI(x isa.Reg, imm int32) { a.aluRI(isa.CMPRI, x, imm) }
+
+func (a *Assembler) branch(op isa.Op, label string) {
+	a.emit(item{inst: isa.Inst{Op: op, X: isa.NoReg}, fixup: fixRelative, label: label})
+}
+
+// Branch emitters targeting labels.
+func (a *Assembler) Jmp(label string)  { a.branch(isa.JMP, label) }
+func (a *Assembler) Je(label string)   { a.branch(isa.JE, label) }
+func (a *Assembler) Jne(label string)  { a.branch(isa.JNE, label) }
+func (a *Assembler) Jl(label string)   { a.branch(isa.JL, label) }
+func (a *Assembler) Jle(label string)  { a.branch(isa.JLE, label) }
+func (a *Assembler) Jg(label string)   { a.branch(isa.JG, label) }
+func (a *Assembler) Jge(label string)  { a.branch(isa.JGE, label) }
+func (a *Assembler) Jb(label string)   { a.branch(isa.JB, label) }
+func (a *Assembler) Jbe(label string)  { a.branch(isa.JBE, label) }
+func (a *Assembler) Ja(label string)   { a.branch(isa.JA, label) }
+func (a *Assembler) Jae(label string)  { a.branch(isa.JAE, label) }
+func (a *Assembler) Call(label string) { a.branch(isa.CALL, label) }
+
+// JmpR emits an indirect jump through a register.
+func (a *Assembler) JmpR(r isa.Reg) { a.inst(isa.Inst{Op: isa.JMPR, A: r, X: isa.NoReg}) }
+
+// CallR emits an indirect call through a register.
+func (a *Assembler) CallR(r isa.Reg) { a.inst(isa.Inst{Op: isa.CALLR, A: r, X: isa.NoReg}) }
+
+// CallM emits an indirect call through memory (vtable dispatch).
+func (a *Assembler) CallM(m Mem) { a.inst(memInst(isa.CALLM, 0, m)) }
+
+// Ret emits a return.
+func (a *Assembler) Ret() { a.inst(isa.Inst{Op: isa.RET, X: isa.NoReg}) }
+
+// Push emits push A.
+func (a *Assembler) Push(r isa.Reg) { a.inst(isa.Inst{Op: isa.PUSH, A: r, X: isa.NoReg}) }
+
+// PushI emits push imm.
+func (a *Assembler) PushI(imm int32) { a.inst(isa.Inst{Op: isa.PUSHI, X: isa.NoReg, Imm: imm}) }
+
+// Pop emits A = pop().
+func (a *Assembler) Pop(r isa.Reg) { a.inst(isa.Inst{Op: isa.POP, A: r, X: isa.NoReg}) }
+
+// Sys emits a system call.
+func (a *Assembler) Sys(num int32) { a.inst(isa.Inst{Op: isa.SYS, X: isa.NoReg, Imm: num}) }
+
+// CopyB emits a block byte copy of ECX bytes from [ESI] to [EDI]
+// (the rep-movsb idiom).
+func (a *Assembler) CopyB() { a.inst(isa.Inst{Op: isa.COPYB, X: isa.NoReg}) }
+
+// Word emits a 32-bit little-endian data word.
+func (a *Assembler) Word(v uint32) {
+	a.emit(item{data: []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}})
+}
+
+// WordLabel emits a 32-bit data word holding the address of label
+// (used to build static dispatch tables).
+func (a *Assembler) WordLabel(label string) {
+	a.emit(item{data: []byte{0, 0, 0, 0}, fixup: fixAbsolute, label: label})
+}
+
+// Bytes emits raw data bytes.
+func (a *Assembler) Bytes(b []byte) {
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	a.emit(item{data: cp})
+}
+
+// Space emits n zero bytes.
+func (a *Assembler) Space(n int) { a.emit(item{data: make([]byte, n)}) }
+
+// Assemble resolves all label references and returns the code image and the
+// label map. The label map is diagnostic; the code bytes alone are what the
+// protected machine loads.
+func (a *Assembler) Assemble() ([]byte, map[string]uint32, error) {
+	if len(a.errs) > 0 {
+		return nil, nil, a.errs[0]
+	}
+	out := make([]byte, 0, a.off)
+	for i, it := range a.items {
+		addr := a.base + a.sizes[i]
+		if it.fixup != fixNone {
+			target, ok := a.labels[it.label]
+			if !ok {
+				return nil, nil, fmt.Errorf("asm: undefined label %q at %#x", it.label, addr)
+			}
+			switch {
+			case it.fixup == fixRelative:
+				it.inst.Imm = int32(target - (addr + isa.InstSize))
+			case it.data != nil: // absolute fixup into a data word
+				it.data = []byte{byte(target), byte(target >> 8), byte(target >> 16), byte(target >> 24)}
+			default: // absolute fixup into an instruction immediate
+				it.inst.Imm = int32(target)
+			}
+		}
+		if it.data != nil {
+			out = append(out, it.data...)
+			continue
+		}
+		enc := it.inst.Encode()
+		out = append(out, enc[:]...)
+	}
+	labels := make(map[string]uint32, len(a.labels))
+	for k, v := range a.labels {
+		labels[k] = v
+	}
+	return out, labels, nil
+}
+
+// MustAssemble is Assemble that panics on error; for use in tests and in
+// the statically known webapp build.
+func (a *Assembler) MustAssemble() ([]byte, map[string]uint32) {
+	code, labels, err := a.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return code, labels
+}
+
+// Disassemble renders code bytes starting at base as one instruction per
+// line, stopping at the first undecodable position. It is a debugging aid.
+func Disassemble(code []byte, base uint32) []string {
+	var lines []string
+	for off := 0; off+isa.InstSize <= len(code); off += isa.InstSize {
+		in, err := isa.Decode(code[off : off+isa.InstSize])
+		if err != nil {
+			lines = append(lines, fmt.Sprintf("%08x  <data>", base+uint32(off)))
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("%08x  %s", base+uint32(off), in))
+	}
+	return lines
+}
+
+// SortedLabels returns label names ordered by address, for readable dumps.
+func SortedLabels(labels map[string]uint32) []string {
+	names := make([]string, 0, len(labels))
+	for n := range labels {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if labels[names[i]] != labels[names[j]] {
+			return labels[names[i]] < labels[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}

@@ -1,0 +1,188 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestLabelsAndBranches(t *testing.T) {
+	a := New(0x1000)
+	a.Label("start")
+	a.MovRI(isa.EAX, 3) // 0x1000
+	a.Label("loop")
+	a.SubRI(isa.EAX, 1) // 0x1008
+	a.CmpRI(isa.EAX, 0) // 0x1010
+	a.Jne("loop")       // 0x1018
+	a.Jmp("done")       // 0x1020
+	a.Nop()             // 0x1028
+	a.Label("done")
+	a.Halt() // 0x1030
+
+	code, labels, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels["loop"] != 0x1008 || labels["done"] != 0x1030 {
+		t.Fatalf("labels = %#v", labels)
+	}
+	// Jne at 0x1018: imm = 0x1008 - 0x1020 = -0x18.
+	in, err := isa.Decode(code[0x18:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != isa.JNE || in.Imm != -0x18 {
+		t.Errorf("jne = %+v", in)
+	}
+	// Jmp at 0x1020: imm = 0x1030 - 0x1028 = 8.
+	in, _ = isa.Decode(code[0x20:])
+	if in.Op != isa.JMP || in.Imm != 8 {
+		t.Errorf("jmp = %+v", in)
+	}
+}
+
+func TestCallFixup(t *testing.T) {
+	a := New(0)
+	a.Call("f") // at 0, imm = f - 8
+	a.Halt()
+	a.Label("f")
+	a.Ret()
+	code, labels, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := isa.Decode(code)
+	if in.Op != isa.CALL || uint32(8+in.Imm) != labels["f"] {
+		t.Errorf("call = %+v, f at %#x", in, labels["f"])
+	}
+}
+
+func TestAbsoluteFixups(t *testing.T) {
+	a := New(0x2000)
+	a.MovLabel(isa.EAX, "table")
+	a.Halt()
+	a.Label("table")
+	a.WordLabel("fn")
+	a.Label("fn")
+	a.Ret()
+	code, labels, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := isa.Decode(code)
+	if uint32(in.Imm) != labels["table"] {
+		t.Errorf("movlabel imm = %#x, want %#x", in.Imm, labels["table"])
+	}
+	word := uint32(code[0x10]) | uint32(code[0x11])<<8 | uint32(code[0x12])<<16 | uint32(code[0x13])<<24
+	if word != labels["fn"] {
+		t.Errorf("wordlabel = %#x, want %#x", word, labels["fn"])
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	a := New(0)
+	a.Jmp("nowhere")
+	if _, _, err := a.Assemble(); err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	a := New(0)
+	a.Label("x")
+	a.Nop()
+	a.Label("x")
+	if _, _, err := a.Assemble(); err == nil || !strings.Contains(err.Error(), "duplicate label") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	a := New(0)
+	a.Word(0xAABBCCDD)
+	a.Bytes([]byte{1, 2, 3})
+	a.Space(5)
+	code, _, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(code) != 12 {
+		t.Fatalf("len = %d, want 12", len(code))
+	}
+	if code[0] != 0xDD || code[3] != 0xAA || code[4] != 1 || code[7] != 0 {
+		t.Errorf("data bytes = %v", code)
+	}
+}
+
+func TestMemOperandEmitters(t *testing.T) {
+	a := New(0)
+	a.Load(isa.EAX, MX(isa.EBX, isa.ECX, 2, 12))
+	a.Store(M(isa.EBP, -4), isa.EDX)
+	code, _, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, _ := isa.Decode(code)
+	if ld.Op != isa.LOAD || ld.B != isa.EBX || ld.X != isa.ECX || ld.Scale != 2 || ld.Imm != 12 {
+		t.Errorf("load = %+v", ld)
+	}
+	st, _ := isa.Decode(code[8:])
+	if st.Op != isa.STORE || st.A != isa.EDX || st.B != isa.EBP || st.X != isa.NoReg || st.Imm != -4 {
+		t.Errorf("store = %+v", st)
+	}
+}
+
+func TestPCTracksEmission(t *testing.T) {
+	a := New(0x400)
+	if a.PC() != 0x400 {
+		t.Fatal("initial PC")
+	}
+	a.Nop()
+	a.Word(7)
+	if a.PC() != 0x400+8+4 {
+		t.Errorf("PC = %#x", a.PC())
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	a := New(0x100)
+	a.MovRI(isa.EAX, 7)
+	a.Ret()
+	code, _, _ := a.Assemble()
+	lines := Disassemble(code, 0x100)
+	if len(lines) != 2 || !strings.Contains(lines[0], "movri eax, 7") || !strings.Contains(lines[1], "ret") {
+		t.Errorf("disassembly = %v", lines)
+	}
+}
+
+func TestSortedLabels(t *testing.T) {
+	got := SortedLabels(map[string]uint32{"b": 16, "a": 8, "c": 8})
+	if len(got) != 3 || got[0] != "a" || got[1] != "c" || got[2] != "b" {
+		t.Errorf("sorted = %v", got)
+	}
+}
+
+func TestSextBAndCopyBEmitters(t *testing.T) {
+	a := New(0)
+	a.SextB(isa.EDX)
+	a.CopyB()
+	code, _, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx, err := isa.Decode(code)
+	if err != nil || sx.Op != isa.SEXTB || sx.A != isa.EDX {
+		t.Errorf("sextb = %+v, %v", sx, err)
+	}
+	cb, err := isa.Decode(code[8:])
+	if err != nil || cb.Op != isa.COPYB {
+		t.Errorf("copyb = %+v, %v", cb, err)
+	}
+	if got := cb.String(); got != "copyb [edi], [esi], ecx" {
+		t.Errorf("copyb String() = %q", got)
+	}
+	if got := sx.String(); got != "sextb edx" {
+		t.Errorf("sextb String() = %q", got)
+	}
+}

@@ -1,0 +1,225 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/image"
+	"repro/internal/isa"
+)
+
+func buildDB(t *testing.T, build func(a *asm.Assembler)) (*DB, map[string]uint32) {
+	t.Helper()
+	a := asm.New(0x1000)
+	build(a)
+	code, labels, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := &image.Image{Base: 0x1000, Entry: 0x1000, Code: code}
+	return NewDB(img), labels
+}
+
+func TestStraightLineProc(t *testing.T) {
+	db, labels := buildDB(t, func(a *asm.Assembler) {
+		a.Label("f")
+		a.MovRI(isa.EAX, 1)
+		a.AddRI(isa.EAX, 2)
+		a.Ret()
+	})
+	p := db.NoteBlockExec(labels["f"])
+	if p.Entry != labels["f"] {
+		t.Fatalf("entry = %#x", p.Entry)
+	}
+	if len(p.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(p.Blocks))
+	}
+	b := p.BlockOf(labels["f"])
+	if b.NumInstrs() != 3 || len(b.Succs) != 0 {
+		t.Errorf("block = %+v", b)
+	}
+}
+
+func TestDiamondCFGAndPredominators(t *testing.T) {
+	// entry -> (then | else) -> join -> ret
+	db, labels := buildDB(t, func(a *asm.Assembler) {
+		a.Label("f")
+		a.CmpRI(isa.EAX, 0) // f+0
+		a.Je("else")        // f+8
+		a.Label("then")
+		a.MovRI(isa.EBX, 1) // then
+		a.Jmp("join")
+		a.Label("else")
+		a.MovRI(isa.EBX, 2) // else
+		a.Label("join")
+		a.MovRR(isa.ECX, isa.EBX) // join
+		a.Ret()
+	})
+	p := db.NoteBlockExec(labels["f"])
+	if len(p.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4 (entry/then/else/join)", len(p.Blocks))
+	}
+	f, then, els, join := labels["f"], labels["then"], labels["else"], labels["join"]
+
+	if !p.Predominates(f, join) {
+		t.Error("entry must predominate join")
+	}
+	if p.Predominates(then, join) || p.Predominates(els, join) {
+		t.Error("neither branch arm predominates the join")
+	}
+	if !p.Predominates(join, join) {
+		t.Error("predomination must be reflexive")
+	}
+	if !p.Predominates(f, f+8) {
+		t.Error("earlier instruction in a block predominates later")
+	}
+	if p.Predominates(f+8, f) {
+		t.Error("later instruction must not predominate earlier")
+	}
+
+	// Predominators of the join instruction: both entry-block
+	// instructions, then the join instruction itself — never the arms.
+	pre := p.Predominators(join)
+	want := []uint32{f, f + 8, join}
+	if len(pre) != len(want) {
+		t.Fatalf("predominators = %#v, want %#v", pre, want)
+	}
+	for i := range want {
+		if pre[i] != want[i] {
+			t.Fatalf("predominators = %#v, want %#v", pre, want)
+		}
+	}
+}
+
+func TestLoopCFG(t *testing.T) {
+	db, labels := buildDB(t, func(a *asm.Assembler) {
+		a.Label("f")
+		a.MovRI(isa.ECX, 10)
+		a.Label("loop")
+		a.SubRI(isa.ECX, 1)
+		a.CmpRI(isa.ECX, 0)
+		a.Jne("loop")
+		a.Ret()
+	})
+	p := db.NoteBlockExec(labels["f"])
+	loop := p.BlockOf(labels["loop"])
+	if loop == nil {
+		t.Fatal("loop block missing")
+	}
+	// Loop block has two successors: itself and the exit block.
+	if len(loop.Succs) != 2 {
+		t.Fatalf("loop succs = %v", loop.Succs)
+	}
+	if !p.Predominates(labels["f"], labels["loop"]) {
+		t.Error("preheader must predominate loop")
+	}
+}
+
+func TestCallFallsThrough(t *testing.T) {
+	// A call ends the block but the CFG continues at the return point;
+	// the callee is traced only when it executes (separate procedure).
+	db, labels := buildDB(t, func(a *asm.Assembler) {
+		a.Label("f")
+		a.Call("g")
+		a.MovRI(isa.EAX, 1)
+		a.Ret()
+		a.Label("g")
+		a.MovRI(isa.EBX, 2)
+		a.Ret()
+	})
+	p := db.NoteBlockExec(labels["f"])
+	if p.ContainsInstr(labels["g"]) {
+		t.Error("callee traced into caller's CFG")
+	}
+	after := labels["f"] + isa.InstSize
+	if !p.ContainsInstr(after) {
+		t.Error("return point not in caller's CFG")
+	}
+	if !p.Predominates(labels["f"], after) {
+		t.Error("call predominates its return point")
+	}
+	// Discovering g separately yields a second procedure.
+	q := db.NoteBlockExec(labels["g"])
+	if q == p || q.Entry != labels["g"] {
+		t.Errorf("callee proc = %+v", q)
+	}
+	if db.ProcAt(labels["g"]) != q || db.ProcAt(labels["f"]) != p {
+		t.Error("instruction ownership wrong")
+	}
+}
+
+func TestIndirectJumpEndsTrace(t *testing.T) {
+	db, labels := buildDB(t, func(a *asm.Assembler) {
+		a.Label("f")
+		a.MovRI(isa.EAX, 0x9999)
+		a.JmpR(isa.EAX)
+		a.Label("unreached")
+		a.MovRI(isa.EBX, 1) // statically unreachable from f via jmpr
+		a.Ret()
+	})
+	p := db.NoteBlockExec(labels["f"])
+	if p.ContainsInstr(labels["unreached"]) {
+		t.Error("trace continued past an unresolvable indirect jump")
+	}
+}
+
+func TestProcedureFission(t *testing.T) {
+	// If a block executes before its "real" containing procedure is known,
+	// it becomes its own procedure (the fission behaviour of §2.2.3).
+	db, labels := buildDB(t, func(a *asm.Assembler) {
+		a.Label("f")
+		a.MovRI(isa.EAX, 1)
+		a.Label("mid")
+		a.MovRI(isa.EBX, 2)
+		a.Ret()
+	})
+	mid := db.NoteBlockExec(labels["mid"])
+	if mid.Entry != labels["mid"] {
+		t.Fatalf("mid entry = %#x", mid.Entry)
+	}
+	f := db.NoteBlockExec(labels["f"])
+	if f != mid {
+		// f traces through mid's instructions but mid keeps ownership of
+		// the instructions it claimed first.
+		if db.ProcAt(labels["mid"]) != mid {
+			t.Error("fissioned proc lost ownership")
+		}
+	}
+}
+
+func TestNoteBlockExecIdempotent(t *testing.T) {
+	db, labels := buildDB(t, func(a *asm.Assembler) {
+		a.Label("f")
+		a.MovRI(isa.EAX, 1)
+		a.Ret()
+	})
+	p1 := db.NoteBlockExec(labels["f"])
+	p2 := db.NoteBlockExec(labels["f"])
+	if p1 != p2 {
+		t.Error("re-noting a known block created a new procedure")
+	}
+	if len(db.Procs()) != 1 {
+		t.Errorf("procs = %d", len(db.Procs()))
+	}
+}
+
+func TestInstrsSorted(t *testing.T) {
+	db, labels := buildDB(t, func(a *asm.Assembler) {
+		a.Label("f")
+		a.CmpRI(isa.EAX, 0)
+		a.Je("skip")
+		a.MovRI(isa.EBX, 1)
+		a.Label("skip")
+		a.Ret()
+	})
+	p := db.NoteBlockExec(labels["f"])
+	is := p.Instrs()
+	if len(is) != 4 {
+		t.Fatalf("instrs = %d, want 4", len(is))
+	}
+	for i := 1; i < len(is); i++ {
+		if is[i] <= is[i-1] {
+			t.Fatal("instrs not sorted")
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package cfg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/image"
+	"repro/internal/isa"
+)
+
+// randomProc emits a structurally valid random procedure: straight-line
+// runs punctuated by forward conditional branches (guaranteeing
+// termination of the static trace) and a final return.
+func randomProc(rng *rand.Rand, a *asm.Assembler, name string, blocks int) {
+	a.Label(name)
+	for i := 0; i < blocks; i++ {
+		run := 1 + rng.Intn(3)
+		for j := 0; j < run; j++ {
+			a.MovRI(isa.Reg(rng.Intn(4)), int32(rng.Intn(100)))
+		}
+		if i < blocks-1 && rng.Intn(2) == 0 {
+			// Forward branch over the next block (both arms exist).
+			a.CmpRI(isa.EAX, int32(rng.Intn(10)))
+			a.Je(procLabel(name, i+1))
+		}
+		a.Label(procLabel(name, i+1))
+	}
+	a.Ret()
+}
+
+func procLabel(name string, i int) string {
+	return name + "_b" + string(rune('0'+i%10)) + string(rune('a'+i/10))
+}
+
+// TestDominancePartialOrder checks the defining properties of the
+// predominator relation over randomly generated procedures: reflexivity,
+// antisymmetry, transitivity, and that the entry instruction predominates
+// everything.
+func TestDominancePartialOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		a := asm.New(0x1000)
+		randomProc(rng, a, "f", 2+rng.Intn(5))
+		code, labels, err := a.Assemble()
+		if err != nil {
+			t.Fatal(err)
+		}
+		img := &image.Image{Base: 0x1000, Entry: labels["f"], Code: code}
+		db := NewDB(img)
+		p := db.NoteBlockExec(labels["f"])
+		instrs := p.Instrs()
+		if len(instrs) == 0 {
+			t.Fatal("empty procedure")
+		}
+		entry := labels["f"]
+		for _, i := range instrs {
+			if !p.Predominates(i, i) {
+				t.Fatalf("trial %d: not reflexive at %#x", trial, i)
+			}
+			if !p.Predominates(entry, i) {
+				t.Fatalf("trial %d: entry does not predominate %#x", trial, i)
+			}
+		}
+		for _, i := range instrs {
+			for _, j := range instrs {
+				if i != j && p.Predominates(i, j) && p.Predominates(j, i) {
+					t.Fatalf("trial %d: %#x and %#x predominate each other", trial, i, j)
+				}
+				for _, k := range instrs {
+					if p.Predominates(i, j) && p.Predominates(j, k) && !p.Predominates(i, k) {
+						t.Fatalf("trial %d: transitivity broken %#x->%#x->%#x", trial, i, j, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPredominatorsChainOrdered checks that Predominators returns a chain
+// in dominance order (each element predominates all later ones) ending at
+// the query instruction.
+func TestPredominatorsChainOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		a := asm.New(0x1000)
+		randomProc(rng, a, "g", 2+rng.Intn(5))
+		code, labels, err := a.Assemble()
+		if err != nil {
+			t.Fatal(err)
+		}
+		img := &image.Image{Base: 0x1000, Entry: labels["g"], Code: code}
+		db := NewDB(img)
+		p := db.NoteBlockExec(labels["g"])
+		for _, q := range p.Instrs() {
+			chain := p.Predominators(q)
+			if len(chain) == 0 || chain[len(chain)-1] != q {
+				t.Fatalf("trial %d: chain for %#x does not end at it: %#v", trial, q, chain)
+			}
+			for x := 0; x < len(chain); x++ {
+				for y := x + 1; y < len(chain); y++ {
+					if !p.Predominates(chain[x], chain[y]) {
+						t.Fatalf("trial %d: chain out of order: %#x !dom %#x",
+							trial, chain[x], chain[y])
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,420 @@
+package community
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/correlate"
+	"repro/internal/daikon"
+	"repro/internal/evaluate"
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/repair"
+	"repro/internal/vm"
+)
+
+// ManagerConfig assembles the central ClearView manager.
+type ManagerConfig struct {
+	Image *image.Image
+	// Seed is an optional initial invariant database (e.g. a Blue-Team
+	// pre-exercise learning run); node uploads merge into it.
+	Seed *daikon.DB
+	// BootstrapInputs populate the manager's CFG database: the manager
+	// executes them locally once so it can resolve failure locations to
+	// procedures when computing candidate invariants (the server holds
+	// the same binary the community runs).
+	BootstrapInputs [][]byte
+
+	StackScope int
+	CheckRuns  int
+	Bonus      int
+	// LearnShards splits the code range into this many tracing
+	// assignments handed to nodes round-robin (§3.1 amortized learning);
+	// 0 disables learning assignments.
+	LearnShards int
+}
+
+// caseState is the manager-side failure-location state machine, mirroring
+// the single-machine pipeline in internal/core but driven by node reports.
+type caseState struct {
+	id    string
+	pc    uint32
+	state core.CaseState
+
+	// phaseSeq is the directive sequence at which the case entered its
+	// current phase; reports from runs under older directives did not
+	// carry this phase's patches and are ignored for this case.
+	phaseSeq uint64
+
+	cands     []correlate.Candidate
+	runs      []correlate.RunLog
+	detected  int
+	repairs   []*repair.Repair
+	evaluator *evaluate.Evaluator
+	current   *evaluate.Entry
+
+	// assigned maps node IDs to the candidate repair each is evaluating
+	// in the current phase — the §3 parallel repair evaluation ("the
+	// community can evaluate candidate repairs in parallel, reducing the
+	// time required to find a successful repair"). Once a repair is
+	// adopted (StatePatched) every node runs the adopted one.
+	assigned map[string]*evaluate.Entry
+}
+
+// assignFor picks the repair a node should evaluate: the node keeps its
+// assignment within a phase; new nodes take the best not-yet-assigned
+// candidate, wrapping around when there are more nodes than candidates.
+func (c *caseState) assignFor(nodeID string) *evaluate.Entry {
+	if c.state == core.StatePatched || c.evaluator == nil {
+		return c.current
+	}
+	if e, ok := c.assigned[nodeID]; ok {
+		return e
+	}
+	if c.assigned == nil {
+		c.assigned = make(map[string]*evaluate.Entry)
+	}
+	ranked := c.evaluator.Ranked()
+	if len(ranked) == 0 {
+		return nil
+	}
+	taken := map[*evaluate.Entry]bool{}
+	for _, e := range c.assigned {
+		taken[e] = true
+	}
+	var pick *evaluate.Entry
+	for _, e := range ranked {
+		if !taken[e] && e.Failures == 0 {
+			pick = e
+			break
+		}
+	}
+	if pick == nil {
+		pick = ranked[0] // all assigned or all failed: share the best
+	}
+	c.assigned[nodeID] = pick
+	return pick
+}
+
+// Manager is the central server: it owns the community invariant database,
+// reacts to failure notifications, pushes checking and repair patches, and
+// evaluates repairs from the community's reports (§3.2).
+type Manager struct {
+	conf  ManagerConfig
+	mu    sync.Mutex
+	inv   *daikon.DB
+	cfgdb *cfg.DB
+	cases map[uint32]*caseState
+	order []uint32
+	seq   uint64
+
+	nodes     map[string]int // node id -> learning shard
+	nextShard int
+	uploads   int
+}
+
+// NewManager builds and bootstraps a manager.
+func NewManager(conf ManagerConfig) (*Manager, error) {
+	if conf.Image == nil {
+		return nil, fmt.Errorf("community: nil image")
+	}
+	if conf.StackScope <= 0 {
+		conf.StackScope = 1
+	}
+	if conf.CheckRuns <= 0 {
+		conf.CheckRuns = 2
+	}
+	m := &Manager{
+		conf:  conf,
+		inv:   conf.Seed,
+		cfgdb: cfg.NewDB(conf.Image),
+		cases: make(map[uint32]*caseState),
+		nodes: make(map[string]int),
+	}
+	if m.inv == nil {
+		m.inv = daikon.NewDB()
+	}
+	for _, input := range conf.BootstrapInputs {
+		machine, err := vm.New(vm.Config{
+			Image:   conf.Image,
+			Plugins: []vm.Plugin{cfg.NewPlugin(m.cfgdb)},
+			Input:   input,
+		})
+		if err != nil {
+			return nil, err
+		}
+		machine.Run()
+	}
+	return m, nil
+}
+
+// InvariantCount returns the size of the community database.
+func (m *Manager) InvariantCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inv.Len()
+}
+
+// Uploads returns how many learning uploads have been merged.
+func (m *Manager) Uploads() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.uploads
+}
+
+// CaseStates returns the state of every failure case by location.
+func (m *Manager) CaseStates() map[uint32]core.CaseState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[uint32]core.CaseState, len(m.cases))
+	for pc, c := range m.cases {
+		out[pc] = c.state
+	}
+	return out
+}
+
+// Serve handles one node connection until it closes. Run it in a
+// goroutine per connection (both transports support concurrent serving).
+func (m *Manager) Serve(conn Conn) error {
+	defer conn.Close()
+	for {
+		env, err := conn.Recv()
+		if err != nil {
+			return err
+		}
+		reply, err := m.handle(env)
+		if err != nil {
+			return err
+		}
+		if err := conn.Send(reply); err != nil {
+			return err
+		}
+	}
+}
+
+func (m *Manager) handle(env Envelope) (Envelope, error) {
+	switch env.Kind {
+	case MsgHello:
+		var h Hello
+		if err := decodePayload(env.Payload, &h); err != nil {
+			return Envelope{}, err
+		}
+		m.mu.Lock()
+		if _, ok := m.nodes[h.NodeID]; !ok {
+			shard := -1
+			if m.conf.LearnShards > 0 {
+				shard = m.nextShard % m.conf.LearnShards
+				m.nextShard++
+			}
+			m.nodes[h.NodeID] = shard
+		}
+		m.mu.Unlock()
+		return m.directivesFor(h.NodeID)
+	case MsgLearnUpload:
+		var up LearnUpload
+		if err := decodePayload(env.Payload, &up); err != nil {
+			return Envelope{}, err
+		}
+		db, err := daikon.UnmarshalDB(up.DB)
+		if err != nil {
+			return Envelope{}, err
+		}
+		m.mu.Lock()
+		if m.inv.Len() == 0 && len(m.inv.VarsSeen) == 0 {
+			m.inv = db
+		} else {
+			m.inv.Merge(db, daikon.DefaultMaxOneOf)
+		}
+		m.uploads++
+		m.mu.Unlock()
+		return m.directivesFor(up.NodeID)
+	case MsgRunReport:
+		var rep RunReport
+		if err := decodePayload(env.Payload, &rep); err != nil {
+			return Envelope{}, err
+		}
+		m.processReport(&rep)
+		return m.directivesFor(rep.NodeID)
+	default:
+		return Envelope{}, fmt.Errorf("community: unexpected message %v", env.Kind)
+	}
+}
+
+// processReport advances every failure case with one node run, following
+// the same rules as the single-machine pipeline.
+func (m *Manager) processReport(rep *RunReport) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var failPC uint32
+	if rep.Failure != nil {
+		failPC = rep.Failure.PC
+	}
+
+	obsByFailure := map[string][]correlate.Observation{}
+	for _, o := range rep.Observations {
+		obsByFailure[o.FailureID] = append(obsByFailure[o.FailureID], o)
+	}
+
+	for _, pc := range m.order {
+		c := m.cases[pc]
+		if rep.Seq < c.phaseSeq {
+			// The node ran without this phase's patches installed.
+			continue
+		}
+		switch c.state {
+		case core.StateChecking:
+			detected := rep.Failure != nil && failPC == c.pc
+			c.runs = append(c.runs, correlate.RunLog{
+				Detected: detected,
+				Obs:      obsByFailure[c.id],
+			})
+			if detected {
+				c.detected++
+			}
+			if c.detected >= m.conf.CheckRuns {
+				m.finishChecking(c)
+			}
+		case core.StateEvaluating, core.StatePatched:
+			entry := c.assignFor(rep.NodeID)
+			if entry == nil {
+				break
+			}
+			id := entry.Repair.ID()
+			failed := (rep.Failure != nil && failPC == c.pc) ||
+				rep.Outcome == uint8(vm.OutcomeCrash) ||
+				(rep.Outcome == uint8(vm.OutcomeExit) && rep.ExitCode != 0)
+			switch {
+			case failed && c.state == core.StatePatched:
+				// The adopted, community-wide patch stopped working:
+				// demote it and reopen the evaluation phase.
+				c.evaluator.RecordFailure(id)
+				m.redeploy(c)
+			case failed:
+				// One node's candidate failed. Only that node is
+				// reassigned; peers evaluating other candidates in the
+				// same round keep reporting (the §3 parallelism).
+				c.evaluator.RecordFailure(id)
+				delete(c.assigned, rep.NodeID)
+				if c.evaluator.Exhausted() {
+					c.state = core.StateUnrepaired
+					c.current = nil
+					c.assigned = nil
+				} else {
+					c.current = c.evaluator.Best()
+				}
+			default:
+				c.evaluator.RecordSuccess(id)
+				if c.state == core.StateEvaluating {
+					// Adopt the repair that survived — possibly one a
+					// peer node was evaluating, not the global best.
+					c.state = core.StatePatched
+					c.current = entry
+					c.assigned = nil
+				}
+			}
+		}
+	}
+
+	if rep.Failure != nil {
+		if _, known := m.cases[failPC]; !known {
+			m.openCase(rep.Failure)
+		}
+	}
+}
+
+func (m *Manager) openCase(f *FailureInfo) {
+	m.seq++
+	c := &caseState{
+		id:       fmt.Sprintf("fail@%#x", f.PC),
+		pc:       f.PC,
+		state:    core.StateChecking,
+		phaseSeq: m.seq,
+	}
+	c.cands = correlate.SelectCandidates(
+		m.inv, m.cfgdb, f.PC, f.Stack,
+		correlate.Config{StackScope: m.conf.StackScope},
+	)
+	if len(c.cands) == 0 {
+		c.state = core.StateUnrepaired
+	}
+	m.cases[f.PC] = c
+	m.order = append(m.order, f.PC)
+}
+
+func (m *Manager) finishChecking(c *caseState) {
+	m.seq++
+	c.phaseSeq = m.seq
+	corr := correlate.Classify(c.runs)
+	selected := correlate.SelectForRepair(c.cands, corr)
+	c.repairs = repair.GenerateAll(selected, m.instAt, m.inv.SPOffsetAt)
+	c.evaluator = evaluate.New(c.repairs, m.conf.Bonus)
+	if c.evaluator.Len() == 0 {
+		c.state = core.StateUnrepaired
+		return
+	}
+	c.state = core.StateEvaluating
+	c.current = c.evaluator.Best()
+}
+
+func (m *Manager) redeploy(c *caseState) {
+	m.seq++
+	c.phaseSeq = m.seq
+	c.assigned = nil // new phase: reassign candidates to nodes
+	if c.evaluator.Exhausted() {
+		c.state = core.StateUnrepaired
+		c.current = nil
+		return
+	}
+	c.state = core.StateEvaluating
+	c.current = c.evaluator.Best()
+}
+
+func (m *Manager) instAt(pc uint32) (isa.Inst, bool) {
+	img := m.conf.Image
+	if !img.Contains(pc) || pc+isa.InstSize > img.End() {
+		return isa.Inst{}, false
+	}
+	in, err := isa.Decode(img.Code[pc-img.Base:])
+	return in, err == nil
+}
+
+// directivesFor snapshots the current patch set for one node.
+func (m *Manager) directivesFor(nodeID string) (Envelope, error) {
+	m.mu.Lock()
+	d := Directives{Seq: m.seq}
+	for _, pc := range m.order {
+		c := m.cases[pc]
+		switch c.state {
+		case core.StateChecking:
+			for _, cand := range c.cands {
+				d.Checks = append(d.Checks, CheckSpec{
+					FailureID: c.id,
+					Invariant: *cand.Inv,
+				})
+			}
+		case core.StateEvaluating, core.StatePatched:
+			if entry := c.assignFor(nodeID); entry != nil {
+				r := entry.Repair
+				d.Repairs = append(d.Repairs, RepairSpec{
+					FailureID: c.id,
+					Invariant: *r.Inv,
+					Strategy:  r.Strategy,
+					Value:     r.Value,
+					SPDelta:   r.SPDelta,
+					PC:        r.PC,
+					Depth:     r.Depth,
+				})
+			}
+		}
+	}
+	if shard, ok := m.nodes[nodeID]; ok && shard >= 0 && m.conf.LearnShards > 0 {
+		span := (uint32(len(m.conf.Image.Code)) + uint32(m.conf.LearnShards) - 1) / uint32(m.conf.LearnShards)
+		d.LearnLo = m.conf.Image.Base + span*uint32(shard)
+		d.LearnHi = d.LearnLo + span
+	}
+	m.mu.Unlock()
+	return NewEnvelope(MsgDirectives, d)
+}

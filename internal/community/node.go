@@ -1,0 +1,202 @@
+package community
+
+import (
+	"fmt"
+
+	"repro/internal/correlate"
+	"repro/internal/daikon"
+	"repro/internal/image"
+	"repro/internal/monitor"
+	"repro/internal/repair"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// Node is one community member's node manager (the Determina Node Manager
+// analog): it applies the manager's directives to its application
+// instances, runs its own workload, streams observations and failure
+// notifications back, and contributes its share of the distributed
+// learning.
+type Node struct {
+	ID    string
+	Image *image.Image
+
+	conn Conn
+	dir  Directives
+
+	engine   *daikon.Engine
+	maxSteps uint64
+}
+
+// NewNode creates a node manager speaking to the central manager over
+// conn.
+func NewNode(id string, img *image.Image, conn Conn) *Node {
+	return &Node{ID: id, Image: img, conn: conn, engine: daikon.NewEngine()}
+}
+
+// Connect registers with the manager and fetches initial directives.
+func (n *Node) Connect() error {
+	env, err := NewEnvelope(MsgHello, Hello{NodeID: n.ID})
+	if err != nil {
+		return err
+	}
+	return n.roundTrip(env)
+}
+
+// roundTrip sends a message and applies the directives that come back.
+func (n *Node) roundTrip(env Envelope) error {
+	if err := n.conn.Send(env); err != nil {
+		return err
+	}
+	reply, err := n.conn.Recv()
+	if err != nil {
+		return err
+	}
+	switch reply.Kind {
+	case MsgDirectives:
+		return decodePayload(reply.Payload, &n.dir)
+	case MsgAck:
+		return nil
+	}
+	return fmt.Errorf("community: unexpected reply %v", reply.Kind)
+}
+
+// Directives returns the node's current instruction set (for tests).
+func (n *Node) Directives() Directives { return n.dir }
+
+// Sync pulls the manager's current directives.
+func (n *Node) Sync() error {
+	env, err := NewEnvelope(MsgHello, Hello{NodeID: n.ID})
+	if err != nil {
+		return err
+	}
+	return n.roundTrip(env)
+}
+
+// compile turns the manager's declarative patch specs into local
+// execution-environment patches — the node-side analog of compiling the
+// generated C snippets (§3.2).
+func (n *Node) compile() ([]*vm.Patch, []*correlate.CheckSet) {
+	var patches []*vm.Patch
+
+	byFailure := map[string][]correlate.Candidate{}
+	for i := range n.dir.Checks {
+		spec := &n.dir.Checks[i]
+		inv := spec.Invariant
+		byFailure[spec.FailureID] = append(byFailure[spec.FailureID],
+			correlate.Candidate{Inv: &inv})
+	}
+	var sets []*correlate.CheckSet
+	for fid, cands := range byFailure {
+		cs := correlate.BuildCheckSet(fid, cands)
+		cs.StartRun()
+		sets = append(sets, cs)
+		patches = append(patches, cs.Patches...)
+	}
+
+	for i := range n.dir.Repairs {
+		spec := &n.dir.Repairs[i]
+		inv := spec.Invariant
+		r := &repair.Repair{
+			Inv:      &inv,
+			Strategy: spec.Strategy,
+			Value:    spec.Value,
+			SPDelta:  spec.SPDelta,
+			PC:       spec.PC,
+			Depth:    spec.Depth,
+		}
+		patches = append(patches, r.BuildPatches(spec.FailureID)...)
+	}
+	return patches, sets
+}
+
+// RunOnce executes the application on one input under the current
+// directives and reports the result to the manager. The updated
+// directives in the reply take effect for the next run.
+func (n *Node) RunOnce(input []byte) (vm.RunResult, error) {
+	// Refresh directives first: a presentation happens only after the
+	// manager's actions from the previous one have been applied (the Red
+	// Team exercise protocol, §4.3.1).
+	if err := n.Sync(); err != nil {
+		return vm.RunResult{}, err
+	}
+	patches, sets := n.compile()
+
+	shadow := monitor.NewShadowStack()
+	plugins := []vm.Plugin{shadow, monitor.NewMemoryFirewall(), monitor.NewHeapGuard()}
+
+	var rec *trace.Recorder
+	if n.dir.LearnHi > n.dir.LearnLo {
+		lo, hi := n.dir.LearnLo, n.dir.LearnHi
+		rec = trace.NewRecorder(n.engine)
+		rec.Filter = func(pc uint32) bool { return pc >= lo && pc < hi }
+		plugins = append(plugins, rec)
+	}
+
+	machine, err := vm.New(vm.Config{
+		Image:    n.Image,
+		Plugins:  plugins,
+		Patches:  patches,
+		Input:    input,
+		MaxSteps: n.maxSteps,
+	})
+	if err != nil {
+		return vm.RunResult{}, err
+	}
+	shadow.Install(machine)
+	res := machine.Run()
+
+	if rec != nil {
+		if res.Outcome == vm.OutcomeExit && res.ExitCode == 0 {
+			rec.CommitRun()
+		} else {
+			rec.DiscardRun()
+		}
+	}
+
+	rep := RunReport{
+		NodeID:   n.ID,
+		Seq:      n.dir.Seq,
+		Outcome:  uint8(res.Outcome),
+		ExitCode: res.ExitCode,
+	}
+	if res.Failure != nil {
+		rep.Failure = &FailureInfo{
+			PC:      res.Failure.PC,
+			Monitor: res.Failure.Monitor,
+			Kind:    res.Failure.Kind,
+			Target:  res.Failure.Target,
+			Stack:   res.Failure.Stack,
+		}
+	}
+	for _, cs := range sets {
+		rep.Observations = append(rep.Observations, cs.DrainRun()...)
+	}
+
+	env, err := NewEnvelope(MsgRunReport, rep)
+	if err != nil {
+		return res, err
+	}
+	if err := n.roundTrip(env); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// UploadLearning finalizes the node's locally inferred invariants and
+// uploads them to the manager (§3.1: invariants only, never trace data).
+func (n *Node) UploadLearning() error {
+	db := n.engine.Finalize(daikon.Options{})
+	raw, err := db.Marshal()
+	if err != nil {
+		return err
+	}
+	env, err := NewEnvelope(MsgLearnUpload, LearnUpload{NodeID: n.ID, DB: raw})
+	if err != nil {
+		return err
+	}
+	return n.roundTrip(env)
+}
+
+// Close releases the node's connection.
+func (n *Node) Close() error { return n.conn.Close() }

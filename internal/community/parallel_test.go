@@ -1,0 +1,140 @@
+package community
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/redteam"
+	"repro/internal/vm"
+)
+
+// roundsToPatch drives n nodes in lock-step rounds (every node presents
+// the attack once per round) and returns the number of rounds until some
+// node survives.
+func roundsToPatch(t *testing.T, nodes []*Node, attack []byte, maxRounds int) int {
+	t.Helper()
+	for round := 1; round <= maxRounds; round++ {
+		survived := false
+		for _, n := range nodes {
+			res, err := n.RunOnce(attack)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Outcome == vm.OutcomeExit && res.ExitCode == 0 {
+				survived = true
+			}
+		}
+		if survived {
+			return round
+		}
+	}
+	t.Fatalf("not patched within %d rounds", maxRounds)
+	return 0
+}
+
+// TestParallelRepairEvaluationIsFaster verifies the §3 benefit: "the
+// community can evaluate candidate repairs in parallel, reducing the time
+// required to find a successful repair". Exploit 269095 needs its third
+// candidate repair; a single member must burn a round per candidate, while
+// three members evaluate all three candidates in one round.
+func TestParallelRepairEvaluationIsFaster(t *testing.T) {
+	app := webappApp(t)
+	ex := exploit269(t)
+	attack := redteam.AttackInput(app.App, ex, 0)
+
+	_, solo := startManager(t, setupManagerConfig(app), []string{"solo"})
+	soloRounds := roundsToPatch(t, solo, attack, 12)
+
+	_, trio := startManager(t, setupManagerConfig(app), []string{"n1", "n2", "n3"})
+	trioRounds := roundsToPatch(t, trio, attack, 12)
+
+	// Single member: 1 detect + 2 checks + 3 sequential repair rounds = 6.
+	if soloRounds != 6 {
+		t.Errorf("solo rounds = %d, want 6", soloRounds)
+	}
+	// Three members: detection and the two checking runs complete within
+	// the first round (three presentations), and the one evaluation round
+	// covers all three candidates — the member assigned the working
+	// repair survives in round 2.
+	if trioRounds >= soloRounds {
+		t.Errorf("parallel evaluation not faster: trio %d rounds vs solo %d", trioRounds, soloRounds)
+	}
+}
+
+// TestParallelAssignmentsAreDistinct: during the evaluation phase,
+// different members are handed different candidate repairs.
+func TestParallelAssignmentsAreDistinct(t *testing.T) {
+	app := webappApp(t)
+	ex := exploit269(t)
+	attack := redteam.AttackInput(app.App, ex, 0)
+	m, nodes := startManager(t, setupManagerConfig(app), []string{"a", "b", "c"})
+
+	// Drive to the evaluation phase: three failing presentations
+	// (detection + two checking runs) spread across the members.
+	for i := 0; i < 3; i++ {
+		if _, err := nodes[i].RunOnce(attack); err != nil {
+			t.Fatal(err)
+		}
+	}
+	site := app.App.Labels["site_269095"]
+	if st := m.CaseStates()[site]; st != core.StateEvaluating {
+		t.Fatalf("state = %v, want evaluating", st)
+	}
+	// Sync all members and compare assignments.
+	ids := map[string]bool{}
+	for _, n := range nodes {
+		if err := n.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		reps := n.Directives().Repairs
+		if len(reps) != 1 {
+			t.Fatalf("%s: %d repair directives", n.ID, len(reps))
+		}
+		key := reps[0].Strategy.String()
+		if ids[key] {
+			t.Errorf("strategy %s assigned to two members", key)
+		}
+		ids[key] = true
+	}
+	if len(ids) != 3 {
+		t.Errorf("distinct assignments = %d, want 3", len(ids))
+	}
+}
+
+// helpers shared with the other community tests.
+
+// setupManagerConfig builds a manager config from an already-learned
+// setup (avoiding a fresh learning pass per manager).
+func setupManagerConfig(s *redteam.Setup) ManagerConfig {
+	return ManagerConfig{
+		Image:           s.App.Image,
+		Seed:            s.DB,
+		BootstrapInputs: [][]byte{redteam.LearningCorpus()},
+		StackScope:      1,
+	}
+}
+
+var sharedSetup *redteam.Setup
+
+func webappApp(t *testing.T) *redteam.Setup {
+	t.Helper()
+	if sharedSetup == nil {
+		s, err := redteam.NewSetup(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedSetup = s
+	}
+	return sharedSetup
+}
+
+func exploit269(t *testing.T) redteam.Exploit {
+	t.Helper()
+	for _, e := range redteam.Exploits() {
+		if e.Bugzilla == "269095" {
+			return e
+		}
+	}
+	t.Fatal("missing 269095")
+	return redteam.Exploit{}
+}

@@ -1,0 +1,147 @@
+// Package community implements the application community of §3: a group of
+// machines running the same application that cooperate to detect failures,
+// learn invariants, and distribute patches. A central Manager (the
+// Determina Management Console analog) talks to per-machine NodeManagers
+// over a transport — an in-process pipe for tests and a real TCP transport
+// (the production analog of the console's secure channel).
+//
+// Patches cross the wire as declarative PatchSpecs (the analog of the
+// paper's generated-and-compiled C snippets): nodes compile the specs into
+// execution-environment patches locally, apply them to running and newly
+// launched instances, and stream invariant-check observations back.
+package community
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/correlate"
+	"repro/internal/daikon"
+	"repro/internal/repair"
+)
+
+// MsgKind discriminates protocol messages.
+type MsgKind uint8
+
+const (
+	// MsgHello introduces a node to the manager.
+	MsgHello MsgKind = iota
+	// MsgLearnUpload carries a node's locally inferred invariant DB
+	// (§3.1: only invariants travel, never raw trace data).
+	MsgLearnUpload
+	// MsgRunReport carries one execution's outcome, failure information,
+	// and invariant-check observations.
+	MsgRunReport
+	// MsgDirectives carries the manager's current patch set and learning
+	// assignment for a node.
+	MsgDirectives
+	// MsgAck acknowledges a message with no payload.
+	MsgAck
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case MsgHello:
+		return "hello"
+	case MsgLearnUpload:
+		return "learn-upload"
+	case MsgRunReport:
+		return "run-report"
+	case MsgDirectives:
+		return "directives"
+	case MsgAck:
+		return "ack"
+	}
+	return fmt.Sprintf("msg%d", uint8(k))
+}
+
+// Hello is a node's registration.
+type Hello struct {
+	NodeID string
+}
+
+// LearnUpload is a serialized local invariant database.
+type LearnUpload struct {
+	NodeID string
+	DB     []byte // daikon.DB.Marshal output
+}
+
+// FailureInfo mirrors vm.Failure across the wire.
+type FailureInfo struct {
+	PC      uint32
+	Monitor string
+	Kind    string
+	Target  uint32
+	Stack   []uint32
+}
+
+// RunReport is one execution's result. Seq echoes the directive sequence
+// the node ran under, so the manager can discard reports from instances
+// that had not yet applied the current phase's patches.
+type RunReport struct {
+	NodeID       string
+	Seq          uint64
+	Outcome      uint8 // vm.Outcome
+	ExitCode     uint32
+	Failure      *FailureInfo
+	Observations []correlate.Observation
+}
+
+// CheckSpec asks a node to install checking patches for one invariant.
+type CheckSpec struct {
+	FailureID string
+	Invariant daikon.Invariant
+}
+
+// RepairSpec asks a node to install one repair patch. It carries exactly
+// the fields a node needs to compile the enforcement locally.
+type RepairSpec struct {
+	FailureID string
+	Invariant daikon.Invariant
+	Strategy  repair.Strategy
+	Value     uint32
+	SPDelta   uint32
+	PC        uint32
+	Depth     int
+}
+
+// Directives is the manager's current instruction set for a node. It is
+// idempotent: nodes reconcile their installed patches to match.
+type Directives struct {
+	Seq     uint64
+	Checks  []CheckSpec
+	Repairs []RepairSpec
+	// LearnLo/LearnHi restrict the node's tracing to instruction
+	// addresses in [LearnLo, LearnHi) (0,0 = no learning assignment) —
+	// the amortized distributed learning of §3.1.
+	LearnLo uint32
+	LearnHi uint32
+}
+
+// Envelope frames one message on the wire.
+type Envelope struct {
+	Kind    MsgKind
+	Payload []byte
+}
+
+func encodePayload(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodePayload(b []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}
+
+// NewEnvelope builds an envelope for a payload value.
+func NewEnvelope(kind MsgKind, v any) (Envelope, error) {
+	p, err := encodePayload(v)
+	if err != nil {
+		return Envelope{}, fmt.Errorf("community: encode %v: %w", kind, err)
+	}
+	return Envelope{Kind: kind, Payload: p}, nil
+}

@@ -1,0 +1,140 @@
+package community
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Conn is one bidirectional message channel between a node and the
+// manager. Implementations must be safe for one concurrent sender and one
+// concurrent receiver.
+type Conn interface {
+	Send(Envelope) error
+	Recv() (Envelope, error)
+	Close() error
+}
+
+// ---- in-process transport ----
+
+// pipeShared is the state common to both ends of an in-process pipe; the
+// close is shared so that either (or both) ends may Close safely.
+type pipeShared struct {
+	once sync.Once
+	done chan struct{}
+}
+
+func (s *pipeShared) close() { s.once.Do(func() { close(s.done) }) }
+
+type pipeConn struct {
+	out    chan<- Envelope
+	in     <-chan Envelope
+	shared *pipeShared
+}
+
+// Pipe returns a connected in-process transport pair (node side, manager
+// side). It is the test/bench substrate; the TCP transport below is the
+// deployment analog. Closing either end closes the pair.
+func Pipe() (Conn, Conn) {
+	a := make(chan Envelope, 64)
+	b := make(chan Envelope, 64)
+	shared := &pipeShared{done: make(chan struct{})}
+	return &pipeConn{out: a, in: b, shared: shared},
+		&pipeConn{out: b, in: a, shared: shared}
+}
+
+func (c *pipeConn) Send(e Envelope) error {
+	select {
+	case <-c.shared.done:
+		return fmt.Errorf("community: send on closed pipe")
+	case c.out <- e:
+		return nil
+	}
+}
+
+func (c *pipeConn) Recv() (Envelope, error) {
+	select {
+	case <-c.shared.done:
+		return Envelope{}, fmt.Errorf("community: recv on closed pipe")
+	case e, ok := <-c.in:
+		if !ok {
+			return Envelope{}, fmt.Errorf("community: pipe closed")
+		}
+		return e, nil
+	}
+}
+
+func (c *pipeConn) Close() error {
+	c.shared.close()
+	return nil
+}
+
+// ---- TCP transport ----
+
+type tcpConn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+	sMu sync.Mutex
+	rMu sync.Mutex
+}
+
+func newTCPConn(c net.Conn) *tcpConn {
+	return &tcpConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+func (t *tcpConn) Send(e Envelope) error {
+	t.sMu.Lock()
+	defer t.sMu.Unlock()
+	return t.enc.Encode(e)
+}
+
+func (t *tcpConn) Recv() (Envelope, error) {
+	t.rMu.Lock()
+	defer t.rMu.Unlock()
+	var e Envelope
+	err := t.dec.Decode(&e)
+	return e, err
+}
+
+func (t *tcpConn) Close() error { return t.c.Close() }
+
+// Dial connects a node to a manager's TCP listener.
+func Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("community: dial %s: %w", addr, err)
+	}
+	return newTCPConn(c), nil
+}
+
+// Listener accepts node connections for a manager.
+type Listener struct {
+	l net.Listener
+}
+
+// Listen opens a manager-side TCP listener on addr ("127.0.0.1:0" for an
+// ephemeral test port).
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("community: listen %s: %w", addr, err)
+	}
+	return &Listener{l: l}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.l.Addr().String() }
+
+// Accept returns the next node connection.
+func (l *Listener) Accept() (Conn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(c), nil
+}
+
+// Close stops accepting.
+func (l *Listener) Close() error { return l.l.Close() }

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/daikon"
+	"repro/internal/image"
+)
+
+// StagedLearn implements the staged learning strategy of §3.1: instead of
+// maintaining a large always-on invariant database, the system records its
+// inputs during the first phase and, when a failure occurs, instruments
+// only the region close to the failure location and replays the recorded
+// inputs through it. The produced database covers exactly the procedures
+// on the failure's call stack, which is precisely the candidate scope the
+// correlation phase will search.
+//
+// The trade-off is the paper's: the response to a new failure is slower
+// (a replay pass per failure) but the learning overhead during normal
+// operation and the invariant-database footprint shrink to near zero.
+func StagedLearn(img *image.Image, cfgdb *cfg.DB, recorded [][]byte, failPC uint32, stack []uint32, opt daikon.Options) (*daikon.DB, LearnStats, error) {
+	region := map[uint32]bool{}
+	addProc := func(pc uint32) {
+		if p := cfgdb.ProcAt(pc); p != nil {
+			for _, instr := range p.Instrs() {
+				region[instr] = true
+			}
+		}
+	}
+	addProc(failPC)
+	for _, ret := range stack {
+		addProc(ret - 8)
+	}
+	return Learn(img, LearnConfig{
+		Inputs:  recorded,
+		Filter:  func(pc uint32) bool { return region[pc] },
+		Options: opt,
+		CFG:     cfgdb,
+	})
+}

@@ -1,0 +1,223 @@
+package daikon
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+)
+
+// DB is an invariant database: every invariant that held in all observed
+// normal executions, indexed by the instruction where it is checked.
+// Community members upload their local DBs to the central server, which
+// merges them into the community-wide database (§3.1) — an invariant
+// survives the merge only if it holds on every member that observed its
+// variables.
+type DB struct {
+	ByID map[string]*Invariant
+	// VarsSeen records how many times each variable was observed; the
+	// merge rules need to distinguish "member never saw this variable"
+	// (invariant survives) from "member saw it but the invariant did not
+	// hold" (invariant dies).
+	VarsSeen map[VarID]uint64
+
+	byPC map[uint32][]*Invariant // derived index, rebuilt as needed
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{ByID: make(map[string]*Invariant), VarsSeen: make(map[VarID]uint64)}
+}
+
+// Add inserts or replaces an invariant.
+func (db *DB) Add(inv *Invariant) {
+	db.ByID[inv.ID()] = inv
+	db.byPC = nil
+}
+
+// Remove deletes an invariant by ID.
+func (db *DB) Remove(id string) {
+	delete(db.ByID, id)
+	db.byPC = nil
+}
+
+// Len returns the number of invariants.
+func (db *DB) Len() int { return len(db.ByID) }
+
+func (db *DB) index() {
+	if db.byPC != nil {
+		return
+	}
+	db.byPC = make(map[uint32][]*Invariant)
+	for _, inv := range db.ByID {
+		pc := inv.PC()
+		db.byPC[pc] = append(db.byPC[pc], inv)
+	}
+	for _, list := range db.byPC {
+		sort.Slice(list, func(i, j int) bool { return list[i].ID() < list[j].ID() })
+	}
+}
+
+// At returns the invariants checked at the instruction at pc, in stable
+// order. SP-offset invariants are excluded (they are auxiliary).
+func (db *DB) At(pc uint32) []*Invariant {
+	db.index()
+	var out []*Invariant
+	for _, inv := range db.byPC[pc] {
+		if inv.Kind != KindSPOffset {
+			out = append(out, inv)
+		}
+	}
+	return out
+}
+
+// SPOffsetAt returns the stack-pointer offset invariant at pc, if one was
+// learned: spEntry = spHere + delta.
+func (db *DB) SPOffsetAt(pc uint32) (delta uint32, ok bool) {
+	db.index()
+	for _, inv := range db.byPC[pc] {
+		if inv.Kind == KindSPOffset {
+			return uint32(inv.Bound), true
+		}
+	}
+	return 0, false
+}
+
+// All returns every invariant sorted by ID (stable iteration for tests and
+// reports).
+func (db *DB) All() []*Invariant {
+	out := make([]*Invariant, 0, len(db.ByID))
+	for _, inv := range db.ByID {
+		out = append(out, inv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// CountByKind returns how many invariants of each kind the DB holds.
+func (db *DB) CountByKind() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, inv := range db.ByID {
+		out[inv.Kind]++
+	}
+	return out
+}
+
+// observedAllVars reports whether the DB's member observed every variable
+// the invariant mentions.
+func (db *DB) observedAllVars(inv *Invariant) bool {
+	if _, ok := db.VarsSeen[inv.Var]; !ok {
+		return false
+	}
+	if inv.Kind == KindLessThan {
+		_, ok := db.VarsSeen[inv.Var2]
+		return ok
+	}
+	return true
+}
+
+// Merge folds another member's database into this one, implementing the
+// community-wide semantics: the result contains exactly the invariants
+// that hold across all executions on all contributing members.
+func (db *DB) Merge(other *DB, maxOneOf int) {
+	if maxOneOf <= 0 {
+		maxOneOf = DefaultMaxOneOf
+	}
+	// Invariants present here but contradicted by the other member.
+	for id, inv := range db.ByID {
+		o, ok := other.ByID[id]
+		if ok {
+			switch inv.Kind {
+			case KindOneOf:
+				merged := unionSorted(inv.Values, o.Values)
+				if len(merged) > maxOneOf {
+					delete(db.ByID, id)
+					continue
+				}
+				inv.Values = merged
+			case KindLowerBound:
+				if o.Bound < inv.Bound {
+					inv.Bound = o.Bound
+				}
+			case KindSPOffset:
+				if o.Bound != inv.Bound {
+					delete(db.ByID, id)
+					continue
+				}
+			}
+			inv.Samples += o.Samples
+			continue
+		}
+		if other.observedAllVars(inv) {
+			// The other member saw the variables but did not infer the
+			// invariant: it does not hold community-wide.
+			delete(db.ByID, id)
+		}
+	}
+	// Invariants only in the other member's DB survive if we never
+	// observed their variables.
+	for id, o := range other.ByID {
+		if _, ok := db.ByID[id]; ok {
+			continue
+		}
+		if !db.observedAllVars(o) {
+			cp := *o
+			db.ByID[id] = &cp
+		}
+	}
+	for v, n := range other.VarsSeen {
+		db.VarsSeen[v] += n
+	}
+	db.byPC = nil
+}
+
+func unionSorted(a, b []uint32) []uint32 {
+	out := make([]uint32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Marshal serializes the database (gob) for upload to the central server.
+func (db *DB) Marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	payload := dbWire{ByID: db.ByID, VarsSeen: db.VarsSeen}
+	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+		return nil, fmt.Errorf("daikon: marshal: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalDB parses a serialized database.
+func UnmarshalDB(b []byte) (*DB, error) {
+	var payload dbWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("daikon: unmarshal: %w", err)
+	}
+	db := NewDB()
+	if payload.ByID != nil {
+		db.ByID = payload.ByID
+	}
+	if payload.VarsSeen != nil {
+		db.VarsSeen = payload.VarsSeen
+	}
+	return db, nil
+}
+
+type dbWire struct {
+	ByID     map[string]*Invariant
+	VarsSeen map[VarID]uint64
+}

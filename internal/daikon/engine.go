@@ -1,0 +1,197 @@
+package daikon
+
+import "sort"
+
+// Obs is one runtime observation of a variable's value.
+type Obs struct {
+	Var VarID
+	Val uint32
+}
+
+// DefaultMaxOneOf is the largest value set a one-of invariant may hold
+// before the inference gives up on it (keeping inference tractable —
+// §2.2.2's "small enough to make the inference task computationally
+// tractable").
+const DefaultMaxOneOf = 8
+
+// varStat accumulates per-variable statistics.
+type varStat struct {
+	count      uint64
+	min        int32
+	vals       map[uint32]bool // nil once the one-of set overflowed
+	nonPointer bool
+}
+
+// pairKey orders the two variables by execution order (earlier first).
+type pairKey struct{ a, b VarID }
+
+// pairStat tracks the surviving relations between two variables observed
+// in the same basic-block pass.
+type pairStat struct {
+	count    uint64
+	alwaysLE bool // a ≤ b in every pass (signed)
+	alwaysGE bool // a ≥ b in every pass (signed)
+	alwaysEQ bool // a == b in every pass (duplicate-variable candidates)
+}
+
+// spStat tracks the stack-pointer offset at one instruction.
+type spStat struct {
+	delta      uint32
+	count      uint64
+	consistent bool
+}
+
+// Engine is one member's local inference engine. Observations are fed in
+// per completed basic-block pass; Finalize produces the invariant database.
+// An Engine must only be fed data from executions that ended normally —
+// the trace front end buffers per run and discards erroneous runs (§3.1:
+// "our currently implemented system simply excludes invariants from
+// erroneous executions").
+type Engine struct {
+	MaxOneOf int
+
+	vars  map[VarID]*varStat
+	pairs map[pairKey]*pairStat
+	sps   map[uint32]*spStat
+}
+
+// NewEngine returns an empty inference engine.
+func NewEngine() *Engine {
+	return &Engine{
+		MaxOneOf: DefaultMaxOneOf,
+		vars:     make(map[VarID]*varStat),
+		pairs:    make(map[pairKey]*pairStat),
+		sps:      make(map[uint32]*spStat),
+	}
+}
+
+func (e *Engine) observeVar(o Obs) {
+	st := e.vars[o.Var]
+	if st == nil {
+		st = &varStat{min: int32(o.Val), vals: map[uint32]bool{}}
+		e.vars[o.Var] = st
+	}
+	st.count++
+	if int32(o.Val) < st.min {
+		st.min = int32(o.Val)
+	}
+	if st.vals != nil {
+		st.vals[o.Val] = true
+		if len(st.vals) > e.MaxOneOf {
+			st.vals = nil
+		}
+	}
+	// The pointer heuristic of §2.2.4: a negative value or one between 1
+	// and 100,000 proves the variable is not a pointer.
+	if int32(o.Val) < 0 || (o.Val >= 1 && o.Val <= 100000) {
+		st.nonPointer = true
+	}
+}
+
+// ObserveBlockPass feeds one execution pass through a basic block: the
+// observations of every instrumented instruction in the block, in
+// execution order. Pair relations (less-than and duplicate detection) are
+// tracked only within a pass, implementing the same-basic-block restriction
+// that keeps two-variable inference tractable.
+func (e *Engine) ObserveBlockPass(obs []Obs) {
+	for _, o := range obs {
+		e.observeVar(o)
+	}
+	for i := 0; i < len(obs); i++ {
+		for j := i + 1; j < len(obs); j++ {
+			a, b := obs[i], obs[j]
+			if a.Var == b.Var {
+				continue
+			}
+			k := pairKey{a.Var, b.Var}
+			ps := e.pairs[k]
+			if ps == nil {
+				ps = &pairStat{alwaysLE: true, alwaysGE: true, alwaysEQ: true}
+				e.pairs[k] = ps
+			}
+			ps.count++
+			av, bv := int32(a.Val), int32(b.Val)
+			if av > bv {
+				ps.alwaysLE = false
+			}
+			if av < bv {
+				ps.alwaysGE = false
+			}
+			if av != bv {
+				ps.alwaysEQ = false
+			}
+		}
+	}
+}
+
+// ObserveSP feeds the stack-pointer offset (spEntry - spHere) observed at
+// one instruction.
+func (e *Engine) ObserveSP(pc uint32, delta uint32) {
+	st := e.sps[pc]
+	if st == nil {
+		e.sps[pc] = &spStat{delta: delta, count: 1, consistent: true}
+		return
+	}
+	st.count++
+	if st.delta != delta {
+		st.consistent = false
+	}
+}
+
+// VarsObserved returns how many distinct variables have been observed.
+func (e *Engine) VarsObserved() int { return len(e.vars) }
+
+// Options controls invariant production.
+type Options struct {
+	// DisablePointerHeuristic emits lower-bound/less-than invariants for
+	// pointer variables too (ablation knob). Duplicate-variable
+	// elimination is the trace front end's job (it is a static analysis
+	// over basic blocks — see internal/trace/dup.go).
+	DisablePointerHeuristic bool
+}
+
+// Finalize produces the invariant database from everything observed.
+func (e *Engine) Finalize(opt Options) *DB {
+	db := NewDB()
+
+	for v, st := range e.vars {
+		db.VarsSeen[v] = st.count
+		if st.vals != nil && len(st.vals) > 0 {
+			vals := make([]uint32, 0, len(st.vals))
+			for val := range st.vals {
+				vals = append(vals, val)
+			}
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			db.Add(&Invariant{Kind: KindOneOf, Var: v, Values: vals, Samples: st.count})
+		}
+		if st.nonPointer || opt.DisablePointerHeuristic {
+			db.Add(&Invariant{Kind: KindLowerBound, Var: v, Bound: st.min, Samples: st.count})
+		}
+	}
+
+	for k, ps := range e.pairs {
+		aPtr := !e.vars[k.a].nonPointer
+		bPtr := !e.vars[k.b].nonPointer
+		if (aPtr || bPtr) && !opt.DisablePointerHeuristic {
+			continue
+		}
+		// Emit at most one direction; prefer a ≤ b when both hold
+		// (constant-equal pairs that survived dup-elim being disabled).
+		switch {
+		case ps.alwaysLE:
+			db.Add(&Invariant{Kind: KindLessThan, Var: k.a, Var2: k.b, Samples: ps.count})
+		case ps.alwaysGE:
+			db.Add(&Invariant{Kind: KindLessThan, Var: k.b, Var2: k.a, Samples: ps.count})
+		}
+	}
+
+	for pc, st := range e.sps {
+		if st.consistent {
+			db.Add(&Invariant{
+				Kind: KindSPOffset, Var: VarID{PC: pc, Slot: 0xFF},
+				Bound: int32(st.delta), Samples: st.count,
+			})
+		}
+	}
+	return db
+}

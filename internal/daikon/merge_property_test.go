@@ -1,0 +1,136 @@
+package daikon
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomDB builds an engine fed with random observations over a small
+// variable universe and finalizes it.
+func randomDB(rng *rand.Rand) *DB {
+	e := NewEngine()
+	nvars := 2 + rng.Intn(4)
+	passes := 1 + rng.Intn(6)
+	for p := 0; p < passes; p++ {
+		var obs []Obs
+		for i := 0; i < nvars; i++ {
+			obs = append(obs, Obs{
+				Var: VarID{PC: uint32(0x100 + 8*i), Slot: 0},
+				Val: uint32(rng.Intn(50)),
+			})
+		}
+		e.ObserveBlockPass(obs)
+	}
+	return e.Finalize(Options{})
+}
+
+// mergeAll folds dbs into a fresh DB in the given order.
+func mergeAll(dbs []*DB) *DB {
+	out := NewDB()
+	for i, db := range dbs {
+		cp, _ := UnmarshalDB(mustMarshal(db))
+		if i == 0 {
+			out = cp
+			continue
+		}
+		out.Merge(cp, DefaultMaxOneOf)
+	}
+	return out
+}
+
+func mustMarshal(db *DB) []byte {
+	b, err := db.Marshal()
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// TestMergeOrderIndependent: merging member databases in any order yields
+// the same community database (the distributed-learning soundness the
+// manager depends on — uploads arrive in arbitrary order).
+func TestMergeOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		dbs := []*DB{randomDB(rng), randomDB(rng), randomDB(rng)}
+		ab := mergeAll([]*DB{dbs[0], dbs[1], dbs[2]})
+		ba := mergeAll([]*DB{dbs[2], dbs[0], dbs[1]})
+		if ab.Len() != ba.Len() {
+			t.Fatalf("trial %d: order-dependent merge: %d vs %d invariants",
+				trial, ab.Len(), ba.Len())
+		}
+		for id, inv := range ab.ByID {
+			o, ok := ba.ByID[id]
+			if !ok {
+				t.Fatalf("trial %d: invariant %s only in one order", trial, id)
+			}
+			if inv.Kind == KindLowerBound && inv.Bound != o.Bound {
+				t.Fatalf("trial %d: %s bound %d vs %d", trial, id, inv.Bound, o.Bound)
+			}
+			if inv.Kind == KindOneOf && len(inv.Values) != len(o.Values) {
+				t.Fatalf("trial %d: %s value sets differ", trial, id)
+			}
+		}
+	}
+}
+
+// TestMergeSound: every invariant surviving a merge holds for every sample
+// either member observed of its variables. (The community DB never claims
+// something a member's data contradicts.)
+func TestMergeSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		// Build two members over the same variables with recorded samples.
+		samples := map[VarID][]uint32{}
+		build := func() *DB {
+			e := NewEngine()
+			for p := 0; p < 3; p++ {
+				var obs []Obs
+				for i := 0; i < 3; i++ {
+					v := VarID{PC: uint32(0x100 + 8*i), Slot: 0}
+					val := uint32(rng.Intn(40))
+					samples[v] = append(samples[v], val)
+					obs = append(obs, Obs{Var: v, Val: val})
+				}
+				e.ObserveBlockPass(obs)
+			}
+			return e.Finalize(Options{})
+		}
+		a, b := build(), build()
+		a.Merge(b, DefaultMaxOneOf)
+		for _, inv := range a.All() {
+			switch inv.Kind {
+			case KindOneOf, KindLowerBound:
+				for _, val := range samples[inv.Var] {
+					if !inv.Holds(val, 0) {
+						t.Fatalf("trial %d: merged %s contradicted by sample %d",
+							trial, inv.ID(), val)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMergeSelfIsIdempotentForBounds: merging a database with a copy of
+// itself changes no lower bounds and no one-of sets.
+func TestMergeSelfIsIdempotentForBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		db := randomDB(rng)
+		before := map[string]int32{}
+		for id, inv := range db.ByID {
+			before[id] = inv.Bound
+		}
+		cp, _ := UnmarshalDB(mustMarshal(db))
+		db.Merge(cp, DefaultMaxOneOf)
+		if len(db.ByID) != len(before) {
+			t.Fatalf("trial %d: self-merge changed invariant count", trial)
+		}
+		for id, b := range before {
+			if db.ByID[id].Bound != b {
+				t.Fatalf("trial %d: self-merge changed bound of %s", trial, id)
+			}
+		}
+	}
+}

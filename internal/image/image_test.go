@@ -1,0 +1,74 @@
+package image
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	im := &Image{Base: 0x1000, Entry: 0x1008, Code: []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}}
+	got, err := Unmarshal(im.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Base != im.Base || got.Entry != im.Entry || !bytes.Equal(got.Code, im.Code) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestMarshalUnmarshalQuick(t *testing.T) {
+	f := func(code []byte, entryOff uint16) bool {
+		if len(code) == 0 {
+			code = []byte{0}
+		}
+		im := &Image{Base: 0x10000, Code: code}
+		im.Entry = im.Base + uint32(int(entryOff)%len(code))
+		got, err := Unmarshal(im.Marshal())
+		return err == nil && got.Base == im.Base && got.Entry == im.Entry && bytes.Equal(got.Code, im.Code)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (&Image{Base: 0, Code: nil, Entry: 0}).Validate(); err == nil {
+		t.Error("empty image validated")
+	}
+	if err := (&Image{Base: 0x1000, Code: make([]byte, 8), Entry: 0x2000}).Validate(); err == nil {
+		t.Error("out-of-range entry validated")
+	}
+	if err := (&Image{Base: 0x1000, Code: make([]byte, 8), Entry: 0x1000}).Validate(); err != nil {
+		t.Errorf("valid image rejected: %v", err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated header accepted")
+	}
+	im := &Image{Base: 0x1000, Entry: 0x1000, Code: make([]byte, 32)}
+	b := im.Marshal()
+	b[0] = 0xFF // corrupt magic
+	if _, err := Unmarshal(b); err == nil {
+		t.Error("bad magic accepted")
+	}
+	b = im.Marshal()
+	if _, err := Unmarshal(b[:20]); err == nil {
+		t.Error("truncated code accepted")
+	}
+}
+
+func TestContains(t *testing.T) {
+	im := &Image{Base: 0x1000, Entry: 0x1000, Code: make([]byte, 16)}
+	if !im.Contains(0x1000) || !im.Contains(0x100F) {
+		t.Error("interior addresses not contained")
+	}
+	if im.Contains(0x1010) || im.Contains(0xFFF) {
+		t.Error("exterior addresses contained")
+	}
+	if im.End() != 0x1010 {
+		t.Errorf("End = %#x", im.End())
+	}
+}

@@ -1,0 +1,127 @@
+package isa
+
+import "fmt"
+
+// SlotKind classifies one observable value at an instruction. Slots are the
+// ClearView/Daikon notion of a "variable": a value that is meaningful at the
+// level of the compiled binary — a register an instruction reads, an address
+// it computes, or a value it loads through that address (§2.2.1).
+type SlotKind uint8
+
+const (
+	// SlotRegA is the value of register A read before execution.
+	SlotRegA SlotKind = iota
+	// SlotRegB is the value of register B (second operand or memory base).
+	SlotRegB
+	// SlotRegX is the value of the memory index register.
+	SlotRegX
+	// SlotAddr is the memory address the instruction computes
+	// (B + X<<Scale + Imm, or ESP for stack operations).
+	SlotAddr
+	// SlotMemVal is the value read through the computed address — for
+	// CALLM this is the function pointer fetched from memory, which is
+	// the variable ClearView's one-of call-site invariants range over.
+	SlotMemVal
+)
+
+var slotKindNames = [...]string{"regA", "regB", "regX", "addr", "memval"}
+
+func (k SlotKind) String() string {
+	if int(k) < len(slotKindNames) {
+		return slotKindNames[k]
+	}
+	return fmt.Sprintf("slot%d", uint8(k))
+}
+
+// SlotSpec describes one slot of an instruction.
+type SlotSpec struct {
+	Kind SlotKind
+	Reg  Reg // the register read, for SlotRegA/SlotRegB/SlotRegX
+}
+
+func (s SlotSpec) String() string {
+	switch s.Kind {
+	case SlotRegA, SlotRegB, SlotRegX:
+		return s.Kind.String() + ":" + s.Reg.String()
+	}
+	return s.Kind.String()
+}
+
+// Settable reports whether a repair patch can enforce an invariant on this
+// slot by mutating machine state before the instruction executes. Register
+// slots are set by writing the register; SlotMemVal is set by writing the
+// computed address (so the instruction then reads the enforced value).
+// Computed addresses themselves are derived quantities and cannot be
+// assigned directly.
+func (s SlotSpec) Settable() bool { return s.Kind != SlotAddr }
+
+// Slots returns the observable slots of an instruction, in a fixed order
+// that defines each slot's index. A variable in the invariant system is
+// identified by (instruction address, slot index), so this order is part of
+// the serialized-invariant format and must not change.
+func Slots(in Inst) []SlotSpec {
+	var out []SlotSpec
+	regA := func() { out = append(out, SlotSpec{Kind: SlotRegA, Reg: in.A}) }
+	regB := func() { out = append(out, SlotSpec{Kind: SlotRegB, Reg: in.B}) }
+	memOperand := func() {
+		regB()
+		if in.X.Valid() {
+			out = append(out, SlotSpec{Kind: SlotRegX, Reg: in.X})
+		}
+		out = append(out, SlotSpec{Kind: SlotAddr})
+	}
+	switch in.Op {
+	case MOVRR:
+		regB()
+	case LOAD, LOADB:
+		memOperand()
+		out = append(out, SlotSpec{Kind: SlotMemVal})
+	case STORE, STOREB:
+		regA()
+		memOperand()
+	case LEA:
+		memOperand()
+	case ADDRR, SUBRR, MULRR, ANDRR, ORRR, XORRR, CMPRR:
+		regA()
+		regB()
+	case ADDRI, SUBRI, MULRI, ANDRI, ORRI, XORRI, SHLRI, SHRRI, SARRI, CMPRI, SEXTB:
+		regA()
+	case JMPR, CALLR, PUSH:
+		regA()
+	case CALLM:
+		memOperand()
+		out = append(out, SlotSpec{Kind: SlotMemVal})
+	case RET, POP:
+		out = append(out, SlotSpec{Kind: SlotAddr}, SlotSpec{Kind: SlotMemVal})
+	case COPYB:
+		// Implicit operands of the block copy: count, source pointer,
+		// destination pointer. The count slot is the variable ClearView's
+		// copy-length invariants (lower-bound and less-than) range over.
+		out = append(out,
+			SlotSpec{Kind: SlotRegA, Reg: ECX},
+			SlotSpec{Kind: SlotRegB, Reg: ESI},
+			SlotSpec{Kind: SlotRegX, Reg: EDI},
+		)
+	}
+	return out
+}
+
+// TargetSlot returns the slot index holding the control-transfer target of
+// an indirect transfer, or -1 if the instruction is not an indirect
+// transfer. Enforcing a one-of invariant on this slot redirects the
+// transfer (the "call a previously observed function" repair of §2.5.1).
+func TargetSlot(in Inst) int {
+	switch in.Op {
+	case JMPR, CALLR:
+		return 0 // SlotRegA
+	case CALLM:
+		for i, s := range Slots(in) {
+			if s.Kind == SlotMemVal {
+				return i
+			}
+		}
+	case RET:
+		return 1 // SlotMemVal after SlotAddr
+	}
+	return -1
+}

@@ -1,0 +1,314 @@
+// Package mem implements the simulated 32-bit address space: a sparse paged
+// memory, and a heap allocator that places canary words at block boundaries
+// and maintains the allocation map that the Heap Guard monitor consults.
+//
+// Two allocator behaviours are deliberate hosts for the paper's defect
+// classes: freed blocks are recycled LIFO per size class *without being
+// cleared* (use-after-free and uninitialized-reallocation defects, Bugzilla
+// 269095/312278/320182), and out-of-bounds writes inside the mapped heap
+// arena do not fault — they silently corrupt, exactly as on real hardware,
+// unless Heap Guard notices a canary being overwritten.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageSize is the granularity of the sparse address space.
+const PageSize = 4096
+
+// Canary is the value Heap Guard plants at allocated-block boundaries.
+const Canary uint32 = 0xFDFDFDFD
+
+// Fault reports an access to unmapped memory. The execution environment
+// converts faults into crashes (not monitor-detected failures).
+type Fault struct {
+	Addr  uint32
+	Write bool
+}
+
+func (f *Fault) Error() string {
+	kind := "read"
+	if f.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("memory fault: %s at %#x", kind, f.Addr)
+}
+
+// Memory is a sparse paged 32-bit address space.
+type Memory struct {
+	pages map[uint32][]byte
+}
+
+// New returns an empty address space.
+func New() *Memory {
+	return &Memory{pages: make(map[uint32][]byte)}
+}
+
+// Map makes [addr, addr+size) accessible, zero filled.
+func (m *Memory) Map(addr, size uint32) {
+	if size == 0 {
+		return
+	}
+	first := addr / PageSize
+	last := (addr + size - 1) / PageSize
+	for p := first; ; p++ {
+		if _, ok := m.pages[p]; !ok {
+			m.pages[p] = make([]byte, PageSize)
+		}
+		if p == last {
+			break
+		}
+	}
+}
+
+// Mapped reports whether addr is accessible.
+func (m *Memory) Mapped(addr uint32) bool {
+	_, ok := m.pages[addr/PageSize]
+	return ok
+}
+
+func (m *Memory) page(addr uint32, write bool) ([]byte, error) {
+	p, ok := m.pages[addr/PageSize]
+	if !ok {
+		return nil, &Fault{Addr: addr, Write: write}
+	}
+	return p, nil
+}
+
+// Read8 loads one byte.
+func (m *Memory) Read8(addr uint32) (byte, error) {
+	p, err := m.page(addr, false)
+	if err != nil {
+		return 0, err
+	}
+	return p[addr%PageSize], nil
+}
+
+// Write8 stores one byte.
+func (m *Memory) Write8(addr uint32, v byte) error {
+	p, err := m.page(addr, true)
+	if err != nil {
+		return err
+	}
+	p[addr%PageSize] = v
+	return nil
+}
+
+// Read32 loads a little-endian 32-bit word. The word may straddle pages.
+func (m *Memory) Read32(addr uint32) (uint32, error) {
+	if addr%PageSize <= PageSize-4 {
+		p, err := m.page(addr, false)
+		if err != nil {
+			return 0, err
+		}
+		o := addr % PageSize
+		return uint32(p[o]) | uint32(p[o+1])<<8 | uint32(p[o+2])<<16 | uint32(p[o+3])<<24, nil
+	}
+	var v uint32
+	for i := uint32(0); i < 4; i++ {
+		b, err := m.Read8(addr + i)
+		if err != nil {
+			return 0, err
+		}
+		v |= uint32(b) << (8 * i)
+	}
+	return v, nil
+}
+
+// Write32 stores a little-endian 32-bit word.
+func (m *Memory) Write32(addr uint32, v uint32) error {
+	if addr%PageSize <= PageSize-4 {
+		p, err := m.page(addr, true)
+		if err != nil {
+			return err
+		}
+		o := addr % PageSize
+		p[o] = byte(v)
+		p[o+1] = byte(v >> 8)
+		p[o+2] = byte(v >> 16)
+		p[o+3] = byte(v >> 24)
+		return nil
+	}
+	for i := uint32(0); i < 4; i++ {
+		if err := m.Write8(addr+i, byte(v>>(8*i))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBytes copies n bytes starting at addr.
+func (m *Memory) ReadBytes(addr, n uint32) ([]byte, error) {
+	out := make([]byte, n)
+	for i := uint32(0); i < n; i++ {
+		b, err := m.Read8(addr + i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// WriteBytes copies b into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint32, b []byte) error {
+	for i, v := range b {
+		if err := m.Write8(addr+uint32(i), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Block is one allocated heap block in the allocation map.
+type Block struct {
+	Addr uint32 // first usable byte
+	Size uint32 // usable size (rounded up to 4)
+}
+
+// Heap is a canary-guarded bump allocator with LIFO per-size recycling.
+type Heap struct {
+	mem      *Memory
+	base     uint32
+	limit    uint32
+	brk      uint32
+	blocks   []Block             // sorted by Addr
+	freelist map[uint32][]uint32 // size -> LIFO of recycled block addresses
+	allocs   uint64
+	frees    uint64
+}
+
+// NewHeap creates a heap managing [base, base+size).
+func NewHeap(m *Memory, base, size uint32) *Heap {
+	return &Heap{
+		mem:      m,
+		base:     base,
+		limit:    base + size,
+		brk:      base,
+		freelist: make(map[uint32][]uint32),
+	}
+}
+
+// Base returns the lowest heap address.
+func (h *Heap) Base() uint32 { return h.base }
+
+// Limit returns one past the highest heap address.
+func (h *Heap) Limit() uint32 { return h.limit }
+
+// Contains reports whether addr lies inside the heap arena.
+func (h *Heap) Contains(addr uint32) bool { return addr >= h.base && addr < h.limit }
+
+// Stats returns cumulative allocation and free counts.
+func (h *Heap) Stats() (allocs, frees uint64) { return h.allocs, h.frees }
+
+func roundUp4(n uint32) uint32 { return (n + 3) &^ 3 }
+
+// Alloc returns a block of at least size bytes, with canary words planted
+// immediately before and after it. Recycled blocks are returned with their
+// previous contents intact (deliberately — see the package comment).
+func (h *Heap) Alloc(size uint32) (uint32, error) {
+	size = roundUp4(size)
+	if size == 0 {
+		size = 4
+	}
+	h.allocs++
+	if fl := h.freelist[size]; len(fl) > 0 {
+		addr := fl[len(fl)-1]
+		h.freelist[size] = fl[:len(fl)-1]
+		h.insertBlock(Block{Addr: addr, Size: size})
+		// Canaries were planted when the block was first carved and are
+		// re-planted here in case the application overwrote them while
+		// the block was live (a legitimate in-bounds canary-value write).
+		h.plantCanaries(addr, size)
+		return addr, nil
+	}
+	need := size + 8 // front canary + block + rear canary
+	if h.brk+need > h.limit || h.brk+need < h.brk {
+		return 0, fmt.Errorf("heap: out of memory: %d bytes requested", size)
+	}
+	start := h.brk
+	h.brk += need
+	h.mem.Map(start, need)
+	addr := start + 4
+	h.plantCanaries(addr, size)
+	h.insertBlock(Block{Addr: addr, Size: size})
+	return addr, nil
+}
+
+func (h *Heap) plantCanaries(addr, size uint32) {
+	// The canary pages are always mapped because they were carved from brk.
+	_ = h.mem.Write32(addr-4, Canary)
+	_ = h.mem.Write32(addr+size, Canary)
+}
+
+func (h *Heap) insertBlock(b Block) {
+	i := sort.Search(len(h.blocks), func(i int) bool { return h.blocks[i].Addr >= b.Addr })
+	h.blocks = append(h.blocks, Block{})
+	copy(h.blocks[i+1:], h.blocks[i:])
+	h.blocks[i] = b
+}
+
+// Free releases the block at addr. Contents are not cleared. Freeing an
+// address that is not a live block start is an error (the simulated
+// application's defects never double-free; they free too early).
+func (h *Heap) Free(addr uint32) error {
+	i := sort.Search(len(h.blocks), func(i int) bool { return h.blocks[i].Addr >= addr })
+	if i >= len(h.blocks) || h.blocks[i].Addr != addr {
+		return fmt.Errorf("heap: free of non-allocated address %#x", addr)
+	}
+	size := h.blocks[i].Size
+	h.blocks = append(h.blocks[:i], h.blocks[i+1:]...)
+	h.freelist[size] = append(h.freelist[size], addr)
+	h.frees++
+	return nil
+}
+
+// Realloc allocates a new block of the requested size, copies the smaller
+// of the two sizes, and frees the old block.
+func (h *Heap) Realloc(addr, size uint32) (uint32, error) {
+	b, ok := h.FindBlock(addr)
+	if !ok || b.Addr != addr {
+		return 0, fmt.Errorf("heap: realloc of non-allocated address %#x", addr)
+	}
+	na, err := h.Alloc(size)
+	if err != nil {
+		return 0, err
+	}
+	n := b.Size
+	if size < n {
+		n = size
+	}
+	data, err := h.mem.ReadBytes(addr, n)
+	if err != nil {
+		return 0, err
+	}
+	if err := h.mem.WriteBytes(na, data); err != nil {
+		return 0, err
+	}
+	if err := h.Free(addr); err != nil {
+		return 0, err
+	}
+	return na, nil
+}
+
+// FindBlock returns the allocated block containing addr, if any. This is
+// the allocation-map lookup Heap Guard performs when a write target holds
+// the canary value (§2.3).
+func (h *Heap) FindBlock(addr uint32) (Block, bool) {
+	i := sort.Search(len(h.blocks), func(i int) bool { return h.blocks[i].Addr > addr })
+	if i == 0 {
+		return Block{}, false
+	}
+	b := h.blocks[i-1]
+	if addr >= b.Addr && addr < b.Addr+b.Size {
+		return b, true
+	}
+	return Block{}, false
+}
+
+// LiveBlocks returns a copy of the allocation map, sorted by address.
+func (h *Heap) LiveBlocks() []Block {
+	return append([]Block(nil), h.blocks...)
+}

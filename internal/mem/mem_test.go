@@ -1,0 +1,257 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteBasic(t *testing.T) {
+	m := New()
+	m.Map(0x1000, 0x100)
+	if err := m.Write32(0x1000, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Read32(0x1000)
+	if err != nil || v != 0xDEADBEEF {
+		t.Fatalf("Read32 = %#x, %v", v, err)
+	}
+	b, err := m.Read8(0x1000)
+	if err != nil || b != 0xEF {
+		t.Fatalf("little-endian low byte = %#x, %v", b, err)
+	}
+}
+
+func TestUnmappedFaults(t *testing.T) {
+	m := New()
+	if _, err := m.Read32(0x5000); err == nil {
+		t.Error("read of unmapped memory succeeded")
+	}
+	if err := m.Write8(0x5000, 1); err == nil {
+		t.Error("write of unmapped memory succeeded")
+	}
+	var f *Fault
+	_, err := m.Read8(0x7777)
+	if f, _ = err.(*Fault); f == nil || f.Addr != 0x7777 || f.Write {
+		t.Errorf("fault detail wrong: %v", err)
+	}
+}
+
+func TestCrossPageWord(t *testing.T) {
+	m := New()
+	m.Map(PageSize-2, 8) // maps pages 0 and 1
+	if err := m.Write32(PageSize-2, 0x11223344); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Read32(PageSize - 2)
+	if err != nil || v != 0x11223344 {
+		t.Fatalf("cross-page word = %#x, %v", v, err)
+	}
+}
+
+func TestReadWriteBytesRoundTrip(t *testing.T) {
+	m := New()
+	m.Map(0x2000, 0x1000)
+	f := func(data []byte, off uint16) bool {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		addr := 0x2000 + uint32(off%1024)
+		if err := m.WriteBytes(addr, data); err != nil {
+			return false
+		}
+		got, err := m.ReadBytes(addr, uint32(len(data)))
+		if err != nil {
+			return false
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newTestHeap(t *testing.T) (*Memory, *Heap) {
+	t.Helper()
+	m := New()
+	return m, NewHeap(m, 0x2000_0000, 0x10_0000)
+}
+
+func TestHeapAllocPlantsCanaries(t *testing.T) {
+	m, h := newTestHeap(t)
+	addr, err := h.Alloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, _ := m.Read32(addr - 4)
+	rear, _ := m.Read32(addr + 16)
+	if front != Canary || rear != Canary {
+		t.Errorf("canaries = %#x %#x, want %#x", front, rear, Canary)
+	}
+}
+
+func TestHeapAllocRoundsUp(t *testing.T) {
+	_, h := newTestHeap(t)
+	addr, err := h.Alloc(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := h.FindBlock(addr)
+	if !ok || b.Size != 8 {
+		t.Errorf("size 5 rounds to %d, want 8", b.Size)
+	}
+	z, err := h.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := h.FindBlock(z); b.Size != 4 {
+		t.Errorf("zero alloc size = %d, want 4", b.Size)
+	}
+}
+
+func TestHeapFindBlock(t *testing.T) {
+	_, h := newTestHeap(t)
+	a, _ := h.Alloc(32)
+	b, _ := h.Alloc(8)
+	if blk, ok := h.FindBlock(a + 31); !ok || blk.Addr != a {
+		t.Error("interior address not found")
+	}
+	if blk, ok := h.FindBlock(b); !ok || blk.Addr != b {
+		t.Error("block start not found")
+	}
+	if _, ok := h.FindBlock(a + 32); ok {
+		t.Error("rear canary address reported in-bounds")
+	}
+	if _, ok := h.FindBlock(a - 4); ok {
+		t.Error("front canary address reported in-bounds")
+	}
+}
+
+func TestHeapFreeRecyclesLIFOWithoutClearing(t *testing.T) {
+	// This behaviour hosts the paper's uninitialized-reallocation defects
+	// (Bugzilla 269095/320182): a recycled block keeps its old contents.
+	m, h := newTestHeap(t)
+	a, _ := h.Alloc(16)
+	if err := m.Write32(a, 0xCAFEBABE); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := h.Alloc(16)
+	if b != a {
+		t.Fatalf("LIFO recycling: got %#x want %#x", b, a)
+	}
+	v, _ := m.Read32(b)
+	if v != 0xCAFEBABE {
+		t.Errorf("recycled block cleared: %#x", v)
+	}
+}
+
+func TestHeapFreeErrors(t *testing.T) {
+	_, h := newTestHeap(t)
+	a, _ := h.Alloc(16)
+	if err := h.Free(a + 4); err == nil {
+		t.Error("free of interior pointer succeeded")
+	}
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(a); err == nil {
+		t.Error("double free succeeded")
+	}
+}
+
+func TestHeapRealloc(t *testing.T) {
+	m, h := newTestHeap(t)
+	a, _ := h.Alloc(8)
+	_ = m.Write32(a, 0x11111111)
+	_ = m.Write32(a+4, 0x22222222)
+	b, err := h.Realloc(a, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, _ := m.Read32(b)
+	v1, _ := m.Read32(b + 4)
+	if v0 != 0x11111111 || v1 != 0x22222222 {
+		t.Errorf("realloc lost data: %#x %#x", v0, v1)
+	}
+	if _, ok := h.FindBlock(a); ok && a != b {
+		t.Error("old block still live after realloc")
+	}
+	if _, err := h.Realloc(0x12345678, 8); err == nil {
+		t.Error("realloc of wild pointer succeeded")
+	}
+}
+
+func TestHeapOutOfMemory(t *testing.T) {
+	m := New()
+	h := NewHeap(m, 0x2000_0000, 64)
+	if _, err := h.Alloc(128); err == nil {
+		t.Error("oversized alloc succeeded")
+	}
+}
+
+func TestHeapCanariesRestoredOnRecycle(t *testing.T) {
+	m, h := newTestHeap(t)
+	a, _ := h.Alloc(16)
+	_ = m.Write32(a-4, 0) // simulate corruption while live... then free
+	_ = h.Free(a)
+	b, _ := h.Alloc(16)
+	front, _ := m.Read32(b - 4)
+	if front != Canary {
+		t.Errorf("front canary not re-planted on recycle: %#x", front)
+	}
+}
+
+func TestHeapInvariantNoOverlap(t *testing.T) {
+	// Property: live blocks never overlap, and every block's canaries
+	// never fall inside another live block.
+	_, h := newTestHeap(t)
+	var live []uint32
+	f := func(sizes []uint16, freeIdx []uint8) bool {
+		for _, s := range sizes {
+			a, err := h.Alloc(uint32(s%256 + 1))
+			if err != nil {
+				return false
+			}
+			live = append(live, a)
+		}
+		for _, fi := range freeIdx {
+			if len(live) == 0 {
+				break
+			}
+			i := int(fi) % len(live)
+			if err := h.Free(live[i]); err != nil {
+				return false
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+		blocks := h.LiveBlocks()
+		for i := 1; i < len(blocks); i++ {
+			prev, cur := blocks[i-1], blocks[i]
+			if prev.Addr+prev.Size > cur.Addr {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapStats(t *testing.T) {
+	_, h := newTestHeap(t)
+	a, _ := h.Alloc(8)
+	_, _ = h.Alloc(8)
+	_ = h.Free(a)
+	allocs, frees := h.Stats()
+	if allocs != 2 || frees != 1 {
+		t.Errorf("stats = %d/%d, want 2/1", allocs, frees)
+	}
+}

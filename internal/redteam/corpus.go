@@ -1,0 +1,172 @@
+package redteam
+
+// This file builds the Blue Team's page corpora (§4.2.2):
+//
+//   - LearningCorpus: the twelve web pages used to seed the invariant
+//     database before the exercise. Each page exercises every element
+//     handler with varied parameters and varied preceding allocations, so
+//     that invariants over incidental values (heap addresses, element
+//     offsets, free-ranging counters) overflow the one-of limit and die,
+//     while the stable properties (call targets, sign bounds, size
+//     orderings) survive.
+//   - ExpandedCorpus: the learning suite extension of §4.3.2 that adds
+//     coverage of the unicode buffer-growth path, which the default
+//     corpus never exercises — the reconfiguration that makes exploit
+//     325403 repairable.
+//   - EvaluationPages: the Red Team's 57 legitimate pages used for the
+//     repair-quality (bit-identical display) and false-positive
+//     evaluations.
+
+// LearningPages returns the default twelve-page corpus as separate pages.
+func LearningPages() [][]byte {
+	pages := make([][]byte, 12)
+	for k := 0; k < 12; k++ {
+		pages[k] = learningPage(k)
+	}
+	return pages
+}
+
+// LearningCorpus returns the default corpus as one input (one browser
+// session navigating the twelve pages, accumulating heap state so every
+// handler sees shifted allocation addresses page over page).
+func LearningCorpus() []byte {
+	return Input(LearningPages()...)
+}
+
+// ExpandedCorpus returns the §4.3.2 expanded learning suite: the default
+// corpus plus pages that exercise the unicode growth path.
+func ExpandedCorpus() []byte {
+	pages := LearningPages()
+	pages = append(pages, growPages()...)
+	return Input(pages...)
+}
+
+func learningPage(k int) []byte {
+	p := NewPage()
+
+	// Padding text: shifts element offsets and heap layout per page.
+	p.Text(string(bytesOfLen(3+2*k, k)))
+
+	// GIF with in-range extension offsets (0..11; twelve distinct values
+	// so the offset's one-of overflows and only the lower bound survives)
+	// and varied extension bytes.
+	ext := [4]byte{}
+	copy(ext[:], bytesOfLen(4, 13*k+5))
+	p.Gif(byte(2+k), byte(3+k), int8(k%12), ext)
+
+	// Script scenarios; fixed slot assignments (0..6).
+	p.Create(0, TypeDoc)
+	p.SetProp(0, 2, uint32(65+k)) // legitimate property write (field 2)
+	p.Invoke290(0)
+
+	p.Create(1, TypeNode)
+	p.Invoke295(1)
+
+	p.Create(2, TypeDoc)
+	p.Invoke312(2)
+	p.GCFree(2) // truly unreferenced afterwards: benign use of the defect op
+
+	p.Create(3, TypeList)
+	p.FreeClr(3)
+	p.Fresh(4) // recycles the list block, still validly formed
+	p.Invoke269(4)
+
+	p.Create(5, TypeList)
+	p.FreeClr(5)
+	p.Fresh(6)
+	p.Invoke320(6)
+
+	// HOST: hyphen-free names of varied length, ordered padding pairs,
+	// positive priorities.
+	pads := [6]byte{
+		byte(1 + k), byte(4 + k), // p1 <= p2
+		byte(2 + k), byte(4 + k), // q1 <= q2
+		byte(k), byte(k + 1), // r1 <= r2
+	}
+	name := bytesOfLen(10+k, 3*k+1)
+	p.Host(int8(1+k%10), pads, name)
+
+	// UNI on the fast path only: needed = 2*count <= 48 < 64.
+	cnt := byte(2 + 2*k)
+	p.Uni(cnt, uint32(100+k), bytesOfLen(int(cnt)*2, k+7))
+
+	// STR: lengths 1..9 with both (trailer < len) and (trailer > len)
+	// combinations so no accidental pair invariant forms.
+	r := byte(1 + k%9)
+	ln := byte(1 + (k+4)%9)
+	var sdata [9]byte
+	copy(sdata[:], bytesOfLen(9, k+11))
+	p.Str(r+ln, r, sdata)
+
+	// ARR clones with indices 0..3.
+	p.Arr(0, int8(k%4))
+	p.Arr(1, int8((k+1)%4))
+	p.Arr(2, int8((k+2)%4))
+
+	return p.Build()
+}
+
+// growPages exercises the unicode growth path with counts and growth
+// sizes chosen so that needed <= newCap always holds, both orderings of
+// (needed, growSize) occur, and every incidental one-of overflows.
+func growPages() [][]byte {
+	type combo struct {
+		count byte
+		grow  uint32
+	}
+	combos := []combo{
+		{33, 80}, {60, 152}, {35, 88}, {40, 96}, {45, 104},
+		{50, 112}, {55, 120}, {58, 128}, {36, 136}, {34, 144},
+	}
+	var pages [][]byte
+	for i := 0; i < len(combos); i += 2 {
+		p := NewPage()
+		p.Text(string(bytesOfLen(3+2*i, i))) // shift layout per page
+		for j := i; j < i+2 && j < len(combos); j++ {
+			c := combos[j]
+			p.Uni(c.count, c.grow, bytesOfLen(int(c.count)*2, j))
+		}
+		pages = append(pages, p.Build())
+	}
+	return pages
+}
+
+// EvaluationPages returns the Red Team's 57 legitimate evaluation pages,
+// each a separate navigation input.
+func EvaluationPages() [][]byte {
+	pages := make([][]byte, 57)
+	for j := 0; j < 57; j++ {
+		p := NewPage()
+		p.Text(string(bytesOfLen(1+j%40, j)))
+		if j%2 == 0 {
+			ext := [4]byte{}
+			copy(ext[:], bytesOfLen(4, j+17))
+			p.Gif(byte(1+j%7), byte(1+j%5), int8(j%6), ext)
+		}
+		switch j % 3 {
+		case 0:
+			p.Create(byte(j%8), TypeDoc)
+			p.Invoke290(byte(j % 8))
+		case 1:
+			p.Create(byte(j%8), TypeNode)
+			p.Invoke295(byte(j % 8))
+		case 2:
+			p.Create(byte(j%8), TypeList)
+			p.FreeClr(byte(j % 8))
+			p.Fresh(byte((j + 1) % 8))
+			p.Invoke269(byte((j + 1) % 8))
+		}
+		pads := [6]byte{byte(1 + j%6), byte(7 + j%6), byte(2 + j%5), byte(8 + j%5), byte(j % 4), byte(1 + j%4)}
+		p.Host(int8(1+j%9), pads, bytesOfLen(8+j%14, j+3))
+		cnt := byte(2 + j%28)
+		p.Uni(cnt, uint32(90+j), bytesOfLen(int(cnt)*2, j+29))
+		r := byte(1 + j%9)
+		ln := byte(1 + (j+5)%9)
+		var sdata [9]byte
+		copy(sdata[:], bytesOfLen(9, j+41))
+		p.Str(r+ln, r, sdata)
+		p.Arr(j%3, int8(j%4))
+		pages[j] = p.Build()
+	}
+	return pages
+}

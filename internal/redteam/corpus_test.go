@@ -1,0 +1,181 @@
+package redteam
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/daikon"
+	"repro/internal/vm"
+	"repro/internal/webapp"
+)
+
+// The learning corpus carries an invisible contract with the exploits:
+// incidental values (element offsets, heap addresses, free-ranging fields)
+// must vary enough across the twelve pages that their one-of invariants
+// overflow and die, while the stable properties the repairs rely on
+// survive. These tests pin that contract so corpus edits cannot silently
+// break the Table 1 reproduction.
+
+func learnedDB(t *testing.T, expanded bool) (*webapp.App, *daikon.DB) {
+	t.Helper()
+	setup := getSetup(t, expanded)
+	return setup.App, setup.DB
+}
+
+func invariantsAt(db *daikon.DB, pc uint32) map[daikon.Kind]int {
+	out := map[daikon.Kind]int{}
+	for _, inv := range db.At(pc) {
+		out[inv.Kind]++
+	}
+	return out
+}
+
+func TestCorpusLearnsCallSiteOneOfs(t *testing.T) {
+	// Every virtual-dispatch site must carry a one-of invariant on its
+	// call-target slot — the invariant behind five of the repairs.
+	app, db := learnedDB(t, false)
+	for _, site := range []string{
+		"site_290162", "site_295854", "site_312278", "site_269095", "site_320182",
+		"site_311710a_call", "site_311710b_call", "site_311710c_call",
+	} {
+		pc := app.Labels[site]
+		found := false
+		for _, inv := range db.At(pc) {
+			if inv.Kind == daikon.KindOneOf && inv.Var.Slot == 2 && len(inv.Values) == 1 {
+				found = true
+				// The single observed callee must be a code address.
+				if !app.Image.Contains(inv.Values[0]) {
+					t.Errorf("%s: one-of value %#x outside code", site, inv.Values[0])
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: no single-valued call-target one-of; got %v", site, db.At(pc))
+		}
+	}
+}
+
+func TestCorpusLearnsSPOffsetsAtCallSites(t *testing.T) {
+	// The return-from-procedure repair needs a stack-pointer-offset
+	// invariant at the dispatch sites (269095/320182 depend on it).
+	app, db := learnedDB(t, false)
+	for _, site := range []string{"site_269095", "site_320182"} {
+		if _, ok := db.SPOffsetAt(app.Labels[site]); !ok {
+			t.Errorf("%s: no sp-offset invariant learned", site)
+		}
+	}
+}
+
+func TestCorpusKillsIncidentalOneOfs(t *testing.T) {
+	// The copy-length slot at the STR copy must have lower-bound but NOT
+	// one-of (nine distinct lengths kill it); a surviving one-of would
+	// change which repair wins for 296134.
+	app, db := learnedDB(t, false)
+	kinds := invariantsAt(db, app.Labels["site_296134_len"])
+	if kinds[daikon.KindLowerBound] == 0 {
+		t.Error("no lower bound on the computed string length")
+	}
+	for _, inv := range db.At(app.Labels["site_296134_len"]) {
+		if inv.Kind == daikon.KindOneOf && inv.Var.Slot == 0 {
+			t.Errorf("one-of survived on the string length: %v", inv)
+		}
+	}
+}
+
+func TestExpandedCorpusCoversGrowthPath(t *testing.T) {
+	// §4.3.2: the default corpus leaves the unicode growth path dark; the
+	// expanded corpus lights it up.
+	app, base := learnedDB(t, false)
+	if n := len(base.At(app.Labels["site_325403_grow"])); n != 0 {
+		t.Errorf("default corpus learned %d invariants on the growth path", n)
+	}
+	_, expanded := learnedDB(t, true)
+	if n := len(expanded.At(app.Labels["site_325403_grow"])); n == 0 {
+		t.Error("expanded corpus learned nothing on the growth path")
+	}
+}
+
+func TestCorpusPagesFitTheBuffer(t *testing.T) {
+	for k, page := range LearningPages() {
+		if body := len(page) - 2; body > webapp.PageBufSize {
+			t.Errorf("learning page %d body = %d bytes > %d", k, body, webapp.PageBufSize)
+		}
+	}
+	for j, page := range EvaluationPages() {
+		if body := len(page) - 2; body > webapp.PageBufSize {
+			t.Errorf("evaluation page %d body = %d bytes > %d", j, body, webapp.PageBufSize)
+		}
+	}
+	if got := len(EvaluationPages()); got != 57 {
+		t.Errorf("evaluation pages = %d, want the Red Team's 57", got)
+	}
+	if got := len(LearningPages()); got != 12 {
+		t.Errorf("learning pages = %d, want the Blue Team's 12", got)
+	}
+}
+
+func TestFillerAvoidsSentinelBytes(t *testing.T) {
+	b := bytesOfLen(4096, 5)
+	for i, v := range b {
+		if v == 0xAD {
+			t.Fatalf("filler[%d] is the soft-hyphen byte", i)
+		}
+		if v == 0xFD {
+			t.Fatalf("filler[%d] is the canary byte", i)
+		}
+	}
+}
+
+// TestPatchedGifRendersExploitImage pins the §6.2 claim: after the 285595
+// patch, users can view image files that also contain exploits — the
+// repair neutralizes the attack "and enables Firefox to display the image
+// correctly" rather than filtering the input out.
+func TestPatchedGifRendersExploitImage(t *testing.T) {
+	setup := getSetup(t, false)
+	cv, err := setup.ClearView(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := exploitByID(t, "285595")
+	res := RunSingleVariant(cv, setup.App, ex, 10)
+	if !res.Patched {
+		t.Fatal("setup: 285595 not patched")
+	}
+	out := cv.Execute(Input(ex.Build(setup.App, 0)))
+	if out.Outcome != vm.OutcomeExit {
+		t.Fatalf("patched app did not survive the image: %+v", out)
+	}
+	// The GIF handler writes the first canvas row: the image displayed.
+	if len(out.Output) < 4 {
+		t.Fatalf("exploit image not rendered: display = %v", out.Output)
+	}
+}
+
+// TestCaseStateAfterFullExercise: one instance absorbing all the
+// scope-1-repairable exploits ends with every case patched and reports
+// available for each.
+func TestCaseStateAfterFullExercise(t *testing.T) {
+	setup := getSetup(t, false)
+	cv, err := setup.ClearView(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"269095", "290162", "295854", "296134", "311710", "312278", "320182"} {
+		ex := exploitByID(t, id)
+		if res := RunSingleVariant(cv, setup.App, ex, 24); !res.Patched {
+			t.Fatalf("%s not patched", id)
+		}
+	}
+	cases := cv.Cases()
+	if len(cases) != 9 { // 7 exploits, 311710 contributing three cases
+		t.Fatalf("cases = %d, want 9", len(cases))
+	}
+	for _, fc := range cases {
+		if fc.State != core.StatePatched {
+			t.Errorf("%s: %v", fc.ID, fc.State)
+		}
+		if fc.Report() == "" {
+			t.Errorf("%s: empty maintainer report", fc.ID)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package redteam
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/daikon"
+	"repro/internal/monitor"
+	"repro/internal/vm"
+	"repro/internal/webapp"
+)
+
+// OverheadRow is one configuration's cost in the Table 2 reproduction.
+type OverheadRow struct {
+	Config   string
+	Wall     time.Duration
+	Steps    uint64
+	HookRuns uint64
+	Ratio    float64 // wall time relative to the bare configuration
+}
+
+// monitorConfig names one Table 2 row's monitor set.
+type monitorConfig struct {
+	name        string
+	firewall    bool
+	heapGuard   bool
+	shadowStack bool
+}
+
+// table2Configs are the five rows of Table 2 (§4.4.2).
+func table2Configs() []monitorConfig {
+	return []monitorConfig{
+		{name: "Bare application"},
+		{name: "Memory Firewall", firewall: true},
+		{name: "Memory Firewall + Shadow Stack", firewall: true, shadowStack: true},
+		{name: "Memory Firewall + Heap Guard", firewall: true, heapGuard: true},
+		{name: "Memory Firewall + Heap Guard + Shadow Stack", firewall: true, heapGuard: true, shadowStack: true},
+	}
+}
+
+func runUnderConfig(app *webapp.App, input []byte, mc monitorConfig) (vm.RunResult, error) {
+	var plugins []vm.Plugin
+	var shadow *monitor.ShadowStack
+	if mc.shadowStack {
+		shadow = monitor.NewShadowStack()
+		plugins = append(plugins, shadow)
+	}
+	if mc.firewall {
+		plugins = append(plugins, monitor.NewMemoryFirewall())
+	}
+	if mc.heapGuard {
+		plugins = append(plugins, monitor.NewHeapGuard())
+	}
+	machine, err := vm.New(vm.Config{Image: app.Image, Input: input, Plugins: plugins})
+	if err != nil {
+		return vm.RunResult{}, err
+	}
+	if shadow != nil {
+		shadow.Install(machine)
+	}
+	return machine.Run(), nil
+}
+
+// MeasureTable2 loads the 57 evaluation pages under each monitor
+// configuration (the page-load workload of §4.4.2) and reports the
+// relative overheads. repeats > 1 smooths wall-clock noise.
+func MeasureTable2(app *webapp.App, repeats int) ([]OverheadRow, error) {
+	if repeats <= 0 {
+		repeats = 1
+	}
+	pages := EvaluationPages()
+	var rows []OverheadRow
+	for _, mc := range table2Configs() {
+		var row OverheadRow
+		row.Config = mc.name
+		start := time.Now()
+		for r := 0; r < repeats; r++ {
+			for i, page := range pages {
+				res, err := runUnderConfig(app, page, mc)
+				if err != nil {
+					return nil, err
+				}
+				if res.Outcome != vm.OutcomeExit {
+					return nil, fmt.Errorf("page %d failed under %q: %v", i, mc.name, res.Outcome)
+				}
+				row.Steps += res.Steps
+				row.HookRuns += res.HookRuns
+			}
+		}
+		row.Wall = time.Since(start)
+		rows = append(rows, row)
+	}
+	base := rows[0].Wall
+	for i := range rows {
+		rows[i].Ratio = float64(rows[i].Wall) / float64(base)
+	}
+	return rows, nil
+}
+
+// LearningOverhead reports the cost of running the learning corpus with
+// the Daikon front end enabled versus disabled (§4.4.1: the paper measured
+// a factor of ~300; the structure — instrumentation dominating run time —
+// is what this reproduces).
+type LearningOverhead struct {
+	BareWall     time.Duration
+	LearnWall    time.Duration
+	Ratio        float64
+	Observations uint64
+	Invariants   int
+}
+
+// MeasureLearningOverhead runs the default corpus bare and under learning.
+func MeasureLearningOverhead(app *webapp.App, repeats int) (LearningOverhead, error) {
+	if repeats <= 0 {
+		repeats = 1
+	}
+	corpus := LearningCorpus()
+	var out LearningOverhead
+
+	start := time.Now()
+	for r := 0; r < repeats; r++ {
+		machine, err := vm.New(vm.Config{Image: app.Image, Input: corpus})
+		if err != nil {
+			return out, err
+		}
+		if res := machine.Run(); res.Outcome != vm.OutcomeExit {
+			return out, fmt.Errorf("bare corpus run failed: %v", res.Outcome)
+		}
+	}
+	out.BareWall = time.Since(start)
+
+	start = time.Now()
+	var db *daikon.DB
+	var stats core.LearnStats
+	for r := 0; r < repeats; r++ {
+		var err error
+		db, stats, err = core.Learn(app.Image, core.LearnConfig{Inputs: [][]byte{corpus}})
+		if err != nil {
+			return out, err
+		}
+	}
+	out.LearnWall = time.Since(start)
+	out.Ratio = float64(out.LearnWall) / float64(out.BareWall)
+	out.Observations = stats.Observations
+	out.Invariants = db.Len()
+	return out, nil
+}
+
+// PrintTable2 renders Table 2 rows.
+func PrintTable2(w io.Writer, rows []OverheadRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ClearView Configuration\tTime\tRatio\tHook runs")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%d\n",
+			r.Config, r.Wall.Round(time.Microsecond), r.Ratio, r.HookRuns)
+	}
+	tw.Flush()
+}

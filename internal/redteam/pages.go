@@ -1,0 +1,184 @@
+// Package redteam reproduces the Red Team exercise of §4: the ten exploit
+// builders (one per targeted defect, plus variants), the Blue Team's
+// twelve-page learning corpus and its §4.3.2 expansion, and the 57
+// legitimate evaluation pages used for repair-quality (autoimmune) and
+// false-positive evaluation.
+package redteam
+
+import "encoding/binary"
+
+// PageBuilder assembles one page body element by element.
+type PageBuilder struct {
+	body []byte
+}
+
+// NewPage returns an empty page.
+func NewPage() *PageBuilder { return &PageBuilder{} }
+
+// Len returns the current body length.
+func (p *PageBuilder) Len() int { return len(p.body) }
+
+// Raw appends raw body bytes (used by exploits to plant payloads).
+func (p *PageBuilder) Raw(b []byte) *PageBuilder {
+	p.body = append(p.body, b...)
+	return p
+}
+
+// PatchWord overwrites 4 body bytes at off with a little-endian word
+// (exploits use this to plant pointers at computed offsets).
+func (p *PageBuilder) PatchWord(off int, v uint32) *PageBuilder {
+	binary.LittleEndian.PutUint32(p.body[off:], v)
+	return p
+}
+
+// Text appends a TEXT element.
+func (p *PageBuilder) Text(s string) *PageBuilder {
+	p.body = append(p.body, 0x01, byte(len(s)))
+	p.body = append(p.body, s...)
+	return p
+}
+
+// TextBytes appends a TEXT element with raw payload (an exploit vehicle:
+// the renderer copies it harmlessly, but the bytes stay in the page buffer
+// at known offsets).
+func (p *PageBuilder) TextBytes(b []byte) *PageBuilder {
+	p.body = append(p.body, 0x01, byte(len(b)))
+	p.body = append(p.body, b...)
+	return p
+}
+
+// Gif appends a GIF element.
+func (p *PageBuilder) Gif(w, h byte, extOff int8, ext [4]byte) *PageBuilder {
+	p.body = append(p.body, 0x02, w, h, byte(extOff))
+	p.body = append(p.body, ext[:]...)
+	return p
+}
+
+// script ops (must match internal/webapp/script.go).
+const (
+	opCreate    = 0
+	opSetProp   = 1
+	opInvoke290 = 2
+	opInvoke295 = 3
+	opGCFree    = 4
+	opMakeStr   = 5
+	opInvoke312 = 6
+	opFreeClr   = 7
+	opFresh     = 8
+	opInvoke269 = 9
+	opInvoke320 = 10
+)
+
+// Object types (must match internal/webapp/script.go).
+const (
+	TypeDoc  = 0
+	TypeNode = 1
+	TypeList = 2
+)
+
+func (p *PageBuilder) script(op, idx, arg3 byte, rest ...byte) *PageBuilder {
+	p.body = append(p.body, 0x03, op, idx, arg3)
+	p.body = append(p.body, rest...)
+	return p
+}
+
+// Create appends a script CREATE element.
+func (p *PageBuilder) Create(idx, typ byte) *PageBuilder {
+	return p.script(opCreate, idx, typ)
+}
+
+// SetProp appends a script SETPROP element (the unchecked property write).
+func (p *PageBuilder) SetProp(idx, field byte, val uint32) *PageBuilder {
+	var w [4]byte
+	binary.LittleEndian.PutUint32(w[:], val)
+	return p.script(opSetProp, idx, field, w[:]...)
+}
+
+// Invoke290 appends a dispatch through site_290162.
+func (p *PageBuilder) Invoke290(idx byte) *PageBuilder { return p.script(opInvoke290, idx, 0) }
+
+// Invoke295 appends a dispatch through site_295854.
+func (p *PageBuilder) Invoke295(idx byte) *PageBuilder { return p.script(opInvoke295, idx, 0) }
+
+// GCFree appends the erroneous free (slot left dangling).
+func (p *PageBuilder) GCFree(idx byte) *PageBuilder { return p.script(opGCFree, idx, 0) }
+
+// MakeStr appends a 16-byte string allocation filled with payload.
+func (p *PageBuilder) MakeStr(idx byte, payload [16]byte) *PageBuilder {
+	return p.script(opMakeStr, idx, 0, payload[:]...)
+}
+
+// Invoke312 appends a dispatch through site_312278.
+func (p *PageBuilder) Invoke312(idx byte) *PageBuilder { return p.script(opInvoke312, idx, 0) }
+
+// FreeClr appends the correct free (slot cleared).
+func (p *PageBuilder) FreeClr(idx byte) *PageBuilder { return p.script(opFreeClr, idx, 0) }
+
+// Fresh appends the uninitialized allocation (defect 269095/320182).
+func (p *PageBuilder) Fresh(idx byte) *PageBuilder { return p.script(opFresh, idx, 0) }
+
+// Invoke269 appends a dispatch through site_269095.
+func (p *PageBuilder) Invoke269(idx byte) *PageBuilder { return p.script(opInvoke269, idx, 0) }
+
+// Invoke320 appends a dispatch through site_320182.
+func (p *PageBuilder) Invoke320(idx byte) *PageBuilder { return p.script(opInvoke320, idx, 0) }
+
+// Host appends a HOST element.
+func (p *PageBuilder) Host(prio int8, pads [6]byte, name []byte) *PageBuilder {
+	p.body = append(p.body, 0x04, byte(len(name)), byte(prio))
+	p.body = append(p.body, pads[:]...)
+	p.body = append(p.body, name...)
+	return p
+}
+
+// Uni appends a UNI element. data length must be 2*count.
+func (p *PageBuilder) Uni(count byte, grow uint32, data []byte) *PageBuilder {
+	var w [4]byte
+	binary.LittleEndian.PutUint32(w[:], grow)
+	p.body = append(p.body, 0x05, count)
+	p.body = append(p.body, w[:]...)
+	p.body = append(p.body, data...)
+	return p
+}
+
+// Str appends a STR element with its fixed 9 data bytes.
+func (p *PageBuilder) Str(total, trailer byte, data [9]byte) *PageBuilder {
+	p.body = append(p.body, 0x06, total, trailer)
+	p.body = append(p.body, data[:]...)
+	return p
+}
+
+// Arr appends an ARR element for clone 0 (a), 1 (b) or 2 (c).
+func (p *PageBuilder) Arr(clone int, idx int8) *PageBuilder {
+	p.body = append(p.body, byte(0x07+clone), byte(idx))
+	return p
+}
+
+// Build frames the body with its little-endian length prefix.
+func (p *PageBuilder) Build() []byte {
+	out := make([]byte, 2+len(p.body))
+	binary.LittleEndian.PutUint16(out, uint16(len(p.body)))
+	copy(out[2:], p.body)
+	return out
+}
+
+// Input concatenates pages into one application input (one browser
+// session navigating the pages in order).
+func Input(pages ...[]byte) []byte {
+	var out []byte
+	for _, pg := range pages {
+		out = append(out, pg...)
+	}
+	return out
+}
+
+// bytesOfLen builds a deterministic filler of n bytes in [16, 165],
+// a range that excludes the soft-hyphen byte (0xAD) and the canary byte
+// (0xFD) so fillers never accidentally trigger a defect.
+func bytesOfLen(n, seed int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(16 + (seed*31+i*7)%150)
+	}
+	return out
+}

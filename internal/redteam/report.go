@@ -1,0 +1,206 @@
+package redteam
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Table1Row is one exploit's outcome in the Table 1 reproduction.
+type Table1Row struct {
+	Bugzilla      string
+	ErrorType     string
+	Presentations int
+	Paper         int // the paper's count (0 = not listed / never patched)
+	Patched       bool
+	Blocked       bool
+	Reconfigured  string // which §4.3.2 reconfiguration was applied, if any
+}
+
+// Table3Row is one failure case's processing breakdown (Table 3). One
+// exploit may contribute several rows (311710 has three defects).
+type Table3Row struct {
+	Bugzilla     string
+	CaseID       string
+	DetectRuns   int
+	ChecksBuilt  [3]int // [one-of, lower-bound, less-than]
+	CheckRuns    int
+	CheckExecs   uint64
+	CheckViol    uint64
+	RepairsBuilt [3]int
+	Unsuccessful int
+	Patched      bool
+	BuildChecks  time.Duration
+	BuildRepairs time.Duration
+	RunTime      time.Duration // detection + checking + repair evaluation runs
+	Total        time.Duration
+}
+
+// exerciseOne runs a full single-variant campaign for one exploit under
+// its required configuration and returns the ClearView instance and result.
+func exerciseOne(setups map[bool]*Setup, ex Exploit) (*core.ClearView, AttackResult, error) {
+	setup := setups[ex.NeedsExpandedCorpus]
+	cv, err := setup.ClearView(ex.NeedsStackScope)
+	if err != nil {
+		return nil, AttackResult{}, err
+	}
+	res := RunSingleVariant(cv, setup.App, ex, 24)
+	return cv, res, nil
+}
+
+// buildSetups prepares the default and expanded-corpus setups once.
+func buildSetups() (map[bool]*Setup, error) {
+	base, err := NewSetup(false)
+	if err != nil {
+		return nil, err
+	}
+	expanded, err := NewSetup(true)
+	if err != nil {
+		return nil, err
+	}
+	return map[bool]*Setup{false: base, true: expanded}, nil
+}
+
+// RunTable1 reproduces Table 1: presentations until a protective patch,
+// per exploit, under the configuration the paper used for each row.
+func RunTable1() ([]Table1Row, error) {
+	setups, err := buildSetups()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table1Row
+	for _, ex := range Exploits() {
+		cv, res, err := exerciseOne(setups, ex)
+		if err != nil {
+			return nil, err
+		}
+		_ = cv
+		row := Table1Row{
+			Bugzilla:      ex.Bugzilla,
+			ErrorType:     ex.ErrorType,
+			Presentations: res.Presentations,
+			Paper:         ex.PaperPresentations,
+			Patched:       res.Patched,
+			Blocked:       res.Blocked,
+		}
+		if ex.NeedsStackScope > 1 {
+			row.Reconfigured = fmt.Sprintf("stack scope %d", ex.NeedsStackScope)
+		}
+		if ex.NeedsExpandedCorpus {
+			row.Reconfigured = "expanded corpus"
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RunTable3 reproduces Table 3: the per-phase processing breakdown for
+// every failure case of every exploit.
+func RunTable3() ([]Table3Row, error) {
+	setups, err := buildSetups()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table3Row
+	for _, ex := range Exploits() {
+		cv, _, err := exerciseOne(setups, ex)
+		if err != nil {
+			return nil, err
+		}
+		cases := cv.Cases()
+		sort.Slice(cases, func(i, j int) bool { return cases[i].PC < cases[j].PC })
+		for i, fc := range cases {
+			id := ex.Bugzilla
+			if len(cases) > 1 {
+				id = fmt.Sprintf("%s%c", ex.Bugzilla, 'a'+i)
+			}
+			m := fc.Metrics
+			runTime := m.DetectTime + m.CheckRunTime + m.RepairRunTime
+			rows = append(rows, Table3Row{
+				Bugzilla:     id,
+				CaseID:       fc.ID,
+				DetectRuns:   m.DetectRuns,
+				ChecksBuilt:  m.ChecksBuilt,
+				CheckRuns:    m.CheckRuns,
+				CheckExecs:   m.CheckExecs,
+				CheckViol:    m.CheckViolations,
+				RepairsBuilt: m.RepairsBuilt,
+				Unsuccessful: m.Unsuccessful,
+				Patched:      fc.State == core.StatePatched,
+				BuildChecks:  m.BuildChecks,
+				BuildRepairs: m.BuildRepairs,
+				RunTime:      runTime,
+				Total:        runTime + m.BuildChecks + m.BuildRepairs,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Summary aggregates §4.4.3-style statistics from Table 1 rows.
+type Summary struct {
+	Exploits        int
+	Blocked         int
+	Patched         int
+	MeanPresent     float64 // mean presentations over patched exploits
+	TotalPresent    int
+	NeverRepairable int
+}
+
+// Summarize computes the §4.4.3 aggregate.
+func Summarize(rows []Table1Row) Summary {
+	var s Summary
+	s.Exploits = len(rows)
+	sum := 0
+	for _, r := range rows {
+		if r.Blocked {
+			s.Blocked++
+		}
+		if r.Patched {
+			s.Patched++
+			sum += r.Presentations
+		} else {
+			s.NeverRepairable++
+		}
+	}
+	s.TotalPresent = sum
+	if s.Patched > 0 {
+		s.MeanPresent = float64(sum) / float64(s.Patched)
+	}
+	return s
+}
+
+// PrintTable1 renders Table 1 rows.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Bugzilla\tPresentations\tPaper\tError Type\tNotes")
+	for _, r := range rows {
+		pres := fmt.Sprint(r.Presentations)
+		if !r.Patched {
+			pres = "— (blocked, not patched)"
+		}
+		paper := fmt.Sprint(r.Paper)
+		if r.Paper == 0 {
+			paper = "—"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n", r.Bugzilla, pres, paper, r.ErrorType, r.Reconfigured)
+	}
+	tw.Flush()
+}
+
+// PrintTable3 renders Table 3 rows.
+func PrintTable3(w io.Writer, rows []Table3Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Bugzilla\tDetect\tChecks[1of,lb,lt]\tCheckRuns\tViol/Total\tRepairs[1of,lb,lt]\tUnsucc\tPatched\tTime")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%v\t%d\t(%d/%d)\t%v\t%d\t%v\t%s\n",
+			r.Bugzilla, r.DetectRuns, r.ChecksBuilt, r.CheckRuns,
+			r.CheckViol, r.CheckExecs, r.RepairsBuilt, r.Unsuccessful,
+			r.Patched, r.Total.Round(time.Microsecond))
+	}
+	tw.Flush()
+}

@@ -1,0 +1,136 @@
+package redteam
+
+import "testing"
+
+// TestTable3Structure pins the structural content of the Table 3
+// reproduction: phase counts, invariant-kind vectors, and the unsuccessful
+// repair runs for the exploits the paper calls out.
+func TestTable3Structure(t *testing.T) {
+	rows, err := RunTable3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]Table3Row{}
+	for _, r := range rows {
+		byID[r.Bugzilla] = r
+	}
+
+	// Twelve rows: ten exploits with 311710 split into a/b/c.
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	for _, id := range []string{"311710a", "311710b", "311710c"} {
+		if _, ok := byID[id]; !ok {
+			t.Fatalf("missing row %s", id)
+		}
+	}
+
+	for id, r := range byID {
+		// Every campaign: exactly one detection run and two checking runs
+		// (the §4.3.1 minimum-four-presentations arithmetic).
+		if r.DetectRuns != 1 {
+			t.Errorf("%s: detect runs = %d", id, r.DetectRuns)
+		}
+		if r.CheckRuns != 2 {
+			t.Errorf("%s: check runs = %d", id, r.CheckRuns)
+		}
+		if r.ChecksBuilt == [3]int{} {
+			t.Errorf("%s: no invariant checks built", id)
+		}
+		if r.CheckExecs == 0 || r.CheckViol == 0 {
+			t.Errorf("%s: checks %d, violations %d", id, r.CheckExecs, r.CheckViol)
+		}
+	}
+
+	// The unsuccessful-repair pattern of §4.3.1/Table 3: two failed
+	// repairs before success for the uninitialized-reallocation pair, one
+	// for 295854, none for the first-patch-works exploits.
+	wantUnsucc := map[string]int{
+		"269095": 2, "320182": 2, "295854": 1,
+		"290162": 0, "296134": 0, "312278": 0,
+		"311710a": 0, "311710b": 0, "311710c": 0,
+		"285595": 0, "325403": 0,
+	}
+	for id, want := range wantUnsucc {
+		if got := byID[id].Unsuccessful; got != want {
+			t.Errorf("%s: unsuccessful = %d, want %d", id, got, want)
+		}
+	}
+
+	// 307259: never patched, some repairs tried and discarded.
+	r307 := byID["307259"]
+	if r307.Patched {
+		t.Error("307259 patched")
+	}
+	if r307.Unsuccessful == 0 {
+		t.Error("307259: no unsuccessful repairs recorded")
+	}
+	// It is also the checks-executed outlier (the copy-loop checks run
+	// per byte), echoing the paper's (7444/29428) row.
+	for id, r := range byID {
+		if id != "307259" && r.CheckExecs >= r307.CheckExecs {
+			t.Errorf("%s executed %d checks, >= the 307259 outlier's %d", id, r.CheckExecs, r307.CheckExecs)
+		}
+	}
+
+	// The memory-management exploits repair through a one-of invariant;
+	// the bounds exploits through lower-bound/less-than (§4.4.4's [x,y,z]
+	// vectors).
+	for _, id := range []string{"269095", "290162", "295854", "312278", "320182"} {
+		if byID[id].RepairsBuilt[0] == 0 {
+			t.Errorf("%s: no one-of repairs", id)
+		}
+	}
+	for _, id := range []string{"296134", "285595"} {
+		if byID[id].RepairsBuilt[1] == 0 {
+			t.Errorf("%s: no lower-bound repairs", id)
+		}
+	}
+	if byID["325403"].RepairsBuilt[1] == 0 && byID["325403"].RepairsBuilt[2] == 0 {
+		t.Error("325403: no bound repairs")
+	}
+
+	// The three 311710 clones are genuine copy-paste: identical
+	// per-clone breakdowns.
+	a, bb, c := byID["311710a"], byID["311710b"], byID["311710c"]
+	if a.ChecksBuilt != bb.ChecksBuilt || bb.ChecksBuilt != c.ChecksBuilt {
+		t.Errorf("311710 clones differ in checks: %v %v %v", a.ChecksBuilt, bb.ChecksBuilt, c.ChecksBuilt)
+	}
+	if a.RepairsBuilt != bb.RepairsBuilt || bb.RepairsBuilt != c.RepairsBuilt {
+		t.Errorf("311710 clones differ in repairs: %v %v %v", a.RepairsBuilt, bb.RepairsBuilt, c.RepairsBuilt)
+	}
+}
+
+// TestTable1Report checks the report generator against the expectations
+// the test suite pins elsewhere.
+func TestTable1Report(t *testing.T) {
+	rows, err := RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Blocked {
+			t.Errorf("%s: not blocked", r.Bugzilla)
+		}
+		want, listed := expectedPresentations[r.Bugzilla]
+		if !listed {
+			if r.Patched {
+				t.Errorf("%s: unexpectedly patched", r.Bugzilla)
+			}
+			continue
+		}
+		if !r.Patched || r.Presentations != want {
+			t.Errorf("%s: %d presentations (patched=%v), want %d", r.Bugzilla, r.Presentations, r.Patched, want)
+		}
+	}
+	s := Summarize(rows)
+	if s.Blocked != 10 || s.Patched != 9 || s.NeverRepairable != 1 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.MeanPresent < 4 || s.MeanPresent > 7 {
+		t.Errorf("mean presentations = %.1f, outside the paper's ballpark (5.4)", s.MeanPresent)
+	}
+}

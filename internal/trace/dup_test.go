@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/daikon"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// observedVars runs one program under the recorder and returns the set of
+// variables that produced observations.
+func observedVars(t *testing.T, build func(a *asm.Assembler)) map[daikon.VarID]bool {
+	t.Helper()
+	im, _ := buildImage(t, build)
+	eng := daikon.NewEngine()
+	rec := NewRecorder(eng)
+	machine, err := vm.New(vm.Config{Image: im, Plugins: []vm.Plugin{rec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := machine.Run(); res.Outcome != vm.OutcomeExit {
+		t.Fatalf("run: %+v", res)
+	}
+	rec.CommitRun()
+	db := eng.Finalize(daikon.Options{})
+	out := map[daikon.VarID]bool{}
+	for v := range db.VarsSeen {
+		out[v] = true
+	}
+	return out
+}
+
+func TestDupElimSkipsRegisterCopies(t *testing.T) {
+	// After MOVRR ECX, EDX, a later read of ECX in the same block is a
+	// known copy: only the MOVRR's regB observation survives.
+	var use, use2 uint32
+	vars := observedVars(t, func(a *asm.Assembler) {
+		a.Label("main")
+		a.MovRI(isa.EDX, 7)
+		a.MovRR(isa.ECX, isa.EDX) // first observation of EDX's value
+		use = a.PC()
+		a.MovRR(isa.EBX, isa.ECX) // ECX is a known copy: skipped
+		use2 = a.PC()
+		a.MovRR(isa.ESI, isa.EDX) // EDX unchanged: also a known copy
+		a.MovRI(isa.EAX, 0)
+		a.Sys(isa.SysExit)
+	})
+	if vars[daikon.VarID{PC: use, Slot: 0}] {
+		t.Error("copy of a copied register observed")
+	}
+	if vars[daikon.VarID{PC: use2, Slot: 0}] {
+		t.Error("unmodified register re-observed")
+	}
+}
+
+func TestDupElimInvalidatedByArithmetic(t *testing.T) {
+	// An arithmetic write breaks the copy chain: the next read is a fresh
+	// variable (this is what preserves the sign-extended/offset values the
+	// repairs need).
+	var use uint32
+	vars := observedVars(t, func(a *asm.Assembler) {
+		a.Label("main")
+		a.MovRI(isa.EDX, 7)
+		a.MovRR(isa.ECX, isa.EDX)
+		a.AddRI(isa.EDX, 1) // invalidates EDX
+		use = a.PC()
+		a.MovRR(isa.EBX, isa.EDX) // fresh value: observed
+		a.MovRI(isa.EAX, 0)
+		a.Sys(isa.SysExit)
+	})
+	if !vars[daikon.VarID{PC: use, Slot: 0}] {
+		t.Error("post-arithmetic value not observed")
+	}
+}
+
+func TestDupElimInvalidatedBySextB(t *testing.T) {
+	// The movsx idiom: the raw byte and its sign extension are distinct
+	// variables. (The dynamic always-equal heuristic would wrongly merge
+	// them, since they agree on every non-negative sample.)
+	var use uint32
+	vars := observedVars(t, func(a *asm.Assembler) {
+		a.Label("main")
+		a.MovRI(isa.EAX, 8)
+		a.Sys(isa.SysAlloc)
+		a.MovRR(isa.ESI, isa.EAX)
+		a.LoadB(isa.EDX, asm.M(isa.ESI, 0)) // raw byte observed (memval)
+		a.SextB(isa.EDX)                    // reads EDX: known copy, skipped
+		use = a.PC()
+		a.MovRR(isa.ECX, isa.EDX) // sign-extended value: fresh, observed
+		a.MovRI(isa.EAX, 0)
+		a.Sys(isa.SysExit)
+	})
+	if !vars[daikon.VarID{PC: use, Slot: 0}] {
+		t.Error("sign-extended value eliminated as a duplicate")
+	}
+}
+
+func TestDupElimResetsAcrossBlocks(t *testing.T) {
+	// The analysis is per-block (conservative): the same register value
+	// re-read in a different basic block is a fresh variable.
+	var use uint32
+	vars := observedVars(t, func(a *asm.Assembler) {
+		a.Label("main")
+		a.MovRI(isa.EDX, 7)
+		a.MovRR(isa.ECX, isa.EDX)
+		a.CmpRI(isa.EDX, 0) // known copy: the compare's read is skipped
+		a.Je("next")        // ends the block
+		a.Label("next")
+		use = a.PC()
+		a.MovRR(isa.EBX, isa.EDX) // new block: observed again
+		a.MovRI(isa.EAX, 0)
+		a.Sys(isa.SysExit)
+	})
+	if !vars[daikon.VarID{PC: use, Slot: 0}] {
+		t.Error("cross-block value wrongly treated as duplicate")
+	}
+}
+
+func TestDupElimDisabledKeepsEverything(t *testing.T) {
+	im, labels := buildImage(t, func(a *asm.Assembler) {
+		a.Label("main")
+		a.MovRI(isa.EDX, 7)
+		a.MovRR(isa.ECX, isa.EDX)
+		a.Label("use")
+		a.MovRR(isa.EBX, isa.ECX)
+		a.MovRI(isa.EAX, 0)
+		a.Sys(isa.SysExit)
+	})
+	eng := daikon.NewEngine()
+	rec := NewRecorder(eng)
+	rec.DisableDupElim = true
+	machine, err := vm.New(vm.Config{Image: im, Plugins: []vm.Plugin{rec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine.Run()
+	rec.CommitRun()
+	db := eng.Finalize(daikon.Options{})
+	if _, ok := db.VarsSeen[daikon.VarID{PC: labels["use"], Slot: 0}]; !ok {
+		t.Error("ablation knob did not keep the duplicate observation")
+	}
+}
+
+func TestDupElimLoadEstablishesCopy(t *testing.T) {
+	// A register read immediately after its LOAD duplicates the load's
+	// memval slot.
+	var use uint32
+	vars := observedVars(t, func(a *asm.Assembler) {
+		a.Label("main")
+		a.MovRI(isa.EAX, 8)
+		a.Sys(isa.SysAlloc)
+		a.MovRR(isa.ESI, isa.EAX)
+		a.MovRI(isa.ECX, 5)
+		a.Store(asm.M(isa.ESI, 0), isa.ECX)
+		a.Load(isa.EDX, asm.M(isa.ESI, 0))
+		use = a.PC()
+		a.MovRR(isa.EBX, isa.EDX) // copy of the loaded value: skipped
+		a.MovRI(isa.EAX, 0)
+		a.Sys(isa.SysExit)
+	})
+	if vars[daikon.VarID{PC: use, Slot: 0}] {
+		t.Error("loaded-value copy observed")
+	}
+}

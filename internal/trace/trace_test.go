@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/daikon"
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+func buildImage(t *testing.T, build func(a *asm.Assembler)) (*image.Image, map[string]uint32) {
+	t.Helper()
+	a := asm.New(0x1000)
+	build(a)
+	code, labels, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, ok := labels["main"]
+	if !ok {
+		entry = 0x1000
+	}
+	return &image.Image{Base: 0x1000, Entry: entry, Code: code}, labels
+}
+
+func learnRuns(t *testing.T, im *image.Image, rec *Recorder, inputs [][]byte) {
+	t.Helper()
+	for _, in := range inputs {
+		v, err := vm.New(vm.Config{Image: im, Plugins: []vm.Plugin{rec}, Input: in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := v.Run()
+		if res.Outcome == vm.OutcomeExit {
+			rec.CommitRun()
+		} else {
+			rec.DiscardRun()
+		}
+	}
+}
+
+func TestLearnsOneOfAtCallSite(t *testing.T) {
+	// A CALLM dispatch through a static table: learning must produce a
+	// one-of invariant on the function-pointer slot whose values are the
+	// observed callees.
+	im, labels := buildImage(t, func(a *asm.Assembler) {
+		a.Label("main")
+		a.MovLabel(isa.EBX, "table")
+		// Select entry 0 or 1 based on first input byte.
+		a.MovRI(isa.EAX, 16)
+		a.Sys(isa.SysAlloc)
+		a.MovRR(isa.ESI, isa.EAX)
+		a.MovRI(isa.ECX, 1)
+		a.Sys(isa.SysRead)
+		a.LoadB(isa.EDX, asm.M(isa.ESI, 0))
+		a.Label("site")
+		a.CallM(asm.MX(isa.EBX, isa.EDX, 2, 0))
+		a.MovRI(isa.EAX, 0)
+		a.Sys(isa.SysExit)
+		a.Label("f0")
+		a.MovRI(isa.EDI, 1)
+		a.Ret()
+		a.Label("f1")
+		a.MovRI(isa.EDI, 2)
+		a.Ret()
+		a.Label("table")
+		a.WordLabel("f0")
+		a.WordLabel("f1")
+	})
+	eng := daikon.NewEngine()
+	rec := NewRecorder(eng)
+	learnRuns(t, im, rec, [][]byte{{0}, {1}, {0}})
+
+	db := eng.Finalize(daikon.Options{})
+	site := labels["site"]
+	var oneof *daikon.Invariant
+	for _, inv := range db.At(site) {
+		if inv.Kind == daikon.KindOneOf && isa.TargetSlot(isa.Inst{Op: isa.CALLM, B: isa.EBX, X: isa.EDX, Scale: 2}) == int(inv.Var.Slot) {
+			oneof = inv
+		}
+	}
+	if oneof == nil {
+		t.Fatalf("no one-of on the call target slot at %#x; got %v", site, db.At(site))
+	}
+	if len(oneof.Values) != 2 || oneof.Values[0] != labels["f0"] || oneof.Values[1] != labels["f1"] {
+		t.Errorf("one-of values = %#v, want f0/f1 addresses", oneof.Values)
+	}
+}
+
+func TestLearnsLowerBoundOnInputDerivedValue(t *testing.T) {
+	im, labels := buildImage(t, func(a *asm.Assembler) {
+		a.Label("main")
+		a.MovRI(isa.EAX, 16)
+		a.Sys(isa.SysAlloc)
+		a.MovRR(isa.ESI, isa.EAX)
+		a.MovRI(isa.ECX, 1)
+		a.Sys(isa.SysRead)
+		a.LoadB(isa.EDX, asm.M(isa.ESI, 0))
+		// Derive a fresh value so duplicate-variable elimination does not
+		// fold the observation at "use" into the LoadB's memval slot.
+		a.AddRI(isa.EDX, 1)
+		a.Label("use")
+		a.MovRR(isa.ECX, isa.EDX) // observes EDX = byte+1 at "use"
+		a.MovRI(isa.EAX, 0)
+		a.Sys(isa.SysExit)
+	})
+	eng := daikon.NewEngine()
+	rec := NewRecorder(eng)
+	learnRuns(t, im, rec, [][]byte{{3}, {7}, {5}})
+
+	db := eng.Finalize(daikon.Options{})
+	var lb *daikon.Invariant
+	for _, inv := range db.At(labels["use"]) {
+		if inv.Kind == daikon.KindLowerBound {
+			lb = inv
+		}
+	}
+	if lb == nil || lb.Bound != 4 {
+		t.Fatalf("lower bound at use = %+v, want bound 4", lb)
+	}
+}
+
+func TestErroneousRunDiscarded(t *testing.T) {
+	im, labels := buildImage(t, func(a *asm.Assembler) {
+		a.Label("main")
+		a.MovRI(isa.EAX, 16)
+		a.Sys(isa.SysAlloc)
+		a.MovRR(isa.ESI, isa.EAX)
+		a.MovRI(isa.ECX, 1)
+		a.Sys(isa.SysRead)
+		a.LoadB(isa.EDX, asm.M(isa.ESI, 0))
+		a.Label("use")
+		a.MovRR(isa.ECX, isa.EDX)
+		a.CmpRI(isa.EDX, 100)
+		a.Je("crash")
+		a.MovRI(isa.EAX, 0)
+		a.Sys(isa.SysExit)
+		a.Label("crash")
+		a.Halt()
+	})
+	eng := daikon.NewEngine()
+	rec := NewRecorder(eng)
+	learnRuns(t, im, rec, [][]byte{{5}, {100}, {7}}) // 100 crashes
+
+	db := eng.Finalize(daikon.Options{})
+	for _, inv := range db.At(labels["use"]) {
+		if inv.Kind == daikon.KindOneOf {
+			for _, v := range inv.Values {
+				if v == 100 {
+					t.Fatal("value from a crashed run entered the database")
+				}
+			}
+		}
+	}
+}
+
+func TestSPOffsetLearned(t *testing.T) {
+	im, labels := buildImage(t, func(a *asm.Assembler) {
+		a.Label("main")
+		a.Call("f")
+		a.MovRI(isa.EAX, 0)
+		a.Sys(isa.SysExit)
+		a.Label("f")
+		a.PushI(1)
+		a.PushI(2)
+		a.Label("deep")
+		a.MovRI(isa.EBX, 9) // sp here = entry sp - 8
+		a.Pop(isa.ECX)
+		a.Pop(isa.ECX)
+		a.Ret()
+	})
+	eng := daikon.NewEngine()
+	rec := NewRecorder(eng)
+	learnRuns(t, im, rec, [][]byte{nil, nil})
+
+	db := eng.Finalize(daikon.Options{})
+	if d, ok := db.SPOffsetAt(labels["deep"]); !ok || d != 8 {
+		t.Fatalf("sp offset at deep = %d, %v; want 8", d, ok)
+	}
+}
+
+func TestRegionFilter(t *testing.T) {
+	im, labels := buildImage(t, func(a *asm.Assembler) {
+		a.Label("main")
+		a.MovRI(isa.EDX, 5)
+		a.Label("traced")
+		a.MovRR(isa.ECX, isa.EDX)
+		a.Label("untraced")
+		a.MovRR(isa.EBX, isa.EDX)
+		a.MovRI(isa.EAX, 0)
+		a.Sys(isa.SysExit)
+	})
+	eng := daikon.NewEngine()
+	rec := NewRecorder(eng)
+	rec.Filter = func(pc uint32) bool { return pc == labels["traced"] }
+	learnRuns(t, im, rec, [][]byte{nil})
+
+	db := eng.Finalize(daikon.Options{})
+	if len(db.At(labels["traced"])) == 0 {
+		t.Error("filtered-in instruction not traced")
+	}
+	if len(db.At(labels["untraced"])) != 0 {
+		t.Error("filtered-out instruction traced")
+	}
+}
+
+func TestObservationCountGrows(t *testing.T) {
+	im, _ := buildImage(t, func(a *asm.Assembler) {
+		a.Label("main")
+		a.MovRI(isa.EDX, 1)
+		a.MovRR(isa.ECX, isa.EDX)
+		a.MovRI(isa.EAX, 0)
+		a.Sys(isa.SysExit)
+	})
+	eng := daikon.NewEngine()
+	rec := NewRecorder(eng)
+	learnRuns(t, im, rec, [][]byte{nil})
+	if rec.Observations() == 0 {
+		t.Error("no observations recorded")
+	}
+}

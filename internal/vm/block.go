@@ -1,0 +1,192 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Hook priorities. At one instruction, hooks run in ascending priority
+// order. Repairs run first so that enforcement happens before monitors
+// validate (an enforced one-of invariant redirects an indirect call before
+// Memory Firewall inspects the target, as in the paper where the patch
+// replaces the call itself). Invariant checks run next, observing the
+// possibly-enforced state at the patch point. Monitors run before tracing
+// so a failing instruction does not contaminate the learning data.
+const (
+	PrioRepair  = 0
+	PrioCheck   = 10
+	PrioMonitor = 20
+	PrioTrace   = 30
+)
+
+// Hook is instrumentation attached in front of one instruction. Returning
+// a *Failure terminates the run as a monitor-detected failure; any other
+// non-nil error terminates it as a crash.
+type Hook func(ctx *Ctx) error
+
+// hookEntry keeps hooks ordered by (priority, insertion sequence).
+type hookEntry struct {
+	prio int
+	seq  int
+	h    Hook
+}
+
+// Block is one basic block in the code cache.
+type Block struct {
+	Start uint32
+	Insts []isa.Inst
+	Addrs []uint32 // Addrs[i] is the address of Insts[i]
+
+	hooks  [][]hookEntry
+	nextSq int
+}
+
+// AddHook attaches a hook in front of instruction index i.
+func (b *Block) AddHook(i, prio int, h Hook) {
+	if b.hooks == nil {
+		b.hooks = make([][]hookEntry, len(b.Insts))
+	}
+	b.nextSq++
+	list := append(b.hooks[i], hookEntry{prio: prio, seq: b.nextSq, h: h})
+	sort.SliceStable(list, func(x, y int) bool {
+		if list[x].prio != list[y].prio {
+			return list[x].prio < list[y].prio
+		}
+		return list[x].seq < list[y].seq
+	})
+	b.hooks[i] = list
+}
+
+// contains reports whether the block covers the instruction address.
+func (b *Block) contains(addr uint32) bool {
+	if len(b.Addrs) == 0 {
+		return false
+	}
+	last := b.Addrs[len(b.Addrs)-1]
+	return addr >= b.Start && addr <= last && (addr-b.Start)%isa.InstSize == 0
+}
+
+// Patch is a unit of runtime modification: a hook bound to one instruction
+// address. ClearView expresses invariant checks and repairs as patches.
+type Patch struct {
+	ID   string
+	Addr uint32
+	Prio int
+	Hook Hook
+}
+
+type patchSet struct {
+	byAddr map[uint32][]*Patch
+	byID   map[string]*Patch
+}
+
+func newPatchSet() *patchSet {
+	return &patchSet{byAddr: make(map[uint32][]*Patch), byID: make(map[string]*Patch)}
+}
+
+// ApplyPatch installs a patch, ejecting any cached blocks that contain the
+// patched address so the next execution of that code picks it up. This is
+// the running-application patching capability of §2.1.
+func (v *VM) ApplyPatch(p *Patch) error {
+	if p.ID == "" {
+		return fmt.Errorf("vm: patch with empty ID at %#x", p.Addr)
+	}
+	if _, dup := v.patches.byID[p.ID]; dup {
+		return fmt.Errorf("vm: duplicate patch ID %q", p.ID)
+	}
+	v.patches.byID[p.ID] = p
+	v.patches.byAddr[p.Addr] = append(v.patches.byAddr[p.Addr], p)
+	v.flushBlocksContaining(p.Addr)
+	return nil
+}
+
+// RemovePatch uninstalls a patch by ID, ejecting affected cached blocks.
+// Removing an unknown ID is a no-op so that community-wide removal
+// directives are idempotent.
+func (v *VM) RemovePatch(id string) {
+	p, ok := v.patches.byID[id]
+	if !ok {
+		return
+	}
+	delete(v.patches.byID, id)
+	list := v.patches.byAddr[p.Addr]
+	for i, q := range list {
+		if q.ID == id {
+			v.patches.byAddr[p.Addr] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	v.flushBlocksContaining(p.Addr)
+}
+
+// PatchIDs returns the IDs of all installed patches, sorted.
+func (v *VM) PatchIDs() []string {
+	ids := make([]string, 0, len(v.patches.byID))
+	for id := range v.patches.byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func (v *VM) flushBlocksContaining(addr uint32) {
+	for start, b := range v.cache {
+		if b.contains(addr) {
+			delete(v.cache, start)
+		}
+	}
+}
+
+// fetchBlock returns the cached block starting at pc, decoding and
+// instrumenting it on a miss.
+func (v *VM) fetchBlock(pc uint32) (*Block, error) {
+	if b, ok := v.cache[pc]; ok {
+		return b, nil
+	}
+	b, err := v.decodeBlock(pc)
+	if err != nil {
+		return nil, err
+	}
+	for _, pl := range v.plugins {
+		pl.Instrument(v, b)
+	}
+	// Patch hooks are attached after plugin instrumentation so their
+	// relative order is governed purely by priority.
+	for i, addr := range b.Addrs {
+		for _, p := range v.patches.byAddr[addr] {
+			b.AddHook(i, p.Prio, p.Hook)
+		}
+	}
+	v.cache[pc] = b
+	v.blocks++
+	return b, nil
+}
+
+// decodeBlock reads instructions from pc until a block terminator.
+func (v *VM) decodeBlock(pc uint32) (*Block, error) {
+	b := &Block{Start: pc}
+	for addr := pc; ; addr += isa.InstSize {
+		if !v.InCode(addr) {
+			return nil, fmt.Errorf("instruction fetch outside code region at %#x", addr)
+		}
+		raw, err := v.Mem.ReadBytes(addr, isa.InstSize)
+		if err != nil {
+			return nil, fmt.Errorf("instruction fetch fault at %#x", addr)
+		}
+		in, err := isa.Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("undecodable instruction at %#x: %v", addr, err)
+		}
+		b.Insts = append(b.Insts, in)
+		b.Addrs = append(b.Addrs, addr)
+		if in.Op.EndsBlock() {
+			return b, nil
+		}
+	}
+}
+
+// CacheSize returns the number of blocks currently cached (for tests and
+// the overhead benchmarks).
+func (v *VM) CacheSize() int { return len(v.cache) }

@@ -1,0 +1,507 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Ctx is the machine context a hook sees: the instruction about to execute
+// and the disposition controls a repair patch may use to alter execution.
+type Ctx struct {
+	VM   *VM
+	PC   uint32
+	Inst isa.Inst
+
+	skip           bool
+	jumpTo         *uint32
+	overrideTarget *uint32
+}
+
+// Skip suppresses the instruction's execution; control falls through to the
+// next instruction. This implements the "skip the call" repair (§2.5.1).
+func (c *Ctx) Skip() { c.skip = true }
+
+// Jump transfers control to target instead of executing the instruction.
+// This implements the "return immediately from the enclosing procedure"
+// repair (after the patch has adjusted the stack pointer).
+func (c *Ctx) Jump(target uint32) { c.jumpTo = &target }
+
+// OverrideTarget replaces the runtime-computed target of an indirect
+// transfer. This implements the one-of enforcement that redirects a
+// corrupted function pointer to a previously observed callee.
+func (c *Ctx) OverrideTarget(target uint32) { c.overrideTarget = &target }
+
+// Reg reads a register.
+func (c *Ctx) Reg(r isa.Reg) uint32 { return c.VM.CPU.Regs[r] }
+
+// SetReg writes a register.
+func (c *Ctx) SetReg(r isa.Reg, v uint32) { c.VM.CPU.Regs[r] = v }
+
+// EffAddr returns the memory address the current instruction computes:
+// B + X<<Scale + Imm for memory-operand instructions, ESP for RET/POP.
+func (c *Ctx) EffAddr() uint32 { return c.VM.effAddr(c.Inst) }
+
+// TransferTarget computes the target of the current indirect control
+// transfer as the interpreter would, honouring any override already set.
+func (c *Ctx) TransferTarget() (uint32, error) {
+	if c.overrideTarget != nil {
+		return *c.overrideTarget, nil
+	}
+	return c.VM.computeTarget(c.Inst)
+}
+
+// EvalSlot reads the current value of slot index si of the instruction.
+func (c *Ctx) EvalSlot(si int) (uint32, error) {
+	specs := isa.Slots(c.Inst)
+	if si < 0 || si >= len(specs) {
+		return 0, fmt.Errorf("vm: slot %d out of range for %s", si, c.Inst)
+	}
+	spec := specs[si]
+	switch spec.Kind {
+	case isa.SlotRegA, isa.SlotRegB, isa.SlotRegX:
+		return c.VM.CPU.Regs[spec.Reg], nil
+	case isa.SlotAddr:
+		return c.VM.effAddr(c.Inst), nil
+	case isa.SlotMemVal:
+		// The observed value has the instruction's access width: a byte
+		// load's operand is one byte, not the surrounding word.
+		if c.Inst.Op == isa.LOADB {
+			b, err := c.VM.Mem.Read8(c.VM.effAddr(c.Inst))
+			return uint32(b), err
+		}
+		return c.VM.Mem.Read32(c.VM.effAddr(c.Inst))
+	}
+	return 0, fmt.Errorf("vm: unknown slot kind %v", spec.Kind)
+}
+
+// SetSlot enforces a value on slot index si before the instruction
+// executes: registers are written directly; memory-value slots are written
+// through the computed address so the instruction reads the enforced value.
+// For the target slot of an indirect transfer, the transfer is redirected
+// without mutating application memory.
+func (c *Ctx) SetSlot(si int, val uint32) error {
+	specs := isa.Slots(c.Inst)
+	if si < 0 || si >= len(specs) {
+		return fmt.Errorf("vm: slot %d out of range for %s", si, c.Inst)
+	}
+	spec := specs[si]
+	switch spec.Kind {
+	case isa.SlotRegA, isa.SlotRegB, isa.SlotRegX:
+		c.VM.CPU.Regs[spec.Reg] = val
+		return nil
+	case isa.SlotMemVal:
+		if isa.TargetSlot(c.Inst) == si {
+			c.OverrideTarget(val)
+			return nil
+		}
+		if c.Inst.Op == isa.LOADB {
+			return c.VM.Mem.Write8(c.VM.effAddr(c.Inst), byte(val))
+		}
+		return c.VM.Mem.Write32(c.VM.effAddr(c.Inst), val)
+	}
+	return fmt.Errorf("vm: slot %v is not settable", spec.Kind)
+}
+
+func (v *VM) effAddr(in isa.Inst) uint32 {
+	switch in.Op {
+	case isa.RET, isa.POP:
+		return v.CPU.Regs[isa.ESP]
+	}
+	a := v.CPU.Regs[in.B] + uint32(in.Imm)
+	if in.X.Valid() {
+		a += v.CPU.Regs[in.X] << in.Scale
+	}
+	return a
+}
+
+// computeTarget evaluates the destination of an indirect transfer without
+// executing it (used by Memory Firewall and by repair patches).
+func (v *VM) computeTarget(in isa.Inst) (uint32, error) {
+	switch in.Op {
+	case isa.JMPR, isa.CALLR:
+		return v.CPU.Regs[in.A], nil
+	case isa.CALLM:
+		return v.Mem.Read32(v.effAddr(in))
+	case isa.RET:
+		return v.Mem.Read32(v.CPU.Regs[isa.ESP])
+	}
+	return 0, fmt.Errorf("vm: %s is not an indirect transfer", in.Op)
+}
+
+func (v *VM) push(val uint32) error {
+	v.CPU.Regs[isa.ESP] -= 4
+	return v.Mem.Write32(v.CPU.Regs[isa.ESP], val)
+}
+
+func (v *VM) pop() (uint32, error) {
+	val, err := v.Mem.Read32(v.CPU.Regs[isa.ESP])
+	if err != nil {
+		return 0, err
+	}
+	v.CPU.Regs[isa.ESP] += 4
+	return val, nil
+}
+
+func (v *VM) setCmpFlags(a, b uint32) {
+	r := a - b
+	v.CPU.Flags.Z = r == 0
+	v.CPU.Flags.S = int32(r) < 0
+	v.CPU.Flags.C = a < b
+	v.CPU.Flags.O = (a^b)&(a^r)&0x8000_0000 != 0
+}
+
+func (v *VM) condHolds(op isa.Op) bool {
+	f := v.CPU.Flags
+	switch op {
+	case isa.JE:
+		return f.Z
+	case isa.JNE:
+		return !f.Z
+	case isa.JL:
+		return f.S != f.O
+	case isa.JLE:
+		return f.Z || f.S != f.O
+	case isa.JG:
+		return !f.Z && f.S == f.O
+	case isa.JGE:
+		return f.S == f.O
+	case isa.JB:
+		return f.C
+	case isa.JBE:
+		return f.C || f.Z
+	case isa.JA:
+		return !f.C && !f.Z
+	case isa.JAE:
+		return !f.C
+	}
+	return false
+}
+
+// exitSignal carries a normal SYS exit out of the dispatch path.
+type exitSignal struct{ code uint32 }
+
+func (exitSignal) Error() string { return "exit" }
+
+// exec performs the instruction's semantics and returns the next PC.
+func (v *VM) exec(in isa.Inst, addr uint32, ctx *Ctx) (uint32, error) {
+	next := addr + isa.InstSize
+	regs := &v.CPU.Regs
+	switch in.Op {
+	case isa.NOP:
+	case isa.HALT:
+		return 0, fmt.Errorf("halt instruction")
+	case isa.MOVRI:
+		regs[in.A] = uint32(in.Imm)
+	case isa.MOVRR:
+		regs[in.A] = regs[in.B]
+	case isa.LOAD:
+		val, err := v.Mem.Read32(v.effAddr(in))
+		if err != nil {
+			return 0, err
+		}
+		regs[in.A] = val
+	case isa.LOADB:
+		b, err := v.Mem.Read8(v.effAddr(in))
+		if err != nil {
+			return 0, err
+		}
+		regs[in.A] = uint32(b)
+	case isa.STORE:
+		if err := v.Mem.Write32(v.effAddr(in), regs[in.A]); err != nil {
+			return 0, err
+		}
+	case isa.STOREB:
+		if err := v.Mem.Write8(v.effAddr(in), byte(regs[in.A])); err != nil {
+			return 0, err
+		}
+	case isa.LEA:
+		regs[in.A] = v.effAddr(in)
+	case isa.ADDRR:
+		regs[in.A] += regs[in.B]
+	case isa.ADDRI:
+		regs[in.A] += uint32(in.Imm)
+	case isa.SUBRR:
+		regs[in.A] -= regs[in.B]
+	case isa.SUBRI:
+		regs[in.A] -= uint32(in.Imm)
+	case isa.MULRR:
+		regs[in.A] *= regs[in.B]
+	case isa.MULRI:
+		regs[in.A] *= uint32(in.Imm)
+	case isa.ANDRR:
+		regs[in.A] &= regs[in.B]
+	case isa.ANDRI:
+		regs[in.A] &= uint32(in.Imm)
+	case isa.ORRR:
+		regs[in.A] |= regs[in.B]
+	case isa.ORRI:
+		regs[in.A] |= uint32(in.Imm)
+	case isa.XORRR:
+		regs[in.A] ^= regs[in.B]
+	case isa.XORRI:
+		regs[in.A] ^= uint32(in.Imm)
+	case isa.SHLRI:
+		regs[in.A] <<= uint32(in.Imm) & 31
+	case isa.SHRRI:
+		regs[in.A] >>= uint32(in.Imm) & 31
+	case isa.SARRI:
+		regs[in.A] = uint32(int32(regs[in.A]) >> (uint32(in.Imm) & 31))
+	case isa.SEXTB:
+		regs[in.A] = uint32(int32(int8(regs[in.A])))
+	case isa.CMPRR:
+		v.setCmpFlags(regs[in.A], regs[in.B])
+	case isa.CMPRI:
+		v.setCmpFlags(regs[in.A], uint32(in.Imm))
+	case isa.JMP:
+		return next + uint32(in.Imm), nil
+	case isa.JMPR:
+		t, err := ctx.TransferTarget()
+		if err != nil {
+			return 0, err
+		}
+		return t, nil
+	case isa.CALL:
+		if err := v.push(next); err != nil {
+			return 0, err
+		}
+		return next + uint32(in.Imm), nil
+	case isa.CALLR, isa.CALLM:
+		t, err := ctx.TransferTarget()
+		if err != nil {
+			return 0, err
+		}
+		if err := v.push(next); err != nil {
+			return 0, err
+		}
+		return t, nil
+	case isa.RET:
+		if ctx.overrideTarget != nil {
+			t := *ctx.overrideTarget
+			v.CPU.Regs[isa.ESP] += 4
+			return t, nil
+		}
+		t, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		return t, nil
+	case isa.PUSH:
+		if err := v.push(regs[in.A]); err != nil {
+			return 0, err
+		}
+	case isa.PUSHI:
+		if err := v.push(uint32(in.Imm)); err != nil {
+			return 0, err
+		}
+	case isa.POP:
+		val, err := v.pop()
+		if err != nil {
+			return 0, err
+		}
+		regs[in.A] = val
+	case isa.SYS:
+		if err := v.syscall(in.Imm); err != nil {
+			return 0, err
+		}
+	case isa.COPYB:
+		// Byte-at-a-time block copy; registers advance per byte so a
+		// fault mid-copy leaves the partial-progress state visible,
+		// exactly like an interrupted rep movsb.
+		for regs[isa.ECX] != 0 {
+			if v.steps >= v.maxSteps {
+				return 0, fmt.Errorf("step limit exceeded during block copy")
+			}
+			v.steps++
+			b, err := v.Mem.Read8(regs[isa.ESI])
+			if err != nil {
+				return 0, err
+			}
+			if err := v.Mem.Write8(regs[isa.EDI], b); err != nil {
+				return 0, err
+			}
+			regs[isa.ESI]++
+			regs[isa.EDI]++
+			regs[isa.ECX]--
+		}
+	default:
+		if in.Op.IsCondBranch() {
+			if v.condHolds(in.Op) {
+				return next + uint32(in.Imm), nil
+			}
+			return next, nil
+		}
+		return 0, fmt.Errorf("unimplemented opcode %s", in.Op)
+	}
+	return next, nil
+}
+
+func (v *VM) syscall(num int32) error {
+	regs := &v.CPU.Regs
+	switch num {
+	case isa.SysExit:
+		return exitSignal{code: regs[isa.EAX]}
+	case isa.SysAlloc:
+		addr, err := v.Heap.Alloc(regs[isa.EAX])
+		if err != nil {
+			return err
+		}
+		regs[isa.EAX] = addr
+	case isa.SysFree:
+		return v.Heap.Free(regs[isa.EAX])
+	case isa.SysRealloc:
+		addr, err := v.Heap.Realloc(regs[isa.EAX], regs[isa.ECX])
+		if err != nil {
+			return err
+		}
+		regs[isa.EAX] = addr
+	case isa.SysRead:
+		max := int(regs[isa.ECX])
+		n := len(v.input) - v.inPos
+		if n > max {
+			n = max
+		}
+		if n > 0 {
+			if err := v.Mem.WriteBytes(regs[isa.EAX], v.input[v.inPos:v.inPos+n]); err != nil {
+				return err
+			}
+			v.inPos += n
+		}
+		regs[isa.EAX] = uint32(n)
+	case isa.SysWrite:
+		data, err := v.Mem.ReadBytes(regs[isa.EAX], regs[isa.ECX])
+		if err != nil {
+			return err
+		}
+		v.output = append(v.output, data...)
+	case isa.SysInAvail:
+		regs[isa.EAX] = uint32(len(v.input) - v.inPos)
+	case isa.SysSetEH:
+		v.ehSlot = regs[isa.EAX]
+	default:
+		return fmt.Errorf("unknown syscall %d", num)
+	}
+	return nil
+}
+
+// dispatchException implements the SysSetEH fault model: when application
+// semantics hit a memory fault and a handler record is registered, control
+// transfers to the handler address stored in that record. The record lives
+// in application memory (conventionally on the stack), so corruption can
+// redirect the dispatch — which is why the transfer is submitted to the
+// registered validator (Memory Firewall) first.
+//
+// Returns (target, nil, true) to continue execution at the handler,
+// (0, failure, true) when the validator rejects the transfer, and
+// (0, nil, false) when the fault is unhandled (ordinary crash).
+func (v *VM) dispatchException(pc uint32, execErr error) (uint32, *Failure, bool) {
+	var fault *mem.Fault
+	if !errors.As(execErr, &fault) {
+		return 0, nil, false
+	}
+	if v.ehSlot == 0 || v.ehDispatched {
+		return 0, nil, false
+	}
+	v.ehDispatched = true // one dispatch per run: a faulting handler crashes
+	handler, err := v.Mem.Read32(v.ehSlot)
+	if err != nil {
+		return 0, nil, false
+	}
+	if v.validator != nil {
+		if f := v.validator(pc, handler); f != nil {
+			return 0, f, true
+		}
+	}
+	if !v.InCode(handler) {
+		// No firewall and the handler points at injected bytes: on real
+		// hardware the attacker's code would now run. The simulated
+		// machine cannot execute non-code, so the compromise manifests
+		// as an unhandled crash.
+		return 0, nil, false
+	}
+	return handler, nil, true
+}
+
+// Run executes until normal exit, monitor-detected failure, crash, or the
+// step limit (treated as a hang crash).
+func (v *VM) Run() RunResult {
+	pc := v.CPU.PC
+	for {
+		b, err := v.fetchBlock(pc)
+		if err != nil {
+			return v.result(OutcomeCrash, 0, nil, &Crash{PC: pc, Reason: err.Error()})
+		}
+	insts:
+		for i := range b.Insts {
+			addr := b.Addrs[i]
+			in := b.Insts[i]
+			v.CPU.PC = addr
+			if v.steps >= v.maxSteps {
+				return v.result(OutcomeCrash, 0, nil, &Crash{PC: addr, Reason: "step limit exceeded (hang)"})
+			}
+			v.steps++
+			ctx := Ctx{VM: v, PC: addr, Inst: in}
+			if b.hooks != nil {
+				for _, he := range b.hooks[i] {
+					v.hookRuns++
+					if err := he.h(&ctx); err != nil {
+						if f, ok := err.(*Failure); ok {
+							if f.Stack == nil {
+								f.Stack = v.snapshotStack()
+							}
+							return v.result(OutcomeFailure, 0, f, nil)
+						}
+						return v.result(OutcomeCrash, 0, nil, &Crash{PC: addr, Reason: err.Error()})
+					}
+					// A hook that diverts or suppresses the instruction
+					// replaces it entirely: later hooks (monitors, tracing)
+					// must not observe or validate an instruction that will
+					// not execute.
+					if ctx.jumpTo != nil || ctx.skip {
+						break
+					}
+				}
+			}
+			if ctx.jumpTo != nil {
+				pc = *ctx.jumpTo
+				break insts
+			}
+			if ctx.skip {
+				if in.Op.EndsBlock() {
+					pc = addr + isa.InstSize
+					break insts
+				}
+				continue
+			}
+			next, err := v.exec(in, addr, &ctx)
+			if err != nil {
+				if ex, ok := err.(exitSignal); ok {
+					return v.result(OutcomeExit, ex.code, nil, nil)
+				}
+				if f, ok := err.(*Failure); ok {
+					if f.Stack == nil {
+						f.Stack = v.snapshotStack()
+					}
+					return v.result(OutcomeFailure, 0, f, nil)
+				}
+				if target, f, handled := v.dispatchException(addr, err); handled {
+					if f != nil {
+						if f.Stack == nil {
+							f.Stack = v.snapshotStack()
+						}
+						return v.result(OutcomeFailure, 0, f, nil)
+					}
+					pc = target
+					break insts
+				}
+				return v.result(OutcomeCrash, 0, nil, &Crash{PC: addr, Reason: err.Error()})
+			}
+			if in.Op.EndsBlock() {
+				pc = next
+				break insts
+			}
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package webapp
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// emitGifHandlers assembles the GIF element (defect 285595): the extension
+// block offset byte is sign-extended but never checked, so a negative
+// offset aims the extension copy below the canvas. The copy itself runs in
+// a separate procedure (gif_ext_copy) that receives a precomputed pointer:
+// the failure (Heap Guard canary hit) lands there, while the correcting
+// lower-bound invariant on the offset lives one procedure up in
+// gif_render — exactly the §4.3.2 stack-scope configuration story.
+func emitGifHandlers(a *asm.Assembler) {
+	a.Label("gif_render")
+	a.LoadB(isa.ECX, asm.M(isa.EBX, 1)) // width (decorative)
+	a.LoadB(isa.EDX, asm.M(isa.EBX, 2)) // height (decorative)
+	a.MovRI(isa.EAX, 64)
+	a.Sys(isa.SysAlloc) // the canvas
+	a.MovRR(isa.EDI, isa.EAX)
+	a.LoadB(isa.EDX, asm.M(isa.EBX, 3)) // extension offset byte
+	signExtendByte(a, isa.EDX)          // the unchecked signed value
+	a.Label("site_285595_lea")
+	a.Lea(isa.ECX, asm.MX(isa.EDI, isa.EDX, 2, 0)) // dst = canvas + off*4
+	a.Lea(isa.ESI, asm.M(isa.EBX, 4))              // ext data
+	a.Push(isa.EDI)
+	a.Call("gif_ext_copy")
+	a.Pop(isa.EDI)
+	// Display the first canvas row.
+	a.MovRR(isa.EAX, isa.EDI)
+	a.MovRI(isa.ECX, 4)
+	a.Sys(isa.SysWrite)
+	a.MovRI(isa.EAX, 8)
+	a.Ret()
+
+	// gif_ext_copy(ECX=dst pointer, ESI=src): copy the 4 extension bytes.
+	// Its own observable values are pointers (excluded from bound
+	// inference) or loop state that stays in range during the attack, so
+	// this lowest procedure has invariants but none correlated with the
+	// failure.
+	a.Label("gif_ext_copy")
+	a.MovRI(isa.EDX, 0) // j
+	a.Label("gifcopy_loop")
+	a.LoadB(isa.EDI, asm.MX(isa.ESI, isa.EDX, 0, 0))
+	a.Label("site_285595_store")
+	a.StoreB(asm.MX(isa.ECX, isa.EDX, 0, 0), isa.EDI)
+	a.AddRI(isa.EDX, 1)
+	a.CmpRI(isa.EDX, 4)
+	a.Jl("gifcopy_loop")
+	a.Ret()
+}
+
+// emitHostHandler assembles the HOST element (defect 307259): the buffer
+// is sized by the count of non-soft-hyphen bytes, but the copy writes
+// every byte. The emergent invariant ("total copied fits the buffer") is a
+// sum relation outside Daikon's grammar, so none of the learned invariants
+// corrects the error: the correlated-but-unhelpful repairs (the priority
+// lower bound and the padding less-thans) all fail, and the failure stays
+// blocked-but-unrepaired, matching §4.3.2.
+func emitHostHandler(a *asm.Assembler) {
+	const hyphen = 0xAD // the soft hyphen byte
+
+	a.Label("host_render")
+	a.LoadB(isa.EDX, asm.M(isa.EBX, 1)) // len
+	a.LoadB(isa.ECX, asm.M(isa.EBX, 2)) // priority (signed, validated nowhere)
+	signExtendByte(a, isa.ECX)
+	a.MovRR(isa.ESI, isa.ECX) // priority observed as a non-pointer value
+	// Padding pair reads: layout metadata the renderer observes but never
+	// acts on (p1<=p2, q1<=q2, r1<=r2 in every normal page).
+	a.LoadB(isa.ECX, asm.M(isa.EBX, 3))
+	a.LoadB(isa.EDI, asm.M(isa.EBX, 4))
+	a.CmpRR(isa.ECX, isa.EDI)
+	a.LoadB(isa.ECX, asm.M(isa.EBX, 5))
+	a.LoadB(isa.EDI, asm.M(isa.EBX, 6))
+	a.CmpRR(isa.ECX, isa.EDI)
+	a.LoadB(isa.ECX, asm.M(isa.EBX, 7))
+	a.LoadB(isa.EDI, asm.M(isa.EBX, 8))
+	a.CmpRR(isa.ECX, isa.EDI)
+
+	// Pass 1: size the buffer by the non-hyphen count.
+	a.MovRI(isa.ECX, 0) // i
+	a.MovRI(isa.EDI, 0) // n1 = non-hyphen count
+	a.Label("host_count")
+	a.CmpRR(isa.ECX, isa.EDX)
+	a.Jae("host_counted")
+	a.Lea(isa.ESI, asm.M(isa.EBX, 9))
+	a.LoadB(isa.EAX, asm.MX(isa.ESI, isa.ECX, 0, 0))
+	a.CmpRI(isa.EAX, hyphen)
+	a.Je("host_skip")
+	a.AddRI(isa.EDI, 1)
+	a.Label("host_skip")
+	a.AddRI(isa.ECX, 1)
+	a.Jmp("host_count")
+	a.Label("host_counted")
+
+	a.Push(isa.EDX) // len
+	a.Push(isa.EDI) // n1
+	a.MovRR(isa.EAX, isa.EDI)
+	a.Sys(isa.SysAlloc) // buffer sized n1 — the incorrect size
+	a.MovRR(isa.EDI, isa.EAX)
+	a.Pop(isa.EAX)  // n1
+	a.Pop(isa.EDX)  // len
+	a.Push(isa.EAX) // n1 (for the display write)
+	a.Push(isa.EDI) // buffer
+
+	// Pass 2 — the defect: copy ALL len bytes (hyphens included) into the
+	// n1-sized buffer.
+	a.MovRI(isa.ECX, 0) // i (source index)
+	a.MovRI(isa.ESI, 0) // j (destination index)
+	a.Label("host_copy")
+	a.CmpRR(isa.ECX, isa.EDX)
+	a.Jae("host_copied")
+	a.Lea(isa.EAX, asm.M(isa.EBX, 9))
+	a.LoadB(isa.EAX, asm.MX(isa.EAX, isa.ECX, 0, 0))
+	a.Label("site_307259_store")
+	a.StoreB(asm.MX(isa.EDI, isa.ESI, 0, 0), isa.EAX)
+	a.AddRI(isa.ESI, 1)
+	a.AddRI(isa.ECX, 1)
+	a.Jmp("host_copy")
+	a.Label("host_copied")
+	a.Pop(isa.EAX) // buffer
+	a.Pop(isa.ECX) // n1
+	a.Sys(isa.SysWrite)
+
+	// consumed = 9 + len
+	a.MovRR(isa.EAX, isa.EDX)
+	a.AddRI(isa.EAX, 9)
+	a.Ret()
+}
+
+// emitUniHandler assembles the UNI element (defect 325403): when the
+// two-byte-character payload outgrows the static 64-byte buffer, a new
+// buffer of capacity (64 + growSize) is allocated. The addition wraps for
+// a growth size near 2^32, yielding a buffer far too small for the copy.
+// The growth size is parsed lazily — only on the growth path — so the
+// default learning corpus (which never grows) observes nothing here, and
+// ClearView cannot repair the error until the corpus is expanded (§4.3.2).
+func emitUniHandler(a *asm.Assembler) {
+	a.Label("uni_render")
+	a.LoadB(isa.EDX, asm.M(isa.EBX, 1)) // count
+	a.MovRR(isa.ECX, isa.EDX)
+	a.AddRR(isa.EDX, isa.ECX) // needed = count * 2
+	a.CmpRI(isa.EDX, 64)
+	a.Ja("uni_grow")
+
+	// Fast path: copy into the static buffer (in bounds by the compare).
+	a.Load(isa.EDI, asm.M(isa.EBP, GlobUniBuf))
+	a.AddRI(isa.EDI, 4) // skip the capacity header
+	a.Push(isa.EDI)
+	a.Lea(isa.ESI, asm.M(isa.EBX, 6))
+	a.MovRR(isa.ECX, isa.EDX)
+	a.CopyB()
+	a.Pop(isa.EAX)
+	a.MovRI(isa.ECX, 8)
+	a.Sys(isa.SysWrite)
+	a.Jmp("uni_done")
+
+	// Growth path.
+	a.Label("uni_grow")
+	a.Label("site_325403_grow")
+	a.Load(isa.ESI, asm.M(isa.EBX, 2)) // growSize — lazy parse
+	a.MovRI(isa.EAX, 68)
+	a.AddRR(isa.EAX, isa.ESI) // alloc size = newCap + 4 header (wraps!)
+	a.Sys(isa.SysAlloc)
+	a.MovRR(isa.EDI, isa.EAX)
+	a.Lea(isa.ECX, asm.M(isa.ESI, 64)) // newCap recomputed for the header
+	a.Store(asm.M(isa.EDI, 0), isa.ECX)
+	a.AddRI(isa.EDI, 4)
+	a.Push(isa.EDI)
+	a.Lea(isa.ESI, asm.M(isa.EBX, 6))
+	a.MovRR(isa.ECX, isa.EDX) // copy length := needed
+	a.Label("site_325403")
+	a.CopyB()
+	a.Pop(isa.EAX)
+	a.MovRI(isa.ECX, 8)
+	a.Sys(isa.SysWrite)
+
+	a.Label("uni_done")
+	// consumed = 6 + needed (EDX survived: syscalls clobber EAX only)
+	a.MovRR(isa.EAX, isa.EDX)
+	a.AddRI(isa.EAX, 6)
+	a.Ret()
+}
+
+// emitStrHandler assembles the STR element (defect 296134): the string
+// length is computed as total - trailer with no sign check; a page with
+// trailer > total yields a negative length that the block copy treats as
+// huge and unsigned. The copy runs up the stack, over the return addresses
+// and the exception-handler record, and the fault at the stack top
+// dispatches through the overwritten handler — where Memory Firewall
+// intercepts the injected target. The correcting invariant is the lower
+// bound (length >= 1) on the computed length; the repair sets it to one.
+func emitStrHandler(a *asm.Assembler) {
+	a.Label("str_render")
+	a.LoadB(isa.EDX, asm.M(isa.EBX, 1)) // total
+	// Empty-string guard: never taken in practice, but it ends the basic
+	// block, so `total` and `trailer` are never co-observed in one block
+	// pass (no two-variable invariant forms between them).
+	a.CmpRI(isa.EDX, 0)
+	a.Je("str_empty")
+	a.LoadB(isa.ECX, asm.M(isa.EBX, 2)) // trailer
+	a.SubRR(isa.EDX, isa.ECX)           // len = total - trailer (defect)
+	a.Label("site_296134_len")
+	a.MovRR(isa.ECX, isa.EDX) // copy length — the lower-bound patch point
+	a.SubRI(isa.ESP, 48)      // stack buffer
+	a.MovRR(isa.EDI, isa.ESP)
+	a.Lea(isa.ESI, asm.M(isa.EBX, 3))
+	a.Label("site_296134")
+	a.CopyB()
+	a.MovRR(isa.EAX, isa.ESP)
+	a.MovRI(isa.ECX, 8)
+	a.Sys(isa.SysWrite)
+	a.AddRI(isa.ESP, 48)
+	a.Label("str_empty")
+	a.MovRI(isa.EAX, 12)
+	a.Ret()
+}
+
+// emitArrHandlers assembles the three ARR elements (defect 311710): a
+// signed widget index used without a lower-bound check. A negative index
+// reads an "object pointer" from attacker-reachable memory below the
+// widget table, and the ensuing virtual call dispatches to injected data.
+// The same defect appears in three copy-paste clones (§4.3.1), each its
+// own failure location, repaired one after another under the same attack.
+func emitArrHandlers(a *asm.Assembler) {
+	clones := []struct {
+		name string
+		slot int32
+	}{
+		{"a", GlobTableA},
+		{"b", GlobTableB},
+		{"c", GlobTableC},
+	}
+	for _, c := range clones {
+		a.Label("arr_" + c.name)
+		a.LoadB(isa.EDX, asm.M(isa.EBX, 1)) // widget index byte
+		signExtendByte(a, isa.EDX)          // signed, unchecked
+		a.Load(isa.ESI, asm.M(isa.EBP, c.slot))
+		a.Label(fmt.Sprintf("site_311710%s_load", c.name))
+		a.Load(isa.EDX, asm.MX(isa.ESI, isa.EDX, 2, 0)) // obj = table[idx]
+		a.MovRR(isa.EDI, isa.EDX)
+		a.Label(fmt.Sprintf("site_311710%s_call", c.name))
+		a.CallM(asm.M(isa.EDX, 0))
+		a.MovRI(isa.EAX, 2)
+		a.Ret()
+	}
+}

@@ -1,0 +1,179 @@
+package webapp_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/redteam"
+	"repro/internal/vm"
+	"repro/internal/webapp"
+)
+
+// TestLayoutMatchesRuntime verifies that the statically computed Layout —
+// the exploit builders' "attacker reconnaissance" — matches the addresses
+// the allocator actually hands out at startup. The 311710 exploit encodes
+// table-relative negative indices from these values, so a drift here would
+// silently break the attack rather than the defense.
+func TestLayoutMatchesRuntime(t *testing.T) {
+	app := webapp.MustBuild()
+	machine, err := vm.New(vm.Config{Image: app.Image, Input: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := machine.Run(); res.Outcome != vm.OutcomeExit {
+		t.Fatalf("startup run: %+v", res)
+	}
+	blocks := machine.Heap.LiveBlocks()
+	if len(blocks) < 6 {
+		t.Fatalf("startup allocated %d blocks", len(blocks))
+	}
+	// Startup allocation order: globals, pagebuf, objtable, unibuf,
+	// tableA, 4 widgets, tableB, 4 widgets, tableC, 4 widgets.
+	want := []struct {
+		name string
+		addr uint32
+		idx  int
+	}{
+		{"Globals", app.Layout.Globals, 0},
+		{"PageBuf", app.Layout.PageBuf, 1},
+		{"ObjTable", app.Layout.ObjTable, 2},
+		{"UniBuf", app.Layout.UniBuf, 3},
+		{"TableA", app.Layout.TableA, 4},
+		{"TableB", app.Layout.TableB, 9},
+		{"TableC", app.Layout.TableC, 14},
+	}
+	for _, w := range want {
+		if got := blocks[w.idx].Addr; got != w.addr {
+			t.Errorf("%s: layout says %#x, allocator gave %#x", w.name, w.addr, got)
+		}
+	}
+}
+
+// TestGlobalsHoldLayoutPointers cross-checks the globals block contents
+// against the layout (the handlers read table bases from these slots).
+func TestGlobalsHoldLayoutPointers(t *testing.T) {
+	app := webapp.MustBuild()
+	machine, err := vm.New(vm.Config{Image: app.Image, Input: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine.Run()
+	read := func(off int32) uint32 {
+		v, err := machine.Mem.Read32(app.Layout.Globals + uint32(off))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if read(webapp.GlobPageBuf) != app.Layout.PageBuf {
+		t.Error("pagebuf slot mismatch")
+	}
+	if read(webapp.GlobObjTable) != app.Layout.ObjTable {
+		t.Error("objtable slot mismatch")
+	}
+	if read(webapp.GlobTableA) != app.Layout.TableA ||
+		read(webapp.GlobTableB) != app.Layout.TableB ||
+		read(webapp.GlobTableC) != app.Layout.TableC {
+		t.Error("widget table slots mismatch")
+	}
+}
+
+// TestDisplayDeterminism: rendering the same pages twice produces
+// bit-identical displays — the property the autoimmune comparison of
+// §4.3.6 rests on.
+func TestDisplayDeterminism(t *testing.T) {
+	app := webapp.MustBuild()
+	input := redteam.LearningCorpus()
+	var first []byte
+	for i := 0; i < 2; i++ {
+		machine, err := vm.New(vm.Config{Image: app.Image, Input: input})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := machine.Run()
+		if res.Outcome != vm.OutcomeExit {
+			t.Fatalf("run %d: %+v", i, res)
+		}
+		if i == 0 {
+			first = res.Output
+		} else if !bytes.Equal(first, res.Output) {
+			t.Fatal("display differs across identical runs")
+		}
+	}
+}
+
+// TestElementOutputs pins the display bytes of individual benign elements.
+func TestElementOutputs(t *testing.T) {
+	app := webapp.MustBuild()
+	run := func(page []byte) []byte {
+		machine, err := vm.New(vm.Config{Image: app.Image, Input: page})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := machine.Run()
+		if res.Outcome != vm.OutcomeExit {
+			t.Fatalf("render: %+v", res)
+		}
+		return res.Output
+	}
+
+	text := redteam.NewPage().Text("hi").Build()
+	if got := run(text); string(got) != "hi" {
+		t.Errorf("text display = %q", got)
+	}
+
+	// A widget dispatch writes the widget datum byte ('0'+w+4*table).
+	arr := redteam.NewPage().Arr(0, 2).Build()
+	if got := run(arr); string(got) != "2" {
+		t.Errorf("widget display = %q", got)
+	}
+	arrC := redteam.NewPage().Arr(2, 1).Build()
+	if got := run(arrC); string(got) != "9" { // '0' + 1 + 2*4
+		t.Errorf("widget C display = %q", got)
+	}
+
+	// A DOC object shows 'A'.
+	doc := redteam.NewPage().Create(0, redteam.TypeDoc).Invoke290(0).Build()
+	if got := run(doc); string(got) != "A" {
+		t.Errorf("doc display = %q", got)
+	}
+
+	// A NODE object shows 'N' (its data points at its own aux word).
+	node := redteam.NewPage().Create(1, redteam.TypeNode).Invoke295(1).Build()
+	if got := run(node); string(got) != "N" {
+		t.Errorf("node display = %q", got)
+	}
+}
+
+// TestUnknownTagsConsumed: unknown element tags advance by one byte and
+// render nothing, so malformed tails cannot wedge the parser.
+func TestUnknownTagsConsumed(t *testing.T) {
+	app := webapp.MustBuild()
+	p := redteam.NewPage()
+	p.Raw([]byte{0xEE, 0xEF, 0xF0})
+	p.Text("ok")
+	machine, err := vm.New(vm.Config{Image: app.Image, Input: p.Build()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := machine.Run()
+	if res.Outcome != vm.OutcomeExit || string(res.Output) != "ok" {
+		t.Fatalf("res = %+v output %q", res, res.Output)
+	}
+}
+
+// TestOversizedPageTruncated: the reader caps page length at the buffer
+// size instead of overflowing it.
+func TestOversizedPageTruncated(t *testing.T) {
+	app := webapp.MustBuild()
+	// A page claiming 0x4000 bytes with only a short body present.
+	input := []byte{0x00, 0x40}
+	input = append(input, bytes.Repeat([]byte{0xEE}, 64)...)
+	machine, err := vm.New(vm.Config{Image: app.Image, Input: input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := machine.Run(); res.Outcome != vm.OutcomeExit {
+		t.Fatalf("res = %+v", res)
+	}
+}

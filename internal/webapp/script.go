@@ -1,0 +1,285 @@
+package webapp
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// Script element layout: [0x03][op][idx][arg3][arg4..7...]
+//
+//	op 0  CREATE   [idx][type]        make an object in table[idx]
+//	op 1  SETPROP  [idx][field][val]  obj.word[field] = val — the defect of
+//	                                  290162/295854: no type/bounds check,
+//	                                  so field 0 overwrites the vtable
+//	op 2  INVOKE290 [idx]             virtual dispatch (site_290162)
+//	op 3  INVOKE295 [idx]             virtual dispatch (site_295854)
+//	op 4  GCFREE   [idx]              frees the object but leaves the table
+//	                                  slot dangling — the 312278 defect
+//	op 5  MAKESTR  [idx][pad][16 bytes] allocate a 16-byte string filled
+//	                                  with page bytes (the attacker's
+//	                                  reallocation vehicle)
+//	op 6  INVOKE312 [idx]             virtual dispatch (site_312278)
+//	op 7  FREECLR  [idx]              correct free: releases and clears
+//	op 8  FRESH    [idx]              allocates an object WITHOUT
+//	                                  initializing it — the 269095/320182
+//	                                  defect (relies on recycled contents)
+//	op 9  INVOKE269 [idx]             dispatch + result use (site_269095)
+//	op 10 INVOKE320 [idx]             copy-paste clone (site_320182)
+//
+// Object layout (16 bytes): [0]=vtable, [4]=type, [8]=data, [12]=aux.
+// Types: 0 DOC (vt: doc_show), 1 NODE (vt: node_show), 2 LIST (vt:
+// list_sum), 3 WIDGET (vt: widget_show, used by the arr_* tables).
+
+// scriptOps is the dispatch table of the script element.
+var scriptOps = []struct {
+	op      int32
+	handler string
+}{
+	{0, "scr_create"},
+	{1, "scr_setprop"},
+	{2, "scr_invoke290"},
+	{3, "scr_invoke295"},
+	{4, "scr_gcfree"},
+	{5, "scr_makestr"},
+	{6, "scr_invoke312"},
+	{7, "scr_freeclr"},
+	{8, "scr_fresh"},
+	{9, "scr_invoke269"},
+	{10, "scr_invoke320"},
+}
+
+func emitScriptHandlers(a *asm.Assembler) {
+	// Dispatcher: routes on the op byte; consumed size comes back from
+	// the sub-handler (in EAX).
+	a.Label("script_render")
+	a.LoadB(isa.EAX, asm.M(isa.EBX, 1))
+	for _, d := range scriptOps {
+		a.CmpRI(isa.EAX, d.op)
+		a.Jne("scrnot_" + d.handler)
+		a.Call(d.handler)
+		a.Ret()
+		a.Label("scrnot_" + d.handler)
+	}
+	a.MovRI(isa.EAX, 4) // unknown op: consume the fixed header
+	a.Ret()
+
+	// loadObj is shared glue: EDX := objtable[idx&7]; idx from [EBX+2].
+	// Emitted inline by each handler (copy-paste, as the original's
+	// expanded templates would be).
+	loadObj := func() {
+		a.LoadB(isa.ECX, asm.M(isa.EBX, 2))
+		a.AndRI(isa.ECX, 7)
+		a.Load(isa.ESI, asm.M(isa.EBP, GlobObjTable))
+		a.Load(isa.EDX, asm.MX(isa.ESI, isa.ECX, 2, 0))
+	}
+	storeObj := func(src isa.Reg) {
+		a.LoadB(isa.ECX, asm.M(isa.EBX, 2))
+		a.AndRI(isa.ECX, 7)
+		a.Load(isa.ESI, asm.M(isa.EBP, GlobObjTable))
+		a.Store(asm.MX(isa.ESI, isa.ECX, 2, 0), src)
+	}
+
+	// CREATE: allocate and initialize an object of the requested type.
+	a.Label("scr_create")
+	a.MovRI(isa.EAX, 16)
+	a.Sys(isa.SysAlloc)
+	a.MovRR(isa.EDI, isa.EAX)
+	a.LoadB(isa.EDX, asm.M(isa.EBX, 3)) // type
+	a.Store(asm.M(isa.EDI, 4), isa.EDX)
+	a.CmpRI(isa.EDX, 1)
+	a.Je("create_node")
+	a.CmpRI(isa.EDX, 2)
+	a.Je("create_list")
+	// DOC: vtable doc_show, data = 'A'.
+	a.MovLabel(isa.ECX, "doc_show")
+	a.Store(asm.M(isa.EDI, 0), isa.ECX)
+	a.MovRI(isa.ECX, 'A')
+	a.Store(asm.M(isa.EDI, 8), isa.ECX)
+	a.Jmp("create_done")
+	a.Label("create_node")
+	// NODE: vtable node_show, data = pointer to own aux word.
+	a.MovLabel(isa.ECX, "node_show")
+	a.Store(asm.M(isa.EDI, 0), isa.ECX)
+	a.Lea(isa.ECX, asm.M(isa.EDI, 12))
+	a.Store(asm.M(isa.EDI, 8), isa.ECX)
+	a.MovRI(isa.ECX, 'N')
+	a.Store(asm.M(isa.EDI, 12), isa.ECX)
+	a.Jmp("create_done")
+	a.Label("create_list")
+	// LIST: vtable list_sum, data = pointer to [count=1]['L'] aux block.
+	a.MovLabel(isa.ECX, "list_sum")
+	a.Store(asm.M(isa.EDI, 0), isa.ECX)
+	a.MovRI(isa.EAX, 8)
+	a.Sys(isa.SysAlloc)
+	a.Store(asm.M(isa.EDI, 8), isa.EAX)
+	a.MovRI(isa.ECX, 1)
+	a.Store(asm.M(isa.EAX, 0), isa.ECX)
+	a.MovRI(isa.ECX, 'L')
+	a.Store(asm.M(isa.EAX, 4), isa.ECX)
+	a.Label("create_done")
+	storeObj(isa.EDI)
+	a.MovRI(isa.EAX, 4)
+	a.Ret()
+
+	// SETPROP: the unchecked property write (defects 290162/295854):
+	// obj.word[field] = val with no check that field skips the vtable.
+	a.Label("scr_setprop")
+	loadObj()
+	a.LoadB(isa.ECX, asm.M(isa.EBX, 3)) // field index, unchecked
+	a.Load(isa.EDI, asm.M(isa.EBX, 4))  // value (page bytes, LE)
+	a.Store(asm.MX(isa.EDX, isa.ECX, 2, 0), isa.EDI)
+	a.MovRI(isa.EAX, 8)
+	a.Ret()
+
+	// INVOKE290 (site_290162): plain virtual dispatch; result unused.
+	a.Label("scr_invoke290")
+	loadObj()
+	a.MovRR(isa.EDI, isa.EDX)
+	a.Label("site_290162")
+	a.CallM(asm.M(isa.EDX, 0))
+	a.MovRI(isa.EAX, 4)
+	a.Ret()
+
+	// INVOKE295 (site_295854): clone of the above at its own site.
+	a.Label("scr_invoke295")
+	loadObj()
+	a.MovRR(isa.EDI, isa.EDX)
+	a.Label("site_295854")
+	a.CallM(asm.M(isa.EDX, 0))
+	a.MovRI(isa.EAX, 4)
+	a.Ret()
+
+	// GCFREE (defect 312278): frees the object's memory but leaves the
+	// table slot pointing at it — the erroneous garbage collection.
+	a.Label("scr_gcfree")
+	loadObj()
+	a.MovRR(isa.EAX, isa.EDX)
+	a.Sys(isa.SysFree)
+	a.MovRI(isa.EAX, 4)
+	a.Ret()
+
+	// MAKESTR: allocate a 16-byte string object filled from the page —
+	// the reallocation vehicle the 312278/269095/320182 attacks use to
+	// plant payloads in recycled blocks.
+	a.Label("scr_makestr")
+	a.MovRI(isa.EAX, 16)
+	a.Sys(isa.SysAlloc)
+	a.MovRR(isa.EDI, isa.EAX)
+	a.Push(isa.EDI)
+	a.Lea(isa.ESI, asm.M(isa.EBX, 4))
+	a.MovRI(isa.ECX, 16)
+	a.CopyB()
+	a.Pop(isa.EDI)
+	storeObj(isa.EDI)
+	a.MovRI(isa.EAX, 20)
+	a.Ret()
+
+	// INVOKE312 (site_312278): dispatch through a possibly stale slot.
+	a.Label("scr_invoke312")
+	loadObj()
+	a.MovRR(isa.EDI, isa.EDX)
+	a.Label("site_312278")
+	a.CallM(asm.M(isa.EDX, 0))
+	a.MovRI(isa.EAX, 4)
+	a.Ret()
+
+	// FREECLR: the correct release path — free and clear the slot.
+	a.Label("scr_freeclr")
+	loadObj()
+	a.MovRR(isa.EAX, isa.EDX)
+	a.Sys(isa.SysFree)
+	a.MovRI(isa.EDI, 0)
+	storeObj(isa.EDI)
+	a.MovRI(isa.EAX, 4)
+	a.Ret()
+
+	// FRESH (defects 269095/320182): allocates an object and stores it
+	// WITHOUT initializing — correct only when the recycled block still
+	// holds a previously valid object.
+	a.Label("scr_fresh")
+	a.MovRI(isa.EAX, 16)
+	a.Sys(isa.SysAlloc)
+	a.MovRR(isa.EDI, isa.EAX)
+	storeObj(isa.EDI)
+	a.MovRI(isa.EAX, 4)
+	a.Ret()
+
+	// INVOKE269 (site_269095): dispatch whose result (a data pointer) is
+	// dereferenced afterwards — the reason the skip-call repair fails and
+	// only return-from-procedure survives (§4.3.1, memory management
+	// exploits).
+	a.Label("scr_invoke269")
+	loadObj()
+	a.MovRR(isa.EDI, isa.EDX)
+	a.Load(isa.EAX, asm.M(isa.EDX, 8)) // scratch: the object's data word
+	a.Label("site_269095")
+	a.CallM(asm.M(isa.EDX, 0))
+	a.Load(isa.EBX, asm.M(isa.EAX, 0)) // use the returned pointer
+	a.MovRI(isa.EAX, 4)
+	a.Ret()
+
+	// INVOKE320 (site_320182): copy-paste clone of INVOKE269.
+	a.Label("scr_invoke320")
+	loadObj()
+	a.MovRR(isa.EDI, isa.EDX)
+	a.Load(isa.EAX, asm.M(isa.EDX, 8))
+	a.Label("site_320182")
+	a.CallM(asm.M(isa.EDX, 0))
+	a.Load(isa.EBX, asm.M(isa.EAX, 0))
+	a.MovRI(isa.EAX, 4)
+	a.Ret()
+
+	// ---- virtual methods ----
+
+	// doc_show(EDI=obj): write the data byte; touches only the object.
+	a.Label("doc_show")
+	a.Load(isa.ECX, asm.M(isa.EDI, 8))
+	a.Push(isa.ECX)
+	a.MovRR(isa.EAX, isa.ESP)
+	a.MovRI(isa.ECX, 1)
+	a.Sys(isa.SysWrite)
+	a.Pop(isa.ECX)
+	a.MovRR(isa.EAX, isa.EDI)
+	a.Ret()
+
+	// node_show(EDI=obj): dereference the data pointer (crashes when a
+	// corrupted object carries a wild pointer — why set-value fails for
+	// 295854).
+	a.Label("node_show")
+	a.Load(isa.ECX, asm.M(isa.EDI, 8))
+	a.Load(isa.EDX, asm.M(isa.ECX, 0)) // the dereference
+	a.Push(isa.EDX)
+	a.MovRR(isa.EAX, isa.ESP)
+	a.MovRI(isa.ECX, 1)
+	a.Sys(isa.SysWrite)
+	a.Pop(isa.EDX)
+	a.MovRR(isa.EAX, isa.EDI)
+	a.Ret()
+
+	// list_sum(EDI=obj): walk the data block and return its pointer
+	// (crashes on corrupted data — why set-value fails for 269095).
+	a.Label("list_sum")
+	a.Load(isa.ECX, asm.M(isa.EDI, 8))
+	a.Load(isa.EDX, asm.M(isa.ECX, 0)) // count
+	a.Load(isa.EDX, asm.M(isa.ECX, 4)) // first element
+	a.Push(isa.ECX)
+	a.Push(isa.EDX)
+	a.MovRR(isa.EAX, isa.ESP)
+	a.MovRI(isa.ECX, 1)
+	a.Sys(isa.SysWrite)
+	a.Pop(isa.EDX)
+	a.Pop(isa.ECX)
+	a.MovRR(isa.EAX, isa.ECX) // return the data pointer
+	a.Ret()
+
+	// widget_show(EDI=obj): write the widget datum byte.
+	a.Label("widget_show")
+	a.Load(isa.ECX, asm.M(isa.EDI, 8))
+	a.Push(isa.ECX)
+	a.MovRR(isa.EAX, isa.ESP)
+	a.MovRI(isa.ECX, 1)
+	a.Sys(isa.SysWrite)
+	a.Pop(isa.ECX)
+	a.MovRR(isa.EAX, isa.EDI)
+	a.Ret()
+}

@@ -1,0 +1,326 @@
+// Package webapp builds the protected application: a page-rendering
+// program (the analog of Firefox 1.0.0 in the Red Team exercise, §4.2)
+// hand-assembled for the simulated ISA and shipped as a stripped binary.
+//
+// The application reads a stream of "web pages" from its input, renders
+// each one to the display (its output stream), and exits when the input is
+// exhausted. A page is a length-prefixed body of elements:
+//
+//	page    := [len u16le] [body len bytes]
+//	element := [tag u8] payload...
+//
+//	0x01 TEXT   [len u8] [bytes...]                                (benign)
+//	0x02 GIF    [w] [h] [extOff s8] [ext 4 bytes]                  (285595)
+//	0x03 SCRIPT [op u8] args...                     (290162 295854 312278
+//	                                                 269095 320182)
+//	0x04 HOST   [len] [prio s8] [p1 p2 q1 q2 r1 r2] [bytes...]     (307259)
+//	0x05 UNI    [count] [grow u32le] [data 2*count]                (325403)
+//	0x06 STR    [total u8] [trailer u8] [9 data bytes]             (296134)
+//	0x07 ARRA   [idx s8]                                           (311710a)
+//	0x08 ARRB   [idx s8]                                           (311710b)
+//	0x09 ARRC   [idx s8]                                           (311710c)
+//
+// Each parenthesized number is the Firefox Bugzilla defect from the paper
+// that the element's handler reproduces structurally (same error class,
+// same propagation distance, same invariant that corrects it). See
+// DESIGN.md for the defect-by-defect mapping.
+//
+// Register conventions: render_page passes EBX = element pointer and
+// EBP = globals block to every handler; handlers return the number of
+// consumed bytes in EAX and may clobber everything except EBP.
+package webapp
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/image"
+	"repro/internal/isa"
+)
+
+// Base is the load address of the application image.
+const Base = 0x0040_0000
+
+// PageBufSize is the fixed page buffer capacity; longer pages are
+// truncated by the reader.
+const PageBufSize = 256
+
+// Globals block slot offsets (the block EBP points at).
+const (
+	GlobPageBuf  = 0  // page buffer (PageBufSize bytes)
+	GlobObjTable = 4  // script object table (8 slots)
+	GlobUniBuf   = 8  // static unicode buffer (64 bytes + header)
+	GlobTableA   = 12 // widget table A (4 object pointers)
+	GlobTableB   = 16 // widget table B
+	GlobTableC   = 20 // widget table C
+)
+
+// App is the built application plus the metadata test harnesses and the
+// exploit builders use. Labels exist only for harness convenience —
+// ClearView itself sees nothing but the stripped image.
+type App struct {
+	Image  *image.Image
+	Labels map[string]uint32
+	Layout Layout
+}
+
+// Layout records the deterministic startup heap layout. A real attacker
+// derives the same addresses by heap grooming against the deterministic
+// allocator; the exploit builders read them from here (documented attacker
+// reconnaissance, not something ClearView consumes).
+type Layout struct {
+	Globals  uint32 // globals block
+	PageBuf  uint32 // page buffer
+	ObjTable uint32 // script object table
+	UniBuf   uint32 // static unicode buffer
+	TableA   uint32 // widget table A (the 311710a target)
+	TableB   uint32
+	TableC   uint32
+}
+
+// heap layout constants mirroring internal/mem: a block of size s consumes
+// 4 (front canary) + roundUp4(s) + 4 (rear canary) bytes of arena.
+func nextAlloc(brk *uint32, size uint32) uint32 {
+	size = (size + 3) &^ 3
+	addr := *brk + 4
+	*brk += size + 8
+	return addr
+}
+
+// computeLayout replays the startup allocation sequence of the program
+// below against the allocator's arithmetic.
+func computeLayout(heapBase uint32) Layout {
+	brk := heapBase
+	var l Layout
+	l.Globals = nextAlloc(&brk, 32)
+	l.PageBuf = nextAlloc(&brk, PageBufSize)
+	l.ObjTable = nextAlloc(&brk, 32)
+	l.UniBuf = nextAlloc(&brk, 68)
+	l.TableA = nextAlloc(&brk, 16)
+	for i := 0; i < 4; i++ {
+		nextAlloc(&brk, 16) // widget objects for table A
+	}
+	l.TableB = nextAlloc(&brk, 16)
+	for i := 0; i < 4; i++ {
+		nextAlloc(&brk, 16)
+	}
+	l.TableC = nextAlloc(&brk, 16)
+	for i := 0; i < 4; i++ {
+		nextAlloc(&brk, 16)
+	}
+	return l
+}
+
+// Build assembles the application.
+func Build() (*App, error) {
+	a := asm.New(Base)
+	emitMain(a)
+	emitRenderPage(a)
+	emitTextHandler(a)
+	emitGifHandlers(a)
+	emitScriptHandlers(a)
+	emitHostHandler(a)
+	emitUniHandler(a)
+	emitStrHandler(a)
+	emitArrHandlers(a)
+	code, labels, err := a.Assemble()
+	if err != nil {
+		return nil, fmt.Errorf("webapp: %w", err)
+	}
+	img := &image.Image{Base: Base, Entry: labels["main"], Code: code}
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	return &App{Image: img, Labels: labels, Layout: computeLayout(0x2000_0000)}, nil
+}
+
+// MustBuild is Build for tests and examples.
+func MustBuild() *App {
+	app, err := Build()
+	if err != nil {
+		panic(err)
+	}
+	return app
+}
+
+// signExtendByte widens the low byte of reg to a signed 32-bit value.
+func signExtendByte(a *asm.Assembler, reg isa.Reg) {
+	a.SextB(reg)
+}
+
+// emitMain assembles process startup and the page loop.
+func emitMain(a *asm.Assembler) {
+	a.Label("main")
+	// Install the exception-handler record at the top of the stack
+	// (Windows SEH analog; the record is application data and therefore
+	// overwritable by a stack overflow — defect 296134's vector).
+	a.SubRI(isa.ESP, 4)
+	a.MovLabel(isa.ECX, "default_eh")
+	a.Store(asm.M(isa.ESP, 0), isa.ECX)
+	a.MovRR(isa.EAX, isa.ESP)
+	a.Sys(isa.SysSetEH)
+
+	// Allocate the globals block; EBP holds it for the process lifetime.
+	a.MovRI(isa.EAX, 32)
+	a.Sys(isa.SysAlloc)
+	a.MovRR(isa.EBP, isa.EAX)
+
+	// Page buffer.
+	a.MovRI(isa.EAX, PageBufSize)
+	a.Sys(isa.SysAlloc)
+	a.Store(asm.M(isa.EBP, GlobPageBuf), isa.EAX)
+
+	// Script object table (8 slots).
+	a.MovRI(isa.EAX, 32)
+	a.Sys(isa.SysAlloc)
+	a.Store(asm.M(isa.EBP, GlobObjTable), isa.EAX)
+
+	// Static unicode buffer: 4-byte capacity header + 64 data bytes.
+	a.MovRI(isa.EAX, 68)
+	a.Sys(isa.SysAlloc)
+	a.Store(asm.M(isa.EBP, GlobUniBuf), isa.EAX)
+	a.MovRI(isa.ECX, 64)
+	a.Store(asm.M(isa.EAX, 0), isa.ECX)
+
+	// Widget tables A/B/C, four widgets each.
+	for i, slot := range []int32{GlobTableA, GlobTableB, GlobTableC} {
+		a.MovRI(isa.EAX, 16)
+		a.Sys(isa.SysAlloc)
+		a.Store(asm.M(isa.EBP, slot), isa.EAX)
+		a.MovRR(isa.ESI, isa.EAX) // table base
+		for w := int32(0); w < 4; w++ {
+			a.MovRI(isa.EAX, 16)
+			a.Sys(isa.SysAlloc)
+			a.MovRR(isa.EDI, isa.EAX)
+			a.MovLabel(isa.ECX, "widget_show")
+			a.Store(asm.M(isa.EDI, 0), isa.ECX) // vtable
+			a.MovRI(isa.ECX, 3)
+			a.Store(asm.M(isa.EDI, 4), isa.ECX) // type tag
+			a.MovRI(isa.ECX, int32('0')+w+int32(i)*4)
+			a.Store(asm.M(isa.EDI, 8), isa.ECX) // display datum
+			a.Store(asm.M(isa.ESI, w*4), isa.EDI)
+		}
+	}
+
+	a.Label("mainloop")
+	a.Sys(isa.SysInAvail)
+	a.CmpRI(isa.EAX, 0)
+	a.Je("exit")
+	// Read the 2-byte page length into the page buffer, then the body.
+	a.Load(isa.EAX, asm.M(isa.EBP, GlobPageBuf))
+	a.MovRR(isa.ESI, isa.EAX)
+	a.MovRI(isa.ECX, 2)
+	a.Sys(isa.SysRead)
+	a.LoadB(isa.EDX, asm.M(isa.ESI, 0))
+	a.LoadB(isa.ECX, asm.M(isa.ESI, 1))
+	a.ShlRI(isa.ECX, 8)
+	a.OrRR(isa.EDX, isa.ECX) // EDX = page length
+	a.CmpRI(isa.EDX, PageBufSize)
+	a.Jbe("lenok")
+	a.MovRI(isa.EDX, PageBufSize)
+	a.Label("lenok")
+	a.MovRR(isa.EAX, isa.ESI)
+	a.MovRR(isa.ECX, isa.EDX)
+	a.Push(isa.EDX)
+	a.Sys(isa.SysRead)
+	a.Pop(isa.EDX)
+	a.Call("render_page")
+	a.Jmp("mainloop")
+
+	a.Label("exit")
+	a.MovRI(isa.EAX, 0)
+	a.Sys(isa.SysExit)
+
+	// The installed exception handler: report and exit abnormally.
+	a.Label("default_eh")
+	a.MovRI(isa.EAX, 1)
+	a.Sys(isa.SysExit)
+}
+
+// emitRenderPage assembles the element loop. Locals: [ESP+0] = page
+// length, [ESP+4] = cursor.
+func emitRenderPage(a *asm.Assembler) {
+	a.Label("render_page")
+	a.SubRI(isa.ESP, 8)
+	a.Store(asm.M(isa.ESP, 0), isa.EDX)
+	a.MovRI(isa.ECX, 0)
+	a.Store(asm.M(isa.ESP, 4), isa.ECX)
+
+	a.Label("elloop")
+	a.Load(isa.EDX, asm.M(isa.ESP, 0))
+	a.Load(isa.ECX, asm.M(isa.ESP, 4))
+	a.CmpRR(isa.ECX, isa.EDX)
+	a.Jae("eldone")
+	a.Load(isa.ESI, asm.M(isa.EBP, GlobPageBuf))
+	a.Lea(isa.EBX, asm.MX(isa.ESI, isa.ECX, 0, 0)) // element pointer
+	a.LoadB(isa.EAX, asm.M(isa.EBX, 0))            // tag
+
+	type dispatch struct {
+		tag     int32
+		handler string
+	}
+	table := []dispatch{
+		{0x01, "text_render"},
+		{0x02, "gif_render"},
+		{0x03, "script_render"},
+		{0x04, "host_render"},
+		{0x05, "uni_render"},
+		{0x06, "str_render"},
+		{0x07, "arr_a"},
+		{0x08, "arr_b"},
+		{0x09, "arr_c"},
+	}
+	for _, d := range table {
+		a.CmpRI(isa.EAX, d.tag)
+		a.Jne(fmt.Sprintf("not_%02x", d.tag))
+		a.Call(d.handler)
+		a.Jmp("advance")
+		a.Label(fmt.Sprintf("not_%02x", d.tag))
+	}
+	// Unknown tag: consume one byte.
+	a.MovRI(isa.EAX, 1)
+
+	a.Label("advance")
+	// A handler that made no progress (returned 0) signals a malformed
+	// element; the renderer abandons the rest of the page rather than
+	// misparse attacker-controlled bytes. (This is also the graceful
+	// caller behaviour that lets the return-from-procedure repair
+	// succeed, as for the paper's exploit 269095.)
+	a.CmpRI(isa.EAX, 0)
+	a.Je("eldone")
+	a.Load(isa.ECX, asm.M(isa.ESP, 4))
+	a.AddRR(isa.ECX, isa.EAX)
+	a.Store(asm.M(isa.ESP, 4), isa.ECX)
+	a.Jmp("elloop")
+
+	a.Label("eldone")
+	a.AddRI(isa.ESP, 8)
+	a.Ret()
+}
+
+// emitTextHandler assembles the benign TEXT element: copy up to 63 bytes
+// into a scratch buffer and write it to the display.
+func emitTextHandler(a *asm.Assembler) {
+	a.Label("text_render")
+	a.LoadB(isa.EDX, asm.M(isa.EBX, 1)) // len
+	a.Push(isa.EDX)
+	a.MovRI(isa.EAX, 64)
+	a.Sys(isa.SysAlloc)
+	a.MovRR(isa.EDI, isa.EAX)
+	a.Pop(isa.EDX)
+	a.MovRR(isa.ECX, isa.EDX)
+	a.AndRI(isa.ECX, 63) // benign handlers clamp
+	a.Lea(isa.ESI, asm.M(isa.EBX, 2))
+	a.Push(isa.EDX)
+	a.Push(isa.EDI)
+	a.Push(isa.ECX)
+	a.CopyB()
+	a.Pop(isa.ECX)
+	a.Pop(isa.EAX) // buffer
+	a.Sys(isa.SysWrite)
+	a.Pop(isa.EDX)
+	// consumed = 2 + len
+	a.MovRR(isa.EAX, isa.EDX)
+	a.AddRI(isa.EAX, 2)
+	a.Ret()
+}
