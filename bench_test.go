@@ -8,6 +8,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -16,6 +17,7 @@ import (
 	"repro/internal/daikon"
 	"repro/internal/monitor"
 	"repro/internal/redteam"
+	"repro/internal/replay"
 	"repro/internal/trace"
 	"repro/internal/vm"
 	"repro/internal/webapp"
@@ -405,6 +407,117 @@ func BenchmarkAblationRepairOrder(b *testing.B) {
 			}
 			b.ReportMetric(float64(unsuccessful), "unsuccessful-runs")
 			b.ReportMetric(float64(presentations), "presentations")
+		})
+	}
+}
+
+// BenchmarkSnapshotClone measures the copy-on-write machine snapshot: the
+// cost of capturing a fully warmed webapp machine (Snapshot), of rewinding
+// a machine onto one (Restore), and of rewinding to a step-0 snapshot and
+// re-running the page to completion (the fast-forward/replay primitive;
+// the farm itself builds fresh machines, which adds image-load cost on
+// top). Snapshot cost must stay O(mapped page table + dirty pages), not
+// O(address space) — the pages metric gives the denominator.
+func BenchmarkSnapshotClone(b *testing.B) {
+	app := webapp.MustBuild()
+	page := redteam.EvaluationPages()[0]
+	warm, err := vm.New(vm.Config{Image: app.Image, Input: page})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res := warm.Run(); res.Outcome != vm.OutcomeExit {
+		b.Fatal(res.Outcome)
+	}
+
+	b.Run("Snapshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = warm.Snapshot()
+		}
+		b.ReportMetric(float64(warm.Mem.PageCount()), "pages")
+	})
+
+	snap := warm.Snapshot()
+	b.Run("Restore", func(b *testing.B) {
+		m, err := vm.New(vm.Config{Image: app.Image, Input: page})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			m.Restore(snap)
+		}
+	})
+
+	start, err := vm.New(vm.Config{Image: app.Image, Input: page})
+	if err != nil {
+		b.Fatal(err)
+	}
+	startSnap := start.Snapshot()
+	b.Run("RestoreAndRun", func(b *testing.B) {
+		m, err := vm.New(vm.Config{Image: app.Image, Input: page})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			m.Restore(startSnap)
+			if res := m.Run(); res.Outcome != vm.OutcomeExit {
+				b.Fatal(res.Outcome)
+			}
+		}
+	})
+}
+
+// BenchmarkReplayFarm measures parallel candidate evaluation against the
+// sequential re-execution it replaces: 311710's 30 candidate repairs
+// judged against one recorded failing run. Sequential is the farm with one
+// worker — the same full replays the live pipeline would spend 30
+// presentations on; Parallel uses all CPUs. Compare ns/op: on an n-core
+// host Parallel approaches n× (per-replay machines share nothing but the
+// read-only recording); on a single-core host the two arms necessarily
+// coincide, since the farm's only sequential overhead is the worker pool.
+func BenchmarkReplayFarm(b *testing.B) {
+	base, _ := sharedSetups(b)
+	ex := exploit(b, "311710")
+	cv, err := base.ClearView(ex.NeedsStackScope)
+	if err != nil {
+		b.Fatal(err)
+	}
+	attack := redteam.AttackInput(base.App, ex, 0)
+	for i := 0; i < 3; i++ { // run 1 detects, runs 2-3 check
+		cv.Execute(attack)
+	}
+	fc := cv.Cases()[0]
+	if len(fc.Repairs) < 4 {
+		b.Fatalf("only %d candidate repairs; the farm comparison needs >= 4", len(fc.Repairs))
+	}
+	rec, _, err := redteam.RecordAttack(base, ex, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{
+		{"Sequential", 1},
+		{"Parallel", 0}, // GOMAXPROCS
+	} {
+		cfg := cfg
+		b.Run(fmt.Sprintf("%s-%dcandidates", cfg.name, len(fc.Repairs)), func(b *testing.B) {
+			farm := &replay.Farm{Workers: cfg.workers}
+			survivors := 0
+			for i := 0; i < b.N; i++ {
+				verdicts := farm.Evaluate(rec, fc.ID, fc.Repairs)
+				survivors = 0
+				for _, v := range verdicts {
+					if v.Err != "" {
+						b.Fatalf("verdict error: %s", v.Err)
+					}
+					if v.Survived {
+						survivors++
+					}
+				}
+			}
+			b.ReportMetric(float64(survivors), "survivors")
 		})
 	}
 }

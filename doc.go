@@ -22,11 +22,12 @@
 //	internal/correlate  candidate selection, checking patches, classification
 //	internal/repair     candidate repair generation
 //	internal/evaluate   repair scoring and ranking
+//	internal/replay     deterministic record/replay + parallel patch farm
 //	internal/core       the ClearView pipeline orchestrator
 //	internal/community  central manager + node managers (pipe & TCP)
 //	internal/webapp     the protected application (ten seeded defects)
 //	internal/redteam    exploit builders, corpora, drivers, reports
 //
-// See README.md for a tour, DESIGN.md for the paper-to-code mapping, and
-// EXPERIMENTS.md for measured-versus-paper results.
+// See README.md for the package tour, the replay-farm architecture, and
+// how to run the benchmarks.
 package repro

@@ -12,6 +12,7 @@ import (
 	"repro/internal/image"
 	"repro/internal/isa"
 	"repro/internal/repair"
+	"repro/internal/replay"
 	"repro/internal/vm"
 )
 
@@ -34,6 +35,15 @@ type ManagerConfig struct {
 	// assignments handed to nodes round-robin (§3.1 amortized learning);
 	// 0 disables learning assignments.
 	LearnShards int
+
+	// ReplayWorkers enables the manager-side replay fast path: when a
+	// node ships a failing-run recording (MsgRecording), the manager
+	// replays it under the checking patches to complete the checking
+	// phase immediately, then judges every candidate repair on a farm of
+	// that many workers (<0 means GOMAXPROCS) before handing nodes
+	// anything to evaluate live. 0 disables the fast path; recordings are
+	// still retained.
+	ReplayWorkers int
 }
 
 // caseState is the manager-side failure-location state machine, mirroring
@@ -113,6 +123,9 @@ type Manager struct {
 	nodes     map[string]int // node id -> learning shard
 	nextShard int
 	uploads   int
+
+	recordings map[uint32]*replay.Recording // latest failing recording per location
+	replayRuns int
 }
 
 // NewManager builds and bootstraps a manager.
@@ -127,11 +140,12 @@ func NewManager(conf ManagerConfig) (*Manager, error) {
 		conf.CheckRuns = 2
 	}
 	m := &Manager{
-		conf:  conf,
-		inv:   conf.Seed,
-		cfgdb: cfg.NewDB(conf.Image),
-		cases: make(map[uint32]*caseState),
-		nodes: make(map[string]int),
+		conf:       conf,
+		inv:        conf.Seed,
+		cfgdb:      cfg.NewDB(conf.Image),
+		cases:      make(map[uint32]*caseState),
+		nodes:      make(map[string]int),
+		recordings: make(map[uint32]*replay.Recording),
 	}
 	if m.inv == nil {
 		m.inv = daikon.NewDB()
@@ -237,6 +251,22 @@ func (m *Manager) handle(env Envelope) (Envelope, error) {
 		}
 		m.processReport(&rep)
 		return m.directivesFor(rep.NodeID)
+	case MsgRecording:
+		var up RecordingUpload
+		if err := decodePayload(env.Payload, &up); err != nil {
+			return Envelope{}, err
+		}
+		rec, err := replay.Unmarshal(up.Recording)
+		if err != nil {
+			return Envelope{}, err
+		}
+		m.mu.Lock()
+		if pc, ok := rec.FailurePC(); ok {
+			m.recordings[pc] = rec
+			m.replayFastPath(pc)
+		}
+		m.mu.Unlock()
+		return m.directivesFor(up.NodeID)
 	default:
 		return Envelope{}, fmt.Errorf("community: unexpected message %v", env.Kind)
 	}
@@ -370,6 +400,86 @@ func (m *Manager) redeploy(c *caseState) {
 	}
 	c.state = core.StateEvaluating
 	c.current = c.evaluator.Best()
+}
+
+// replayFastPath advances the failure case at pc using its recording —
+// the community mirror of internal/core's fast path. Called with m.mu
+// held, after a recording arrives. While the case is checking, the
+// manager replays the recording under the checking patches itself (it
+// holds the same binary the community runs), filling the run log the
+// nodes would otherwise take live executions to produce; once candidates
+// exist, the farm judges all of them before any node is asked to
+// evaluate one in production.
+func (m *Manager) replayFastPath(pc uint32) {
+	if m.conf.ReplayWorkers == 0 {
+		return
+	}
+	c := m.cases[pc]
+	rec := m.recordings[pc]
+	if c == nil || rec == nil {
+		return
+	}
+	if c.state == core.StateChecking {
+		cs := correlate.BuildCheckSet(c.id, c.cands)
+		for c.detected < m.conf.CheckRuns {
+			cs.StartRun()
+			res, err := rec.Replay(cs.Patches, c.id)
+			if err != nil {
+				return
+			}
+			obs := cs.DrainRun()
+			if res.Failure == nil || res.Failure.PC != c.pc {
+				return // replay does not reproduce: leave it to live runs
+			}
+			c.detected++
+			c.runs = append(c.runs, correlate.RunLog{Detected: true, Obs: obs})
+			m.replayRuns++
+		}
+		m.finishChecking(c)
+	}
+	if c.state != core.StateEvaluating || c.evaluator == nil || len(c.repairs) == 0 {
+		return
+	}
+	m.farmSeed(c, rec)
+}
+
+// farmSeed judges every candidate repair against the recording and folds
+// the verdicts into the evaluator, so nodes are only ever assigned
+// repairs that survived the recorded failure. Opens a new phase: the
+// candidate ranking changed, so in-flight reports must not be credited
+// against the new assignments.
+func (m *Manager) farmSeed(c *caseState, rec *replay.Recording) {
+	workers := m.conf.ReplayWorkers
+	if workers < 0 {
+		workers = 0 // Farm interprets 0 as GOMAXPROCS
+	}
+	farm := &replay.Farm{Workers: workers}
+	verdicts := farm.Evaluate(rec, c.id, c.repairs)
+	replay.Apply(verdicts, c.evaluator)
+	m.replayRuns += len(verdicts)
+	m.seq++
+	c.phaseSeq = m.seq
+	c.assigned = nil
+	if c.evaluator.Exhausted() {
+		c.state = core.StateUnrepaired
+		c.current = nil
+		return
+	}
+	c.current = c.evaluator.Best()
+}
+
+// RecordingCount returns how many failure locations have a recording.
+func (m *Manager) RecordingCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.recordings)
+}
+
+// ReplayRuns returns how many offline replays the fast path has executed.
+func (m *Manager) ReplayRuns() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.replayRuns
 }
 
 func (m *Manager) instAt(pc uint32) (isa.Inst, bool) {

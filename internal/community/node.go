@@ -8,6 +8,7 @@ import (
 	"repro/internal/image"
 	"repro/internal/monitor"
 	"repro/internal/repair"
+	"repro/internal/replay"
 	"repro/internal/trace"
 	"repro/internal/vm"
 )
@@ -20,6 +21,14 @@ import (
 type Node struct {
 	ID    string
 	Image *image.Image
+
+	// RecordFailures makes the node capture every execution as a
+	// copy-on-write recording and ship failing ones to the manager
+	// (MsgRecording), enabling the manager's replay fast path.
+	RecordFailures bool
+	// SnapshotInterval tunes the recording snapshot cadence;
+	// 0 selects replay.DefaultSnapshotInterval.
+	SnapshotInterval uint64
 
 	conn Conn
 	dir  Directives
@@ -133,13 +142,20 @@ func (n *Node) RunOnce(input []byte) (vm.RunResult, error) {
 		plugins = append(plugins, rec)
 	}
 
-	machine, err := vm.New(vm.Config{
+	cfg := vm.Config{
 		Image:    n.Image,
 		Plugins:  plugins,
 		Patches:  patches,
 		Input:    input,
 		MaxSteps: n.maxSteps,
-	})
+	}
+	var tape *replay.Tape
+	if n.RecordFailures {
+		tape = replay.NewTape(n.SnapshotInterval)
+		cfg.SnapshotInterval = tape.Interval()
+		cfg.SnapshotSink = tape.Sink
+	}
+	machine, err := vm.New(cfg)
 	if err != nil {
 		return vm.RunResult{}, err
 	}
@@ -180,7 +196,46 @@ func (n *Node) RunOnce(input []byte) (vm.RunResult, error) {
 	if err := n.roundTrip(env); err != nil {
 		return res, err
 	}
+	if tape != nil && res.Failure != nil {
+		if err := n.uploadRecording(tape, input, res); err != nil {
+			return res, err
+		}
+	}
 	return res, nil
+}
+
+// uploadRecording seals the tape of a failing run — including the repair
+// patches the node was running under, so the manager replays the same
+// machine — and ships it as MsgRecording. The manager's reply carries the
+// directives its fast path produced, so the node is re-patched before its
+// very next execution.
+func (n *Node) uploadRecording(tape *replay.Tape, input []byte, res vm.RunResult) error {
+	deployed := make([]replay.PatchSpec, 0, len(n.dir.Repairs))
+	for i := range n.dir.Repairs {
+		spec := &n.dir.Repairs[i]
+		deployed = append(deployed, replay.PatchSpec{
+			FailureID: spec.FailureID,
+			Invariant: spec.Invariant,
+			Strategy:  spec.Strategy,
+			Value:     spec.Value,
+			SPDelta:   spec.SPDelta,
+			PC:        spec.PC,
+			Depth:     spec.Depth,
+		})
+	}
+	rec := tape.Seal(
+		fmt.Sprintf("%s/seq%d", n.ID, n.dir.Seq),
+		n.Image, input, deployed, replay.AllMonitors(), n.maxSteps, res,
+	)
+	raw, err := rec.Marshal()
+	if err != nil {
+		return err
+	}
+	env, err := NewEnvelope(MsgRecording, RecordingUpload{NodeID: n.ID, Recording: raw})
+	if err != nil {
+		return err
+	}
+	return n.roundTrip(env)
 }
 
 // UploadLearning finalizes the node's locally inferred invariants and

@@ -38,6 +38,11 @@ const (
 	MsgDirectives
 	// MsgAck acknowledges a message with no payload.
 	MsgAck
+	// MsgRecording carries a node's deterministic recording of a failing
+	// execution (replay.Recording wire form). The manager replays it to
+	// fast-path invariant checking and to judge candidate repairs on its
+	// replay farm instead of waiting for live recurrences at the nodes.
+	MsgRecording
 )
 
 func (k MsgKind) String() string {
@@ -52,6 +57,8 @@ func (k MsgKind) String() string {
 		return "directives"
 	case MsgAck:
 		return "ack"
+	case MsgRecording:
+		return "recording"
 	}
 	return fmt.Sprintf("msg%d", uint8(k))
 }
@@ -86,6 +93,14 @@ type RunReport struct {
 	ExitCode     uint32
 	Failure      *FailureInfo
 	Observations []correlate.Observation
+}
+
+// RecordingUpload ships one failing execution's recording to the manager.
+// The payload is the replay.Recording wire form (rec.Marshal), kept opaque
+// here so the protocol layer does not depend on the replay machinery.
+type RecordingUpload struct {
+	NodeID    string
+	Recording []byte
 }
 
 // CheckSpec asks a node to install checking patches for one invariant.

@@ -1,0 +1,110 @@
+package community
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/redteam"
+	"repro/internal/vm"
+	"repro/internal/webapp"
+)
+
+// TestManagerReplayFastPath: a recording node ships its failing run to the
+// manager, whose replay fast path completes checking and candidate
+// ranking offline — so the victim is protected after two presentations
+// (detection + one surviving run), with no live evaluation of losing
+// candidates anywhere in the community.
+func TestManagerReplayFastPath(t *testing.T) {
+	app := webapp.MustBuild()
+	conf := redTeamManagerConfig(t, app)
+	conf.ReplayWorkers = -1 // GOMAXPROCS
+	m, nodes := startManager(t, conf, []string{"victim"})
+	victim := nodes[0]
+	victim.RecordFailures = true
+	defer victim.Close()
+
+	ex := exploitByID(t, "290162")
+	attack := redteam.AttackInput(app, ex, 0)
+
+	// Presentation 1: detection. The node's report opens the case, its
+	// recording upload triggers the manager's fast path, and the reply to
+	// the upload already re-patches the node.
+	res, err := victim.RunOnce(attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != vm.OutcomeFailure {
+		t.Fatalf("presentation 1: %+v", res)
+	}
+	if m.RecordingCount() != 1 {
+		t.Fatalf("manager holds %d recordings, want 1", m.RecordingCount())
+	}
+	if m.ReplayRuns() == 0 {
+		t.Fatal("manager fast path ran no replays")
+	}
+	site := app.Labels["site_290162"]
+	if st := m.CaseStates()[site]; st != core.StateEvaluating {
+		t.Fatalf("after presentation 1 the case is %v, want evaluating", st)
+	}
+
+	// Presentation 2: the farm-picked repair survives live and is adopted
+	// community-wide.
+	res, err = victim.RunOnce(attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != vm.OutcomeExit || res.ExitCode != 0 {
+		t.Fatalf("presentation 2: %+v", res)
+	}
+	if st := m.CaseStates()[site]; st != core.StatePatched {
+		t.Fatalf("after presentation 2 the case is %v, want patched", st)
+	}
+
+	// A fresh member joining now is protected before ever seeing the
+	// attack (§3's community benefit, reached in two presentations).
+	nodeSide, mgrSide := Pipe()
+	go func() { _ = m.Serve(mgrSide) }()
+	fresh := NewNode("fresh", app.Image, nodeSide)
+	if err := fresh.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	res, err = fresh.RunOnce(attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != vm.OutcomeExit || res.ExitCode != 0 {
+		t.Fatalf("fresh member not protected: %+v", res)
+	}
+}
+
+// TestRecordingUploadWithoutReplayWorkers: recordings are retained even
+// when the fast path is disabled, and the pipeline degrades to the
+// paper's live behaviour.
+func TestRecordingUploadWithoutReplayWorkers(t *testing.T) {
+	app := webapp.MustBuild()
+	m, nodes := startManager(t, redTeamManagerConfig(t, app), []string{"victim"})
+	victim := nodes[0]
+	victim.RecordFailures = true
+	defer victim.Close()
+
+	ex := exploitByID(t, "290162")
+	attack := redteam.AttackInput(app, ex, 0)
+	patched := false
+	for i := 0; i < 10 && !patched; i++ {
+		res, err := victim.RunOnce(attack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		patched = res.Outcome == vm.OutcomeExit && res.ExitCode == 0
+	}
+	if !patched {
+		t.Fatal("live pipeline never patched")
+	}
+	if m.RecordingCount() == 0 {
+		t.Fatal("recordings not retained")
+	}
+	if m.ReplayRuns() != 0 {
+		t.Fatalf("fast path ran %d replays while disabled", m.ReplayRuns())
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/monitor"
 	"repro/internal/repair"
+	"repro/internal/replay"
 	"repro/internal/vm"
 )
 
@@ -60,6 +61,27 @@ type Config struct {
 	ShadowStack    bool
 
 	MaxSteps uint64
+
+	// Replay enables the record/replay fast path (internal/replay): every
+	// execution is recorded with copy-on-write snapshots, and when a
+	// failure is detected the recorded run is immediately replayed —
+	// first under the checking patches (compressing the runs-2/3 checking
+	// phase), then once per candidate repair on a parallel farm
+	// (compressing the run-4+ exploration) — all within the first failing
+	// wall-clock presentation. nil keeps the paper's live-only pipeline.
+	Replay *ReplayConfig
+}
+
+// ReplayConfig tunes the record/replay fast path.
+type ReplayConfig struct {
+	// Workers bounds concurrent candidate replays; 0 uses GOMAXPROCS.
+	Workers int
+	// Deadline bounds each candidate replay in wall-clock time; 0 means
+	// the machine step budget is the only bound.
+	Deadline time.Duration
+	// SnapshotInterval is the recording snapshot cadence in steps;
+	// 0 selects replay.DefaultSnapshotInterval.
+	SnapshotInterval uint64
 }
 
 // CaseState is the lifecycle of one failure location.
@@ -102,6 +124,9 @@ type Metrics struct {
 	CandidateCount  int           // candidate invariants selected
 	RepairCount     int           // candidate repairs generated
 	Unsuccessful    int           // failed repair-evaluation runs
+	ReplayRuns      int           // offline replays (checking + farm)
+	ReplayDiscards  int           // candidates discarded by farm verdicts
+	ReplayTime      time.Duration // wall clock spent in the fast path
 	BuildChecks     time.Duration // analog of "Building Invariant Checks"
 	BuildRepairs    time.Duration // analog of "Building Repair Patches"
 	DetectTime      time.Duration
@@ -147,6 +172,10 @@ type ClearView struct {
 	// stages, repairs) — the false-positive evaluation asserts this stays
 	// zero under legitimate inputs.
 	PatchesGenerated int
+	// LastRecording is the most recent failing-run recording, when the
+	// replay fast path is enabled — community nodes ship it to the
+	// manager, and tools inspect it.
+	LastRecording *replay.Recording
 }
 
 // New builds a ClearView instance. The invariant database is typically the
@@ -215,6 +244,7 @@ func (cv *ClearView) Execute(input []byte) vm.RunResult {
 	}
 
 	var patches []*vm.Patch
+	var deployed []replay.PatchSpec
 	for _, pc := range cv.order {
 		fc := cv.cases[pc]
 		switch fc.State {
@@ -224,18 +254,29 @@ func (cv *ClearView) Execute(input []byte) vm.RunResult {
 		case StateEvaluating, StatePatched:
 			if fc.Current != nil {
 				patches = append(patches, fc.Current.Repair.BuildPatches(fc.ID)...)
+				if cv.conf.Replay != nil {
+					deployed = append(deployed, replay.Spec(fc.ID, fc.Current.Repair))
+				}
 			}
 		}
 	}
 
-	start := time.Now()
-	machine, err := vm.New(vm.Config{
+	cfg := vm.Config{
 		Image:    cv.conf.Image,
 		Plugins:  plugins,
 		Patches:  patches,
 		Input:    input,
 		MaxSteps: cv.conf.MaxSteps,
-	})
+	}
+	var tape *replay.Tape
+	if cv.conf.Replay != nil {
+		tape = replay.NewTape(cv.conf.Replay.SnapshotInterval)
+		cfg.SnapshotInterval = tape.Interval()
+		cfg.SnapshotSink = tape.Sink
+	}
+
+	start := time.Now()
+	machine, err := vm.New(cfg)
 	if err != nil {
 		return vm.RunResult{Outcome: vm.OutcomeCrash, Crash: &vm.Crash{Reason: err.Error()}}
 	}
@@ -246,7 +287,26 @@ func (cv *ClearView) Execute(input []byte) vm.RunResult {
 	elapsed := time.Since(start)
 
 	cv.afterRun(res, elapsed)
+
+	if tape != nil && res.Failure != nil {
+		rec := tape.Seal(
+			fmt.Sprintf("fail@%#x/run%d", res.Failure.PC, cv.TotalRuns),
+			cv.conf.Image, input, deployed, cv.monitors(), cv.conf.MaxSteps, res,
+		)
+		cv.LastRecording = rec
+		cv.replayFastPath(rec, res.Failure.PC)
+	}
 	return res
+}
+
+// monitors reports the configured monitor set in replay form, so
+// recordings replay under the same detectors that produced them.
+func (cv *ClearView) monitors() replay.Monitors {
+	return replay.Monitors{
+		MemoryFirewall: cv.conf.MemoryFirewall,
+		HeapGuard:      cv.conf.HeapGuard,
+		ShadowStack:    cv.conf.ShadowStack,
+	}
 }
 
 func (cv *ClearView) afterRun(res vm.RunResult, elapsed time.Duration) {

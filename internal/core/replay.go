@@ -1,0 +1,86 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/replay"
+)
+
+// replayFastPath advances the failure case at failPC as far as the
+// recorded failing run allows, without waiting for live recurrences.
+//
+// The live state machine needs one execution per transition: run 1
+// detects, runs 2–3 observe the checking patches, and runs 4+ try one
+// candidate repair each. Because the machine is deterministic, every one
+// of those subsequent executions of the *same* input is already implied by
+// the recording — so the fast path performs them now, offline:
+//
+//  1. While the case is checking, the recording is replayed under the
+//     checking patches, feeding the same observation stream the live runs
+//     would produce, until the configured number of failing check runs is
+//     reached and correlations are classified.
+//  2. Once candidate repairs exist, the farm replays the recording under
+//     every candidate concurrently and feeds the verdicts into the
+//     evaluator. Candidates under which the recorded failure recurs (or
+//     the replay crashes) are discarded before ever being deployed live;
+//     the best survivor is deployed for the next live execution.
+//
+// The next live presentation then runs with the winning repair in place —
+// ClearView converges in two presentations of a deterministic exploit
+// instead of 4+, and the unsuccessful candidates never reach production.
+//
+// If a replay fails to reproduce the recorded detection (a nondeterministic
+// environment would do this; our machine only stops reproducing when the
+// checking patches themselves perturb the failure), the fast path abandons
+// the case and the live pipeline continues exactly as in the paper.
+func (cv *ClearView) replayFastPath(rec *replay.Recording, failPC uint32) {
+	fc := cv.cases[failPC]
+	if fc == nil {
+		return
+	}
+	rp := cv.conf.Replay
+	start := time.Now()
+	defer func() { fc.Metrics.ReplayTime += time.Since(start) }()
+
+	// Phase 1: compress the runs-2/3 checking phase.
+	for fc.State == StateChecking && fc.CheckSet.DetectedRuns() < cv.conf.CheckRuns {
+		fc.CheckSet.StartRun()
+		res, err := rec.Replay(fc.CheckSet.Patches, fc.ID)
+		if err != nil {
+			fc.CheckSet.EndRun(false)
+			return
+		}
+		detected := res.Failure != nil && res.Failure.PC == fc.PC
+		fc.CheckSet.EndRun(detected)
+		fc.Metrics.ReplayRuns++
+		if !detected {
+			return // replay no longer reproduces: fall back to live runs
+		}
+		fc.Metrics.CheckRuns++
+		if fc.CheckSet.DetectedRuns() >= cv.conf.CheckRuns {
+			cv.finishChecking(fc)
+		}
+	}
+
+	// Phase 2: compress the run-4+ candidate exploration.
+	if fc.State != StateEvaluating || fc.Evaluator == nil || len(fc.Repairs) == 0 {
+		return
+	}
+	farm := &replay.Farm{Workers: rp.Workers, Deadline: rp.Deadline}
+	verdicts := farm.Evaluate(rec, fc.ID, fc.Repairs)
+	survivors := replay.Apply(verdicts, fc.Evaluator)
+	applied := 0
+	for i := range verdicts {
+		if verdicts[i].Err == "" {
+			applied++
+		}
+	}
+	fc.Metrics.ReplayRuns += len(verdicts)
+	fc.Metrics.ReplayDiscards += applied - survivors
+	if fc.Evaluator.Exhausted() {
+		fc.State = StateUnrepaired
+		fc.Current = nil
+		return
+	}
+	fc.Current = fc.Evaluator.Best()
+}

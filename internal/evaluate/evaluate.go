@@ -121,6 +121,17 @@ func (ev *Evaluator) RecordFailure(id string) {
 	}
 }
 
+// Record feeds one evaluation verdict — live or replayed — crediting a
+// survival and debiting anything else. The replay farm uses this to apply
+// a whole batch of offline verdicts before the next live deployment.
+func (ev *Evaluator) Record(id string, survived bool) {
+	if survived {
+		ev.RecordSuccess(id)
+	} else {
+		ev.RecordFailure(id)
+	}
+}
+
 // Exhausted reports whether every candidate repair has failed at least
 // once and none has ever succeeded — the point at which ClearView has no
 // further repair worth deploying for this failure (the monitors continue

@@ -1,0 +1,251 @@
+package mem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestCloneIsolation is the core COW property: after a clone, writes on
+// either side are invisible to the other, for randomized write sequences.
+func TestCloneIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		m := New()
+		m.Map(0x1000, 4*PageSize)
+		for i := 0; i < 64; i++ {
+			if err := m.Write32(0x1000+uint32(rng.Intn(4*PageSize-4)), rng.Uint32()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c := m.Clone()
+
+		ref := func(src *Memory) []byte {
+			b, err := src.ReadBytes(0x1000, 4*PageSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		}
+		origBefore, cloneBefore := ref(m), ref(c)
+		if !bytes.Equal(origBefore, cloneBefore) {
+			t.Fatal("clone differs from original before any write")
+		}
+
+		// Mutate the clone: the original must not change.
+		for i := 0; i < 32; i++ {
+			if err := c.Write8(0x1000+uint32(rng.Intn(4*PageSize)), byte(rng.Intn(256))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !bytes.Equal(ref(m), origBefore) {
+			t.Fatal("mutating the clone leaked into the original")
+		}
+
+		// Mutate the original: the clone keeps its own view.
+		cloneView := ref(c)
+		for i := 0; i < 32; i++ {
+			if err := m.Write8(0x1000+uint32(rng.Intn(4*PageSize)), byte(rng.Intn(256))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !bytes.Equal(ref(c), cloneView) {
+			t.Fatal("mutating the original leaked into the clone")
+		}
+	}
+}
+
+// TestCloneOfCloneChains verifies that chained clones stay independent.
+func TestCloneOfCloneChains(t *testing.T) {
+	m := New()
+	m.Map(0, PageSize)
+	if err := m.Write32(0, 0x11111111); err != nil {
+		t.Fatal(err)
+	}
+	c1 := m.Clone()
+	c2 := c1.Clone()
+	if err := c1.Write32(0, 0x22222222); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write32(0, 0x33333333); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		m    *Memory
+		want uint32
+	}{{"orig", m, 0x33333333}, {"c1", c1, 0x22222222}, {"c2", c2, 0x11111111}} {
+		got, err := tc.m.Read32(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("%s: got %#x want %#x", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestCloneDirtyPageCost verifies the O(dirty pages) property: only pages
+// actually written after the clone are privatized.
+func TestCloneDirtyPageCost(t *testing.T) {
+	m := New()
+	m.Map(0, 64*PageSize)
+	c := m.Clone()
+	for i := 0; i < 3; i++ {
+		if err := c.Write8(uint32(i)*PageSize, 1); err != nil {
+			t.Fatal(err)
+		}
+		// Second write to the same page must not copy again.
+		if err := c.Write8(uint32(i)*PageSize+8, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.CowBreaks(); got != 3 {
+		t.Fatalf("clone privatized %d pages, want 3", got)
+	}
+	if got := m.CowBreaks(); got != 0 {
+		t.Fatalf("original privatized %d pages, want 0", got)
+	}
+}
+
+// TestConcurrentClones exercises the snapshot-fan-out pattern: many
+// goroutines clone the same frozen Memory at once and write their clones.
+// Run with -race to validate the synchronization contract.
+func TestConcurrentClones(t *testing.T) {
+	m := New()
+	m.Map(0, 8*PageSize)
+	if err := m.Write32(16, 0xABCD); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Clone() // frozen source; only cloned below, never written
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := snap.Clone()
+			for i := 0; i < 200; i++ {
+				if err := c.Write32(uint32(i%8)*PageSize, uint32(w)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	got, err := snap.Read32(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0xABCD {
+		t.Fatalf("snapshot corrupted by concurrent clone writers: %#x", got)
+	}
+}
+
+// TestMemoryMarshalRoundTrip checks the wire format, including zero-page
+// compression and mapped-but-zero pages surviving the trip.
+func TestMemoryMarshalRoundTrip(t *testing.T) {
+	m := New()
+	m.Map(0x1000, 2*PageSize)
+	m.Map(0x4000_0000, PageSize) // stays all-zero but must stay mapped
+	if err := m.WriteBytes(0x1100, []byte("recording")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Memory
+	if err := back.UnmarshalBinary(raw); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Mapped(0x4000_0000) {
+		t.Fatal("zero page lost its mapping")
+	}
+	got, err := back.ReadBytes(0x1100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "recording" {
+		t.Fatalf("round trip corrupted data: %q", got)
+	}
+	if back.PageCount() != m.PageCount() {
+		t.Fatalf("page count %d != %d", back.PageCount(), m.PageCount())
+	}
+
+	// A corrupt header claiming a huge page count must fail cleanly, not
+	// attempt the allocation (recordings arrive over the network).
+	hostile := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hostile, 0xFFFF_FFFF)
+	if err := new(Memory).UnmarshalBinary(hostile); err == nil {
+		t.Fatal("hostile page count accepted")
+	}
+}
+
+// TestHeapStateRoundTrip verifies that a rebuilt heap continues allocating
+// exactly where the captured one would have.
+func TestHeapStateRoundTrip(t *testing.T) {
+	m := New()
+	h := NewHeap(m, 0x2000_0000, 0x10000)
+	a, err := h.Alloc(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	st := h.State()
+
+	m2 := m.Clone()
+	h2 := NewHeapFromState(m2, st)
+
+	// LIFO recycling must resume identically on both heaps.
+	r1, err := h.Alloc(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := h2.Alloc(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != a || r2 != a {
+		t.Fatalf("recycle divergence: orig %#x rebuilt %#x want %#x", r1, r2, a)
+	}
+	n1, err := h.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := h2.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n2 {
+		t.Fatalf("brk divergence: orig %#x rebuilt %#x", n1, n2)
+	}
+	if _, ok := h2.FindBlock(b); !ok {
+		t.Fatal("live block lost across state round trip")
+	}
+	a1, f1 := h.Stats()
+	a2, f2 := h2.Stats()
+	if a1 != a2 || f1 != f2 {
+		t.Fatalf("stats divergence: (%d,%d) vs (%d,%d)", a1, f1, a2, f2)
+	}
+
+	// The rebuilt heap writes through its own memory, not the original.
+	if err := m2.Write32(b, 0xDEAD); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Read32(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == 0xDEAD {
+		t.Fatal("rebuilt heap's memory aliases the original")
+	}
+}

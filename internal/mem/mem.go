@@ -11,8 +11,10 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // PageSize is the granularity of the sparse address space.
@@ -37,14 +39,62 @@ func (f *Fault) Error() string {
 }
 
 // Memory is a sparse paged 32-bit address space.
+//
+// Clone produces copy-on-write clones: the clone and the original share
+// page storage until one of them writes a shared page, at which point the
+// writer copies just that page. A clone therefore costs one pointer per
+// mapped page up front and one page copy per page actually dirtied — the
+// property the snapshot/replay machinery depends on.
 type Memory struct {
 	pages map[uint32][]byte
+	// cow marks pages whose storage is shared with a clone; they must be
+	// copied before this Memory writes them. Lazily allocated: a Memory
+	// that was never cloned pays nothing on the write path beyond one nil
+	// check.
+	cow map[uint32]struct{}
+
+	// mu serializes Clone calls so many goroutines may clone the same
+	// frozen Memory (e.g. restoring workers from one snapshot)
+	// concurrently. Reads and writes are NOT synchronized: a Memory is
+	// owned by one machine at a time.
+	mu sync.Mutex
+
+	cowBreaks uint64
 }
 
 // New returns an empty address space.
 func New() *Memory {
 	return &Memory{pages: make(map[uint32][]byte)}
 }
+
+// Clone returns a copy-on-write snapshot of the address space. Both the
+// original and the clone remain writable; the first write to a shared page
+// from either side copies that page. Clone is safe to call concurrently on
+// the same receiver as long as no goroutine is concurrently writing it.
+func (m *Memory) Clone() *Memory {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := &Memory{
+		pages: make(map[uint32][]byte, len(m.pages)),
+		cow:   make(map[uint32]struct{}, len(m.pages)),
+	}
+	if m.cow == nil {
+		m.cow = make(map[uint32]struct{}, len(m.pages))
+	}
+	for pn, p := range m.pages {
+		c.pages[pn] = p
+		c.cow[pn] = struct{}{}
+		m.cow[pn] = struct{}{}
+	}
+	return c
+}
+
+// PageCount returns the number of mapped pages.
+func (m *Memory) PageCount() int { return len(m.pages) }
+
+// CowBreaks returns how many shared pages this Memory has privatized —
+// the dirty-page count a snapshot's cost is proportional to.
+func (m *Memory) CowBreaks() uint64 { return m.cowBreaks }
 
 // Map makes [addr, addr+size) accessible, zero filled.
 func (m *Memory) Map(addr, size uint32) {
@@ -70,9 +120,20 @@ func (m *Memory) Mapped(addr uint32) bool {
 }
 
 func (m *Memory) page(addr uint32, write bool) ([]byte, error) {
-	p, ok := m.pages[addr/PageSize]
+	pn := addr / PageSize
+	p, ok := m.pages[pn]
 	if !ok {
 		return nil, &Fault{Addr: addr, Write: write}
+	}
+	if write && m.cow != nil {
+		if _, shared := m.cow[pn]; shared {
+			dup := make([]byte, PageSize)
+			copy(dup, p)
+			m.pages[pn] = dup
+			delete(m.cow, pn)
+			m.cowBreaks++
+			p = dup
+		}
 	}
 	return p, nil
 }
@@ -160,6 +221,81 @@ func (m *Memory) WriteBytes(addr uint32, b []byte) error {
 		}
 	}
 	return nil
+}
+
+// MarshalBinary serializes the address space: a page count followed by
+// (page index, flag, data) records in ascending page order. All-zero pages
+// are encoded as a flag byte only, so sparse spaces stay small on the wire.
+// gob uses this automatically, which is how snapshots inside a
+// replay.Recording travel between community nodes and the manager.
+func (m *Memory) MarshalBinary() ([]byte, error) {
+	idx := make([]uint32, 0, len(m.pages))
+	for pn := range m.pages {
+		idx = append(idx, pn)
+	}
+	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	out := make([]byte, 4, 4+len(idx)*5)
+	binary.LittleEndian.PutUint32(out, uint32(len(idx)))
+	var pnb [4]byte
+	for _, pn := range idx {
+		p := m.pages[pn]
+		binary.LittleEndian.PutUint32(pnb[:], pn)
+		out = append(out, pnb[:]...)
+		if allZero(p) {
+			out = append(out, 0)
+			continue
+		}
+		out = append(out, 1)
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary reconstructs an address space serialized by
+// MarshalBinary. The result owns all its pages (no sharing).
+func (m *Memory) UnmarshalBinary(b []byte) error {
+	if len(b) < 4 {
+		return fmt.Errorf("mem: truncated page table header: %d bytes", len(b))
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	// Each page record is at least 5 bytes, so a count that cannot fit in
+	// the remaining payload is corrupt. Checking before allocating keeps a
+	// hostile page count (recordings arrive over the community transport)
+	// from forcing a giant map allocation.
+	if uint64(n)*5 > uint64(len(b)) {
+		return fmt.Errorf("mem: page count %d exceeds payload (%d bytes)", n, len(b))
+	}
+	m.pages = make(map[uint32][]byte, n)
+	m.cow = nil
+	m.cowBreaks = 0
+	for i := uint32(0); i < n; i++ {
+		if len(b) < 5 {
+			return fmt.Errorf("mem: truncated page record %d", i)
+		}
+		pn := binary.LittleEndian.Uint32(b)
+		flag := b[4]
+		b = b[5:]
+		page := make([]byte, PageSize)
+		if flag != 0 {
+			if len(b) < PageSize {
+				return fmt.Errorf("mem: truncated page data for page %#x", pn)
+			}
+			copy(page, b[:PageSize])
+			b = b[PageSize:]
+		}
+		m.pages[pn] = page
+	}
+	return nil
+}
+
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Block is one allocated heap block in the allocation map.
@@ -311,4 +447,58 @@ func (h *Heap) FindBlock(addr uint32) (Block, bool) {
 // LiveBlocks returns a copy of the allocation map, sorted by address.
 func (h *Heap) LiveBlocks() []Block {
 	return append([]Block(nil), h.blocks...)
+}
+
+// HeapState is a self-contained deep copy of the allocator bookkeeping —
+// everything a Heap holds besides the backing Memory. All fields are
+// exported so the state gob-serializes inside machine snapshots.
+type HeapState struct {
+	Base     uint32
+	Limit    uint32
+	Brk      uint32
+	Blocks   []Block
+	Freelist map[uint32][]uint32
+	Allocs   uint64
+	Frees    uint64
+}
+
+// State captures the allocator bookkeeping. The copy is deep: mutating the
+// heap afterwards never changes the returned state.
+func (h *Heap) State() HeapState {
+	fl := make(map[uint32][]uint32, len(h.freelist))
+	for size, list := range h.freelist {
+		if len(list) == 0 {
+			continue
+		}
+		fl[size] = append([]uint32(nil), list...)
+	}
+	return HeapState{
+		Base:     h.base,
+		Limit:    h.limit,
+		Brk:      h.brk,
+		Blocks:   append([]Block(nil), h.blocks...),
+		Freelist: fl,
+		Allocs:   h.allocs,
+		Frees:    h.frees,
+	}
+}
+
+// NewHeapFromState rebuilds an allocator over m from captured bookkeeping.
+// The state is copied in, so one HeapState may seed many heaps (the replay
+// farm restores every worker from the same snapshot).
+func NewHeapFromState(m *Memory, s HeapState) *Heap {
+	fl := make(map[uint32][]uint32, len(s.Freelist))
+	for size, list := range s.Freelist {
+		fl[size] = append([]uint32(nil), list...)
+	}
+	return &Heap{
+		mem:      m,
+		base:     s.Base,
+		limit:    s.Limit,
+		brk:      s.Brk,
+		blocks:   append([]Block(nil), s.Blocks...),
+		freelist: fl,
+		allocs:   s.Allocs,
+		frees:    s.Frees,
+	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/daikon"
+	"repro/internal/replay"
 	"repro/internal/vm"
 	"repro/internal/webapp"
 )
@@ -46,6 +47,31 @@ func (s *Setup) ClearView(stackScope int) (*core.ClearView, error) {
 		HeapGuard:      true,
 		ShadowStack:    true,
 	})
+}
+
+// ReplayClearView builds a protected instance like ClearView but with the
+// record/replay fast path enabled: failing presentations are recorded and
+// candidate repairs are judged against the recording on a parallel farm,
+// so a deterministic exploit converges in two presentations instead of
+// 4+. workers 0 uses all CPUs.
+func (s *Setup) ReplayClearView(stackScope, workers int) (*core.ClearView, error) {
+	return core.New(core.Config{
+		Image:          s.App.Image,
+		Invariants:     s.DB,
+		StackScope:     stackScope,
+		MemoryFirewall: true,
+		HeapGuard:      true,
+		ShadowStack:    true,
+		Replay:         &core.ReplayConfig{Workers: workers},
+	})
+}
+
+// RecordAttack captures one failing presentation of an exploit as a
+// deterministic recording under the Red Team monitors — the artifact a
+// community node would ship to the manager for offline patch evaluation.
+func RecordAttack(s *Setup, ex Exploit, variant int) (*replay.Recording, vm.RunResult, error) {
+	input := AttackInput(s.App, ex, variant)
+	return replay.Record("redteam/"+ex.Bugzilla, s.App.Image, input, nil, replay.Options{})
 }
 
 // subsequentPages are the benign pages appended after each attack page:

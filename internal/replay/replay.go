@@ -1,0 +1,335 @@
+// Package replay implements deterministic record/replay of protected
+// executions and a parallel patch-evaluation farm built on it.
+//
+// ClearView's live pipeline (internal/core) judges candidate repair
+// patches only on *subsequent* executions, so convergence to a correct
+// patch is gated on how often the failure recurs in production: run 1
+// detects, runs 2–3 check correlated invariants, runs 4+ try candidate
+// repairs one at a time. The simulated machine is fully deterministic —
+// same image, same input, same patches ⇒ same execution — which makes a
+// recorded failing run a perfect offline test bench. A Recording captures
+// everything needed to re-create the run (the image, the input stream, the
+// deployed patch set, the monitor configuration) plus periodic
+// copy-on-write machine snapshots; a Farm then replays the recording under
+// every candidate patch concurrently and feeds the verdicts into
+// internal/evaluate, so the checking phase and the repair ranking collapse
+// into the first failing wall-clock presentation.
+//
+// Recordings are gob-serializable: community nodes ship failing runs to
+// the manager (see internal/community's MsgRecording), which evaluates
+// repairs centrally instead of assigning one candidate per node and
+// waiting for live recurrences.
+package replay
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/daikon"
+	"repro/internal/image"
+	"repro/internal/monitor"
+	"repro/internal/repair"
+	"repro/internal/vm"
+)
+
+// DefaultSnapshotInterval is the default step gap between periodic machine
+// snapshots while recording. Snapshots are copy-on-write (O(pages dirtied
+// since the last one)), so the default errs toward frequent.
+const DefaultSnapshotInterval = 100_000
+
+// Monitors selects the failure detectors active during a recorded run and
+// its replays. Replays must run under the same monitor configuration as
+// the recording for detection parity.
+type Monitors struct {
+	MemoryFirewall bool
+	HeapGuard      bool
+	ShadowStack    bool
+}
+
+// AllMonitors is the Red Team configuration (§4.2.2), the default
+// everywhere.
+func AllMonitors() Monitors {
+	return Monitors{MemoryFirewall: true, HeapGuard: true, ShadowStack: true}
+}
+
+// PatchSpec is the declarative form of one deployed repair — the same
+// shape the community protocol ships (a recording must be self-contained:
+// the failing run may have executed under adopted patches for other
+// failure locations, and a faithful replay needs them in place).
+type PatchSpec struct {
+	FailureID string
+	Invariant daikon.Invariant
+	Strategy  repair.Strategy
+	Value     uint32
+	SPDelta   uint32
+	PC        uint32
+	Depth     int
+}
+
+// Spec captures a deployed repair as a self-contained PatchSpec.
+func Spec(failureID string, r *repair.Repair) PatchSpec {
+	return PatchSpec{
+		FailureID: failureID,
+		Invariant: *r.Inv,
+		Strategy:  r.Strategy,
+		Value:     r.Value,
+		SPDelta:   r.SPDelta,
+		PC:        r.PC,
+		Depth:     r.Depth,
+	}
+}
+
+// Repair reconstructs the repair object a spec describes.
+func (s *PatchSpec) Repair() *repair.Repair {
+	inv := s.Invariant
+	return &repair.Repair{
+		Inv:      &inv,
+		Strategy: s.Strategy,
+		Value:    s.Value,
+		SPDelta:  s.SPDelta,
+		PC:       s.PC,
+		Depth:    s.Depth,
+	}
+}
+
+// Recording is one captured execution, self-contained and serializable:
+// everything needed to re-create the run bit-identically on another
+// machine, plus periodic snapshots for fast-forwarding.
+type Recording struct {
+	ID       string
+	Image    []byte // image.Marshal form
+	Input    []byte
+	Deployed []PatchSpec // repairs in place during the recorded run
+	Monitors Monitors
+	MaxSteps uint64 // step budget of the recorded machine
+
+	Snapshots []*vm.Snapshot // ascending by Steps; [0] is the step-0 state
+
+	// How the recorded run ended.
+	Outcome  vm.Outcome
+	ExitCode uint32
+	Failure  *vm.Failure
+	Steps    uint64
+}
+
+// FailurePC returns the recorded failure location, if the run failed.
+func (r *Recording) FailurePC() (uint32, bool) {
+	if r.Failure == nil {
+		return 0, false
+	}
+	return r.Failure.PC, true
+}
+
+// Marshal serializes the recording (gob).
+func (r *Recording) Marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		return nil, fmt.Errorf("replay: encode recording: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal deserializes a recording.
+func Unmarshal(b []byte) (*Recording, error) {
+	var r Recording
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&r); err != nil {
+		return nil, fmt.Errorf("replay: decode recording: %w", err)
+	}
+	return &r, nil
+}
+
+// Tape collects snapshots during a run and seals them into a Recording.
+// Wire a tape into the machine that should be recorded:
+//
+//	tape := replay.NewTape(0)
+//	cfg.SnapshotInterval, cfg.SnapshotSink = tape.Interval(), tape.Sink
+//
+// and call Seal with the run's result afterwards. internal/core records
+// its own machines this way rather than through Record.
+type Tape struct {
+	interval uint64
+	snaps    []*vm.Snapshot
+}
+
+// NewTape returns a tape; interval 0 selects DefaultSnapshotInterval.
+func NewTape(interval uint64) *Tape {
+	if interval == 0 {
+		interval = DefaultSnapshotInterval
+	}
+	return &Tape{interval: interval}
+}
+
+// Interval returns the snapshot cadence for vm.Config.SnapshotInterval.
+func (t *Tape) Interval() uint64 { return t.interval }
+
+// Sink is the vm.Config.SnapshotSink callback.
+func (t *Tape) Sink(s *vm.Snapshot) { t.snaps = append(t.snaps, s) }
+
+// Len returns the number of snapshots captured so far.
+func (t *Tape) Len() int { return len(t.snaps) }
+
+// Seal packages the tape and the run's outcome into a Recording. The tape
+// is reset for reuse.
+func (t *Tape) Seal(id string, img *image.Image, input []byte, deployed []PatchSpec, mons Monitors, maxSteps uint64, res vm.RunResult) *Recording {
+	if maxSteps == 0 {
+		maxSteps = vm.DefaultMaxSteps
+	}
+	rec := &Recording{
+		ID:        id,
+		Image:     img.Marshal(),
+		Input:     append([]byte(nil), input...),
+		Deployed:  append([]PatchSpec(nil), deployed...),
+		Monitors:  mons,
+		MaxSteps:  maxSteps,
+		Snapshots: t.snaps,
+		Outcome:   res.Outcome,
+		ExitCode:  res.ExitCode,
+		Failure:   res.Failure,
+		Steps:     res.Steps,
+	}
+	t.snaps = nil
+	return rec
+}
+
+// Options configures Record.
+type Options struct {
+	// SnapshotInterval is the step gap between periodic snapshots;
+	// 0 selects DefaultSnapshotInterval.
+	SnapshotInterval uint64
+	// Monitors during the run; the zero value means AllMonitors.
+	Monitors *Monitors
+	// MaxSteps bounds the run; 0 selects vm.DefaultMaxSteps.
+	MaxSteps uint64
+}
+
+func (o Options) monitors() Monitors {
+	if o.Monitors == nil {
+		return AllMonitors()
+	}
+	return *o.Monitors
+}
+
+// Record executes input against img under the given deployed patches and
+// monitors, capturing periodic snapshots, and returns the sealed recording
+// together with the run's result. Recording a run that does not fail is
+// legal (the recording documents a healthy baseline); the Farm only
+// requires a recorded failure for its Recurred verdicts.
+func Record(id string, img *image.Image, input []byte, deployed []PatchSpec, opts Options) (*Recording, vm.RunResult, error) {
+	tape := NewTape(opts.SnapshotInterval)
+	mons := opts.monitors()
+	machine, err := newMachine(img, input, mons, compileSpecs(deployed, ""), opts.MaxSteps, tape)
+	if err != nil {
+		return nil, vm.RunResult{}, err
+	}
+	res := machine.Run()
+	return tape.Seal(id, img, input, deployed, mons, opts.MaxSteps, res), res, nil
+}
+
+// newMachine assembles a machine with the monitor set, patches, and
+// optional tape attached.
+func newMachine(img *image.Image, input []byte, mons Monitors, patches []*vm.Patch, maxSteps uint64, tape *Tape) (*vm.VM, error) {
+	var plugins []vm.Plugin
+	var shadow *monitor.ShadowStack
+	if mons.ShadowStack {
+		shadow = monitor.NewShadowStack()
+		plugins = append(plugins, shadow)
+	}
+	if mons.MemoryFirewall {
+		plugins = append(plugins, monitor.NewMemoryFirewall())
+	}
+	if mons.HeapGuard {
+		plugins = append(plugins, monitor.NewHeapGuard())
+	}
+	cfg := vm.Config{
+		Image:    img,
+		Input:    input,
+		Plugins:  plugins,
+		Patches:  patches,
+		MaxSteps: maxSteps,
+	}
+	if tape != nil {
+		cfg.SnapshotInterval = tape.Interval()
+		cfg.SnapshotSink = tape.Sink
+	}
+	machine, err := vm.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if shadow != nil {
+		shadow.Install(machine)
+	}
+	return machine, nil
+}
+
+// compileSpecs turns deployed patch specs into machine patches, skipping
+// the specs belonging to excludeFailureID (the case whose candidates are
+// being evaluated must not also run its previously deployed repair).
+func compileSpecs(specs []PatchSpec, excludeFailureID string) []*vm.Patch {
+	var out []*vm.Patch
+	for i := range specs {
+		if excludeFailureID != "" && specs[i].FailureID == excludeFailureID {
+			continue
+		}
+		r := specs[i].Repair()
+		out = append(out, r.BuildPatches(specs[i].FailureID)...)
+	}
+	return out
+}
+
+// DecodeImage returns the recording's binary image.
+func (r *Recording) DecodeImage() (*image.Image, error) {
+	return image.Unmarshal(r.Image)
+}
+
+// NewMachine builds a fresh machine configured exactly as the recorded one
+// (image, input, monitors, deployed patches, step budget), with extra
+// patches layered on top and the patches of excludeFailureID left out.
+// Running it replays the recording deterministically — modulo whatever
+// behaviour the extra patches change, which is the point.
+func (r *Recording) NewMachine(img *image.Image, extra []*vm.Patch, excludeFailureID string) (*vm.VM, error) {
+	if img == nil {
+		var err error
+		img, err = r.DecodeImage()
+		if err != nil {
+			return nil, err
+		}
+	}
+	patches := compileSpecs(r.Deployed, excludeFailureID)
+	patches = append(patches, extra...)
+	return newMachine(img, r.Input, r.Monitors, patches, r.MaxSteps, nil)
+}
+
+// Replay re-executes the recording from the start under extra patches.
+func (r *Recording) Replay(extra []*vm.Patch, excludeFailureID string) (vm.RunResult, error) {
+	machine, err := r.NewMachine(nil, extra, excludeFailureID)
+	if err != nil {
+		return vm.RunResult{}, err
+	}
+	return machine.Run(), nil
+}
+
+// FastForward restores the latest snapshot and runs the tail of the
+// recording. Because machine snapshots do not capture plugin state, the
+// tail runs under Memory Firewall and Heap Guard only (both are consistent
+// at any snapshot point: the firewall is stateless and the guard reads the
+// restored allocator); a Shadow Stack cannot be resumed mid-run, so
+// failures originally detected by it surface as crashes here. Use it for
+// cheap triage — "does the failing tail still misbehave" — not for
+// verdicts; the Farm always replays full runs.
+func (r *Recording) FastForward() (vm.RunResult, error) {
+	img, err := r.DecodeImage()
+	if err != nil {
+		return vm.RunResult{}, err
+	}
+	mons := r.Monitors
+	mons.ShadowStack = false
+	machine, err := newMachine(img, r.Input, mons, compileSpecs(r.Deployed, ""), r.MaxSteps, nil)
+	if err != nil {
+		return vm.RunResult{}, err
+	}
+	if len(r.Snapshots) > 0 {
+		machine.Restore(r.Snapshots[len(r.Snapshots)-1])
+	}
+	return machine.Run(), nil
+}

@@ -441,6 +441,7 @@ func (v *VM) Run() RunResult {
 			if v.steps >= v.maxSteps {
 				return v.result(OutcomeCrash, 0, nil, &Crash{PC: addr, Reason: "step limit exceeded (hang)"})
 			}
+			v.maybeSnapshot()
 			v.steps++
 			ctx := Ctx{VM: v, PC: addr, Inst: in}
 			if b.hooks != nil {

@@ -1,0 +1,266 @@
+package vm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// snapshotProgram is a workload that exercises every piece of state a
+// snapshot must carry: registers and flags (loop), heap allocator state
+// (alloc/free/realloc churn), memory contents, the input cursor, and the
+// display. It reads input bytes, folds them into a heap-resident
+// accumulator, and writes a digest to the display.
+func snapshotProgram(t testing.TB) *image.Image {
+	im, _ := func() (*image.Image, map[string]uint32) {
+		a := asm.New(0x1000)
+		a.Label("main")
+		// EBX := heap block (accumulator)
+		a.MovRI(isa.EAX, 64)
+		a.Sys(isa.SysAlloc)
+		a.MovRR(isa.EBX, isa.EAX)
+		a.MovRI(isa.ECX, 0)
+		a.Store(asm.M(isa.EBX, 0), isa.ECX)
+		// scratch := heap block, freed each round (recycler churn)
+		a.Label("round")
+		a.Sys(isa.SysInAvail)
+		a.CmpRI(isa.EAX, 0)
+		a.Je("done")
+		a.MovRI(isa.EAX, 16)
+		a.Sys(isa.SysAlloc)
+		a.MovRR(isa.ESI, isa.EAX)
+		// read one input byte into the scratch block
+		a.MovRR(isa.EAX, isa.ESI)
+		a.MovRI(isa.ECX, 1)
+		a.Sys(isa.SysRead)
+		a.LoadB(isa.EDX, asm.M(isa.ESI, 0))
+		// fold: acc = acc*31 + byte
+		a.Load(isa.EAX, asm.M(isa.EBX, 0))
+		a.MulRI(isa.EAX, 31)
+		a.AddRR(isa.EAX, isa.EDX)
+		a.Store(asm.M(isa.EBX, 0), isa.EAX)
+		// write the low byte of the accumulator to the display
+		a.StoreB(asm.M(isa.EBX, 4), isa.EAX)
+		a.Lea(isa.EAX, asm.M(isa.EBX, 4))
+		a.MovRI(isa.ECX, 1)
+		a.Sys(isa.SysWrite)
+		// free the scratch block and loop
+		a.MovRR(isa.EAX, isa.ESI)
+		a.Sys(isa.SysFree)
+		a.Jmp("round")
+		a.Label("done")
+		a.MovRI(isa.EAX, 0)
+		a.Sys(isa.SysExit)
+		code, labels, err := a.Assemble()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &image.Image{Base: 0x1000, Entry: labels["main"], Code: code}, labels
+	}()
+	return im
+}
+
+func requireIdentical(t *testing.T, want, got RunResult, label string) {
+	t.Helper()
+	if got.Outcome != want.Outcome || got.ExitCode != want.ExitCode {
+		t.Fatalf("%s: outcome (%v,%d) != (%v,%d)", label, got.Outcome, got.ExitCode, want.Outcome, want.ExitCode)
+	}
+	if !bytes.Equal(got.Output, want.Output) {
+		t.Fatalf("%s: display diverged: %x vs %x", label, got.Output, want.Output)
+	}
+	if got.Steps != want.Steps {
+		t.Fatalf("%s: steps %d != %d", label, got.Steps, want.Steps)
+	}
+}
+
+// TestSnapshotRestoreBitIdentical is the headline property: a machine
+// restored from a snapshot re-executes to a bit-identical RunResult —
+// same outcome, exit code, display, step count, final registers, flags,
+// and heap statistics — whether the snapshot was taken at step 0 or
+// mid-run.
+func TestSnapshotRestoreBitIdentical(t *testing.T) {
+	im := snapshotProgram(t)
+	input := []byte("the quick brown fox jumps over the lazy dog")
+
+	// Reference run, capturing periodic snapshots along the way.
+	var snaps []*Snapshot
+	ref, err := New(Config{
+		Image: im, Input: input,
+		SnapshotInterval: 37, // deliberately unaligned with the loop period
+		SnapshotSink:     func(s *Snapshot) { snaps = append(snaps, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Run()
+	if want.Outcome != OutcomeExit {
+		t.Fatalf("reference run: %+v", want)
+	}
+	if len(snaps) < 3 {
+		t.Fatalf("expected several periodic snapshots, got %d", len(snaps))
+	}
+	if snaps[0].Steps != 0 {
+		t.Fatalf("first snapshot at step %d, want 0", snaps[0].Steps)
+	}
+	wantAllocs, wantFrees := ref.Heap.Stats()
+
+	for i, s := range snaps {
+		replayed, err := New(Config{Image: im, Input: input})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed.Restore(s)
+		got := replayed.Run()
+		requireIdentical(t, want, got, fmt.Sprintf("snapshot %d (step %d)", i, s.Steps))
+		if replayed.CPU != ref.CPU {
+			t.Fatalf("snapshot %d: final CPU state diverged:\n%+v\n%+v", i, replayed.CPU, ref.CPU)
+		}
+		a, f := replayed.Heap.Stats()
+		if a != wantAllocs || f != wantFrees {
+			t.Fatalf("snapshot %d: heap stats (%d,%d) != (%d,%d)", i, a, f, wantAllocs, wantFrees)
+		}
+	}
+}
+
+// TestSnapshotIsolation verifies that running a restored machine never
+// mutates the snapshot or the original machine: the same snapshot replays
+// identically any number of times, interleaved.
+func TestSnapshotIsolation(t *testing.T) {
+	im := snapshotProgram(t)
+	input := []byte("snapshots must be immutable under replay")
+
+	var snaps []*Snapshot
+	ref, err := New(Config{
+		Image: im, Input: input,
+		SnapshotInterval: 101,
+		SnapshotSink:     func(s *Snapshot) { snaps = append(snaps, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Run()
+	mid := snaps[len(snaps)/2]
+	before := mid.Mem.Clone()                                     // reference copy of the snapshot's memory
+	heapBefore := mem.NewHeapFromState(mid.Mem, mid.Heap).State() // deep copy of the heap state
+
+	var results []RunResult
+	for i := 0; i < 4; i++ {
+		m, err := New(Config{Image: im, Input: input})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Restore(mid)
+		results = append(results, m.Run())
+	}
+	for i, got := range results {
+		requireIdentical(t, want, got, fmt.Sprintf("replay %d", i))
+	}
+	// The snapshot's heap state must be untouched by the replays.
+	if !reflect.DeepEqual(mid.Heap, heapBefore) {
+		t.Fatalf("snapshot heap state mutated by replays:\n%+v\n%+v", mid.Heap, heapBefore)
+	}
+	// Spot-check the snapshot memory against the pre-replay copy.
+	for _, addr := range []uint32{0x1000, 0x2000_0000, 0x2000_0010} {
+		if !mid.Mem.Mapped(addr) {
+			continue
+		}
+		w, err1 := before.Read32(addr)
+		g, err2 := mid.Mem.Read32(addr)
+		if err1 != nil || err2 != nil || w != g {
+			t.Fatalf("snapshot memory mutated at %#x: %#x -> %#x", addr, w, g)
+		}
+	}
+}
+
+// TestSnapshotGobRoundTrip ships a snapshot through gob — the recording
+// wire format — and replays from the deserialized copy.
+func TestSnapshotGobRoundTrip(t *testing.T) {
+	im := snapshotProgram(t)
+	input := []byte("gob all the way down")
+
+	var snaps []*Snapshot
+	ref, err := New(Config{
+		Image: im, Input: input,
+		SnapshotInterval: 53,
+		SnapshotSink:     func(s *Snapshot) { snaps = append(snaps, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Run()
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snaps[len(snaps)-1]); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := New(Config{Image: im, Input: input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Restore(&back)
+	requireIdentical(t, want, m.Run(), "gob round trip")
+}
+
+// TestRestoreUnderDifferentPatches restores one snapshot under two patch
+// sets and checks the executions diverge as the patches dictate — the
+// replay-farm use case in miniature.
+func TestRestoreUnderDifferentPatches(t *testing.T) {
+	im := snapshotProgram(t)
+	input := []byte("abc")
+
+	var snaps []*Snapshot
+	ref, err := New(Config{
+		Image: im, Input: input,
+		SnapshotInterval: 10,
+		SnapshotSink:     func(s *Snapshot) { snaps = append(snaps, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Run()
+	start := snaps[0]
+
+	// Unpatched replay reproduces the run.
+	plain, err := New(Config{Image: im, Input: input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.Restore(start)
+	requireIdentical(t, want, plain.Run(), "unpatched")
+
+	// A patch at the entry instruction diverts the run entirely.
+	patched, err := New(Config{Image: im, Input: input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	err = patched.ApplyPatch(&Patch{
+		ID:   "test/abort",
+		Addr: im.Entry,
+		Prio: PrioRepair,
+		Hook: func(ctx *Ctx) error {
+			fired++
+			return &Failure{PC: ctx.PC, Monitor: "test", Kind: "forced"}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched.Restore(start)
+	got := patched.Run()
+	if got.Outcome != OutcomeFailure || fired != 1 {
+		t.Fatalf("patched replay: %+v (fired %d)", got, fired)
+	}
+}

@@ -135,6 +135,14 @@ type Config struct {
 	StackSize uint32
 	HeapBase  uint32
 	HeapSize  uint32
+
+	// SnapshotInterval asks the machine to emit a state snapshot to
+	// SnapshotSink every ~interval executed instructions (plus one at step
+	// 0, before the first instruction). Snapshots are copy-on-write, so
+	// the recording overhead is proportional to pages dirtied between
+	// snapshots. Both fields must be set for capture to happen.
+	SnapshotInterval uint64
+	SnapshotSink     func(*Snapshot)
 }
 
 // VM is one executing instance of the protected application.
@@ -164,6 +172,10 @@ type VM struct {
 	steps    uint64
 	hookRuns uint64
 	blocks   int
+
+	snapInterval uint64
+	snapSink     func(*Snapshot)
+	nextSnap     uint64
 
 	stackLo, stackHi uint32
 }
@@ -209,6 +221,10 @@ func New(cfg Config) (*VM, error) {
 		maxSteps: cfg.MaxSteps,
 		stackLo:  cfg.StackTop - cfg.StackSize,
 		stackHi:  cfg.StackTop,
+	}
+	if cfg.SnapshotInterval > 0 && cfg.SnapshotSink != nil {
+		v.snapInterval = cfg.SnapshotInterval
+		v.snapSink = cfg.SnapshotSink
 	}
 	v.CPU.PC = cfg.Image.Entry
 	v.CPU.Regs[isa.ESP] = cfg.StackTop
