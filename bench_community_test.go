@@ -1,6 +1,8 @@
 package repro_test
 
 import (
+	"testing"
+
 	"repro/internal/community"
 	"repro/internal/redteam"
 )
@@ -32,4 +34,52 @@ func (bm *benchManager) node(id string) *community.Node {
 		panic(err)
 	}
 	return n
+}
+
+// BenchmarkCommunitySoak compares the two community shipping modes on an
+// identical soak: batched (one MsgBatch per node per round) versus
+// per-message (a sync and a report per run, plus recording uploads). The
+// msgs metric is the manager-side envelope count the batching protocol
+// exists to amortize; both modes must converge on every defect.
+func BenchmarkCommunitySoak(b *testing.B) {
+	setup, _ := sharedSetups(b)
+	attacks := func() []community.SoakAttack {
+		var out []community.SoakAttack
+		for _, id := range []string{"290162", "312278"} {
+			out = append(out, community.SoakAttack{
+				Label: id, Input: redteam.AttackInput(setup.App, exploit(b, id), 0),
+			})
+		}
+		return out
+	}()
+	for _, mode := range []struct {
+		name    string
+		batched bool
+	}{{"batched", true}, {"per-message", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var msgs, replays float64
+			for i := 0; i < b.N; i++ {
+				rep, err := community.RunSoak(community.SoakConfig{
+					Image:           setup.App.Image,
+					Seed:            setup.DB,
+					BootstrapInputs: [][]byte{redteam.LearningCorpus()},
+					Nodes:           12,
+					Rounds:          6,
+					Attacks:         attacks,
+					Benign:          redteam.EvaluationPages()[:2],
+					Batched:         mode.batched,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Converged {
+					b.Fatalf("soak did not converge: %+v", rep)
+				}
+				msgs = float64(rep.Messages)
+				replays = float64(rep.ReplayRuns)
+			}
+			b.ReportMetric(msgs, "msgs")
+			b.ReportMetric(replays, "replays")
+		})
+	}
 }

@@ -23,22 +23,39 @@ func main() {
 		fmt.Fprintln(os.Stderr, "disasm:", err)
 		os.Exit(1)
 	}
-	if len(os.Args) < 2 {
-		for _, name := range asm.SortedLabels(app.Labels) {
-			fmt.Printf("%08x  %s\n", app.Labels[name], name)
-		}
-		return
+	var arg string
+	if len(os.Args) >= 2 {
+		arg = os.Args[1]
 	}
-	target64, err := strconv.ParseUint(os.Args[1], 0, 32)
+	lines, err := describe(app, arg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "disasm: bad address:", err)
+		fmt.Fprintln(os.Stderr, "disasm:", err)
 		os.Exit(1)
+	}
+	for _, line := range lines {
+		fmt.Println(line)
+	}
+}
+
+// describe renders the tool's output: the sorted label map when arg is
+// empty, or the location header and surrounding disassembly for an
+// address.
+func describe(app *webapp.App, arg string) ([]string, error) {
+	if arg == "" {
+		var lines []string
+		for _, name := range asm.SortedLabels(app.Labels) {
+			lines = append(lines, fmt.Sprintf("%08x  %s", app.Labels[name], name))
+		}
+		return lines, nil
+	}
+	target64, err := strconv.ParseUint(arg, 0, 32)
+	if err != nil {
+		return nil, fmt.Errorf("bad address: %w", err)
 	}
 	target := uint32(target64)
 	if !app.Image.Contains(target) {
-		fmt.Fprintf(os.Stderr, "disasm: %#x outside code [%#x,%#x)\n",
+		return nil, fmt.Errorf("%#x outside code [%#x,%#x)",
 			target, app.Image.Base, app.Image.End())
-		os.Exit(1)
 	}
 
 	var best string
@@ -48,7 +65,7 @@ func main() {
 			bestAddr, best = addr, name
 		}
 	}
-	fmt.Printf("%#x is %s+%d\n\n", target, best, target-bestAddr)
+	lines := []string{fmt.Sprintf("%#x is %s+%d", target, best, target-bestAddr), ""}
 
 	off := int(target - app.Image.Base)
 	lo := off - 4*isa.InstSize
@@ -59,7 +76,6 @@ func main() {
 	if hi > len(app.Image.Code) {
 		hi = len(app.Image.Code)
 	}
-	for _, line := range asm.Disassemble(app.Image.Code[lo:hi], app.Image.Base+uint32(lo)) {
-		fmt.Println(line)
-	}
+	lines = append(lines, asm.Disassemble(app.Image.Code[lo:hi], app.Image.Base+uint32(lo))...)
+	return lines, nil
 }

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/webapp"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// normalize strips addresses out of the rendered output so the golden
+// files capture structure (label names, mnemonics, operand shapes), not
+// the exact layout of the current webapp build.
+func normalize(lines []string) string {
+	hexCol := regexp.MustCompile(`^[0-9a-f]{8}  `)
+	hexLit := regexp.MustCompile(`0x[0-9a-fA-F]+`)
+	out := make([]string, len(lines))
+	for i, line := range lines {
+		line = hexCol.ReplaceAllString(line, "ADDR  ")
+		line = hexLit.ReplaceAllString(line, "0xADDR")
+		out[i] = line
+	}
+	return strings.Join(out, "\n") + "\n"
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestDescribeLabelsGolden(t *testing.T) {
+	app := webapp.MustBuild()
+	lines, err := describe(app, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(app.Labels) {
+		t.Fatalf("listed %d labels, app has %d", len(lines), len(app.Labels))
+	}
+	checkGolden(t, "labels.golden", normalize(lines))
+}
+
+func TestDescribeAddressGolden(t *testing.T) {
+	app := webapp.MustBuild()
+	// The defect site of exploit 290162: a stable, meaningful address to
+	// disassemble around, referenced by name so layout drift cannot move
+	// the golden's anchor.
+	site, ok := app.Labels["site_290162"]
+	if !ok {
+		t.Fatal("webapp has no site_290162 label")
+	}
+	lines, err := describe(app, fmt.Sprintf("%#x", site))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(lines[0], "site_290162+0") {
+		t.Fatalf("header does not attribute the address to its label: %q", lines[0])
+	}
+	checkGolden(t, "site290162.golden", normalize(lines))
+}
+
+func TestDescribeErrors(t *testing.T) {
+	app := webapp.MustBuild()
+	if _, err := describe(app, "zzz"); err == nil {
+		t.Fatal("malformed address accepted")
+	}
+	if _, err := describe(app, "0x10"); err == nil {
+		t.Fatal("out-of-image address accepted")
+	}
+}

@@ -13,10 +13,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/evaluate"
 	"repro/internal/redteam"
 	"repro/internal/replay"
 	"repro/internal/vm"
@@ -108,16 +110,7 @@ func run(exploitID string, workers int, deadline time.Duration, confirm bool) er
 
 	// The ranked-patch table, exactly as the evaluator would deploy them.
 	fmt.Printf("\nranked candidate repairs for %s:\n", fc.ID)
-	fmt.Printf("  %-4s %-52s %8s %5s %5s\n", "rank", "repair", "score", "s", "f")
-	for i, e := range fc.Evaluator.Ranked() {
-		marker := " "
-		if fc.Current != nil && e == fc.Current {
-			marker = "*"
-		}
-		fmt.Printf("  %s%-3d %-52s %8d %5d %5d\n",
-			marker, i+1, e.Repair.ID(), e.Score(fc.Evaluator.Bonus), e.Successes, e.Failures)
-	}
-	fmt.Println("  (* = deployed for the next live execution)")
+	writeRankedTable(os.Stdout, fc.Evaluator, fc.Current)
 
 	if !confirm {
 		return nil
@@ -129,4 +122,21 @@ func run(exploitID string, workers int, deadline time.Duration, confirm bool) er
 	fmt.Printf("\nlive confirmation: attack survived under %s after 2 presentations (state %s)\n",
 		fc.CurrentRepairID(), fc.State)
 	return nil
+}
+
+// writeRankedTable renders the ranked-candidate table: one row per
+// repair in deployment order, the deployed candidate starred. The
+// rendering is timing-free so it is byte-stable for a given evaluator
+// state (see the golden test).
+func writeRankedTable(w io.Writer, ev *evaluate.Evaluator, current *evaluate.Entry) {
+	fmt.Fprintf(w, "  %-4s %-52s %8s %5s %5s\n", "rank", "repair", "score", "s", "f")
+	for i, e := range ev.Ranked() {
+		marker := " "
+		if current != nil && e == current {
+			marker = "*"
+		}
+		fmt.Fprintf(w, "  %s%-3d %-52s %8d %5d %5d\n",
+			marker, i+1, e.Repair.ID(), e.Score(ev.Bonus), e.Successes, e.Failures)
+	}
+	fmt.Fprintln(w, "  (* = deployed for the next live execution)")
 }

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/daikon"
+	"repro/internal/evaluate"
+	"repro/internal/repair"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// tableEvaluator builds a deterministic evaluator state: three candidate
+// repairs with distinct strategies and a mixed verdict history, as a
+// farm pass would leave them.
+func tableEvaluator() *evaluate.Evaluator {
+	inv := &daikon.Invariant{
+		Kind: daikon.KindOneOf, Var: daikon.VarID{PC: 0x400ba8, Slot: 2},
+		Values: []uint32{0x400e40},
+	}
+	lower := &daikon.Invariant{
+		Kind: daikon.KindLowerBound, Var: daikon.VarID{PC: 0x400b80, Slot: 2}, Bound: 0,
+	}
+	rs := []*repair.Repair{
+		{Inv: inv, Strategy: repair.StratSetValue, Value: 0x400e40, PC: 0x400ba8},
+		{Inv: inv, Strategy: repair.StratSkipCall, PC: 0x400ba8},
+		{Inv: lower, Strategy: repair.StratClampLower, PC: 0x400b80},
+	}
+	ev := evaluate.New(rs, 1)
+	// The farm judged: set-value survived twice, clamp-lower survived
+	// once, skip-call failed once.
+	ev.RecordSuccess(rs[0].ID())
+	ev.RecordSuccess(rs[0].ID())
+	ev.RecordFailure(rs[1].ID())
+	ev.RecordSuccess(rs[2].ID())
+	return ev
+}
+
+// TestRankedTableGolden locks the structure of the ranked-patch table:
+// column layout, ordering, scores, and the deployed-candidate marker.
+// The table contains no timings, so the golden is byte-exact.
+func TestRankedTableGolden(t *testing.T) {
+	ev := tableEvaluator()
+	var buf bytes.Buffer
+	writeRankedTable(&buf, ev, ev.Best())
+	got := buf.String()
+
+	path := filepath.Join("testdata", "ranked.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("table differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestRankedTableStarsCurrent: the star must follow the deployed entry,
+// not the top rank.
+func TestRankedTableStarsCurrent(t *testing.T) {
+	ev := tableEvaluator()
+	entries := ev.Ranked()
+	var buf bytes.Buffer
+	writeRankedTable(&buf, ev, entries[len(entries)-1])
+	lines := bytes.Split(buf.Bytes(), []byte("\n"))
+	// Header + rows; the last row (before the legend) carries the star.
+	starRow := lines[len(entries)]
+	if !bytes.HasPrefix(starRow, []byte("  *")) {
+		t.Fatalf("deployed row not starred: %q", starRow)
+	}
+	if bytes.Contains(lines[1], []byte("*")) {
+		t.Fatalf("top rank starred despite not being deployed: %q", lines[1])
+	}
+}

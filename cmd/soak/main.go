@@ -1,0 +1,119 @@
+// Command soak runs a large-N community soak: it simulates a community
+// of node managers (default 100) sharing one central manager, presents
+// every node with recurring Red Team attacks round after round, and
+// reports convergence — how many presentations each defect needed before
+// every node in the community held the same adopted repair — as a
+// machine-readable table.
+//
+//	soak                          100 nodes, batched, default exploit set
+//	soak -nodes 250 -batch=false  per-message messaging at larger N
+//	soak -exploits 290162,312278  choose the attack set
+//	soak -json                    emit the full report as JSON
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/community"
+	"repro/internal/redteam"
+)
+
+// defaultExploits are repairable at the default stack scope with the
+// default learning corpus — every one must converge in a soak.
+const defaultExploits = "269095,290162,295854,312278,320182"
+
+func main() {
+	nodes := flag.Int("nodes", 100, "community size")
+	rounds := flag.Int("rounds", 8, "max rounds (the soak stops early on convergence)")
+	exploits := flag.String("exploits", defaultExploits, "comma-separated Bugzilla ids to present")
+	batch := flag.Bool("batch", true, "ship node activity as MsgBatch (false = one message per run)")
+	recorders := flag.Int("recorders", 1, "how many nodes record failing runs")
+	workers := flag.Int("workers", 0, "manager replay-farm workers (0 = all CPUs)")
+	scope := flag.Int("scope", 1, "candidate stack scope")
+	expanded := flag.Bool("expanded", false, "learn from the expanded corpus (§4.3.2)")
+	asJSON := flag.Bool("json", false, "emit the report as JSON instead of a table")
+	flag.Parse()
+
+	if err := run(*nodes, *rounds, *exploits, *batch, *recorders, *workers, *scope, *expanded, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "soak:", err)
+		os.Exit(1)
+	}
+}
+
+func run(nodes, rounds int, exploits string, batch bool, recorders, workers, scope int, expanded, asJSON bool) error {
+	fmt.Fprintf(os.Stderr, "building webapp and learning invariants (expanded corpus: %v)...\n", expanded)
+	setup, err := redteam.NewSetup(expanded)
+	if err != nil {
+		return err
+	}
+
+	byID := map[string]redteam.Exploit{}
+	for _, ex := range redteam.Exploits() {
+		byID[ex.Bugzilla] = ex
+	}
+	var attacks []community.SoakAttack
+	for _, id := range strings.Split(exploits, ",") {
+		id = strings.TrimSpace(id)
+		ex, ok := byID[id]
+		if !ok {
+			return fmt.Errorf("unknown exploit %q", id)
+		}
+		attacks = append(attacks, community.SoakAttack{
+			Label: ex.Bugzilla,
+			Input: redteam.AttackInput(setup.App, ex, 0),
+		})
+	}
+
+	conf := community.SoakConfig{
+		Image:           setup.App.Image,
+		Seed:            setup.DB,
+		BootstrapInputs: [][]byte{redteam.LearningCorpus()},
+		Nodes:           nodes,
+		Rounds:          rounds,
+		Attacks:         attacks,
+		Benign:          redteam.EvaluationPages()[:5],
+		Batched:         batch,
+		Recorders:       recorders,
+		ReplayWorkers:   workers,
+		StackScope:      scope,
+	}
+
+	fmt.Fprintf(os.Stderr, "soaking %d nodes x %d attacks (batched: %v)...\n", nodes, len(attacks), batch)
+	start := time.Now()
+	rep, err := community.RunSoak(conf)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+		if !rep.Converged {
+			return fmt.Errorf("community did not converge within %d rounds", rounds)
+		}
+		return nil
+	}
+
+	// The machine-readable table: one TSV row per defect plus a summary.
+	fmt.Printf("defect\tfailure_pc\tmonitor\tadopted_repair\trounds\tagree\tconverged\n")
+	for _, d := range rep.Defects {
+		fmt.Printf("%s\t%#x\t%s\t%s\t%d\t%d/%d\t%v\n",
+			d.Label, d.FailurePC, d.Monitor, d.Adopted, d.Rounds, d.Agree, rep.Nodes, d.Converged)
+	}
+	fmt.Printf("\nnodes=%d rounds=%d batched=%v messages=%d batches=%d replay_runs=%d converged=%v elapsed=%v\n",
+		rep.Nodes, rep.RoundsRun, rep.Batched, rep.Messages, rep.Batches, rep.ReplayRuns,
+		rep.Converged, elapsed.Round(time.Millisecond))
+	if !rep.Converged {
+		return fmt.Errorf("community did not converge within %d rounds", rounds)
+	}
+	return nil
+}

@@ -23,8 +23,10 @@
 //	internal/repair     candidate repair generation
 //	internal/evaluate   repair scoring and ranking
 //	internal/replay     deterministic record/replay + parallel patch farm
+//	internal/fuzz       coverage-guided exploit-variant fuzzer
 //	internal/core       the ClearView pipeline orchestrator
-//	internal/community  central manager + node managers (pipe & TCP)
+//	internal/community  central manager + node managers (pipe & TCP),
+//	                    batched messaging, large-N soak driver
 //	internal/webapp     the protected application (ten seeded defects)
 //	internal/redteam    exploit builders, corpora, drivers, reports
 //

@@ -2,6 +2,7 @@ package community
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/cfg"
@@ -126,6 +127,9 @@ type Manager struct {
 
 	recordings map[uint32]*replay.Recording // latest failing recording per location
 	replayRuns int
+
+	messages int // envelopes handled
+	batches  int // MsgBatch envelopes among them
 }
 
 // NewManager builds and bootstraps a manager.
@@ -209,6 +213,9 @@ func (m *Manager) Serve(conn Conn) error {
 }
 
 func (m *Manager) handle(env Envelope) (Envelope, error) {
+	m.mu.Lock()
+	m.messages++
+	m.mu.Unlock()
 	switch env.Kind {
 	case MsgHello:
 		var h Hello
@@ -231,18 +238,9 @@ func (m *Manager) handle(env Envelope) (Envelope, error) {
 		if err := decodePayload(env.Payload, &up); err != nil {
 			return Envelope{}, err
 		}
-		db, err := daikon.UnmarshalDB(up.DB)
-		if err != nil {
+		if err := m.mergeLearnDB(up.DB); err != nil {
 			return Envelope{}, err
 		}
-		m.mu.Lock()
-		if m.inv.Len() == 0 && len(m.inv.VarsSeen) == 0 {
-			m.inv = db
-		} else {
-			m.inv.Merge(db, daikon.DefaultMaxOneOf)
-		}
-		m.uploads++
-		m.mu.Unlock()
 		return m.directivesFor(up.NodeID)
 	case MsgRunReport:
 		var rep RunReport
@@ -256,20 +254,122 @@ func (m *Manager) handle(env Envelope) (Envelope, error) {
 		if err := decodePayload(env.Payload, &up); err != nil {
 			return Envelope{}, err
 		}
-		rec, err := replay.Unmarshal(up.Recording)
-		if err != nil {
+		if err := m.ingestRecordings([][]byte{up.Recording}); err != nil {
 			return Envelope{}, err
 		}
-		m.mu.Lock()
-		if pc, ok := rec.FailurePC(); ok {
-			m.recordings[pc] = rec
-			m.replayFastPath(pc)
-		}
-		m.mu.Unlock()
 		return m.directivesFor(up.NodeID)
+	case MsgBatch:
+		var b Batch
+		if err := decodePayload(env.Payload, &b); err != nil {
+			return Envelope{}, err
+		}
+		if err := m.handleBatch(&b); err != nil {
+			return Envelope{}, err
+		}
+		return m.directivesFor(b.NodeID)
 	default:
 		return Envelope{}, fmt.Errorf("community: unexpected message %v", env.Kind)
 	}
+}
+
+// mergeLearnDB folds one serialized node database into the community
+// database.
+func (m *Manager) mergeLearnDB(raw []byte) error {
+	db, err := daikon.UnmarshalDB(raw)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.mergeDB(db)
+	m.mu.Unlock()
+	return nil
+}
+
+// mergeDB folds a decoded node database in. Called with m.mu held.
+func (m *Manager) mergeDB(db *daikon.DB) {
+	if m.inv.Len() == 0 && len(m.inv.VarsSeen) == 0 {
+		m.inv = db
+	} else {
+		m.inv.Merge(db, daikon.DefaultMaxOneOf)
+	}
+	m.uploads++
+}
+
+// ingestRecordings stores failing-run recordings (latest wins per failure
+// location) and runs the replay fast path once per distinct location —
+// not once per recording, which is the batching win: a hundred nodes
+// shipping the same deterministic failure cost one farm pass.
+func (m *Manager) ingestRecordings(raws [][]byte) error {
+	recs := make([]*replay.Recording, 0, len(raws))
+	for _, raw := range raws {
+		rec, err := replay.Unmarshal(raw)
+		if err != nil {
+			return err
+		}
+		recs = append(recs, rec)
+	}
+	m.mu.Lock()
+	m.ingestDecoded(recs)
+	m.mu.Unlock()
+	return nil
+}
+
+// ingestDecoded stores decoded recordings and fast-paths each distinct
+// failure location once. Called with m.mu held.
+func (m *Manager) ingestDecoded(recs []*replay.Recording) {
+	var pcs []uint32
+	seen := make(map[uint32]bool)
+	for _, rec := range recs {
+		pc, ok := rec.FailurePC()
+		if !ok {
+			continue
+		}
+		m.recordings[pc] = rec
+		if !seen[pc] {
+			seen[pc] = true
+			pcs = append(pcs, pc)
+		}
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	for _, pc := range pcs {
+		m.replayFastPath(pc)
+	}
+}
+
+// handleBatch applies one node's batched activity: learning uploads
+// first, then the run reports in execution order, then the recordings —
+// the same sequencing RunOnce produces message by message, collapsed
+// into one envelope. Every serialized payload is decoded up front, so a
+// malformed batch is rejected whole rather than half-applied.
+func (m *Manager) handleBatch(b *Batch) error {
+	dbs := make([]*daikon.DB, 0, len(b.LearnDBs))
+	for _, raw := range b.LearnDBs {
+		db, err := daikon.UnmarshalDB(raw)
+		if err != nil {
+			return err
+		}
+		dbs = append(dbs, db)
+	}
+	recs := make([]*replay.Recording, 0, len(b.Recordings))
+	for _, raw := range b.Recordings {
+		rec, err := replay.Unmarshal(raw)
+		if err != nil {
+			return err
+		}
+		recs = append(recs, rec)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batches++
+	for _, db := range dbs {
+		m.mergeDB(db)
+	}
+	for i := range b.Reports {
+		m.processReportLocked(&b.Reports[i])
+	}
+	m.ingestDecoded(recs)
+	return nil
 }
 
 // processReport advances every failure case with one node run, following
@@ -277,7 +377,11 @@ func (m *Manager) handle(env Envelope) (Envelope, error) {
 func (m *Manager) processReport(rep *RunReport) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.processReportLocked(rep)
+}
 
+// processReportLocked is processReport's body. Called with m.mu held.
+func (m *Manager) processReportLocked(rep *RunReport) {
 	var failPC uint32
 	if rep.Failure != nil {
 		failPC = rep.Failure.PC
@@ -480,6 +584,21 @@ func (m *Manager) ReplayRuns() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.replayRuns
+}
+
+// Messages returns how many envelopes the manager has handled — the cost
+// the batching protocol amortizes.
+func (m *Manager) Messages() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.messages
+}
+
+// Batches returns how many MsgBatch envelopes were among the messages.
+func (m *Manager) Batches() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.batches
 }
 
 func (m *Manager) instAt(pc uint32) (isa.Inst, bool) {

@@ -63,7 +63,16 @@ func (n *Node) roundTrip(env Envelope) error {
 	}
 	switch reply.Kind {
 	case MsgDirectives:
-		return decodePayload(reply.Payload, &n.dir)
+		// Decode into a fresh value: gob merges into existing structures
+		// (zero fields are omitted on the wire and keep their old bytes on
+		// decode), so reusing n.dir would let directives from a previous
+		// phase bleed into this one.
+		var dir Directives
+		if err := decodePayload(reply.Payload, &dir); err != nil {
+			return err
+		}
+		n.dir = dir
+		return nil
 	case MsgAck:
 		return nil
 	}
@@ -119,16 +128,10 @@ func (n *Node) compile() ([]*vm.Patch, []*correlate.CheckSet) {
 	return patches, sets
 }
 
-// RunOnce executes the application on one input under the current
-// directives and reports the result to the manager. The updated
-// directives in the reply take effect for the next run.
-func (n *Node) RunOnce(input []byte) (vm.RunResult, error) {
-	// Refresh directives first: a presentation happens only after the
-	// manager's actions from the previous one have been applied (the Red
-	// Team exercise protocol, §4.3.1).
-	if err := n.Sync(); err != nil {
-		return vm.RunResult{}, err
-	}
+// runLocal executes the application on one input under the current
+// directives and assembles the run report; if the node records failures
+// and the run failed, the sealed recording's wire form is returned too.
+func (n *Node) runLocal(input []byte) (vm.RunResult, RunReport, []byte, error) {
 	patches, sets := n.compile()
 
 	shadow := monitor.NewShadowStack()
@@ -157,7 +160,7 @@ func (n *Node) RunOnce(input []byte) (vm.RunResult, error) {
 	}
 	machine, err := vm.New(cfg)
 	if err != nil {
-		return vm.RunResult{}, err
+		return vm.RunResult{}, RunReport{}, nil, err
 	}
 	shadow.Install(machine)
 	res := machine.Run()
@@ -189,6 +192,30 @@ func (n *Node) RunOnce(input []byte) (vm.RunResult, error) {
 		rep.Observations = append(rep.Observations, cs.DrainRun()...)
 	}
 
+	var raw []byte
+	if tape != nil && res.Failure != nil {
+		raw, err = n.sealRecording(tape, input, res)
+		if err != nil {
+			return res, rep, nil, err
+		}
+	}
+	return res, rep, raw, nil
+}
+
+// RunOnce executes the application on one input under the current
+// directives and reports the result to the manager. The updated
+// directives in the reply take effect for the next run.
+func (n *Node) RunOnce(input []byte) (vm.RunResult, error) {
+	// Refresh directives first: a presentation happens only after the
+	// manager's actions from the previous one have been applied (the Red
+	// Team exercise protocol, §4.3.1).
+	if err := n.Sync(); err != nil {
+		return vm.RunResult{}, err
+	}
+	res, rep, rawRec, err := n.runLocal(input)
+	if err != nil {
+		return res, err
+	}
 	env, err := NewEnvelope(MsgRunReport, rep)
 	if err != nil {
 		return res, err
@@ -196,20 +223,53 @@ func (n *Node) RunOnce(input []byte) (vm.RunResult, error) {
 	if err := n.roundTrip(env); err != nil {
 		return res, err
 	}
-	if tape != nil && res.Failure != nil {
-		if err := n.uploadRecording(tape, input, res); err != nil {
+	if rawRec != nil {
+		env, err := NewEnvelope(MsgRecording, RecordingUpload{NodeID: n.ID, Recording: rawRec})
+		if err != nil {
+			return res, err
+		}
+		if err := n.roundTrip(env); err != nil {
 			return res, err
 		}
 	}
 	return res, nil
 }
 
-// uploadRecording seals the tape of a failing run — including the repair
+// RunBatch executes the application on every input under one directive
+// snapshot and ships the accumulated reports and failing-run recordings
+// as a single MsgBatch — one round trip for the whole batch instead of
+// two per run. The manager's reply (its post-batch directives) takes
+// effect for the next batch. This is how a large community keeps manager
+// load O(batches) rather than O(executions).
+func (n *Node) RunBatch(inputs [][]byte) ([]vm.RunResult, error) {
+	if err := n.Sync(); err != nil {
+		return nil, err
+	}
+	batch := Batch{NodeID: n.ID}
+	results := make([]vm.RunResult, 0, len(inputs))
+	for _, input := range inputs {
+		res, rep, rawRec, err := n.runLocal(input)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, res)
+		batch.Reports = append(batch.Reports, rep)
+		if rawRec != nil {
+			batch.Recordings = append(batch.Recordings, rawRec)
+		}
+	}
+	env, err := NewEnvelope(MsgBatch, batch)
+	if err != nil {
+		return results, err
+	}
+	return results, n.roundTrip(env)
+}
+
+// sealRecording seals the tape of a failing run — including the repair
 // patches the node was running under, so the manager replays the same
-// machine — and ships it as MsgRecording. The manager's reply carries the
-// directives its fast path produced, so the node is re-patched before its
-// very next execution.
-func (n *Node) uploadRecording(tape *replay.Tape, input []byte, res vm.RunResult) error {
+// machine — and returns its wire form for a MsgRecording or MsgBatch
+// upload.
+func (n *Node) sealRecording(tape *replay.Tape, input []byte, res vm.RunResult) ([]byte, error) {
 	deployed := make([]replay.PatchSpec, 0, len(n.dir.Repairs))
 	for i := range n.dir.Repairs {
 		spec := &n.dir.Repairs[i]
@@ -227,15 +287,7 @@ func (n *Node) uploadRecording(tape *replay.Tape, input []byte, res vm.RunResult
 		fmt.Sprintf("%s/seq%d", n.ID, n.dir.Seq),
 		n.Image, input, deployed, replay.AllMonitors(), n.maxSteps, res,
 	)
-	raw, err := rec.Marshal()
-	if err != nil {
-		return err
-	}
-	env, err := NewEnvelope(MsgRecording, RecordingUpload{NodeID: n.ID, Recording: raw})
-	if err != nil {
-		return err
-	}
-	return n.roundTrip(env)
+	return rec.Marshal()
 }
 
 // UploadLearning finalizes the node's locally inferred invariants and

@@ -43,6 +43,12 @@ const (
 	// fast-path invariant checking and to judge candidate repairs on its
 	// replay farm instead of waiting for live recurrences at the nodes.
 	MsgRecording
+	// MsgBatch carries many run reports, recordings, and learning uploads
+	// in one envelope. Large communities batch so manager work is
+	// O(batches), not O(messages): one envelope, one directive snapshot,
+	// and at most one replay-farm pass per failure location per batch —
+	// however many runs the batch describes.
+	MsgBatch
 )
 
 func (k MsgKind) String() string {
@@ -59,6 +65,8 @@ func (k MsgKind) String() string {
 		return "ack"
 	case MsgRecording:
 		return "recording"
+	case MsgBatch:
+		return "batch"
 	}
 	return fmt.Sprintf("msg%d", uint8(k))
 }
@@ -101,6 +109,18 @@ type RunReport struct {
 type RecordingUpload struct {
 	NodeID    string
 	Recording []byte
+}
+
+// Batch aggregates one node's activity since its last contact: the run
+// reports in execution order, the recordings of any failing runs (each a
+// replay.Recording wire form), and any learning-database uploads. The
+// manager applies the whole batch under one lock and replies with one
+// Directives snapshot.
+type Batch struct {
+	NodeID     string
+	Reports    []RunReport
+	Recordings [][]byte
+	LearnDBs   [][]byte
 }
 
 // CheckSpec asks a node to install checking patches for one invariant.

@@ -1,0 +1,318 @@
+package community
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/daikon"
+	"repro/internal/image"
+	"repro/internal/monitor"
+	"repro/internal/repair"
+	"repro/internal/vm"
+)
+
+// SoakAttack is one recurring failure scenario a soak presents to every
+// node each round.
+type SoakAttack struct {
+	Label string // human label, e.g. the Bugzilla id
+	Input []byte
+}
+
+// SoakConfig drives a large-N community soak: Nodes node managers share
+// one manager, every node presents every attack once per round, and the
+// soak reports when the whole community has converged on one adopted
+// repair per defect.
+type SoakConfig struct {
+	Image *image.Image
+	// Seed is the pre-learned invariant database (the Blue Team run).
+	Seed *daikon.DB
+	// BootstrapInputs populate the manager's CFG database.
+	BootstrapInputs [][]byte
+
+	// Nodes is the community size; default 100.
+	Nodes int
+	// Rounds bounds the soak; default 8. The soak stops early once every
+	// defect has converged.
+	Rounds int
+	// Attacks are the failure scenarios; at least one is required.
+	Attacks []SoakAttack
+	// Benign inputs are interleaved one per round (rotating) so adopted
+	// repairs keep being exercised on legitimate traffic; may be empty.
+	Benign [][]byte
+
+	// Batched selects MsgBatch shipping (one round trip per node per
+	// round) instead of per-run RunOnce messaging.
+	Batched bool
+	// Recorders is how many nodes capture failing runs as recordings
+	// (default 1: the manager's replay fast path needs only one copy of
+	// a deterministic failure; more recorders only add upload weight).
+	Recorders int
+	// ReplayWorkers bounds the manager's replay farm; 0 (the default)
+	// and negative values select GOMAXPROCS. The fast path is always on
+	// in a soak: converging a large community on live recurrences alone
+	// is the cost model the soak exists to avoid.
+	ReplayWorkers int
+	// StackScope is the candidate-selection scope (default 1).
+	StackScope int
+}
+
+// SoakDefect is one row of the convergence table.
+type SoakDefect struct {
+	Label     string `json:"label"`
+	FailurePC uint32 `json:"failure_pc"`
+	Monitor   string `json:"monitor"`
+	// Adopted is the repair the community converged on ("" if it never
+	// converged).
+	Adopted string `json:"adopted"`
+	// Rounds is the presentations-per-node needed before every node held
+	// the same adopted repair (0 if never).
+	Rounds int `json:"rounds"`
+	// Agree is how many nodes held the adopted repair at the round the
+	// defect converged (or at the final round, if it never did).
+	Agree     int  `json:"agree"`
+	Converged bool `json:"converged"`
+}
+
+// SoakReport is the machine-readable outcome of one soak.
+type SoakReport struct {
+	Nodes     int  `json:"nodes"`
+	RoundsRun int  `json:"rounds_run"`
+	Batched   bool `json:"batched"`
+	// Messages is how many envelopes the manager handled; Batches how
+	// many were MsgBatch. The batched/per-message comparison of these
+	// two is the point of the batching protocol.
+	Messages   int          `json:"messages"`
+	Batches    int          `json:"batches"`
+	ReplayRuns int          `json:"replay_runs"`
+	Defects    []SoakDefect `json:"defects"`
+	Converged  bool         `json:"converged"`
+}
+
+// probeFailurePC runs one input on a bare monitored machine to learn the
+// failure location an attack produces — the key the soak uses to match
+// manager cases to attack labels.
+func probeFailurePC(img *image.Image, input []byte) (uint32, string, error) {
+	shadow := monitor.NewShadowStack()
+	machine, err := vm.New(vm.Config{
+		Image: img,
+		Input: input,
+		Plugins: []vm.Plugin{
+			shadow, monitor.NewMemoryFirewall(), monitor.NewHeapGuard(),
+		},
+	})
+	if err != nil {
+		return 0, "", err
+	}
+	shadow.Install(machine)
+	res := machine.Run()
+	if res.Failure == nil {
+		return 0, "", fmt.Errorf("input did not fail under the monitors (outcome %v)", res.Outcome)
+	}
+	return res.Failure.PC, res.Failure.Monitor, nil
+}
+
+// repairSpecID reconstructs the stable repair identifier a RepairSpec
+// denotes, so node directives can be compared for agreement.
+func repairSpecID(spec *RepairSpec) string {
+	inv := spec.Invariant
+	r := repair.Repair{
+		Inv:      &inv,
+		Strategy: spec.Strategy,
+		Value:    spec.Value,
+		SPDelta:  spec.SPDelta,
+		PC:       spec.PC,
+		Depth:    spec.Depth,
+	}
+	return r.ID()
+}
+
+// RunSoak simulates a community of Nodes node managers sharing one
+// manager over in-process transports. Each round, every node presents
+// every attack (plus a rotating benign input) and reports — batched or
+// per message. After each round the soak syncs every node and checks
+// convergence: the manager holds an adopted repair for every defect and
+// every node's directives carry the same repair. Nodes run sequentially
+// in a fixed order, so a soak is deterministic for a fixed config.
+func RunSoak(conf SoakConfig) (*SoakReport, error) {
+	if conf.Image == nil {
+		return nil, fmt.Errorf("community: soak needs an image")
+	}
+	if len(conf.Attacks) == 0 {
+		return nil, fmt.Errorf("community: soak needs at least one attack")
+	}
+	if conf.Nodes <= 0 {
+		conf.Nodes = 100
+	}
+	if conf.Rounds <= 0 {
+		conf.Rounds = 8
+	}
+	if conf.Recorders <= 0 {
+		conf.Recorders = 1
+	}
+	if conf.Recorders > conf.Nodes {
+		conf.Recorders = conf.Nodes
+	}
+	workers := conf.ReplayWorkers
+	if workers == 0 {
+		workers = -1
+	}
+
+	// Ground truth: which failure location each attack produces.
+	defects := make([]SoakDefect, len(conf.Attacks))
+	byPC := make(map[uint32]int, len(conf.Attacks))
+	for i, atk := range conf.Attacks {
+		pc, mon, err := probeFailurePC(conf.Image, atk.Input)
+		if err != nil {
+			return nil, fmt.Errorf("attack %s: %w", atk.Label, err)
+		}
+		if j, dup := byPC[pc]; dup {
+			return nil, fmt.Errorf("attacks %s and %s share failure location %#x",
+				conf.Attacks[j].Label, atk.Label, pc)
+		}
+		defects[i] = SoakDefect{Label: atk.Label, FailurePC: pc, Monitor: mon}
+		byPC[pc] = i
+	}
+
+	mgr, err := NewManager(ManagerConfig{
+		Image:           conf.Image,
+		Seed:            conf.Seed,
+		BootstrapInputs: conf.BootstrapInputs,
+		StackScope:      conf.StackScope,
+		ReplayWorkers:   workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	nodes := make([]*Node, 0, conf.Nodes)
+	defer func() {
+		// Registered before the first Connect so a mid-loop failure still
+		// closes every node already serving (each Close unblocks its
+		// manager goroutine).
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+	for i := 0; i < conf.Nodes; i++ {
+		nodeSide, mgrSide := Pipe()
+		go func() { _ = mgr.Serve(mgrSide) }()
+		n := NewNode(fmt.Sprintf("node%03d", i), conf.Image, nodeSide)
+		n.RecordFailures = i < conf.Recorders
+		nodes = append(nodes, n)
+		if err := n.Connect(); err != nil {
+			return nil, err
+		}
+	}
+
+	report := &SoakReport{Nodes: conf.Nodes, Batched: conf.Batched}
+	for round := 1; round <= conf.Rounds; round++ {
+		inputs := make([][]byte, 0, len(conf.Attacks)+1)
+		for _, atk := range conf.Attacks {
+			inputs = append(inputs, atk.Input)
+		}
+		if len(conf.Benign) > 0 {
+			inputs = append(inputs, conf.Benign[(round-1)%len(conf.Benign)])
+		}
+		for _, n := range nodes {
+			if conf.Batched {
+				if _, err := n.RunBatch(inputs); err != nil {
+					return nil, err
+				}
+			} else {
+				for _, input := range inputs {
+					if _, err := n.RunOnce(input); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		report.RoundsRun = round
+
+		if soakConverged(mgr, nodes, defects, round) {
+			break
+		}
+	}
+
+	report.Messages = mgr.Messages()
+	report.Batches = mgr.Batches()
+	report.ReplayRuns = mgr.ReplayRuns()
+	report.Converged = true
+	for i := range defects {
+		if !defects[i].Converged {
+			report.Converged = false
+		}
+	}
+	report.Defects = defects
+	return report, nil
+}
+
+// soakConverged syncs every node and updates the convergence table;
+// it reports whether every defect has converged. A defect converges in
+// the first round after which the manager has adopted a repair for it
+// and every node's directives carry that same repair.
+func soakConverged(mgr *Manager, nodes []*Node, defects []SoakDefect, round int) bool {
+	states := mgr.CaseStates()
+
+	// One sync per node, then read each node's repair per failure case.
+	type held struct {
+		ids   map[string]string // failureID -> repair ID
+		valid bool
+	}
+	holdings := make([]held, len(nodes))
+	for i, n := range nodes {
+		if err := n.Sync(); err != nil {
+			continue
+		}
+		h := held{ids: make(map[string]string), valid: true}
+		dir := n.Directives()
+		for j := range dir.Repairs {
+			spec := &dir.Repairs[j]
+			h.ids[spec.FailureID] = repairSpecID(spec)
+		}
+		holdings[i] = h
+	}
+
+	all := true
+	for i := range defects {
+		d := &defects[i]
+		if d.Converged {
+			continue
+		}
+		if states[d.FailurePC] != core.StatePatched {
+			all = false
+			continue
+		}
+		failureID := fmt.Sprintf("fail@%#x", d.FailurePC)
+		agree := 0
+		var adopted string
+		uniform := true
+		for _, h := range holdings {
+			if !h.valid {
+				uniform = false
+				continue
+			}
+			id, ok := h.ids[failureID]
+			if !ok {
+				uniform = false
+				continue
+			}
+			if adopted == "" {
+				adopted = id
+			}
+			if id == adopted {
+				agree++
+			} else {
+				uniform = false
+			}
+		}
+		d.Agree = agree
+		if uniform && adopted != "" && agree == len(nodes) {
+			d.Converged = true
+			d.Adopted = adopted
+			d.Rounds = round
+		} else {
+			all = false
+		}
+	}
+	return all
+}

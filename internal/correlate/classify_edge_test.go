@@ -1,0 +1,165 @@
+package correlate
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/daikon"
+)
+
+// TestClassifyTable covers the classification edge cases as one table:
+// empty inputs, zero-correlation shapes, single-observation runs, and the
+// boundary between the tiers.
+func TestClassifyTable(t *testing.T) {
+	cases := []struct {
+		name string
+		runs []RunLog
+		want map[string]Correlation
+	}{
+		{
+			name: "no runs",
+			runs: nil,
+			want: map[string]Correlation{},
+		},
+		{
+			name: "only normal runs",
+			runs: []RunLog{
+				{Detected: false, Obs: []Observation{obs("i", false), obs("i", true)}},
+				{Detected: false, Obs: []Observation{obs("i", false)}},
+			},
+			want: map[string]Correlation{},
+		},
+		{
+			name: "all checks pass in every failing run",
+			runs: []RunLog{
+				{Detected: true, Obs: []Observation{obs("i", true), obs("i", true)}},
+				{Detected: true, Obs: []Observation{obs("i", true)}},
+			},
+			want: map[string]Correlation{"i": NotCorrelated},
+		},
+		{
+			name: "single observation violated in every failing run",
+			runs: []RunLog{
+				{Detected: true, Obs: []Observation{obs("i", false)}},
+				{Detected: true, Obs: []Observation{obs("i", false)}},
+			},
+			want: map[string]Correlation{"i": HighlyCorrelated},
+		},
+		{
+			name: "violated last everywhere with one extra violation",
+			runs: []RunLog{
+				{Detected: true, Obs: []Observation{obs("i", false), obs("i", false)}},
+				{Detected: true, Obs: []Observation{obs("i", true), obs("i", false)}},
+			},
+			want: map[string]Correlation{"i": ModeratelyCorrelated},
+		},
+		{
+			name: "violation only in a run that did not fail",
+			runs: []RunLog{
+				{Detected: false, Obs: []Observation{obs("i", false)}},
+				{Detected: true, Obs: []Observation{obs("i", true)}},
+			},
+			want: map[string]Correlation{"i": NotCorrelated},
+		},
+		{
+			name: "unchecked in a later failing run demotes to slightly",
+			runs: []RunLog{
+				{Detected: true, Obs: []Observation{obs("i", false)}},
+				{Detected: true, Obs: nil},
+			},
+			want: map[string]Correlation{"i": SlightlyCorrelated},
+		},
+		{
+			name: "unchecked in an earlier failing run demotes to slightly",
+			runs: []RunLog{
+				{Detected: true, Obs: nil},
+				{Detected: true, Obs: []Observation{obs("i", false)}},
+			},
+			want: map[string]Correlation{"i": SlightlyCorrelated},
+		},
+		{
+			name: "two invariants classified independently",
+			runs: []RunLog{
+				{Detected: true, Obs: []Observation{obs("a", false), obs("b", true)}},
+				{Detected: true, Obs: []Observation{obs("a", false), obs("b", true)}},
+			},
+			want: map[string]Correlation{"a": HighlyCorrelated, "b": NotCorrelated},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Classify(tc.runs)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("Classify = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSelectForRepairTies: candidates tied at the same correlation tier
+// are all selected and keep their selection order — the evaluator's
+// deterministic tie-break depends on receiving them in a stable order.
+func TestSelectForRepairTies(t *testing.T) {
+	mk := func(pc uint32) Candidate {
+		return Candidate{Inv: &daikon.Invariant{Kind: daikon.KindLowerBound, Var: v(pc, 0)}}
+	}
+	c1, c2, c3 := mk(0x100), mk(0x108), mk(0x110)
+	cands := []Candidate{c1, c2, c3}
+
+	tied := map[string]Correlation{
+		c1.Inv.ID(): HighlyCorrelated,
+		c2.Inv.ID(): HighlyCorrelated,
+		c3.Inv.ID(): HighlyCorrelated,
+	}
+	got := SelectForRepair(cands, tied)
+	if len(got) != 3 {
+		t.Fatalf("tied candidates: selected %d of 3", len(got))
+	}
+	for i := range got {
+		if got[i].Inv != cands[i].Inv {
+			t.Fatalf("selection reordered tied candidates at %d", i)
+		}
+	}
+
+	// An empty correlation map (nothing was ever violated) selects nothing.
+	if got := SelectForRepair(cands, map[string]Correlation{}); len(got) != 0 {
+		t.Fatalf("zero-correlation selection returned %d candidates", len(got))
+	}
+
+	// All slightly correlated: the gating admits neither tier.
+	slight := map[string]Correlation{
+		c1.Inv.ID(): SlightlyCorrelated,
+		c2.Inv.ID(): SlightlyCorrelated,
+		c3.Inv.ID(): SlightlyCorrelated,
+	}
+	if got := SelectForRepair(cands, slight); len(got) != 0 {
+		t.Fatalf("slightly-correlated-only selection returned %d candidates", len(got))
+	}
+
+	// SelectAllCorrelated (the ablation baseline) admits all three tiers.
+	mixed := map[string]Correlation{
+		c1.Inv.ID(): SlightlyCorrelated,
+		c2.Inv.ID(): NotCorrelated,
+		c3.Inv.ID(): ModeratelyCorrelated,
+	}
+	if got := SelectAllCorrelated(cands, mixed); len(got) != 2 {
+		t.Fatalf("SelectAllCorrelated returned %d candidates, want 2", len(got))
+	}
+}
+
+// TestClassifyDeterministic: Classify over the same logs yields the same
+// map however many times it runs (it iterates internal maps; the result,
+// not the iteration, must be what is observable).
+func TestClassifyDeterministic(t *testing.T) {
+	runs := []RunLog{
+		{Detected: true, Obs: []Observation{obs("a", false), obs("b", true), obs("c", false)}},
+		{Detected: true, Obs: []Observation{obs("a", false), obs("c", true)}},
+		{Detected: false, Obs: []Observation{obs("b", false)}},
+	}
+	first := Classify(runs)
+	for i := 0; i < 10; i++ {
+		if got := Classify(runs); !reflect.DeepEqual(got, first) {
+			t.Fatalf("classification changed between runs: %v vs %v", got, first)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package evaluate
+
+import (
+	"testing"
+
+	"repro/internal/daikon"
+	"repro/internal/repair"
+)
+
+// tieRepairs builds repairs that all carry the same score so that only
+// the §2.6 ordering rules decide their rank: mixed depths, PCs, and
+// strategies.
+func tieRepairs() []*repair.Repair {
+	inv := func(pc uint32) *daikon.Invariant {
+		return &daikon.Invariant{Kind: daikon.KindOneOf, Var: daikon.VarID{PC: pc}, Values: []uint32{1}}
+	}
+	return []*repair.Repair{
+		{Inv: inv(0x200), Strategy: repair.StratReturnProc, PC: 0x200, Depth: 0},
+		{Inv: inv(0x100), Strategy: repair.StratSetValue, Value: 7, PC: 0x100, Depth: 1},
+		{Inv: inv(0x200), Strategy: repair.StratSkipCall, PC: 0x200, Depth: 0},
+		{Inv: inv(0x100), Strategy: repair.StratSetValue, Value: 3, PC: 0x100, Depth: 0},
+		{Inv: inv(0x200), Strategy: repair.StratSetValue, Value: 9, PC: 0x200, Depth: 0},
+	}
+}
+
+// TestRankedTieOrdering: with every score tied, Ranked must follow the
+// paper's rules — lower depth first, earlier PC first, state changes
+// before control-flow changes (skip-call before return-proc), then value.
+func TestRankedTieOrdering(t *testing.T) {
+	ev := New(tieRepairs(), 1)
+	ranked := ev.Ranked()
+	wantIDs := []string{
+		"oneof@0x100.0/set-value=0x3", // depth 0, PC 0x100
+		"oneof@0x200.0/set-value=0x9", // depth 0, PC 0x200, state change
+		"oneof@0x200.0/skip-call",     // depth 0, PC 0x200, control flow rank 1
+		"oneof@0x200.0/return-proc",   // depth 0, PC 0x200, control flow rank 2
+		"oneof@0x100.0/set-value=0x7", // depth 1 last
+	}
+	if len(ranked) != len(wantIDs) {
+		t.Fatalf("ranked %d entries, want %d", len(ranked), len(wantIDs))
+	}
+	for i, e := range ranked {
+		if e.Repair.ID() != wantIDs[i] {
+			t.Fatalf("rank %d = %s, want %s", i, e.Repair.ID(), wantIDs[i])
+		}
+	}
+	if best := ev.Best(); best.Repair.ID() != wantIDs[0] {
+		t.Fatalf("Best = %s, disagrees with Ranked[0] = %s", best.Repair.ID(), wantIDs[0])
+	}
+}
+
+// TestRankedDeterministic: same inputs ⇒ same ranked order, call after
+// call and evaluator after evaluator — the property the community
+// manager's parallel assignment and the replay farm both lean on.
+func TestRankedDeterministic(t *testing.T) {
+	ref := New(tieRepairs(), 1).Ranked()
+	for trial := 0; trial < 20; trial++ {
+		ev := New(tieRepairs(), 1)
+		for pass := 0; pass < 2; pass++ { // repeated calls must agree too
+			got := ev.Ranked()
+			for i := range got {
+				if got[i].Repair.ID() != ref[i].Repair.ID() {
+					t.Fatalf("trial %d pass %d: rank %d = %s, want %s",
+						trial, pass, i, got[i].Repair.ID(), ref[i].Repair.ID())
+				}
+			}
+		}
+	}
+}
+
+// TestRankedScoreBeatsTieBreak: a score advantage overrides every
+// ordering rule, and verdicts recorded mid-evaluation reorder the
+// ranking deterministically.
+func TestRankedScoreBeatsTieBreak(t *testing.T) {
+	rs := tieRepairs()
+	ev := New(rs, 1)
+	last := rs[1] // depth 1: bottom of the tie-broken order
+	ev.RecordSuccess(last.ID())
+	if got := ev.Ranked()[0].Repair.ID(); got != last.ID() {
+		t.Fatalf("scored repair ranked %s first instead of %s", got, last.ID())
+	}
+	// A failure drops it below the untried (bonus-carrying) candidates.
+	ev.RecordFailure(last.ID())
+	ev.RecordFailure(last.ID())
+	if got := ev.Ranked()[len(rs)-1].Repair.ID(); got != last.ID() {
+		t.Fatalf("failed repair is not ranked last: %s", got)
+	}
+}
+
+// TestReverseTieBreakInverts: the ablation knob must invert only the
+// tie-break, not the score ordering.
+func TestReverseTieBreakInverts(t *testing.T) {
+	fwd := New(tieRepairs(), 1)
+	rev := New(tieRepairs(), 1)
+	rev.ReverseTieBreak = true
+	f, r := fwd.Ranked(), rev.Ranked()
+	for i := range f {
+		if f[i].Repair.ID() != r[len(r)-1-i].Repair.ID() {
+			t.Fatalf("reverse tie-break is not the mirror image at %d: %s vs %s",
+				i, f[i].Repair.ID(), r[len(r)-1-i].Repair.ID())
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package fuzz
+
+import (
+	"encoding/binary"
+
+	"repro/internal/vm"
+)
+
+// interestingBytes are boundary and semantically loaded byte values: sign
+// boundaries, the soft-hyphen byte 0xAD (exploit 307259's trigger), and
+// the heap canary byte 0xFD the learning corpus deliberately avoids.
+var interestingBytes = []byte{0x00, 0x01, 0x7F, 0x80, 0xFF, 0xAD, 0xFD, 0x41}
+
+// interestingWords are 32-bit boundary values plus addresses with meaning
+// to the protected application: the heap base (where planted pointers
+// land) and the unmapped "downloaded data" region the exploits use.
+var interestingWords = []uint32{
+	0, 1, 0x7F, 0xFF, 0xFFFF,
+	0x7FFF_FFFF, 0x8000_0000, 0xFFFF_FFF0, 0xFFFF_FFFF,
+	vm.DefaultHeapBase, 0x0BAD_0000,
+}
+
+// mutate derives a new input from base by stacking 1–4 random mutation
+// operators. Every random draw comes from the campaign RNG, so the
+// derivation is a pure function of the RNG state.
+func (f *Fuzzer) mutate(base []byte) []byte {
+	out := append([]byte(nil), base...)
+	for n := 1 + f.rng.Intn(4); n > 0; n-- {
+		switch f.rng.Intn(10) {
+		case 0:
+			out = f.flipBit(out)
+		case 1:
+			out = f.setByte(out)
+		case 2:
+			out = f.addByte(out)
+		case 3:
+			out = f.setWord(out)
+		case 4:
+			out = f.insertBytes(out)
+		case 5:
+			out = f.deleteSpan(out)
+		case 6:
+			out = f.dupSpan(out)
+		case 7:
+			out = f.splice(out)
+		case 8:
+			out = f.mutatePage(out)
+		case 9:
+			out = f.shufflePages(out)
+		}
+	}
+	if len(out) > f.conf.MaxInput {
+		out = out[:f.conf.MaxInput]
+	}
+	if len(out) == 0 {
+		out = []byte{0}
+	}
+	return out
+}
+
+func (f *Fuzzer) flipBit(in []byte) []byte {
+	if len(in) == 0 {
+		return in
+	}
+	i := f.rng.Intn(len(in))
+	in[i] ^= 1 << uint(f.rng.Intn(8))
+	return in
+}
+
+func (f *Fuzzer) setByte(in []byte) []byte {
+	if len(in) == 0 {
+		return in
+	}
+	in[f.rng.Intn(len(in))] = interestingBytes[f.rng.Intn(len(interestingBytes))]
+	return in
+}
+
+func (f *Fuzzer) addByte(in []byte) []byte {
+	if len(in) == 0 {
+		return in
+	}
+	in[f.rng.Intn(len(in))] += byte(f.rng.Intn(17) - 8)
+	return in
+}
+
+func (f *Fuzzer) setWord(in []byte) []byte {
+	if len(in) < 4 {
+		return in
+	}
+	off := f.rng.Intn(len(in) - 3)
+	binary.LittleEndian.PutUint32(in[off:], interestingWords[f.rng.Intn(len(interestingWords))])
+	return in
+}
+
+func (f *Fuzzer) insertBytes(in []byte) []byte {
+	n := 1 + f.rng.Intn(8)
+	ins := make([]byte, n)
+	for i := range ins {
+		ins[i] = byte(f.rng.Intn(256))
+	}
+	pos := f.rng.Intn(len(in) + 1)
+	out := make([]byte, 0, len(in)+n)
+	out = append(out, in[:pos]...)
+	out = append(out, ins...)
+	return append(out, in[pos:]...)
+}
+
+func (f *Fuzzer) deleteSpan(in []byte) []byte {
+	if len(in) < 2 {
+		return in
+	}
+	n := 1 + f.rng.Intn(len(in)/2)
+	pos := f.rng.Intn(len(in) - n + 1)
+	return append(in[:pos], in[pos+n:]...)
+}
+
+func (f *Fuzzer) dupSpan(in []byte) []byte {
+	if len(in) == 0 {
+		return in
+	}
+	n := 1 + f.rng.Intn(min(len(in), 32))
+	pos := f.rng.Intn(len(in) - n + 1)
+	span := append([]byte(nil), in[pos:pos+n]...)
+	out := make([]byte, 0, len(in)+n)
+	out = append(out, in[:pos+n]...)
+	out = append(out, span...)
+	return append(out, in[pos+n:]...)
+}
+
+// splice joins a head of the input with a tail of another corpus entry —
+// the crossover operator that recombines scenarios from different seeds.
+func (f *Fuzzer) splice(in []byte) []byte {
+	if len(f.corpus) == 0 {
+		return in
+	}
+	other := f.corpus[f.rng.Intn(len(f.corpus))]
+	if len(in) == 0 || len(other) == 0 {
+		return in
+	}
+	cutA := f.rng.Intn(len(in))
+	cutB := f.rng.Intn(len(other))
+	out := make([]byte, 0, cutA+len(other)-cutB)
+	out = append(out, in[:cutA]...)
+	return append(out, other[cutB:]...)
+}
+
+// pageSpan is one [length-prefix][body] frame in the input stream.
+type pageSpan struct {
+	start int // offset of the 2-byte length prefix
+	end   int // offset past the body
+}
+
+// parsePages splits the input at its page frames. A malformed tail (bad
+// prefix, truncated body) is returned as one final span so mutation never
+// loses bytes.
+func parsePages(in []byte) []pageSpan {
+	var spans []pageSpan
+	off := 0
+	for off+2 <= len(in) {
+		n := int(binary.LittleEndian.Uint16(in[off:]))
+		end := off + 2 + n
+		if end > len(in) {
+			break
+		}
+		spans = append(spans, pageSpan{start: off, end: end})
+		off = end
+	}
+	if off < len(in) {
+		spans = append(spans, pageSpan{start: off, end: len(in)})
+	}
+	return spans
+}
+
+// mutatePage is the structure-aware operator: it picks one page and
+// mutates bytes inside its body only, leaving every length prefix alone —
+// so the page stream stays well-framed while the element bytes inside it
+// drift. This is what lets the fuzzer explore element-handler behaviour
+// (negative offsets, inverted length fields, hostile counts) without
+// immediately destroying the framing the parser needs to reach the
+// handler at all.
+func (f *Fuzzer) mutatePage(in []byte) []byte {
+	spans := parsePages(in)
+	if len(spans) == 0 {
+		return in
+	}
+	sp := spans[f.rng.Intn(len(spans))]
+	if sp.end-sp.start <= 2 {
+		return in
+	}
+	body := in[sp.start+2 : sp.end]
+	for n := 1 + f.rng.Intn(3); n > 0; n-- {
+		i := f.rng.Intn(len(body))
+		if f.rng.Intn(2) == 0 {
+			body[i] = interestingBytes[f.rng.Intn(len(interestingBytes))]
+		} else {
+			body[i] += byte(f.rng.Intn(17) - 8)
+		}
+	}
+	return in
+}
+
+// shufflePages swaps two whole pages, reordering scenarios (heap layout
+// shifts with element order, which is exactly what the exploit variants
+// of §4.3.4 exercise).
+func (f *Fuzzer) shufflePages(in []byte) []byte {
+	spans := parsePages(in)
+	if len(spans) < 2 {
+		return in
+	}
+	i := f.rng.Intn(len(spans))
+	j := f.rng.Intn(len(spans))
+	if i == j {
+		return in
+	}
+	if j < i {
+		i, j = j, i
+	}
+	a, b := spans[i], spans[j]
+	out := make([]byte, 0, len(in))
+	out = append(out, in[:a.start]...)
+	out = append(out, in[b.start:b.end]...)
+	out = append(out, in[a.end:b.start]...)
+	out = append(out, in[a.start:a.end]...)
+	return append(out, in[b.end:]...)
+}

@@ -1,0 +1,70 @@
+package replay_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/replay"
+)
+
+// seedRecording builds a tiny real recording for the fuzz seed corpus: a
+// program that echoes one input byte and exits.
+func seedRecording(tb testing.TB) []byte {
+	a := asm.New(0x1000)
+	a.Label("main")
+	a.MovRI(isa.EAX, 0)
+	a.Sys(isa.SysExit)
+	code, labels, err := a.Assemble()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	img := &image.Image{Base: 0x1000, Entry: labels["main"], Code: code}
+	rec, _, err := replay.Record("seed", img, []byte{1, 2, 3}, nil, replay.Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	raw, err := rec.Marshal()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return raw
+}
+
+// FuzzRecordingUnmarshal: the recording wire format crosses the community
+// trust boundary (nodes upload recordings to the manager), so arbitrary
+// bytes must never panic the decoder — and anything that does decode must
+// re-marshal and decode again to the same observable recording.
+func FuzzRecordingUnmarshal(f *testing.F) {
+	raw := seedRecording(f)
+	f.Add(raw)
+	f.Add(raw[: len(raw)/2 : len(raw)/2])                // truncated
+	f.Add(append(append([]byte(nil), raw[:8]...), 0xFF)) // corrupted early (fresh array: must not alias raw)
+	f.Add([]byte{})                                      // empty
+	f.Add([]byte("not a gob at all"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := replay.Unmarshal(data)
+		if err != nil {
+			return // rejection is the expected path for garbage
+		}
+		out, err := rec.Marshal()
+		if err != nil {
+			t.Fatalf("decoded recording failed to re-marshal: %v", err)
+		}
+		again, err := replay.Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-marshaled recording failed to decode: %v", err)
+		}
+		if again.ID != rec.ID || again.Steps != rec.Steps || again.Outcome != rec.Outcome {
+			t.Fatalf("round trip changed the recording: %+v vs %+v", rec, again)
+		}
+		if !bytes.Equal(again.Input, rec.Input) {
+			t.Fatal("round trip changed the recorded input")
+		}
+		// The embedded image may be arbitrary bytes; decoding it must not
+		// panic (errors are fine).
+		_, _ = rec.DecodeImage()
+	})
+}

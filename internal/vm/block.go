@@ -140,8 +140,14 @@ func (v *VM) flushBlocksContaining(addr uint32) {
 }
 
 // fetchBlock returns the cached block starting at pc, decoding and
-// instrumenting it on a miss.
+// instrumenting it on a miss. This is the code cache's dispatch point, so
+// edge coverage is recorded here: every entry into a block — hit or miss —
+// counts the (previous block, this block) edge.
 func (v *VM) fetchBlock(pc uint32) (*Block, error) {
+	if v.cov != nil {
+		v.cov.hit(v.lastBlock, pc)
+		v.lastBlock = pc
+	}
 	if b, ok := v.cache[pc]; ok {
 		return b, nil
 	}

@@ -1,0 +1,120 @@
+package vm
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+)
+
+// Edge is one observed control-flow edge between two basic blocks in the
+// code cache, identified by their start addresses. The entry edge of a run
+// has From == 0 (no block precedes the entry point).
+type Edge struct {
+	From uint32
+	To   uint32
+}
+
+// Coverage accumulates per-basic-block edge coverage for one or more runs.
+// The machine records an edge every time the dispatch loop enters a block
+// (cache hit or miss alike), so hit counts reflect dynamic block
+// transitions, not cache population. Coverage is the feedback signal the
+// exploit fuzzer (internal/fuzz) steers by; it is deliberately cheap —
+// one map update per executed basic block — and costs nothing when no
+// Coverage is attached.
+//
+// A Coverage value is not safe for concurrent use; attach a fresh one per
+// machine and Merge the results.
+type Coverage struct {
+	edges map[Edge]uint64
+}
+
+// NewCoverage returns an empty coverage accumulator.
+func NewCoverage() *Coverage {
+	return &Coverage{edges: make(map[Edge]uint64)}
+}
+
+func (c *Coverage) hit(from, to uint32) {
+	c.edges[Edge{From: from, To: to}]++
+}
+
+// EdgeCount returns the number of distinct edges observed.
+func (c *Coverage) EdgeCount() int { return len(c.edges) }
+
+// Hits returns the hit count of one edge.
+func (c *Coverage) Hits(e Edge) uint64 { return c.edges[e] }
+
+// TotalHits returns the sum of all edge hit counts — the number of basic
+// blocks dispatched while this coverage was attached.
+func (c *Coverage) TotalHits() uint64 {
+	var n uint64
+	for _, h := range c.edges {
+		n += h
+	}
+	return n
+}
+
+// BlockCount returns the number of distinct blocks observed as edge
+// destinations (the entry block is always a destination, so this counts
+// every executed block).
+func (c *Coverage) BlockCount() int {
+	seen := make(map[uint32]struct{}, len(c.edges))
+	for e := range c.edges {
+		seen[e.To] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Edges returns every observed edge in deterministic (From, To) order.
+func (c *Coverage) Edges() []Edge {
+	out := make([]Edge, 0, len(c.edges))
+	for e := range c.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Merge folds other into c and reports how many of other's edges were not
+// previously present in c — the "new coverage" signal a fuzzer uses to
+// decide whether an input earned a place in the corpus.
+func (c *Coverage) Merge(other *Coverage) (novel int) {
+	if c.edges == nil {
+		c.edges = make(map[Edge]uint64, len(other.edges))
+	}
+	for e, h := range other.edges {
+		if _, ok := c.edges[e]; !ok {
+			novel++
+		}
+		c.edges[e] += h
+	}
+	return novel
+}
+
+// Reset clears all recorded edges, keeping the accumulator attachable.
+func (c *Coverage) Reset() {
+	c.edges = make(map[Edge]uint64)
+}
+
+// Hash returns a deterministic FNV-1a digest over the sorted edge set and
+// hit counts — two coverage maps with identical contents hash identically
+// regardless of observation order. The fuzzer uses it to assert that a
+// seeded campaign reproduces bit-for-bit.
+func (c *Coverage) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, e := range c.Edges() {
+		word(uint64(e.From))
+		word(uint64(e.To))
+		word(c.edges[e])
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,108 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/image"
+	"repro/internal/isa"
+)
+
+// covImage assembles a three-block program: main branches on EAX, both
+// arms join at a common exit.
+func covImage(t *testing.T) *image.Image {
+	t.Helper()
+	a := asm.New(0x1000)
+	a.Label("main")
+	a.CmpRI(isa.EAX, 0)
+	a.Je("else")
+	a.MovRI(isa.EBX, 1)
+	a.Jmp("exit")
+	a.Label("else")
+	a.MovRI(isa.EBX, 2)
+	a.Label("exit")
+	a.MovRI(isa.EAX, 0)
+	a.Sys(isa.SysExit)
+	code, labels, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &image.Image{Base: 0x1000, Entry: labels["main"], Code: code}
+}
+
+func runWithCoverage(t *testing.T, img *image.Image) *Coverage {
+	t.Helper()
+	cov := NewCoverage()
+	machine, err := New(Config{Image: img, Coverage: cov})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := machine.Run(); res.Outcome != OutcomeExit {
+		t.Fatalf("run did not exit: %+v", res)
+	}
+	return cov
+}
+
+func TestCoverageRecordsEntryEdge(t *testing.T) {
+	img := covImage(t)
+	cov := runWithCoverage(t, img)
+	if got := cov.Hits(Edge{From: 0, To: img.Entry}); got != 1 {
+		t.Fatalf("entry edge hit %d times, want 1", got)
+	}
+	if cov.EdgeCount() == 0 || cov.BlockCount() == 0 {
+		t.Fatalf("no coverage recorded: %d edges, %d blocks", cov.EdgeCount(), cov.BlockCount())
+	}
+}
+
+func TestCoverageDistinguishesPaths(t *testing.T) {
+	img := covImage(t)
+	// EAX starts 0, so the JE arm runs: the fallthrough arm's edges must
+	// be absent and a second identical run must add no new edges.
+	cov := runWithCoverage(t, img)
+	again := runWithCoverage(t, img)
+	probe := NewCoverage()
+	if novel := probe.Merge(cov); novel != cov.EdgeCount() {
+		t.Fatalf("merge into empty found %d novel edges, want %d", novel, cov.EdgeCount())
+	}
+	if novel := probe.Merge(again); novel != 0 {
+		t.Fatalf("identical run contributed %d novel edges, want 0", novel)
+	}
+	if probe.TotalHits() != cov.TotalHits()+again.TotalHits() {
+		t.Fatalf("merged hits %d, want %d", probe.TotalHits(), cov.TotalHits()+again.TotalHits())
+	}
+}
+
+func TestCoverageDeterministicHash(t *testing.T) {
+	img := covImage(t)
+	h1 := runWithCoverage(t, img).Hash()
+	h2 := runWithCoverage(t, img).Hash()
+	if h1 != h2 {
+		t.Fatalf("same program, different coverage hashes: %#x vs %#x", h1, h2)
+	}
+	if h1 == NewCoverage().Hash() {
+		t.Fatal("non-empty coverage hashed like empty coverage")
+	}
+}
+
+func TestCoverageEdgesSorted(t *testing.T) {
+	img := covImage(t)
+	edges := runWithCoverage(t, img).Edges()
+	for i := 1; i < len(edges); i++ {
+		a, b := edges[i-1], edges[i]
+		if a.From > b.From || (a.From == b.From && a.To >= b.To) {
+			t.Fatalf("edges not strictly sorted at %d: %+v then %+v", i, a, b)
+		}
+	}
+}
+
+func TestCoverageZeroCostWhenAbsent(t *testing.T) {
+	img := covImage(t)
+	machine, err := New(Config{Image: img})
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine.Run()
+	if machine.Coverage() != nil {
+		t.Fatal("machine invented a coverage accumulator")
+	}
+}

@@ -143,6 +143,11 @@ type Config struct {
 	// snapshots. Both fields must be set for capture to happen.
 	SnapshotInterval uint64
 	SnapshotSink     func(*Snapshot)
+
+	// Coverage, when non-nil, records per-basic-block edge coverage: every
+	// time the dispatch loop enters a block from the code cache, the
+	// (previous block, next block) edge is counted. nil costs nothing.
+	Coverage *Coverage
 }
 
 // VM is one executing instance of the protected application.
@@ -176,6 +181,9 @@ type VM struct {
 	snapInterval uint64
 	snapSink     func(*Snapshot)
 	nextSnap     uint64
+
+	cov       *Coverage
+	lastBlock uint32
 
 	stackLo, stackHi uint32
 }
@@ -226,6 +234,7 @@ func New(cfg Config) (*VM, error) {
 		v.snapInterval = cfg.SnapshotInterval
 		v.snapSink = cfg.SnapshotSink
 	}
+	v.cov = cfg.Coverage
 	v.CPU.PC = cfg.Image.Entry
 	v.CPU.Regs[isa.ESP] = cfg.StackTop
 	for _, p := range cfg.Patches {
@@ -263,6 +272,9 @@ func (v *VM) Steps() uint64 { return v.steps }
 
 // InputRemaining returns the number of unconsumed input bytes.
 func (v *VM) InputRemaining() int { return len(v.input) - v.inPos }
+
+// Coverage returns the attached edge-coverage accumulator, or nil.
+func (v *VM) Coverage() *Coverage { return v.cov }
 
 func (v *VM) snapshotStack() []uint32 {
 	if v.stack == nil {
