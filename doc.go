@@ -15,6 +15,37 @@
 //	internal/image      stripped binary image format
 //	internal/mem        paged memory + canary-guarded heap allocator
 //	internal/vm         managed execution environment (code cache, patches)
+//
+// The two packages on the interpreter's critical path are engineered for
+// deployment-grade throughput, since ClearView's whole premise is
+// detection and repair *in production*:
+//
+// internal/mem's hierarchy is page table → TLB → COW. Addresses resolve
+// through a flat two-level page table (a fixed top-level array of
+// page-group pointers — two array indexings, no map operations), fronted
+// by a small direct-mapped software TLB of recent (page → frame,
+// writable) translations that the 8/32-bit accessors hit inline.
+// Copy-on-write state is per-page metadata beside the frame pointers; a
+// write to a shared page privatizes just that page. Every event that
+// could make a cached translation lie — Clone resharing pages, a COW
+// break swapping a frame, UnmarshalBinary replacing the table — flushes
+// or rewrites the TLB (property-tested against the original map-backed
+// implementation, kept as a test oracle). Bulk paths (ReadBytes,
+// WriteBytes, the COPYB instruction) translate once per page run and
+// memmove, preserving interrupted-copy partial progress, per-byte step
+// accounting, and rep-movsb overlap replication bit-for-bit.
+//
+// internal/vm's dispatch is two-tier and block-linked. Each code-cache
+// block caches its resolved successor *Block pointers, so straight-line
+// and direct-branch dispatch skips the cache map; links carry a cache
+// generation and every patch apply/remove bumps it, invalidating all
+// links at once. Blocks with no hooks on a machine with no snapshot sink
+// run a tight loop with no per-instruction Ctx allocation, snapshot, or
+// hook checks — zero allocations per instruction (enforced by test) —
+// while hooked blocks run the fully instrumented loop unchanged. Edge
+// coverage is recorded at the dispatch point on every entry, linked or
+// not, so fuzzing fingerprints are independent of the optimization.
+//
 //	internal/cfg        dynamic procedure discovery + predominators
 //	internal/trace      Daikon front end (per-instruction operand tracing)
 //	internal/daikon     invariant inference engine + community DB merge

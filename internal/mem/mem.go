@@ -20,6 +20,31 @@ import (
 // PageSize is the granularity of the sparse address space.
 const PageSize = 4096
 
+// Page-table geometry. A 32-bit address splits into a 20-bit page number
+// and a 12-bit offset; the page number splits again into a 10-bit group
+// index and a 10-bit slot, so the whole space is reachable through one
+// fixed top-level array of group pointers — no map lookups on any access
+// path. A group spans 4 MiB, and the layouts in use (code, heap, stack)
+// each land in their own group, so a typical machine materializes 3-4.
+const (
+	pageShift  = 12
+	pageMask   = PageSize - 1
+	groupShift = 10
+	groupPages = 1 << groupShift
+	groupMask  = groupPages - 1
+	numGroups  = 1 << (32 - pageShift - groupShift)
+)
+
+// Software TLB geometry: a small direct-mapped cache of recent
+// (page number → frame, writable) translations in front of the page
+// table. 64 entries cover the working set of the interpreter loops; the
+// index is the low page-number bits, so code, heap, and stack pages
+// (which differ in high bits) do not thrash each other.
+const (
+	tlbSize = 64
+	tlbMask = tlbSize - 1
+)
+
 // Canary is the value Heap Guard plants at allocated-block boundaries.
 const Canary uint32 = 0xFDFDFDFD
 
@@ -38,20 +63,43 @@ func (f *Fault) Error() string {
 	return fmt.Sprintf("memory fault: %s at %#x", kind, f.Addr)
 }
 
+// pageGroup is one second-level page-table node: storage and COW metadata
+// for a 4 MiB-aligned run of 1024 pages. shared[i] marks a page whose
+// storage is referenced by at least one clone; it must be copied before
+// this Memory writes it.
+type pageGroup struct {
+	pages  [groupPages][]byte
+	shared [groupPages]bool
+}
+
+// tlbEntry caches one translation. tag is the page number plus one so the
+// zero value never matches; page is the backing frame; writable is false
+// for COW-shared pages, forcing writes through the slow path that copies
+// the page first.
+type tlbEntry struct {
+	tag      uint32
+	writable bool
+	page     []byte
+}
+
 // Memory is a sparse paged 32-bit address space.
+//
+// The access hierarchy is TLB → page table → COW: the inlined fast paths
+// of Read8/Write8/Read32/Write32 hit the direct-mapped TLB; a miss walks
+// the flat two-level page table (two array indexings, no maps) and refills
+// the TLB; a write to a COW-shared page privatizes it first. The TLB is
+// flushed whenever a translation could go stale: Clone marks every page
+// shared (cached writable bits would bypass COW), UnmarshalBinary replaces
+// the whole table, and a COW break rewrites the entry in place.
 //
 // Clone produces copy-on-write clones: the clone and the original share
 // page storage until one of them writes a shared page, at which point the
-// writer copies just that page. A clone therefore costs one pointer per
-// mapped page up front and one page copy per page actually dirtied — the
+// writer copies just that page. A clone therefore costs one page-table
+// copy up front and one page copy per page actually dirtied — the
 // property the snapshot/replay machinery depends on.
 type Memory struct {
-	pages map[uint32][]byte
-	// cow marks pages whose storage is shared with a clone; they must be
-	// copied before this Memory writes them. Lazily allocated: a Memory
-	// that was never cloned pays nothing on the write path beyond one nil
-	// check.
-	cow map[uint32]struct{}
+	groups [numGroups]*pageGroup
+	tlb    [tlbSize]tlbEntry
 
 	// mu serializes Clone calls so many goroutines may clone the same
 	// frozen Memory (e.g. restoring workers from one snapshot)
@@ -59,12 +107,20 @@ type Memory struct {
 	// owned by one machine at a time.
 	mu sync.Mutex
 
+	pageCount int
 	cowBreaks uint64
 }
 
 // New returns an empty address space.
 func New() *Memory {
-	return &Memory{pages: make(map[uint32][]byte)}
+	return &Memory{}
+}
+
+// flushTLB invalidates every cached translation.
+func (m *Memory) flushTLB() {
+	for i := range m.tlb {
+		m.tlb[i] = tlbEntry{}
+	}
 }
 
 // Clone returns a copy-on-write snapshot of the address space. Both the
@@ -74,23 +130,30 @@ func New() *Memory {
 func (m *Memory) Clone() *Memory {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	c := &Memory{
-		pages: make(map[uint32][]byte, len(m.pages)),
-		cow:   make(map[uint32]struct{}, len(m.pages)),
+	c := &Memory{pageCount: m.pageCount}
+	for gi, g := range m.groups {
+		if g == nil {
+			continue
+		}
+		// Mark every mapped page shared on the original first, then copy
+		// the group wholesale so the clone inherits the shared bits.
+		for si := range g.pages {
+			if g.pages[si] != nil {
+				g.shared[si] = true
+			}
+		}
+		cg := new(pageGroup)
+		*cg = *g
+		c.groups[gi] = cg
 	}
-	if m.cow == nil {
-		m.cow = make(map[uint32]struct{}, len(m.pages))
-	}
-	for pn, p := range m.pages {
-		c.pages[pn] = p
-		c.cow[pn] = struct{}{}
-		m.cow[pn] = struct{}{}
-	}
+	// Cached writable translations would let the original write shared
+	// storage without breaking COW.
+	m.flushTLB()
 	return c
 }
 
 // PageCount returns the number of mapped pages.
-func (m *Memory) PageCount() int { return len(m.pages) }
+func (m *Memory) PageCount() int { return m.pageCount }
 
 // CowBreaks returns how many shared pages this Memory has privatized —
 // the dirty-page count a snapshot's cost is proportional to.
@@ -101,13 +164,19 @@ func (m *Memory) Map(addr, size uint32) {
 	if size == 0 {
 		return
 	}
-	first := addr / PageSize
-	last := (addr + size - 1) / PageSize
-	for p := first; ; p++ {
-		if _, ok := m.pages[p]; !ok {
-			m.pages[p] = make([]byte, PageSize)
+	first := addr >> pageShift
+	last := (addr + size - 1) >> pageShift
+	for pn := first; ; pn++ {
+		g := m.groups[pn>>groupShift]
+		if g == nil {
+			g = new(pageGroup)
+			m.groups[pn>>groupShift] = g
 		}
-		if p == last {
+		if g.pages[pn&groupMask] == nil {
+			g.pages[pn&groupMask] = make([]byte, PageSize)
+			m.pageCount++
+		}
+		if pn == last {
 			break
 		}
 	}
@@ -115,56 +184,92 @@ func (m *Memory) Map(addr, size uint32) {
 
 // Mapped reports whether addr is accessible.
 func (m *Memory) Mapped(addr uint32) bool {
-	_, ok := m.pages[addr/PageSize]
-	return ok
+	pn := addr >> pageShift
+	g := m.groups[pn>>groupShift]
+	return g != nil && g.pages[pn&groupMask] != nil
 }
 
-func (m *Memory) page(addr uint32, write bool) ([]byte, error) {
-	pn := addr / PageSize
-	p, ok := m.pages[pn]
-	if !ok {
-		return nil, &Fault{Addr: addr, Write: write}
+// readPage walks the page table for the page containing addr, refilling
+// the TLB on success. It is the shared miss path of every read.
+func (m *Memory) readPage(addr uint32) ([]byte, error) {
+	pn := addr >> pageShift
+	g := m.groups[pn>>groupShift]
+	if g == nil {
+		return nil, &Fault{Addr: addr}
 	}
-	if write && m.cow != nil {
-		if _, shared := m.cow[pn]; shared {
-			dup := make([]byte, PageSize)
-			copy(dup, p)
-			m.pages[pn] = dup
-			delete(m.cow, pn)
-			m.cowBreaks++
-			p = dup
-		}
+	p := g.pages[pn&groupMask]
+	if p == nil {
+		return nil, &Fault{Addr: addr}
 	}
+	m.tlb[pn&tlbMask] = tlbEntry{tag: pn + 1, writable: !g.shared[pn&groupMask], page: p}
+	return p, nil
+}
+
+// writePage walks the page table for a writable frame, breaking COW if
+// the page is shared and refilling the TLB with a writable translation.
+func (m *Memory) writePage(addr uint32) ([]byte, error) {
+	pn := addr >> pageShift
+	g := m.groups[pn>>groupShift]
+	if g == nil {
+		return nil, &Fault{Addr: addr, Write: true}
+	}
+	si := pn & groupMask
+	p := g.pages[si]
+	if p == nil {
+		return nil, &Fault{Addr: addr, Write: true}
+	}
+	if g.shared[si] {
+		dup := make([]byte, PageSize)
+		copy(dup, p)
+		g.pages[si] = dup
+		g.shared[si] = false
+		m.cowBreaks++
+		p = dup
+	}
+	m.tlb[pn&tlbMask] = tlbEntry{tag: pn + 1, writable: true, page: p}
 	return p, nil
 }
 
 // Read8 loads one byte.
 func (m *Memory) Read8(addr uint32) (byte, error) {
-	p, err := m.page(addr, false)
+	pn := addr >> pageShift
+	if e := &m.tlb[pn&tlbMask]; e.tag == pn+1 {
+		return e.page[addr&pageMask], nil
+	}
+	p, err := m.readPage(addr)
 	if err != nil {
 		return 0, err
 	}
-	return p[addr%PageSize], nil
+	return p[addr&pageMask], nil
 }
 
 // Write8 stores one byte.
 func (m *Memory) Write8(addr uint32, v byte) error {
-	p, err := m.page(addr, true)
+	pn := addr >> pageShift
+	if e := &m.tlb[pn&tlbMask]; e.tag == pn+1 && e.writable {
+		e.page[addr&pageMask] = v
+		return nil
+	}
+	p, err := m.writePage(addr)
 	if err != nil {
 		return err
 	}
-	p[addr%PageSize] = v
+	p[addr&pageMask] = v
 	return nil
 }
 
 // Read32 loads a little-endian 32-bit word. The word may straddle pages.
 func (m *Memory) Read32(addr uint32) (uint32, error) {
-	if addr%PageSize <= PageSize-4 {
-		p, err := m.page(addr, false)
-		if err != nil {
-			return 0, err
+	if o := addr & pageMask; o <= PageSize-4 {
+		pn := addr >> pageShift
+		p := m.tlb[pn&tlbMask].page
+		if m.tlb[pn&tlbMask].tag != pn+1 {
+			var err error
+			p, err = m.readPage(addr)
+			if err != nil {
+				return 0, err
+			}
 		}
-		o := addr % PageSize
 		return uint32(p[o]) | uint32(p[o+1])<<8 | uint32(p[o+2])<<16 | uint32(p[o+3])<<24, nil
 	}
 	var v uint32
@@ -180,12 +285,17 @@ func (m *Memory) Read32(addr uint32) (uint32, error) {
 
 // Write32 stores a little-endian 32-bit word.
 func (m *Memory) Write32(addr uint32, v uint32) error {
-	if addr%PageSize <= PageSize-4 {
-		p, err := m.page(addr, true)
-		if err != nil {
-			return err
+	if o := addr & pageMask; o <= PageSize-4 {
+		pn := addr >> pageShift
+		e := &m.tlb[pn&tlbMask]
+		p := e.page
+		if e.tag != pn+1 || !e.writable {
+			var err error
+			p, err = m.writePage(addr)
+			if err != nil {
+				return err
+			}
 		}
-		o := addr % PageSize
 		p[o] = byte(v)
 		p[o+1] = byte(v >> 8)
 		p[o+2] = byte(v >> 16)
@@ -200,27 +310,102 @@ func (m *Memory) Write32(addr uint32, v uint32) error {
 	return nil
 }
 
-// ReadBytes copies n bytes starting at addr.
+// ReadBytes copies n bytes starting at addr, translating each page once
+// and copying page-run-at-a-time.
 func (m *Memory) ReadBytes(addr, n uint32) ([]byte, error) {
 	out := make([]byte, n)
-	for i := uint32(0); i < n; i++ {
-		b, err := m.Read8(addr + i)
+	var pos uint32
+	for pos < n {
+		cur := addr + pos
+		off := cur & pageMask
+		run := PageSize - off
+		if rem := n - pos; run > rem {
+			run = rem
+		}
+		p, err := m.readPage(cur)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = b
+		copy(out[pos:pos+run], p[off:off+run])
+		pos += run
 	}
 	return out, nil
 }
 
-// WriteBytes copies b into memory starting at addr.
+// WriteBytes copies b into memory starting at addr, translating (and
+// COW-breaking) each page once and copying page-run-at-a-time. On a fault
+// partway through, bytes before the unmapped page remain written, exactly
+// as with the byte-at-a-time loop this replaces.
 func (m *Memory) WriteBytes(addr uint32, b []byte) error {
-	for i, v := range b {
-		if err := m.Write8(addr+uint32(i), v); err != nil {
+	n := uint32(len(b))
+	var pos uint32
+	for pos < n {
+		cur := addr + pos
+		off := cur & pageMask
+		run := PageSize - off
+		if rem := n - pos; run > rem {
+			run = rem
+		}
+		p, err := m.writePage(cur)
+		if err != nil {
 			return err
 		}
+		copy(p[off:off+run], b[pos:pos+run])
+		pos += run
 	}
 	return nil
+}
+
+// ReadRun returns a read-only view of the n bytes at addr. The run must
+// not cross a page boundary (n <= PageSize - addr%PageSize); the returned
+// slice aliases the page storage and is valid only until the next Clone,
+// COW break, or UnmarshalBinary. This is the zero-copy primitive the
+// interpreter's block-copy loop builds on.
+func (m *Memory) ReadRun(addr, n uint32) ([]byte, error) {
+	pn := addr >> pageShift
+	e := &m.tlb[pn&tlbMask]
+	p := e.page
+	if e.tag != pn+1 {
+		var err error
+		p, err = m.readPage(addr)
+		if err != nil {
+			return nil, err
+		}
+	}
+	off := addr & pageMask
+	return p[off : off+n], nil
+}
+
+// WriteRun returns a writable view of the n bytes at addr, breaking COW
+// if the page is shared. The same contract as ReadRun applies.
+func (m *Memory) WriteRun(addr, n uint32) ([]byte, error) {
+	pn := addr >> pageShift
+	e := &m.tlb[pn&tlbMask]
+	p := e.page
+	if e.tag != pn+1 || !e.writable {
+		var err error
+		p, err = m.writePage(addr)
+		if err != nil {
+			return nil, err
+		}
+	}
+	off := addr & pageMask
+	return p[off : off+n], nil
+}
+
+// forEachPage visits every mapped page in ascending page-number order —
+// the iteration order the two-level table provides for free (no sort).
+func (m *Memory) forEachPage(f func(pn uint32, p []byte)) {
+	for gi, g := range m.groups {
+		if g == nil {
+			continue
+		}
+		for si := range g.pages {
+			if p := g.pages[si]; p != nil {
+				f(uint32(gi)<<groupShift|uint32(si), p)
+			}
+		}
+	}
 }
 
 // MarshalBinary serializes the address space: a page count followed by
@@ -229,25 +414,19 @@ func (m *Memory) WriteBytes(addr uint32, b []byte) error {
 // gob uses this automatically, which is how snapshots inside a
 // replay.Recording travel between community nodes and the manager.
 func (m *Memory) MarshalBinary() ([]byte, error) {
-	idx := make([]uint32, 0, len(m.pages))
-	for pn := range m.pages {
-		idx = append(idx, pn)
-	}
-	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
-	out := make([]byte, 4, 4+len(idx)*5)
-	binary.LittleEndian.PutUint32(out, uint32(len(idx)))
+	out := make([]byte, 4, 4+m.pageCount*5)
+	binary.LittleEndian.PutUint32(out, uint32(m.pageCount))
 	var pnb [4]byte
-	for _, pn := range idx {
-		p := m.pages[pn]
+	m.forEachPage(func(pn uint32, p []byte) {
 		binary.LittleEndian.PutUint32(pnb[:], pn)
 		out = append(out, pnb[:]...)
 		if allZero(p) {
 			out = append(out, 0)
-			continue
+			return
 		}
 		out = append(out, 1)
 		out = append(out, p...)
-	}
+	})
 	return out, nil
 }
 
@@ -260,14 +439,15 @@ func (m *Memory) UnmarshalBinary(b []byte) error {
 	n := binary.LittleEndian.Uint32(b)
 	b = b[4:]
 	// Each page record is at least 5 bytes, so a count that cannot fit in
-	// the remaining payload is corrupt. Checking before allocating keeps a
+	// the remaining payload is corrupt. Checking before decoding keeps a
 	// hostile page count (recordings arrive over the community transport)
-	// from forcing a giant map allocation.
+	// from forcing giant allocations.
 	if uint64(n)*5 > uint64(len(b)) {
 		return fmt.Errorf("mem: page count %d exceeds payload (%d bytes)", n, len(b))
 	}
-	m.pages = make(map[uint32][]byte, n)
-	m.cow = nil
+	m.groups = [numGroups]*pageGroup{}
+	m.flushTLB()
+	m.pageCount = 0
 	m.cowBreaks = 0
 	for i := uint32(0); i < n; i++ {
 		if len(b) < 5 {
@@ -276,6 +456,9 @@ func (m *Memory) UnmarshalBinary(b []byte) error {
 		pn := binary.LittleEndian.Uint32(b)
 		flag := b[4]
 		b = b[5:]
+		if pn >= 1<<(32-pageShift) {
+			return fmt.Errorf("mem: page index %#x out of range", pn)
+		}
 		page := make([]byte, PageSize)
 		if flag != 0 {
 			if len(b) < PageSize {
@@ -284,7 +467,16 @@ func (m *Memory) UnmarshalBinary(b []byte) error {
 			copy(page, b[:PageSize])
 			b = b[PageSize:]
 		}
-		m.pages[pn] = page
+		g := m.groups[pn>>groupShift]
+		if g == nil {
+			g = new(pageGroup)
+			m.groups[pn>>groupShift] = g
+		}
+		if g.pages[pn&groupMask] == nil {
+			m.pageCount++
+		}
+		g.pages[pn&groupMask] = page
+		g.shared[pn&groupMask] = false
 	}
 	return nil
 }

@@ -33,6 +33,17 @@ type hookEntry struct {
 	h    Hook
 }
 
+// blockLink is one cached successor: the resolved *Block for a successor
+// start address, valid only while gen matches the VM's cache generation.
+// Generation matching makes patch-time invalidation O(1): ejecting any
+// block bumps the generation and every link in the machine goes stale at
+// once, including links held by the block currently executing.
+type blockLink struct {
+	pc  uint32
+	gen uint64
+	b   *Block
+}
+
 // Block is one basic block in the code cache.
 type Block struct {
 	Start uint32
@@ -41,10 +52,20 @@ type Block struct {
 
 	hooks  [][]hookEntry
 	nextSq int
+
+	// links is a 2-entry successor cache so straight-line and
+	// direct-branch dispatch (fallthrough + taken target, or call +
+	// return site) skips the code-cache map. Dynamic targets (RET,
+	// indirect calls) share the same two slots under round-robin
+	// replacement.
+	links    [2]blockLink
+	linkRR   uint8
+	hasHooks bool
 }
 
 // AddHook attaches a hook in front of instruction index i.
 func (b *Block) AddHook(i, prio int, h Hook) {
+	b.hasHooks = true
 	if b.hooks == nil {
 		b.hooks = make([][]hookEntry, len(b.Insts))
 	}
@@ -132,22 +153,54 @@ func (v *VM) PatchIDs() []string {
 }
 
 func (v *VM) flushBlocksContaining(addr uint32) {
+	flushed := false
 	for start, b := range v.cache {
 		if b.contains(addr) {
 			delete(v.cache, start)
+			flushed = true
 		}
+	}
+	if flushed {
+		// Invalidate every successor link in one step: links carry the
+		// generation they were created under, so bumping it orphans links
+		// into (and out of) the ejected blocks without walking the cache.
+		v.cacheGen++
 	}
 }
 
-// fetchBlock returns the cached block starting at pc, decoding and
-// instrumenting it on a miss. This is the code cache's dispatch point, so
-// edge coverage is recorded here: every entry into a block — hit or miss —
-// counts the (previous block, this block) edge.
-func (v *VM) fetchBlock(pc uint32) (*Block, error) {
+// dispatch returns the block starting at pc. This is the code cache's
+// dispatch point: edge coverage is recorded on every entry — linked or
+// not, hit or miss — so coverage fingerprints are independent of the
+// linking optimization. When prev has a valid successor link for pc the
+// code-cache map is skipped entirely; otherwise the resolved block is
+// linked into prev for next time.
+func (v *VM) dispatch(prev *Block, pc uint32) (*Block, error) {
 	if v.cov != nil {
 		v.cov.hit(v.lastBlock, pc)
 		v.lastBlock = pc
 	}
+	if prev != nil {
+		if l := &prev.links[0]; l.b != nil && l.pc == pc && l.gen == v.cacheGen {
+			return l.b, nil
+		}
+		if l := &prev.links[1]; l.b != nil && l.pc == pc && l.gen == v.cacheGen {
+			return l.b, nil
+		}
+	}
+	b, err := v.fetchBlock(pc)
+	if err != nil {
+		return nil, err
+	}
+	if prev != nil {
+		prev.links[prev.linkRR&1] = blockLink{pc: pc, gen: v.cacheGen, b: b}
+		prev.linkRR++
+	}
+	return b, nil
+}
+
+// fetchBlock returns the cached block starting at pc, decoding and
+// instrumenting it on a miss.
+func (v *VM) fetchBlock(pc uint32) (*Block, error) {
 	if b, ok := v.cache[pc]; ok {
 		return b, nil
 	}

@@ -180,10 +180,10 @@ func (v *VM) condHolds(op isa.Op) bool {
 	return false
 }
 
-// exitSignal carries a normal SYS exit out of the dispatch path.
-type exitSignal struct{ code uint32 }
-
-func (exitSignal) Error() string { return "exit" }
+// errExit carries a normal SYS exit out of the dispatch path; the exit
+// code travels in VM.exitCode. A shared sentinel (rather than a value
+// error) keeps the termination path allocation-free.
+var errExit = errors.New("exit")
 
 // exec performs the instruction's semantics and returns the next PC.
 func (v *VM) exec(in isa.Inst, addr uint32, ctx *Ctx) (uint32, error) {
@@ -307,24 +307,8 @@ func (v *VM) exec(in isa.Inst, addr uint32, ctx *Ctx) (uint32, error) {
 			return 0, err
 		}
 	case isa.COPYB:
-		// Byte-at-a-time block copy; registers advance per byte so a
-		// fault mid-copy leaves the partial-progress state visible,
-		// exactly like an interrupted rep movsb.
-		for regs[isa.ECX] != 0 {
-			if v.steps >= v.maxSteps {
-				return 0, fmt.Errorf("step limit exceeded during block copy")
-			}
-			v.steps++
-			b, err := v.Mem.Read8(regs[isa.ESI])
-			if err != nil {
-				return 0, err
-			}
-			if err := v.Mem.Write8(regs[isa.EDI], b); err != nil {
-				return 0, err
-			}
-			regs[isa.ESI]++
-			regs[isa.EDI]++
-			regs[isa.ECX]--
+		if err := v.copyBlock(); err != nil {
+			return 0, err
 		}
 	default:
 		if in.Op.IsCondBranch() {
@@ -338,11 +322,63 @@ func (v *VM) exec(in isa.Inst, addr uint32, ctx *Ctx) (uint32, error) {
 	return next, nil
 }
 
+// copyBlock executes COPYB page-run-at-a-time while preserving the
+// byte-at-a-time semantics it replaces: registers advance per chunk and a
+// fault mid-copy leaves the partial-progress state visible, exactly like
+// an interrupted rep movsb; every copied byte still counts one step, and
+// the step limit interrupts the copy at the same byte it always did.
+// Chunks never cross a page boundary, never exceed the remaining step
+// budget, and — when the destination chases the source upward — never
+// exceed the src→dst distance, so a bulk copy re-reads previously written
+// bytes on the next chunk just as the byte loop re-read them one at a
+// time (the classic rep-movsb pattern-fill).
+func (v *VM) copyBlock() error {
+	regs := &v.CPU.Regs
+	for regs[isa.ECX] != 0 {
+		if v.steps >= v.maxSteps {
+			return fmt.Errorf("step limit exceeded during block copy")
+		}
+		src, dst := regs[isa.ESI], regs[isa.EDI]
+		run := regs[isa.ECX]
+		if left := v.maxSteps - v.steps; uint64(run) > left {
+			run = uint32(left)
+		}
+		if r := mem.PageSize - src%mem.PageSize; run > r {
+			run = r
+		}
+		if r := mem.PageSize - dst%mem.PageSize; run > r {
+			run = r
+		}
+		if dist := dst - src; dist != 0 && dist < run {
+			run = dist
+		}
+		// Fault order matches the byte loop: the read is attempted first,
+		// and the faulting byte's step is already counted when it faults.
+		sp, err := v.Mem.ReadRun(src, run)
+		if err != nil {
+			v.steps++
+			return err
+		}
+		dp, err := v.Mem.WriteRun(dst, run)
+		if err != nil {
+			v.steps++
+			return err
+		}
+		copy(dp, sp)
+		v.steps += uint64(run)
+		regs[isa.ESI] += run
+		regs[isa.EDI] += run
+		regs[isa.ECX] -= run
+	}
+	return nil
+}
+
 func (v *VM) syscall(num int32) error {
 	regs := &v.CPU.Regs
 	switch num {
 	case isa.SysExit:
-		return exitSignal{code: regs[isa.EAX]}
+		v.exitCode = regs[isa.EAX]
+		return errExit
 	case isa.SysAlloc:
 		addr, err := v.Heap.Alloc(regs[isa.EAX])
 		if err != nil {
@@ -424,15 +460,81 @@ func (v *VM) dispatchException(pc uint32, execErr error) (uint32, *Failure, bool
 	return handler, nil, true
 }
 
+// finishExec converts a non-nil exec error into either a continuation pc
+// (exception-handler dispatch) or a final RunResult. Shared by the fast
+// and instrumented dispatch loops so the two agree bit-for-bit on
+// termination semantics.
+func (v *VM) finishExec(addr uint32, err error) (pc uint32, res RunResult, done bool) {
+	if err == errExit {
+		return 0, v.result(OutcomeExit, v.exitCode, nil, nil), true
+	}
+	if f, ok := err.(*Failure); ok {
+		if f.Stack == nil {
+			f.Stack = v.snapshotStack()
+		}
+		return 0, v.result(OutcomeFailure, 0, f, nil), true
+	}
+	if target, f, handled := v.dispatchException(addr, err); handled {
+		if f != nil {
+			if f.Stack == nil {
+				f.Stack = v.snapshotStack()
+			}
+			return 0, v.result(OutcomeFailure, 0, f, nil), true
+		}
+		return target, RunResult{}, false
+	}
+	return 0, v.result(OutcomeCrash, 0, nil, &Crash{PC: addr, Reason: err.Error()}), true
+}
+
 // Run executes until normal exit, monitor-detected failure, crash, or the
 // step limit (treated as a hang crash).
+//
+// Dispatch is two-tier. Blocks with no hooks on a machine with no
+// snapshot sink run the fast loop: no per-instruction Ctx construction,
+// no snapshot or hook checks, and no allocations — the reusable fastCtx
+// carries the (always nil) disposition state exec consults for indirect
+// transfers. Everything else runs the instrumented loop, which is
+// byte-for-byte the pre-optimization interpreter.
 func (v *VM) Run() RunResult {
 	pc := v.CPU.PC
+	var prev *Block
 	for {
-		b, err := v.fetchBlock(pc)
+		b, err := v.dispatch(prev, pc)
 		if err != nil {
 			return v.result(OutcomeCrash, 0, nil, &Crash{PC: pc, Reason: err.Error()})
 		}
+		prev = b
+
+		if !b.hasHooks && v.snapSink == nil {
+			// Fast path: unhooked block, no snapshot capture.
+			insts := b.Insts
+			for i := range insts {
+				addr := b.Addrs[i]
+				in := insts[i]
+				v.CPU.PC = addr
+				if v.steps >= v.maxSteps {
+					return v.result(OutcomeCrash, 0, nil, &Crash{PC: addr, Reason: "step limit exceeded (hang)"})
+				}
+				v.steps++
+				v.fastCtx.PC = addr
+				v.fastCtx.Inst = in
+				next, err := v.exec(in, addr, &v.fastCtx)
+				if err != nil {
+					target, res, done := v.finishExec(addr, err)
+					if done {
+						return res
+					}
+					pc = target
+					break
+				}
+				if in.Op.EndsBlock() {
+					pc = next
+					break
+				}
+			}
+			continue
+		}
+
 	insts:
 		for i := range b.Insts {
 			addr := b.Addrs[i]
@@ -478,26 +580,12 @@ func (v *VM) Run() RunResult {
 			}
 			next, err := v.exec(in, addr, &ctx)
 			if err != nil {
-				if ex, ok := err.(exitSignal); ok {
-					return v.result(OutcomeExit, ex.code, nil, nil)
+				target, res, done := v.finishExec(addr, err)
+				if done {
+					return res
 				}
-				if f, ok := err.(*Failure); ok {
-					if f.Stack == nil {
-						f.Stack = v.snapshotStack()
-					}
-					return v.result(OutcomeFailure, 0, f, nil)
-				}
-				if target, f, handled := v.dispatchException(addr, err); handled {
-					if f != nil {
-						if f.Stack == nil {
-							f.Stack = v.snapshotStack()
-						}
-						return v.result(OutcomeFailure, 0, f, nil)
-					}
-					pc = target
-					break insts
-				}
-				return v.result(OutcomeCrash, 0, nil, &Crash{PC: addr, Reason: err.Error()})
+				pc = target
+				break insts
 			}
 			if in.Op.EndsBlock() {
 				pc = next

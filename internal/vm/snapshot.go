@@ -77,6 +77,7 @@ func (v *VM) Restore(s *Snapshot) {
 	v.hookRuns = s.HookRuns
 	v.blocks = s.Blocks
 	v.cache = make(map[uint32]*Block)
+	v.cacheGen++    // orphan successor links held by pre-restore blocks
 	v.lastBlock = 0 // coverage resumes with a fresh entry edge
 }
 

@@ -160,7 +160,17 @@ type VM struct {
 	plugins []Plugin
 	patches *patchSet
 	cache   map[uint32]*Block
-	stack   StackProvider
+	// cacheGen is the code-cache generation; block successor links are
+	// valid only for the generation they were created under, so any
+	// flush (ApplyPatch/RemovePatch/Restore) invalidates all links by
+	// incrementing it.
+	cacheGen uint64
+	stack    StackProvider
+
+	// fastCtx is the reusable hook context of the unhooked fast path.
+	// No hook ever observes it, so its disposition fields stay nil and
+	// the hot loop performs no per-instruction allocation.
+	fastCtx Ctx
 
 	// Exception handling emulation (SysSetEH): on a memory fault the
 	// machine dispatches to the handler address stored at ehSlot, subject
@@ -173,6 +183,7 @@ type VM struct {
 	inPos    int
 	output   []byte
 	maxSteps uint64
+	exitCode uint32 // set when syscall exit returns errExit
 
 	steps    uint64
 	hookRuns uint64
@@ -235,6 +246,7 @@ func New(cfg Config) (*VM, error) {
 		v.snapSink = cfg.SnapshotSink
 	}
 	v.cov = cfg.Coverage
+	v.fastCtx.VM = v
 	v.CPU.PC = cfg.Image.Entry
 	v.CPU.Regs[isa.ESP] = cfg.StackTop
 	for _, p := range cfg.Patches {
