@@ -36,11 +36,15 @@ func (bm *benchManager) node(id string) *community.Node {
 	return n
 }
 
-// BenchmarkCommunitySoak compares the two community shipping modes on an
-// identical soak: batched (one MsgBatch per node per round) versus
-// per-message (a sync and a report per run, plus recording uploads). The
-// msgs metric is the manager-side envelope count the batching protocol
-// exists to amortize; both modes must converge on every defect.
+// BenchmarkCommunitySoak compares the community shipping topologies on an
+// identical soak at equal node count: per-message (a sync and a report
+// per run, plus recording uploads), batched flat (one MsgBatch per node
+// per round straight to the manager), and hierarchical (nodes behind an
+// aggregator tier; one compacted MsgBatch per aggregator per round
+// upstream). The msgs metric is the central-manager envelope count the
+// batching protocol and the aggregator tier exist to amortize; every mode
+// must converge on every defect, and hierarchical must come in at least
+// 5x under flat batched.
 func BenchmarkCommunitySoak(b *testing.B) {
 	setup, _ := sharedSetups(b)
 	attacks := func() []community.SoakAttack {
@@ -52,10 +56,12 @@ func BenchmarkCommunitySoak(b *testing.B) {
 		}
 		return out
 	}()
+	msgsByMode := map[string]float64{}
 	for _, mode := range []struct {
-		name    string
-		batched bool
-	}{{"batched", true}, {"per-message", false}} {
+		name        string
+		batched     bool
+		aggregators int
+	}{{"per-message", false, 0}, {"batched", true, 0}, {"hierarchical", true, 3}} {
 		b.Run(mode.name, func(b *testing.B) {
 			var msgs, replays float64
 			for i := 0; i < b.N; i++ {
@@ -68,6 +74,7 @@ func BenchmarkCommunitySoak(b *testing.B) {
 					Attacks:         attacks,
 					Benign:          redteam.EvaluationPages()[:2],
 					Batched:         mode.batched,
+					Aggregators:     mode.aggregators,
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -78,8 +85,15 @@ func BenchmarkCommunitySoak(b *testing.B) {
 				msgs = float64(rep.Messages)
 				replays = float64(rep.ReplayRuns)
 			}
+			msgsByMode[mode.name] = msgs
 			b.ReportMetric(msgs, "msgs")
 			b.ReportMetric(replays, "replays")
 		})
+	}
+	// Both entries are zero when -bench filters to a single sub-benchmark;
+	// only compare when both modes actually ran.
+	if flat, hier := msgsByMode["batched"], msgsByMode["hierarchical"]; flat > 0 && hier > 0 && flat/hier < 5 {
+		b.Fatalf("hierarchy reduced manager envelopes only %.1fx (%v flat vs %v hierarchical), want >=5x",
+			flat/hier, flat, hier)
 	}
 }

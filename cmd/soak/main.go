@@ -1,14 +1,16 @@
 // Command soak runs a large-N community soak: it simulates a community
-// of node managers (default 100) sharing one central manager, presents
-// every node with recurring Red Team attacks round after round, and
-// reports convergence — how many presentations each defect needed before
-// every node in the community held the same adopted repair — as a
-// machine-readable table.
+// of node managers (default 1000) sharing one central manager — flat, or
+// through a tier of aggregators — presents every node with recurring Red
+// Team attacks round after round, optionally under node churn and
+// adversarial members, and reports convergence — how many presentations
+// each defect needed before every eligible node in the community held the
+// same adopted repair — as a machine-readable table.
 //
-//	soak                          100 nodes, batched, default exploit set
-//	soak -nodes 250 -batch=false  per-message messaging at larger N
-//	soak -exploits 290162,312278  choose the attack set
-//	soak -json                    emit the full report as JSON
+//	soak                            1000 nodes, 32 aggregators, churn + adversaries
+//	soak -nodes 100 -aggregators 0  the flat star at smaller N
+//	soak -adversaries 0 -churn=false  an immortal, honest population
+//	soak -exploits 290162,312278    choose the attack set
+//	soak -json                      emit the full report as JSON
 package main
 
 import (
@@ -28,26 +30,50 @@ import (
 const defaultExploits = "269095,290162,295854,312278,320182"
 
 func main() {
-	nodes := flag.Int("nodes", 100, "community size")
-	rounds := flag.Int("rounds", 8, "max rounds (the soak stops early on convergence)")
+	nodes := flag.Int("nodes", 1000, "community size")
+	aggregators := flag.Int("aggregators", 32, "aggregator tier size (0 = flat star)")
+	rounds := flag.Int("rounds", 8, "max rounds (a churn-free soak stops early on convergence)")
 	exploits := flag.String("exploits", defaultExploits, "comma-separated Bugzilla ids to present")
 	batch := flag.Bool("batch", true, "ship node activity as MsgBatch (false = one message per run)")
 	recorders := flag.Int("recorders", 1, "how many nodes record failing runs")
 	workers := flag.Int("workers", 0, "manager replay-farm workers (0 = all CPUs)")
 	scope := flag.Int("scope", 1, "candidate stack scope")
+	adversaries := flag.Int("adversaries", 50, "adversarial members (spoofed + forged reports; forces vetting on)")
+	churn := flag.Bool("churn", true, "crash/rejoin nodes, join fresh ones, and fail an aggregator mid-campaign")
+	crashPerRound := flag.Int("crash-per-round", 10, "nodes crashed per round under -churn")
+	joinPerRound := flag.Int("join-per-round", 5, "fresh nodes joined per round under -churn")
 	expanded := flag.Bool("expanded", false, "learn from the expanded corpus (§4.3.2)")
 	asJSON := flag.Bool("json", false, "emit the report as JSON instead of a table")
 	flag.Parse()
 
-	if err := run(*nodes, *rounds, *exploits, *batch, *recorders, *workers, *scope, *expanded, *asJSON); err != nil {
+	conf := soakFlags{
+		nodes: *nodes, aggregators: *aggregators, rounds: *rounds,
+		exploits: *exploits, batch: *batch, recorders: *recorders,
+		workers: *workers, scope: *scope, adversaries: *adversaries,
+		churn: *churn, crashPerRound: *crashPerRound, joinPerRound: *joinPerRound,
+		expanded: *expanded, asJSON: *asJSON,
+	}
+	if err := run(conf); err != nil {
 		fmt.Fprintln(os.Stderr, "soak:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nodes, rounds int, exploits string, batch bool, recorders, workers, scope int, expanded, asJSON bool) error {
-	fmt.Fprintf(os.Stderr, "building webapp and learning invariants (expanded corpus: %v)...\n", expanded)
-	setup, err := redteam.NewSetup(expanded)
+// soakFlags carries the parsed command line.
+type soakFlags struct {
+	nodes, aggregators, rounds  int
+	exploits                    string
+	batch                       bool
+	recorders, workers, scope   int
+	adversaries                 int
+	churn                       bool
+	crashPerRound, joinPerRound int
+	expanded, asJSON            bool
+}
+
+func run(f soakFlags) error {
+	fmt.Fprintf(os.Stderr, "building webapp and learning invariants (expanded corpus: %v)...\n", f.expanded)
+	setup, err := redteam.NewSetup(f.expanded)
 	if err != nil {
 		return err
 	}
@@ -57,7 +83,7 @@ func run(nodes, rounds int, exploits string, batch bool, recorders, workers, sco
 		byID[ex.Bugzilla] = ex
 	}
 	var attacks []community.SoakAttack
-	for _, id := range strings.Split(exploits, ",") {
+	for _, id := range strings.Split(f.exploits, ",") {
 		id = strings.TrimSpace(id)
 		ex, ok := byID[id]
 		if !ok {
@@ -73,17 +99,29 @@ func run(nodes, rounds int, exploits string, batch bool, recorders, workers, sco
 		Image:           setup.App.Image,
 		Seed:            setup.DB,
 		BootstrapInputs: [][]byte{redteam.LearningCorpus()},
-		Nodes:           nodes,
-		Rounds:          rounds,
+		Nodes:           f.nodes,
+		Rounds:          f.rounds,
 		Attacks:         attacks,
 		Benign:          redteam.EvaluationPages()[:5],
-		Batched:         batch,
-		Recorders:       recorders,
-		ReplayWorkers:   workers,
-		StackScope:      scope,
+		Aggregators:     f.aggregators,
+		Adversaries:     f.adversaries,
+		Batched:         f.batch,
+		Recorders:       f.recorders,
+		ReplayWorkers:   f.workers,
+		StackScope:      f.scope,
+	}
+	if f.churn {
+		conf.Churn = &community.ChurnConfig{
+			CrashPerRound: f.crashPerRound,
+			JoinPerRound:  f.joinPerRound,
+		}
+		if f.aggregators >= 2 {
+			conf.Churn.AggregatorCrashRound = 3
+		}
 	}
 
-	fmt.Fprintf(os.Stderr, "soaking %d nodes x %d attacks (batched: %v)...\n", nodes, len(attacks), batch)
+	fmt.Fprintf(os.Stderr, "soaking %d nodes (%d aggregators, %d adversaries, churn: %v) x %d attacks (batched: %v)...\n",
+		f.nodes, f.aggregators, f.adversaries, f.churn, len(attacks), f.batch)
 	start := time.Now()
 	rep, err := community.RunSoak(conf)
 	if err != nil {
@@ -91,27 +129,38 @@ func run(nodes, rounds int, exploits string, batch bool, recorders, workers, sco
 	}
 	elapsed := time.Since(start)
 
-	if asJSON {
+	if f.asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
 			return err
 		}
-		if !rep.Converged {
-			return fmt.Errorf("community did not converge within %d rounds", rounds)
-		}
-		return nil
+		return soakVerdict(rep, f.rounds)
 	}
 
 	// The machine-readable table: one TSV row per defect plus a summary.
 	fmt.Printf("defect\tfailure_pc\tmonitor\tadopted_repair\trounds\tagree\tconverged\n")
 	for _, d := range rep.Defects {
-		fmt.Printf("%s\t%#x\t%s\t%s\t%d\t%d/%d\t%v\n",
-			d.Label, d.FailurePC, d.Monitor, d.Adopted, d.Rounds, d.Agree, rep.Nodes, d.Converged)
+		fmt.Printf("%s\t%#x\t%s\t%s\t%d\t%d\t%v\n",
+			d.Label, d.FailurePC, d.Monitor, d.Adopted, d.Rounds, d.Agree, d.Converged)
 	}
-	fmt.Printf("\nnodes=%d rounds=%d batched=%v messages=%d batches=%d replay_runs=%d converged=%v elapsed=%v\n",
-		rep.Nodes, rep.RoundsRun, rep.Batched, rep.Messages, rep.Batches, rep.ReplayRuns,
-		rep.Converged, elapsed.Round(time.Millisecond))
+	fmt.Printf("\nnodes=%d aggregators=%d rounds=%d batched=%v messages=%d batches=%d replay_runs=%d\n",
+		rep.Nodes, rep.Aggregators, rep.RoundsRun, rep.Batched, rep.Messages, rep.Batches, rep.ReplayRuns)
+	fmt.Printf("churn: crashes=%d rejoins=%d joins=%d aggregator_failovers=%d\n",
+		rep.Crashes, rep.Rejoins, rep.Joins, rep.AggregatorFailovers)
+	fmt.Printf("quarantined=%d (%v) quarantined_adoptions=%d\n",
+		len(rep.Quarantined), rep.Quarantined, rep.QuarantinedAdoptions)
+	fmt.Printf("converged=%v elapsed=%v\n", rep.Converged, elapsed.Round(time.Millisecond))
+	return soakVerdict(rep, f.rounds)
+}
+
+// soakVerdict turns the report into the process exit status: the soak
+// fails if the community did not converge, or if a quarantined node
+// contributed an adopted patch.
+func soakVerdict(rep *community.SoakReport, rounds int) error {
+	if rep.QuarantinedAdoptions != 0 {
+		return fmt.Errorf("%d adopted repairs were driven by quarantined nodes", rep.QuarantinedAdoptions)
+	}
 	if !rep.Converged {
 		return fmt.Errorf("community did not converge within %d rounds", rounds)
 	}

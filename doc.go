@@ -54,13 +54,32 @@
 //	internal/repair     candidate repair generation
 //	internal/evaluate   repair scoring and ranking
 //	internal/replay     deterministic record/replay + parallel patch farm
+//	                    + farm-backed report vetting (Farm.Vet)
 //	internal/fuzz       coverage-guided exploit-variant fuzzer
 //	internal/core       the ClearView pipeline orchestrator
-//	internal/community  central manager + node managers (pipe & TCP),
-//	                    batched messaging, large-N soak driver
+//	internal/community  the two-tier community (pipe & TCP transports)
 //	internal/webapp     the protected application (ten seeded defects)
 //	internal/redteam    exploit builders, corpora, drivers, reports
 //
-// See README.md for the package tour, the replay-farm architecture, and
-// how to run the benchmarks.
+// internal/community arranges the §3 application community as two tiers:
+// node managers attach to Aggregators, which serve their region with the
+// same protocol the central Manager speaks (caching per-node directives,
+// merging learning uploads, deduplicating recordings per failure
+// location) and forward one compacted batch upstream per flush — so
+// central-manager load scales with the aggregator count, not the node
+// count. All durable state (learning shards, repair assignments,
+// quarantine) is keyed by node ID at the manager, which makes churn a
+// non-event: nodes crash and re-attach to any aggregator without losing
+// anything, aggregators fail over, and mid-campaign joiners are
+// protected before first exposure. Reports are sanity-checked at both
+// tiers and recordings must reproduce their claimed failure on the
+// manager's replay farm; a node that fails any check is quarantined —
+// ignored permanently — so tampered input can never poison the shared
+// invariant database or steer repair adoption (the §5 discussion's
+// attack, defended).
+//
+// See README.md for the package tour, the replay-farm architecture, the
+// community topology, and how to run the benchmarks; ARCHITECTURE.md
+// maps each paper section and evaluation artifact to the code that
+// reproduces it.
 package repro

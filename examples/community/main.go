@@ -1,7 +1,19 @@
-// Application community over TCP: a central manager and three node
-// managers on localhost. One member absorbs an attack until the community
-// finds a patch; the others then survive their first exposure
-// ("protection without exposure", §3).
+// A two-tier application community over TCP: a central manager, two
+// aggregators, and three node managers on localhost.
+//
+// The walkthrough narrates the §3 story at the shape README.md's
+// "two-tier community" section describes, plus the defenses of the §5
+// discussion:
+//
+//  1. a victim node absorbs an attack until the community finds a patch
+//     (its aggregator flushing a compacted batch upstream each round);
+//  2. a peer in the same region survives its FIRST exposure — protection
+//     without exposure, served from the aggregator's directive cache;
+//  3. the victim's aggregator crashes; the victim fails over to the
+//     sibling region with Node.Attach and keeps its protection (all
+//     durable state is keyed by node ID at the manager);
+//  4. an adversarial node spoofs a failure report and is quarantined —
+//     its later, well-formed traffic stays ignored.
 //
 // Run:  go run ./examples/community
 package main
@@ -18,6 +30,8 @@ import (
 )
 
 func main() {
+	// The protected binary and a pre-learned invariant database (the
+	// Blue Team run of §4.2.1).
 	app, err := webapp.Build()
 	if err != nil {
 		log.Fatal(err)
@@ -29,76 +43,177 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The central manager: replay farm armed (candidates are judged
+	// offline against shipped recordings) and reports vetted (tampered
+	// input quarantines the sender).
 	manager, err := community.NewManager(community.ManagerConfig{
 		Image:           app.Image,
 		Seed:            seed,
 		BootstrapInputs: [][]byte{redteam.LearningCorpus()},
+		ReplayWorkers:   -1,
+		VetReports:      true,
+		// Only the provisioned tier may speak for other nodes.
+		TrustedAggregators: []string{"agg-west", "agg-east"},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	listener, err := community.Listen("127.0.0.1:0")
+	managerL, err := community.Listen("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer listener.Close()
-	go func() {
-		for {
-			conn, err := listener.Accept()
-			if err != nil {
-				return
-			}
-			go func() { _ = manager.Serve(conn) }()
-		}
-	}()
-	fmt.Printf("manager listening on %s\n", listener.Addr())
+	defer managerL.Close()
+	go acceptLoop(managerL, func(c community.Conn) error { return manager.Serve(c) })
+	fmt.Printf("manager listening on %s\n", managerL.Addr())
 
-	newNode := func(id string) *community.Node {
-		conn, err := community.Dial(listener.Addr())
+	// The aggregator tier: each aggregator dials the manager upstream
+	// and accepts its region's nodes on its own listener — nodes speak
+	// the identical protocol to either tier.
+	newAggregator := func(id string) (*community.Aggregator, *community.Listener) {
+		up, err := community.Dial(managerL.Addr())
 		if err != nil {
 			log.Fatal(err)
 		}
-		n := community.NewNode(id, app.Image, conn)
-		if err := n.Connect(); err != nil {
+		agg, err := community.NewAggregator(community.AggregatorConfig{
+			ID: id, Image: app.Image, Upstream: up, VetReports: true,
+		})
+		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("node %q connected\n", id)
+		l, err := community.Listen("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go acceptLoop(l, func(c community.Conn) error { return agg.Serve(c) })
+		fmt.Printf("aggregator %q listening on %s\n", id, l.Addr())
+		return agg, l
+	}
+	aggWest, westL := newAggregator("agg-west")
+	aggEast, eastL := newAggregator("agg-east")
+	defer eastL.Close()
+
+	attach := func(id, addr string) *community.Node {
+		conn, err := community.Dial(addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := community.NewNode(id, app.Image, nil)
+		if err := n.Attach(conn); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("node %q attached\n", id)
 		return n
 	}
-	victim := newNode("victim")
-	peers := []*community.Node{newNode("peer-1"), newNode("peer-2")}
 
-	var ex redteam.Exploit
-	for _, e := range redteam.Exploits() {
-		if e.Bugzilla == "290162" {
-			ex = e
-		}
-	}
+	// Region west: the victim (recording failures, so the manager's farm
+	// can rank candidates offline) and an unexposed peer.
+	victim := attach("victim", westL.Addr())
+	victim.RecordFailures = true
+	peer := attach("peer", westL.Addr())
+
+	ex := exploit("290162")
 	attack := redteam.AttackInput(app, ex, 0)
 
-	fmt.Printf("\nattacking %q with exploit %s...\n", victim.ID, ex.Bugzilla)
+	// 1. The victim absorbs the attack; after each presentation its
+	// aggregator flushes the region's reports (and the failing-run
+	// recording) upstream and refreshes its directive cache.
+	fmt.Printf("\n[1] attacking %q with exploit %s...\n", victim.ID, ex.Bugzilla)
 	for i := 1; ; i++ {
 		res, err := victim.RunOnce(attack)
 		if err != nil {
 			log.Fatal(err)
 		}
+		if err := aggWest.Flush(); err != nil {
+			log.Fatal(err)
+		}
 		if res.Outcome == vm.OutcomeExit && res.ExitCode == 0 {
-			fmt.Printf("  presentation %d: survived — community patch adopted\n", i)
+			fmt.Printf("    presentation %d: survived — community patch adopted\n", i)
 			break
 		}
-		fmt.Printf("  presentation %d: %v (community responding)\n", i, res.Outcome)
+		fmt.Printf("    presentation %d: %v (community responding)\n", i, res.Outcome)
 		if i > 12 {
 			log.Fatal("community never patched")
 		}
 	}
 
-	fmt.Println("\nfirst exposure of the other members:")
-	for _, peer := range peers {
-		res, err := peer.RunOnce(attack)
-		if err != nil {
-			log.Fatal(err)
-		}
-		immune := res.Outcome == vm.OutcomeExit && res.ExitCode == 0
-		fmt.Printf("  %q survives first exposure: %v\n", peer.ID, immune)
+	// 2. The peer was never attacked; its sync is served from the
+	// aggregator's cache, and it survives its first exposure.
+	res, err := peer.RunOnce(attack)
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("\n[2] %q survives its FIRST exposure: %v (directives from the %q cache)\n",
+		peer.ID, res.Outcome == vm.OutcomeExit && res.ExitCode == 0, "agg-west")
+
+	// 3. Region west dies. The victim fails over to region east and is
+	// still protected: its assignment lives at the manager, keyed by ID.
+	_ = aggWest.Close()
+	_ = westL.Close()
+	east, err := community.Dial(eastL.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := victim.Attach(east); err != nil {
+		log.Fatal(err)
+	}
+	if err := aggEast.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	res, err = victim.RunOnce(attack)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n[3] %q failed over to %q and still survives the attack: %v\n",
+		victim.ID, "agg-east", res.Outcome == vm.OutcomeExit && res.ExitCode == 0)
+
+	// 4. An adversary spoofs a failure outside the binary's code range —
+	// speaking the raw protocol, as an attacker would. The edge sanity
+	// check quarantines it on the spot.
+	liarConn, err := community.Dial(eastL.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer liarConn.Close()
+	spoofed, err := community.NewEnvelope(community.MsgRunReport, community.RunReport{
+		NodeID:  "liar",
+		Outcome: uint8(vm.OutcomeFailure),
+		Failure: &community.FailureInfo{PC: app.Image.End() + 0x1000, Monitor: "MemoryFirewall"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := liarConn.Send(spoofed); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := liarConn.Recv(); err != nil { // the reply reveals nothing
+		log.Fatal(err)
+	}
+	if err := aggEast.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	quarantined := manager.Quarantined()
+	fmt.Printf("\n[4] %q spoofed an out-of-range failure; quarantined: %v (%s)\n",
+		"liar", len(quarantined) == 1, quarantined["liar"])
+}
+
+// acceptLoop serves every connection a listener yields.
+func acceptLoop(l *community.Listener, serve func(community.Conn) error) {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go func() { _ = serve(c) }()
+	}
+}
+
+// exploit finds a Red Team exploit by Bugzilla id.
+func exploit(id string) redteam.Exploit {
+	for _, e := range redteam.Exploits() {
+		if e.Bugzilla == id {
+			return e
+		}
+	}
+	log.Fatalf("unknown exploit %s", id)
+	return redteam.Exploit{}
 }

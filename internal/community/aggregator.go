@@ -1,0 +1,483 @@
+package community
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/daikon"
+	"repro/internal/image"
+	"repro/internal/replay"
+)
+
+// AggregatorConfig assembles one region's aggregator.
+type AggregatorConfig struct {
+	// ID names the aggregator on the wire (it is the NodeID of the
+	// compacted batches it sends upstream).
+	ID string
+	// Image is the protected binary, for edge sanity checks.
+	Image *image.Image
+	// Upstream is the connection to the central manager. (Only the
+	// manager can terminate an aggregated batch — aggregators do not
+	// chain under each other.)
+	Upstream Conn
+	// FlushEvery auto-flushes once this many run reports are buffered;
+	// 0 flushes only when Flush is called (e.g. once per soak round).
+	FlushEvery int
+	// VetReports enables the edge sanity checks: reports, uploads, and
+	// recordings whose PCs fall outside the image's code range quarantine
+	// the sending node locally — the poisoned input never travels
+	// upstream — and the verdict is reported to the manager with the next
+	// flush. Checks that need global state (observation provenance) or a
+	// replay farm (recording reproduction) remain the manager's.
+	VetReports bool
+}
+
+// Aggregator is the middle tier of the two-level community: it serves a
+// region of member nodes exactly like a manager would — same protocol,
+// same Conn transport — while speaking to the central manager as a single,
+// well-batched client. It merges its region's learning uploads into one
+// database, deduplicates failing-run recordings per failure location,
+// buffers run reports in arrival order, and forwards the lot as one
+// compacted MsgBatch per flush. The manager's DirectivesSet reply is
+// cached per member node, so node syncs between flushes cost no upstream
+// traffic at all: central-manager load scales with the number of
+// aggregators, not the number of nodes.
+//
+// Members may attach, detach, and re-attach freely (see Node.Attach): all
+// community state is keyed by node ID at the manager, so a node that
+// crashes mid-campaign and comes back through a different aggregator keeps
+// its learning shard and its repair assignments.
+type Aggregator struct {
+	conf AggregatorConfig
+
+	mu    sync.Mutex
+	nodes map[string]bool       // member IDs seen (registered upstream at next flush)
+	dirs  map[string]Directives // per-member directive cache from the last flush
+	seq   uint64                // manager sequence as of the last flush
+
+	reports    []RunReport
+	learn      *daikon.DB
+	learnCount int
+	recRaw     map[uint32][]byte // pending recordings, deduped per failure PC
+	recFrom    map[uint32]string // capturing node per pending recording
+
+	quarantined map[string]bool
+	newlyQuar   []string // edge verdicts not yet reported upstream
+	imgWire     []byte   // the protected image's wire form, for recording identity checks
+
+	conns    map[Conn]bool // live member connections, for Close
+	closed   bool
+	upstream int // envelopes sent upstream (the number the hierarchy minimizes)
+	flushes  int
+}
+
+// NewAggregator builds an aggregator speaking to the manager over
+// conf.Upstream.
+func NewAggregator(conf AggregatorConfig) (*Aggregator, error) {
+	if conf.ID == "" {
+		return nil, fmt.Errorf("community: aggregator needs an ID")
+	}
+	if conf.Image == nil {
+		return nil, fmt.Errorf("community: aggregator needs an image")
+	}
+	if conf.Upstream == nil {
+		return nil, fmt.Errorf("community: aggregator needs an upstream connection")
+	}
+	return &Aggregator{
+		conf:        conf,
+		nodes:       make(map[string]bool),
+		dirs:        make(map[string]Directives),
+		recRaw:      make(map[uint32][]byte),
+		recFrom:     make(map[uint32]string),
+		quarantined: make(map[string]bool),
+		imgWire:     conf.Image.Marshal(),
+		conns:       make(map[Conn]bool),
+	}, nil
+}
+
+// Serve handles one member connection until it closes; run it in a
+// goroutine per connection, like Manager.Serve.
+func (a *Aggregator) Serve(conn Conn) error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		_ = conn.Close()
+		return fmt.Errorf("community: aggregator %s is closed", a.conf.ID)
+	}
+	a.conns[conn] = true
+	a.mu.Unlock()
+	defer func() {
+		// Drop the tracking entry when the connection dies, so a
+		// long-lived aggregator under churn (members re-attaching over
+		// fresh connections for years) holds only live connections.
+		a.mu.Lock()
+		delete(a.conns, conn)
+		a.mu.Unlock()
+		_ = conn.Close()
+	}()
+	for {
+		env, err := conn.Recv()
+		if err != nil {
+			return err
+		}
+		reply, err := a.handle(env)
+		if err != nil {
+			return err
+		}
+		if err := conn.Send(reply); err != nil {
+			return err
+		}
+	}
+}
+
+// handle buffers one member message and answers it from the directive
+// cache.
+func (a *Aggregator) handle(env Envelope) (Envelope, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch env.Kind {
+	case MsgHello:
+		var h Hello
+		if err := decodePayload(env.Payload, &h); err != nil {
+			return Envelope{}, err
+		}
+		if err := requireSender(h.NodeID); err != nil {
+			return Envelope{}, err
+		}
+		_, known := a.nodes[h.NodeID]
+		a.nodes[h.NodeID] = true
+		if !known && a.flushes > 0 {
+			// A mid-campaign join: flush now so the newcomer is
+			// registered upstream and leaves with real directives —
+			// §3's protection without exposure must survive the cache
+			// tier. (Cold-start attaches, before any flush, register
+			// locally: the whole region is new and flushes soon anyway.)
+			if err := a.flushLocked(); err != nil {
+				return Envelope{}, err
+			}
+		}
+		return a.cachedDirectives(h.NodeID)
+	case MsgRunReport:
+		var rep RunReport
+		if err := decodePayload(env.Payload, &rep); err != nil {
+			return Envelope{}, err
+		}
+		if err := requireSender(rep.NodeID); err != nil {
+			return Envelope{}, err
+		}
+		a.nodes[rep.NodeID] = true
+		a.bufferReport(&rep)
+		if err := a.maybeFlushLocked(); err != nil {
+			return Envelope{}, err
+		}
+		return a.cachedDirectives(rep.NodeID)
+	case MsgLearnUpload:
+		var up LearnUpload
+		if err := decodePayload(env.Payload, &up); err != nil {
+			return Envelope{}, err
+		}
+		if err := requireSender(up.NodeID); err != nil {
+			return Envelope{}, err
+		}
+		a.nodes[up.NodeID] = true
+		if err := a.bufferLearnDB(up.NodeID, up.DB); err != nil {
+			return Envelope{}, err
+		}
+		return a.cachedDirectives(up.NodeID)
+	case MsgRecording:
+		var up RecordingUpload
+		if err := decodePayload(env.Payload, &up); err != nil {
+			return Envelope{}, err
+		}
+		if err := requireSender(up.NodeID); err != nil {
+			return Envelope{}, err
+		}
+		a.nodes[up.NodeID] = true
+		if err := a.bufferRecording(up.NodeID, up.Recording); err != nil {
+			return Envelope{}, err
+		}
+		return a.cachedDirectives(up.NodeID)
+	case MsgBatch:
+		var b Batch
+		if err := decodePayload(env.Payload, &b); err != nil {
+			return Envelope{}, err
+		}
+		if len(b.NodeIDs) > 0 {
+			return Envelope{}, fmt.Errorf("community: aggregator %s cannot relay an aggregated batch", a.conf.ID)
+		}
+		if err := requireSender(b.NodeID); err != nil {
+			return Envelope{}, err
+		}
+		a.nodes[b.NodeID] = true
+		for _, raw := range b.LearnDBs {
+			if err := a.bufferLearnDB(b.NodeID, raw); err != nil {
+				return Envelope{}, err
+			}
+		}
+		for i := range b.Reports {
+			a.bufferReport(&b.Reports[i])
+		}
+		for _, raw := range b.Recordings {
+			if err := a.bufferRecording(b.NodeID, raw); err != nil {
+				return Envelope{}, err
+			}
+		}
+		if err := a.maybeFlushLocked(); err != nil {
+			return Envelope{}, err
+		}
+		return a.cachedDirectives(b.NodeID)
+	default:
+		return Envelope{}, fmt.Errorf("community: aggregator %s: unexpected message %v", a.conf.ID, env.Kind)
+	}
+}
+
+// cachedDirectives answers a member from the per-node cache. A member the
+// cache has never seen gets the empty directive set at sequence 0 — NOT
+// the cached sequence: the member is about to run without this phase's
+// patches, and stamping its reports with the current sequence would let an
+// unprotected newcomer's failure demote a community-adopted repair. Its
+// real directives arrive with the next flush. Called with a.mu held.
+func (a *Aggregator) cachedDirectives(nodeID string) (Envelope, error) {
+	d, ok := a.dirs[nodeID]
+	if !ok {
+		d = Directives{}
+	}
+	return NewEnvelope(MsgDirectives, d)
+}
+
+// bufferReport queues one run report for the next flush, dropping it if
+// the sender is quarantined or the report fails the edge checks. Called
+// with a.mu held.
+func (a *Aggregator) bufferReport(rep *RunReport) {
+	if a.quarantined[rep.NodeID] {
+		return
+	}
+	if a.conf.VetReports {
+		if reason := checkReportStatic(a.conf.Image, rep); reason != "" {
+			a.quarantineLocked(rep.NodeID)
+			return
+		}
+	}
+	a.reports = append(a.reports, *rep)
+}
+
+// bufferLearnDB folds one member's learning upload into the region
+// database. Called with a.mu held.
+func (a *Aggregator) bufferLearnDB(nodeID string, raw []byte) error {
+	if a.quarantined[nodeID] {
+		return nil
+	}
+	db, err := daikon.UnmarshalDB(raw)
+	if err != nil {
+		return err
+	}
+	if a.conf.VetReports {
+		if reason := checkLearnDBStatic(a.conf.Image, db); reason != "" {
+			a.quarantineLocked(nodeID)
+			return nil
+		}
+	}
+	if a.learn == nil {
+		a.learn = db
+	} else {
+		a.learn.Merge(db, daikon.DefaultMaxOneOf)
+	}
+	a.learnCount++
+	return nil
+}
+
+// bufferRecording queues one failing-run recording, deduplicating per
+// failure location (the first capture wins; the manager's farm only needs
+// one copy of a deterministic failure). Called with a.mu held.
+func (a *Aggregator) bufferRecording(nodeID string, raw []byte) error {
+	if a.quarantined[nodeID] {
+		return nil
+	}
+	rec, err := replay.Unmarshal(raw)
+	if err != nil {
+		return err
+	}
+	pc, ok := rec.FailurePC()
+	if !ok {
+		return nil // only failing runs are worth upstream bytes
+	}
+	if a.conf.VetReports {
+		// The edge runs every static recording check (replays are the
+		// manager's): a recording of some other binary, one claiming an
+		// out-of-range failure, or one with an implausible step budget
+		// never travels upstream.
+		if checkRecordingStatic(a.conf.Image, a.imgWire, rec, pc) != "" {
+			a.quarantineLocked(nodeID)
+			return nil
+		}
+	}
+	if _, dup := a.recRaw[pc]; dup {
+		return nil
+	}
+	a.recRaw[pc] = raw
+	a.recFrom[pc] = nodeID
+	return nil
+}
+
+// quarantineLocked records an edge verdict: the node's traffic is dropped
+// here from now on, and the manager learns of the verdict at the next
+// flush. Called with a.mu held.
+func (a *Aggregator) quarantineLocked(nodeID string) {
+	if a.quarantined[nodeID] {
+		return
+	}
+	a.quarantined[nodeID] = true
+	a.newlyQuar = append(a.newlyQuar, nodeID)
+}
+
+// maybeFlushLocked flushes when the report buffer has reached the
+// configured size. Called with a.mu held.
+func (a *Aggregator) maybeFlushLocked() error {
+	if a.conf.FlushEvery > 0 && len(a.reports) >= a.conf.FlushEvery {
+		return a.flushLocked()
+	}
+	return nil
+}
+
+// Flush compacts everything buffered since the last flush into one
+// upstream MsgBatch — the region's reports in arrival order, its learning
+// uploads pre-merged into a single database, its recordings deduplicated
+// per failure location, and any edge quarantine verdicts — and refreshes
+// the per-member directive cache from the manager's DirectivesSet reply.
+// A flush with nothing buffered still runs: it registers new members and
+// pulls fresh directives (the region's heartbeat).
+func (a *Aggregator) Flush() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.flushLocked()
+}
+
+// flushLocked is Flush's body. Called with a.mu held.
+func (a *Aggregator) flushLocked() error {
+	if a.closed {
+		return fmt.Errorf("community: aggregator %s is closed", a.conf.ID)
+	}
+	b := Batch{NodeID: a.conf.ID, Aggregated: true}
+	for id := range a.nodes {
+		b.NodeIDs = append(b.NodeIDs, id)
+	}
+	sort.Strings(b.NodeIDs)
+	b.Reports = a.reports
+	var pcs []uint32
+	for pc := range a.recRaw {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	for _, pc := range pcs {
+		b.Recordings = append(b.Recordings, a.recRaw[pc])
+		b.RecordingFrom = append(b.RecordingFrom, a.recFrom[pc])
+	}
+	if a.learnCount > 0 {
+		raw, err := a.learn.Marshal()
+		if err != nil {
+			return err
+		}
+		b.LearnDBs = [][]byte{raw}
+	}
+	b.Quarantined = a.newlyQuar
+
+	env, err := NewEnvelope(MsgBatch, b)
+	if err != nil {
+		return err
+	}
+	if err := a.conf.Upstream.Send(env); err != nil {
+		return err
+	}
+	a.upstream++
+	reply, err := a.conf.Upstream.Recv()
+	if err != nil {
+		return err
+	}
+	if reply.Kind != MsgDirectivesSet {
+		return fmt.Errorf("community: aggregator %s: unexpected reply %v", a.conf.ID, reply.Kind)
+	}
+	var set DirectivesSet
+	if err := decodePayload(reply.Payload, &set); err != nil {
+		return err
+	}
+	a.seq = set.Seq
+	for id, d := range set.ByNode {
+		a.dirs[id] = d
+	}
+
+	a.reports = nil
+	a.learn = nil
+	a.learnCount = 0
+	a.recRaw = make(map[uint32][]byte)
+	a.recFrom = make(map[uint32]string)
+	a.newlyQuar = nil
+	a.flushes++
+	return nil
+}
+
+// UpstreamEnvelopes returns how many envelopes this aggregator has sent to
+// the manager — the count the hierarchy exists to keep small.
+func (a *Aggregator) UpstreamEnvelopes() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.upstream
+}
+
+// Flushes returns how many flushes have completed.
+func (a *Aggregator) Flushes() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.flushes
+}
+
+// Members returns the sorted IDs of every member node seen.
+func (a *Aggregator) Members() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.nodes))
+	for id := range a.nodes {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// QuarantinedNodes returns the sorted IDs of members quarantined at this
+// edge.
+func (a *Aggregator) QuarantinedNodes() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.quarantined))
+	for id := range a.quarantined {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close simulates the aggregator failing: the upstream connection and
+// every member connection are torn down, and all buffered (unflushed)
+// state is lost. Members detect the dead connection and fail over to a
+// sibling aggregator with Node.Attach; nothing they lose is
+// unrecoverable, because all durable community state lives at the manager
+// keyed by node ID.
+func (a *Aggregator) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	conns := make([]Conn, 0, len(a.conns))
+	for c := range a.conns {
+		conns = append(conns, c)
+	}
+	a.conns = make(map[Conn]bool)
+	a.mu.Unlock()
+	_ = a.conf.Upstream.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	return nil
+}

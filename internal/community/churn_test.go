@@ -1,0 +1,578 @@
+package community
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/daikon"
+	"repro/internal/redteam"
+	"repro/internal/replay"
+	"repro/internal/vm"
+	"repro/internal/webapp"
+)
+
+// twoAggRig wires a manager behind two aggregators and returns everything
+// a churn test needs.
+func twoAggRig(t *testing.T, mc ManagerConfig) (*Manager, [2]*Aggregator) {
+	t.Helper()
+	mc.VetReports = true
+	mc.TrustedAggregators = []string{"agg00", "agg01"}
+	m, err := NewManager(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aggs [2]*Aggregator
+	for i := range aggs {
+		upSide, mgrSide := Pipe()
+		go func() { _ = m.Serve(mgrSide) }()
+		agg, err := NewAggregator(AggregatorConfig{
+			ID: []string{"agg00", "agg01"}[i], Image: mc.Image, Upstream: upSide, VetReports: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aggs[i] = agg
+	}
+	return m, aggs
+}
+
+// attachNode homes a node onto an aggregator over a fresh pipe.
+func attachNode(t *testing.T, agg *Aggregator, n *Node) {
+	t.Helper()
+	nodeSide, aggSide := Pipe()
+	go func() { _ = agg.Serve(aggSide) }()
+	if err := n.Attach(nodeSide); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNodeCrashReattachKeepsShard extends TestNodeReconnectKeepsShard
+// across the hierarchy: a node that crashes mid-presentation and
+// re-attaches through a *different* aggregator keeps its learning shard —
+// handouts are per-identity at the manager, not per-connection or
+// per-region.
+func TestNodeCrashReattachKeepsShard(t *testing.T) {
+	app := webapp.MustBuild()
+	m, aggs := twoAggRig(t, ManagerConfig{Image: app.Image, LearnShards: 4})
+	_ = m
+
+	n := NewNode("stable-id", app.Image, nil)
+	attachNode(t, aggs[0], n)
+	if err := aggs[0].Flush(); err != nil { // registers the node upstream
+		t.Fatal(err)
+	}
+	if err := n.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	lo1, hi1 := n.Directives().LearnLo, n.Directives().LearnHi
+	if hi1 == lo1 {
+		t.Fatal("node got no learning assignment")
+	}
+
+	_ = n.Close() // crash mid-presentation
+
+	attachNode(t, aggs[1], n) // fail over to the sibling region
+	if err := aggs[1].Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Directives().LearnLo != lo1 || n.Directives().LearnHi != hi1 {
+		t.Errorf("shard changed across crash + re-attach: [%#x,%#x) vs [%#x,%#x)",
+			lo1, hi1, n.Directives().LearnLo, n.Directives().LearnHi)
+	}
+}
+
+// TestAggregatorCrashFailover: an aggregator dies mid-campaign; its
+// members fail over to a sibling and the community still converges on a
+// repair the failed-over members end up holding.
+func TestAggregatorCrashFailover(t *testing.T) {
+	app := webapp.MustBuild()
+	m, aggs := twoAggRig(t, redTeamManagerConfig(t, app))
+
+	victim := NewNode("victim", app.Image, nil)
+	victim.RecordFailures = true
+	peer := NewNode("peer", app.Image, nil)
+	attachNode(t, aggs[0], victim)
+	attachNode(t, aggs[0], peer)
+
+	ex := exploitByID(t, "290162")
+	attack := redteam.AttackInput(app, ex, 0)
+
+	// Round 1 through aggregator 0: detection + recording, flushed.
+	if _, err := victim.RunOnce(attack); err != nil {
+		t.Fatal(err)
+	}
+	if err := aggs[0].Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Aggregator 0 dies. Subsequent member traffic fails…
+	_ = aggs[0].Close()
+	if err := victim.Sync(); err == nil {
+		t.Fatal("sync through a crashed aggregator succeeded")
+	}
+
+	// …until the members fail over to the sibling.
+	attachNode(t, aggs[1], victim)
+	attachNode(t, aggs[1], peer)
+	patched := false
+	for i := 0; i < 6 && !patched; i++ {
+		res, err := victim.RunOnce(attack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := aggs[1].Flush(); err != nil {
+			t.Fatal(err)
+		}
+		patched = res.Outcome == vm.OutcomeExit && res.ExitCode == 0
+	}
+	if !patched {
+		t.Fatal("victim never protected after failover")
+	}
+	if st := m.CaseStates()[app.Labels["site_290162"]]; st != core.StatePatched {
+		t.Fatalf("manager case state = %v", st)
+	}
+	// The peer that failed over with it is protected on first exposure.
+	if err := peer.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if len(peer.Directives().Repairs) == 0 {
+		t.Fatal("failed-over peer holds no repair")
+	}
+	res, err := peer.RunOnce(attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != vm.OutcomeExit || res.ExitCode != 0 {
+		t.Fatalf("failed-over peer not immune: %+v", res)
+	}
+}
+
+// TestSpoofedReportQuarantines: a report whose failure PC lies outside
+// the code range quarantines the node at the edge and never opens a case
+// at the manager; the node's later, well-formed reports stay ignored.
+func TestSpoofedReportQuarantines(t *testing.T) {
+	app := webapp.MustBuild()
+	m, aggs := twoAggRig(t, redTeamManagerConfig(t, app))
+	liar := NewNode("liar", app.Image, nil)
+	attachNode(t, aggs[0], liar)
+
+	badPC := app.Image.End() + 0x1000
+	spoofed, err := NewEnvelope(MsgRunReport, RunReport{
+		NodeID:  "liar",
+		Outcome: uint8(vm.OutcomeFailure),
+		Failure: &FailureInfo{PC: badPC, Monitor: "MemoryFirewall"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := liar.roundTrip(spoofed); err != nil {
+		t.Fatal(err)
+	}
+	if err := aggs[0].Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := aggs[0].QuarantinedNodes(); len(got) != 1 || got[0] != "liar" {
+		t.Fatalf("edge quarantine = %v, want [liar]", got)
+	}
+	if _, q := m.Quarantined()["liar"]; !q {
+		t.Fatal("edge verdict did not reach the manager")
+	}
+	if len(m.CaseStates()) != 0 {
+		t.Fatalf("spoofed report opened a case: %v", m.CaseStates())
+	}
+
+	// A later, perfectly valid failing report from the liar changes
+	// nothing — but the same report from an honest node opens the case.
+	ex := exploitByID(t, "290162")
+	attack := redteam.AttackInput(app, ex, 0)
+	if _, err := liar.RunOnce(attack); err != nil {
+		t.Fatal(err)
+	}
+	if err := aggs[0].Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.CaseStates()) != 0 {
+		t.Fatal("a quarantined node's valid report advanced the campaign")
+	}
+
+	honest := NewNode("honest", app.Image, nil)
+	attachNode(t, aggs[0], honest)
+	if _, err := honest.RunOnce(attack); err != nil {
+		t.Fatal(err)
+	}
+	if err := aggs[0].Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.CaseStates()[app.Labels["site_290162"]]; st != core.StateChecking {
+		t.Fatalf("honest report did not open the case: %v", m.CaseStates())
+	}
+}
+
+// TestPoisonedLearnUploadQuarantines: an invariant database carrying
+// out-of-range PCs is dropped at the edge and the uploader quarantined;
+// the community database never sees it.
+func TestPoisonedLearnUploadQuarantines(t *testing.T) {
+	app := webapp.MustBuild()
+	m, aggs := twoAggRig(t, ManagerConfig{Image: app.Image})
+	liar := NewNode("liar", app.Image, nil)
+	attachNode(t, aggs[0], liar)
+
+	poisoned := daikon.NewDB()
+	poisoned.Add(&daikon.Invariant{
+		Kind: daikon.KindLowerBound,
+		Var:  daikon.VarID{PC: app.Image.End() + 64},
+	})
+	raw, err := poisoned.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnvelope(MsgLearnUpload, LearnUpload{NodeID: "liar", DB: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := liar.roundTrip(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := aggs[0].Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if m.InvariantCount() != 0 || m.Uploads() != 0 {
+		t.Fatalf("poisoned upload reached the community DB: %d invariants, %d uploads",
+			m.InvariantCount(), m.Uploads())
+	}
+	if _, q := m.Quarantined()["liar"]; !q {
+		t.Fatal("poisoner not quarantined")
+	}
+}
+
+// TestForgedRecordingQuarantines: a recording of a healthy run relabelled
+// as a failure passes every static check and is only caught by the
+// manager's farm vetting — which quarantines the forger and refuses the
+// recording.
+func TestForgedRecordingQuarantines(t *testing.T) {
+	app := webapp.MustBuild()
+	mc := redTeamManagerConfig(t, app)
+	mc.ReplayWorkers = -1
+	m, aggs := twoAggRig(t, mc)
+	forger := NewNode("forger", app.Image, nil)
+	attachNode(t, aggs[0], forger)
+
+	rec, _, err := replay.Record("forger/clean", app.Image, redteam.EvaluationPages()[0], nil, replay.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Outcome = vm.OutcomeFailure
+	rec.Failure = &vm.Failure{PC: app.Labels["site_290162"], Monitor: "MemoryFirewall", Kind: "forged"}
+	raw, err := rec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnvelope(MsgRecording, RecordingUpload{NodeID: "forger", Recording: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := forger.roundTrip(env); err != nil {
+		t.Fatal(err)
+	}
+	// The forgery passes the edge (static checks see an in-range PC)…
+	if got := aggs[0].QuarantinedNodes(); len(got) != 0 {
+		t.Fatalf("edge quarantined the forger prematurely: %v", got)
+	}
+	if err := aggs[0].Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// …and dies at the manager's farm.
+	if _, q := m.Quarantined()["forger"]; !q {
+		t.Fatal("forger not quarantined by farm vetting")
+	}
+	if m.RecordingCount() != 0 {
+		t.Fatalf("forged recording retained: %d", m.RecordingCount())
+	}
+}
+
+// TestUntrustedAggregatedBatchRejected: an ordinary member cannot
+// impersonate an aggregator — a batch that speaks for other nodes (member
+// lists, quarantine verdicts, recording attribution) from a sender
+// outside the provisioned tier is a protocol violation: the connection is
+// dropped and nothing it claimed is honored.
+func TestUntrustedAggregatedBatchRejected(t *testing.T) {
+	app := webapp.MustBuild()
+	m, _ := twoAggRig(t, ManagerConfig{Image: app.Image})
+
+	for _, b := range []Batch{
+		{NodeID: "evil", NodeIDs: []string{"x"}, Quarantined: []string{"honest"}},
+		{NodeID: "evil", Quarantined: []string{"honest"}},
+		{NodeID: "evil", RecordingFrom: []string{"honest"}},
+	} {
+		nodeSide, mgrSide := Pipe()
+		done := make(chan error, 1)
+		go func() { done <- m.Serve(mgrSide) }()
+		env, err := NewEnvelope(MsgBatch, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nodeSide.Send(env); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-done; err == nil {
+			t.Fatalf("manager accepted an aggregated batch from untrusted sender: %+v", b)
+		}
+	}
+	if _, q := m.Quarantined()["honest"]; q {
+		t.Fatal("an impersonated quarantine verdict was honored")
+	}
+	// The provisioned aggregators themselves still aggregate fine (the
+	// rig's twoAggRig flushes exercise this everywhere else).
+}
+
+// TestRecordingAttributionNotTrustedFromNodes: a node cannot frame a peer
+// by shipping a bad recording "attributed" to it — attribution travels
+// only in trusted aggregated batches, so the framing batch itself is
+// rejected, and a bad recording in a node's own batch quarantines the
+// sender, never the claimed victim.
+func TestRecordingAttributionNotTrustedFromNodes(t *testing.T) {
+	app := webapp.MustBuild()
+	mc := redTeamManagerConfig(t, app)
+	mc.ReplayWorkers = -1
+	m, aggs := twoAggRig(t, mc)
+
+	forged, _, err := replay.Record("framer/clean", app.Image, redteam.EvaluationPages()[0], nil, replay.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged.Outcome = vm.OutcomeFailure
+	forged.Failure = &vm.Failure{PC: app.Image.Entry, Monitor: "MemoryFirewall", Kind: "forged"}
+	raw, err := forged.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	framer := NewNode("framer", app.Image, nil)
+	attachNode(t, aggs[0], framer)
+	env, err := NewEnvelope(MsgBatch, Batch{
+		NodeID:     "framer",
+		Recordings: [][]byte{raw},
+		// No RecordingFrom: a node's own batch attributes to itself. (A
+		// batch WITH RecordingFrom is rejected outright — see
+		// TestUntrustedAggregatedBatchRejected.)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := framer.roundTrip(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := aggs[0].Flush(); err != nil {
+		t.Fatal(err)
+	}
+	quarantined := m.Quarantined()
+	if _, q := quarantined["framer"]; !q {
+		// The edge may have caught it instead; either way the framer,
+		// not a peer, must carry the verdict.
+		if got := aggs[0].QuarantinedNodes(); len(got) != 1 || got[0] != "framer" {
+			t.Fatalf("forged recording did not quarantine its sender: mgr=%v edge=%v", quarantined, got)
+		}
+	}
+}
+
+// TestForeignImageRecordingQuarantined: a recording is replayed against
+// its own embedded image, so a recording of some OTHER binary could
+// "reproduce" any claim — both tiers reject a recording whose image is
+// not byte-identical to the protected one, before any replay runs.
+func TestForeignImageRecordingQuarantined(t *testing.T) {
+	app := webapp.MustBuild()
+	mc := redTeamManagerConfig(t, app)
+	mc.ReplayWorkers = -1
+	m, aggs := twoAggRig(t, mc)
+	liar := NewNode("liar", app.Image, nil)
+	attachNode(t, aggs[0], liar)
+
+	rec, _, err := replay.Record("liar/foreign", app.Image, redteam.EvaluationPages()[0], nil, replay.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Outcome = vm.OutcomeFailure
+	rec.Failure = &vm.Failure{PC: app.Labels["site_290162"], Monitor: "MemoryFirewall", Kind: "forged"}
+	rec.Image = append([]byte(nil), rec.Image...)
+	rec.Image[len(rec.Image)-1] ^= 0xff // a different binary
+	raw, err := rec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnvelope(MsgRecording, RecordingUpload{NodeID: "liar", Recording: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := liar.roundTrip(env); err != nil {
+		t.Fatal(err)
+	}
+	if got := aggs[0].QuarantinedNodes(); len(got) != 1 || got[0] != "liar" {
+		t.Fatalf("edge accepted a foreign-image recording: %v", got)
+	}
+	if err := aggs[0].Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, q := m.Quarantined()["liar"]; !q {
+		t.Fatal("edge verdict did not reach the manager")
+	}
+	if m.RecordingCount() != 0 {
+		t.Fatalf("foreign-image recording retained: %d", m.RecordingCount())
+	}
+}
+
+// TestAnonymousSenderRejected: a message with no sender ID has no
+// accountable place in the protocol (no quarantine could ever stick to
+// it), so both tiers drop the connection instead of processing it.
+func TestAnonymousSenderRejected(t *testing.T) {
+	app := webapp.MustBuild()
+	m, aggs := twoAggRig(t, ManagerConfig{Image: app.Image})
+
+	rec, _, err := replay.Record("anon", app.Image, []byte("x"), nil, replay.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Outcome = vm.OutcomeFailure
+	rec.Failure = &vm.Failure{PC: app.Image.Entry, Monitor: "MemoryFirewall"}
+	raw, err := rec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, serve := range []func(Conn) error{m.Serve, aggs[0].Serve} {
+		for _, env := range []func() (Envelope, error){
+			func() (Envelope, error) { return NewEnvelope(MsgHello, Hello{}) },
+			func() (Envelope, error) { return NewEnvelope(MsgRunReport, RunReport{}) },
+			func() (Envelope, error) {
+				return NewEnvelope(MsgRecording, RecordingUpload{Recording: raw})
+			},
+		} {
+			nodeSide, serveSide := Pipe()
+			done := make(chan error, 1)
+			go func() { done <- serve(serveSide) }()
+			e, err := env()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := nodeSide.Send(e); err != nil {
+				t.Fatal(err)
+			}
+			if err := <-done; err == nil {
+				t.Fatalf("anonymous %v accepted", e.Kind)
+			}
+		}
+	}
+	if m.RecordingCount() != 0 {
+		t.Fatal("anonymous recording retained")
+	}
+}
+
+// TestQuarantinedSyncHoldsNoAssignment: a quarantined node that keeps
+// syncing must not occupy a per-node candidate assignment — its reports
+// are ignored, so an assignment would park that candidate unevaluated.
+// It still receives plausible directives (the current best, read-only),
+// so the reply reveals nothing.
+func TestQuarantinedSyncHoldsNoAssignment(t *testing.T) {
+	app := webappApp(t)
+	conf := setupManagerConfig(app)
+	conf.VetReports = true
+	m, nodes := startManager(t, conf, []string{"evil", "h1", "h2", "h3"})
+	evil := nodes[0]
+	ex := exploit269(t)
+	attack := redteam.AttackInput(app.App, ex, 0)
+
+	// Quarantine evil, then drive the case to the evaluation phase with
+	// the honest members (269095 generates three candidate repairs).
+	spoofed, err := NewEnvelope(MsgRunReport, RunReport{
+		NodeID:  "evil",
+		Outcome: uint8(vm.OutcomeFailure),
+		Failure: &FailureInfo{PC: app.App.Image.End() + 4, Monitor: "MemoryFirewall"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := evil.roundTrip(spoofed); err != nil {
+		t.Fatal(err)
+	}
+	if _, q := m.Quarantined()["evil"]; !q {
+		t.Fatal("spoofed report did not quarantine")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := nodes[1+i%3].RunOnce(attack); err != nil {
+			t.Fatal(err)
+		}
+	}
+	site := app.App.Labels["site_269095"]
+	if st := m.CaseStates()[site]; st != core.StateEvaluating {
+		t.Fatalf("state = %v, want evaluating", st)
+	}
+
+	// Evil syncs first — it must not consume the best free candidate.
+	if err := evil.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if len(evil.Directives().Repairs) != 1 {
+		t.Fatalf("quarantined node got %d repair directives, want a plausible 1", len(evil.Directives().Repairs))
+	}
+	m.mu.Lock()
+	_, occupied := m.cases[site].assigned["evil"]
+	m.mu.Unlock()
+	if occupied {
+		t.Fatal("quarantined node occupies a candidate assignment")
+	}
+	// All three honest members still receive three DISTINCT candidates.
+	ids := map[string]bool{}
+	for _, n := range nodes[1:] {
+		if err := n.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		reps := n.Directives().Repairs
+		if len(reps) != 1 {
+			t.Fatalf("%s: %d repair directives", n.ID, len(reps))
+		}
+		ids[reps[0].Strategy.String()] = true
+	}
+	if len(ids) != 3 {
+		t.Fatalf("honest members got %d distinct candidates, want 3", len(ids))
+	}
+}
+
+// TestSoakChurnAdversaries is the integration of everything: a
+// hierarchical soak under node churn, fresh joins, an aggregator
+// failover, and both adversary flavors. The community must quarantine
+// exactly the adversaries, adopt repairs driven only by honest nodes, and
+// converge for every defect across the surviving population.
+func TestSoakChurnAdversaries(t *testing.T) {
+	app := webapp.MustBuild()
+	conf := soakConfig(t, app, 20, true)
+	conf.Aggregators = 4
+	conf.Adversaries = 2
+	conf.Churn = &ChurnConfig{CrashPerRound: 2, JoinPerRound: 1, AggregatorCrashRound: 3}
+	conf.Rounds = 6
+	rep, err := RunSoak(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Fatalf("churn soak did not converge: %+v", rep)
+	}
+	if len(rep.Quarantined) != 2 || rep.Quarantined[0] != "adv000" || rep.Quarantined[1] != "adv001" {
+		t.Fatalf("quarantined = %v, want exactly the adversaries", rep.Quarantined)
+	}
+	if rep.QuarantinedAdoptions != 0 {
+		t.Fatalf("%d adoptions driven by quarantined nodes", rep.QuarantinedAdoptions)
+	}
+	if rep.Crashes == 0 || rep.Rejoins == 0 || rep.Joins == 0 {
+		t.Fatalf("churn did not execute: %+v", rep)
+	}
+	if rep.AggregatorFailovers != 1 {
+		t.Fatalf("aggregator failovers = %d, want 1", rep.AggregatorFailovers)
+	}
+	for _, d := range rep.Defects {
+		if !d.Converged || d.Adopted == "" {
+			t.Fatalf("defect %s did not converge: %+v", d.Label, d)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/cfg"
 	"repro/internal/core"
@@ -19,6 +20,8 @@ import (
 
 // ManagerConfig assembles the central ClearView manager.
 type ManagerConfig struct {
+	// Image is the protected binary — the manager holds the same image
+	// the community runs, for candidate selection and replay.
 	Image *image.Image
 	// Seed is an optional initial invariant database (e.g. a Blue-Team
 	// pre-exercise learning run); node uploads merge into it.
@@ -29,9 +32,9 @@ type ManagerConfig struct {
 	// the same binary the community runs).
 	BootstrapInputs [][]byte
 
-	StackScope int
-	CheckRuns  int
-	Bonus      int
+	StackScope int // candidate-selection call-stack scope (§4.3.2); default 1
+	CheckRuns  int // failing runs with checks in place before classification; default 2
+	Bonus      int // never-failed score bonus b (§2.6); default 1
 	// LearnShards splits the code range into this many tracing
 	// assignments handed to nodes round-robin (§3.1 amortized learning);
 	// 0 disables learning assignments.
@@ -45,6 +48,34 @@ type ManagerConfig struct {
 	// anything to evaluate live. 0 disables the fast path; recordings are
 	// still retained.
 	ReplayWorkers int
+
+	// VetReports arms the manager against tampered community input — the
+	// §5 discussion's central worry, "an attacker may attempt to subvert
+	// the system by submitting fraudulent reports". When set, every
+	// report, learning upload, and recording is sanity-checked before it
+	// can touch shared state: failure and stack PCs must fall inside the
+	// protected image's code range, observations must reference checks
+	// the manager actually issued, uploaded invariants must sit inside
+	// the code range, and recordings must carry the protected binary's
+	// exact image and reproduce their claimed failure when replayed on
+	// the farm (replay.Farm.Vet, bounded by a deadline so a stalling
+	// recording cannot freeze the manager). The first failed check
+	// quarantines the sending node: all of its traffic — including
+	// later, well-formed reports — is ignored from then on, so a
+	// compromised member can be noisy but never poisons the community
+	// database or steers repair adoption.
+	VetReports bool
+
+	// TrustedAggregators names the provisioned aggregator tier — the
+	// deployment analog of the management console's secure channel. When
+	// non-empty, only these senders may speak FOR other nodes: an
+	// aggregated batch (one carrying NodeIDs, edge Quarantined verdicts,
+	// or RecordingFrom attribution) from any other sender is rejected
+	// and its connection dropped, so a compromised member cannot
+	// impersonate an aggregator to mass-quarantine honest nodes or frame
+	// them for forged recordings. Empty trusts any aggregated sender
+	// (single-operator deployments and tests).
+	TrustedAggregators []string
 }
 
 // caseState is the manager-side failure-location state machine, mirroring
@@ -59,12 +90,20 @@ type caseState struct {
 	// carry this phase's patches and are ignored for this case.
 	phaseSeq uint64
 
-	cands     []correlate.Candidate
+	cands []correlate.Candidate
+	// candIDs indexes the candidate invariant IDs, for vetting inbound
+	// observations against the checks the manager actually issued.
+	candIDs   map[string]bool
 	runs      []correlate.RunLog
 	detected  int
 	repairs   []*repair.Repair
 	evaluator *evaluate.Evaluator
 	current   *evaluate.Entry
+	// adoptedBy is the node whose surviving report promoted the current
+	// repair to StatePatched ("" before adoption, or for farm-only
+	// adoption paths); the soak uses it to prove quarantined nodes never
+	// contribute an adopted patch.
+	adoptedBy string
 
 	// assigned maps node IDs to the candidate repair each is evaluating
 	// in the current phase — the §3 parallel repair evaluation ("the
@@ -128,6 +167,14 @@ type Manager struct {
 	recordings map[uint32]*replay.Recording // latest failing recording per location
 	replayRuns int
 
+	// quarantined maps offending node IDs to the reason their first
+	// failed sanity check gave; once present, every message the node
+	// sends is ignored (VetReports).
+	quarantined map[string]string
+	trustedAggs map[string]bool // nil = any sender may aggregate
+	imgWire     []byte          // the protected image's wire form, for recording identity checks
+	rejects     int             // inputs rejected without node attribution
+
 	messages int // envelopes handled
 	batches  int // MsgBatch envelopes among them
 }
@@ -144,12 +191,20 @@ func NewManager(conf ManagerConfig) (*Manager, error) {
 		conf.CheckRuns = 2
 	}
 	m := &Manager{
-		conf:       conf,
-		inv:        conf.Seed,
-		cfgdb:      cfg.NewDB(conf.Image),
-		cases:      make(map[uint32]*caseState),
-		nodes:      make(map[string]int),
-		recordings: make(map[uint32]*replay.Recording),
+		conf:        conf,
+		inv:         conf.Seed,
+		cfgdb:       cfg.NewDB(conf.Image),
+		cases:       make(map[uint32]*caseState),
+		nodes:       make(map[string]int),
+		recordings:  make(map[uint32]*replay.Recording),
+		quarantined: make(map[string]string),
+		imgWire:     conf.Image.Marshal(),
+	}
+	if len(conf.TrustedAggregators) > 0 {
+		m.trustedAggs = make(map[string]bool, len(conf.TrustedAggregators))
+		for _, id := range conf.TrustedAggregators {
+			m.trustedAggs[id] = true
+		}
 	}
 	if m.inv == nil {
 		m.inv = daikon.NewDB()
@@ -222,15 +277,11 @@ func (m *Manager) handle(env Envelope) (Envelope, error) {
 		if err := decodePayload(env.Payload, &h); err != nil {
 			return Envelope{}, err
 		}
-		m.mu.Lock()
-		if _, ok := m.nodes[h.NodeID]; !ok {
-			shard := -1
-			if m.conf.LearnShards > 0 {
-				shard = m.nextShard % m.conf.LearnShards
-				m.nextShard++
-			}
-			m.nodes[h.NodeID] = shard
+		if err := requireSender(h.NodeID); err != nil {
+			return Envelope{}, err
 		}
+		m.mu.Lock()
+		m.registerLocked(h.NodeID)
 		m.mu.Unlock()
 		return m.directivesFor(h.NodeID)
 	case MsgLearnUpload:
@@ -238,13 +289,19 @@ func (m *Manager) handle(env Envelope) (Envelope, error) {
 		if err := decodePayload(env.Payload, &up); err != nil {
 			return Envelope{}, err
 		}
-		if err := m.mergeLearnDB(up.DB); err != nil {
+		if err := requireSender(up.NodeID); err != nil {
+			return Envelope{}, err
+		}
+		if err := m.mergeLearnDB(up.NodeID, up.DB); err != nil {
 			return Envelope{}, err
 		}
 		return m.directivesFor(up.NodeID)
 	case MsgRunReport:
 		var rep RunReport
 		if err := decodePayload(env.Payload, &rep); err != nil {
+			return Envelope{}, err
+		}
+		if err := requireSender(rep.NodeID); err != nil {
 			return Envelope{}, err
 		}
 		m.processReport(&rep)
@@ -254,7 +311,10 @@ func (m *Manager) handle(env Envelope) (Envelope, error) {
 		if err := decodePayload(env.Payload, &up); err != nil {
 			return Envelope{}, err
 		}
-		if err := m.ingestRecordings([][]byte{up.Recording}); err != nil {
+		if err := requireSender(up.NodeID); err != nil {
+			return Envelope{}, err
+		}
+		if err := m.ingestRecordings(up.NodeID, [][]byte{up.Recording}); err != nil {
 			return Envelope{}, err
 		}
 		return m.directivesFor(up.NodeID)
@@ -263,8 +323,14 @@ func (m *Manager) handle(env Envelope) (Envelope, error) {
 		if err := decodePayload(env.Payload, &b); err != nil {
 			return Envelope{}, err
 		}
+		if err := requireSender(b.NodeID); err != nil {
+			return Envelope{}, err
+		}
 		if err := m.handleBatch(&b); err != nil {
 			return Envelope{}, err
+		}
+		if batchAggregated(&b) {
+			return m.directivesSetFor(b.NodeIDs)
 		}
 		return m.directivesFor(b.NodeID)
 	default:
@@ -272,17 +338,54 @@ func (m *Manager) handle(env Envelope) (Envelope, error) {
 	}
 }
 
+// registerLocked hands a first-seen node its learning shard. Called with
+// m.mu held. Registration is keyed by node ID, never by connection, so a
+// node that crashes and re-attaches — to the manager or to any aggregator —
+// keeps its shard.
+func (m *Manager) registerLocked(nodeID string) {
+	if _, ok := m.nodes[nodeID]; ok {
+		return
+	}
+	shard := -1
+	if m.conf.LearnShards > 0 {
+		shard = m.nextShard % m.conf.LearnShards
+		m.nextShard++
+	}
+	m.nodes[nodeID] = shard
+}
+
 // mergeLearnDB folds one serialized node database into the community
-// database.
-func (m *Manager) mergeLearnDB(raw []byte) error {
+// database, attributing it to nodeID for quarantine purposes.
+func (m *Manager) mergeLearnDB(nodeID string, raw []byte) error {
 	db, err := daikon.UnmarshalDB(raw)
 	if err != nil {
 		return err
 	}
 	m.mu.Lock()
-	m.mergeDB(db)
+	m.mergeDBFrom(nodeID, db)
 	m.mu.Unlock()
 	return nil
+}
+
+// mergeDBFrom sanity-checks and folds a decoded database in, quarantining
+// the sender on a poisoned upload ("" attributes nothing: a bad pre-merged
+// aggregate is rejected and counted, since the offender was the
+// aggregator's to catch). Called with m.mu held.
+func (m *Manager) mergeDBFrom(nodeID string, db *daikon.DB) {
+	if m.quarantined[nodeID] != "" {
+		return
+	}
+	if m.conf.VetReports {
+		if reason := m.checkLearnDB(db); reason != "" {
+			if nodeID == "" {
+				m.rejects++
+			} else {
+				m.quarantineLocked(nodeID, reason)
+			}
+			return
+		}
+	}
+	m.mergeDB(db)
 }
 
 // mergeDB folds a decoded node database in. Called with m.mu held.
@@ -299,30 +402,55 @@ func (m *Manager) mergeDB(db *daikon.DB) {
 // location) and runs the replay fast path once per distinct location —
 // not once per recording, which is the batching win: a hundred nodes
 // shipping the same deterministic failure cost one farm pass.
-func (m *Manager) ingestRecordings(raws [][]byte) error {
+func (m *Manager) ingestRecordings(nodeID string, raws [][]byte) error {
 	recs := make([]*replay.Recording, 0, len(raws))
+	senders := make([]string, 0, len(raws))
 	for _, raw := range raws {
 		rec, err := replay.Unmarshal(raw)
 		if err != nil {
 			return err
 		}
 		recs = append(recs, rec)
+		senders = append(senders, nodeID)
 	}
 	m.mu.Lock()
-	m.ingestDecoded(recs)
+	m.ingestDecoded(recs, senders)
 	m.mu.Unlock()
 	return nil
 }
 
-// ingestDecoded stores decoded recordings and fast-paths each distinct
-// failure location once. Called with m.mu held.
-func (m *Manager) ingestDecoded(recs []*replay.Recording) {
+// ingestDecoded vets and stores decoded recordings (senders is parallel to
+// recs) and fast-paths each distinct failure location once. Called with
+// m.mu held.
+func (m *Manager) ingestDecoded(recs []*replay.Recording, senders []string) {
 	var pcs []uint32
 	seen := make(map[uint32]bool)
-	for _, rec := range recs {
+	for i, rec := range recs {
+		sender := ""
+		if i < len(senders) {
+			sender = senders[i]
+		}
+		if m.quarantined[sender] != "" {
+			continue
+		}
 		pc, ok := rec.FailurePC()
 		if !ok {
 			continue
+		}
+		if m.conf.VetReports {
+			if reason := checkRecordingStatic(m.conf.Image, m.imgWire, rec, pc); reason != "" {
+				m.quarantineLocked(sender, reason)
+				continue
+			}
+			// Farm-backed vetting: the claimed failure must reproduce
+			// when the recording is replayed as sealed. The machine is
+			// deterministic, so honest recordings cannot fail this; a
+			// mismatch means the claim was fabricated.
+			m.replayRuns++
+			if err := m.vetFarm().Vet(rec); err != nil {
+				m.quarantineLocked(sender, err.Error())
+				continue
+			}
 		}
 		m.recordings[pc] = rec
 		if !seen[pc] {
@@ -336,12 +464,53 @@ func (m *Manager) ingestDecoded(recs []*replay.Recording) {
 	}
 }
 
-// handleBatch applies one node's batched activity: learning uploads
-// first, then the run reports in execution order, then the recordings —
-// the same sequencing RunOnce produces message by message, collapsed
-// into one envelope. Every serialized payload is decoded up front, so a
-// malformed batch is rejected whole rather than half-applied.
+// vetDeadline bounds each recording vet in wall clock. Vetting happens
+// under m.mu, so a recording crafted to stall (a huge claimed step budget
+// over a spin loop) must be rejected, not waited on — an honest webapp
+// recording replays in milliseconds, so the margin is enormous.
+const vetDeadline = 5 * time.Second
+
+// vetFarm returns the farm used for recording vetting, honouring the
+// ReplayWorkers bound.
+func (m *Manager) vetFarm() *replay.Farm {
+	workers := m.conf.ReplayWorkers
+	if workers < 0 {
+		workers = 0 // Farm interprets 0 as GOMAXPROCS
+	}
+	return &replay.Farm{Workers: workers, Deadline: vetDeadline}
+}
+
+// aggregatorTrusted reports whether a sender may speak for other nodes.
+func (m *Manager) aggregatorTrusted(id string) bool {
+	return m.trustedAggs == nil || m.trustedAggs[id]
+}
+
+// batchAggregated reports whether a batch exercises aggregator powers —
+// explicitly flagged, or carrying any field that speaks for other nodes.
+func batchAggregated(b *Batch) bool {
+	return b.Aggregated || len(b.NodeIDs) > 0 || len(b.Quarantined) > 0 || len(b.RecordingFrom) > 0
+}
+
+// handleBatch applies batched activity: learning uploads first, then the
+// run reports in execution order, then the recordings — the same
+// sequencing RunOnce produces message by message, collapsed into one
+// envelope. Every serialized payload is decoded up front, so a malformed
+// batch is rejected whole rather than half-applied.
+//
+// An aggregated batch (NodeIDs non-empty) additionally registers the
+// member nodes, merges the sending aggregator's edge quarantine verdicts,
+// and attributes each recording to the member that captured it. A batch
+// that speaks for other nodes — NodeIDs, Quarantined verdicts, or
+// RecordingFrom attribution — is only honored from a trusted aggregator;
+// from anyone else it is a protocol violation and the connection is
+// dropped (an ordinary member must not be able to frame or
+// mass-quarantine its peers).
 func (m *Manager) handleBatch(b *Batch) error {
+	aggregated := batchAggregated(b)
+	if aggregated && !m.aggregatorTrusted(b.NodeID) {
+		return fmt.Errorf("community: %q is not a trusted aggregator", b.NodeID)
+	}
+
 	dbs := make([]*daikon.DB, 0, len(b.LearnDBs))
 	for _, raw := range b.LearnDBs {
 		db, err := daikon.UnmarshalDB(raw)
@@ -351,24 +520,59 @@ func (m *Manager) handleBatch(b *Batch) error {
 		dbs = append(dbs, db)
 	}
 	recs := make([]*replay.Recording, 0, len(b.Recordings))
-	for _, raw := range b.Recordings {
+	senders := make([]string, 0, len(b.Recordings))
+	unattributed := 0
+	for i, raw := range b.Recordings {
 		rec, err := replay.Unmarshal(raw)
 		if err != nil {
 			return err
 		}
+		sender := b.NodeID
+		if aggregated {
+			// Aggregated recordings must name their capturing member: an
+			// unattributed one is dropped rather than blamed on the
+			// aggregator (a failed vet must never quarantine the trusted
+			// tier itself).
+			sender = ""
+			if i < len(b.RecordingFrom) {
+				sender = b.RecordingFrom[i]
+			}
+			if sender == "" {
+				unattributed++
+				continue
+			}
+		}
 		recs = append(recs, rec)
+		senders = append(senders, sender)
 	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.batches++
+	m.rejects += unattributed
+	if !aggregated && m.quarantined[b.NodeID] != "" {
+		return nil // the whole batch is from a quarantined node
+	}
+	for _, id := range b.NodeIDs {
+		m.registerLocked(id)
+	}
+	for _, id := range b.Quarantined {
+		m.quarantineLocked(id, "edge sanity check at aggregator "+b.NodeID)
+	}
+	dbSender := b.NodeID
+	if aggregated {
+		// An aggregated learn DB is pre-merged across members; a bad one
+		// is rejected without attribution (the offender was the
+		// aggregator's edge checks' to catch).
+		dbSender = ""
+	}
 	for _, db := range dbs {
-		m.mergeDB(db)
+		m.mergeDBFrom(dbSender, db)
 	}
 	for i := range b.Reports {
 		m.processReportLocked(&b.Reports[i])
 	}
-	m.ingestDecoded(recs)
+	m.ingestDecoded(recs, senders)
 	return nil
 }
 
@@ -382,6 +586,19 @@ func (m *Manager) processReport(rep *RunReport) {
 
 // processReportLocked is processReport's body. Called with m.mu held.
 func (m *Manager) processReportLocked(rep *RunReport) {
+	if rep.NodeID == "" {
+		m.rejects++ // anonymous reports have no accountable sender
+		return
+	}
+	if m.quarantined[rep.NodeID] != "" {
+		return
+	}
+	if m.conf.VetReports {
+		if reason := m.checkReport(rep); reason != "" {
+			m.quarantineLocked(rep.NodeID, reason)
+			return
+		}
+	}
 	var failPC uint32
 	if rep.Failure != nil {
 		failPC = rep.Failure.PC
@@ -447,6 +664,7 @@ func (m *Manager) processReportLocked(rep *RunReport) {
 					c.state = core.StatePatched
 					c.current = entry
 					c.assigned = nil
+					c.adoptedBy = rep.NodeID
 				}
 			}
 		}
@@ -471,6 +689,10 @@ func (m *Manager) openCase(f *FailureInfo) {
 		m.inv, m.cfgdb, f.PC, f.Stack,
 		correlate.Config{StackScope: m.conf.StackScope},
 	)
+	c.candIDs = make(map[string]bool, len(c.cands))
+	for _, cand := range c.cands {
+		c.candIDs[cand.Inv.ID()] = true
+	}
 	if len(c.cands) == 0 {
 		c.state = core.StateUnrepaired
 	}
@@ -497,6 +719,7 @@ func (m *Manager) redeploy(c *caseState) {
 	m.seq++
 	c.phaseSeq = m.seq
 	c.assigned = nil // new phase: reassign candidates to nodes
+	c.adoptedBy = ""
 	if c.evaluator.Exhausted() {
 		c.state = core.StateUnrepaired
 		c.current = nil
@@ -601,6 +824,93 @@ func (m *Manager) Batches() int {
 	return m.batches
 }
 
+// quarantineLocked marks a node as untrusted; its traffic is ignored from
+// now on, including later well-formed reports. Called with m.mu held.
+func (m *Manager) quarantineLocked(nodeID, reason string) {
+	if nodeID == "" || m.quarantined[nodeID] != "" {
+		return
+	}
+	m.quarantined[nodeID] = reason
+	// A node already holding a candidate assignment must not keep it: its
+	// future reports are ignored, so the assignment would starve.
+	for _, c := range m.cases {
+		delete(c.assigned, nodeID)
+	}
+}
+
+// checkReport returns the reason a run report is implausible, or "" if it
+// passes: the static image checks (checkReportStatic), plus the checks
+// only the manager's campaign state can answer — observations must
+// reference checks the manager actually issued (a known failure case and
+// one of its candidate invariants). Called with m.mu held.
+func (m *Manager) checkReport(rep *RunReport) string {
+	if reason := checkReportStatic(m.conf.Image, rep); reason != "" {
+		return reason
+	}
+	for i := range rep.Observations {
+		o := &rep.Observations[i]
+		c := m.caseByID(o.FailureID)
+		if c == nil {
+			return fmt.Sprintf("observation for unknown failure case %q", o.FailureID)
+		}
+		if !c.candIDs[o.InvID] {
+			return fmt.Sprintf("observation for invariant %q never issued for case %q", o.InvID, o.FailureID)
+		}
+	}
+	return ""
+}
+
+// checkLearnDB applies the static database checks; see checkLearnDBStatic.
+func (m *Manager) checkLearnDB(db *daikon.DB) string {
+	return checkLearnDBStatic(m.conf.Image, db)
+}
+
+// caseByID finds a failure case by its wire identifier. Called with m.mu
+// held.
+func (m *Manager) caseByID(id string) *caseState {
+	for _, pc := range m.order {
+		if c := m.cases[pc]; c.id == id {
+			return c
+		}
+	}
+	return nil
+}
+
+// Quarantined returns the quarantined node IDs and the reason each
+// tripped, as a copy.
+func (m *Manager) Quarantined() map[string]string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]string, len(m.quarantined))
+	for id, reason := range m.quarantined {
+		out[id] = reason
+	}
+	return out
+}
+
+// Rejects returns how many inputs were rejected without node attribution
+// (pre-merged aggregate databases that failed sanity checks).
+func (m *Manager) Rejects() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rejects
+}
+
+// Adoptions returns, for every currently patched failure location, the
+// node whose surviving report drove the adoption ("" when the adoption
+// came from a path with no attributable report).
+func (m *Manager) Adoptions() map[uint32]string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[uint32]string)
+	for pc, c := range m.cases {
+		if c.state == core.StatePatched {
+			out[pc] = c.adoptedBy
+		}
+	}
+	return out
+}
+
 func (m *Manager) instAt(pc uint32) (isa.Inst, bool) {
 	img := m.conf.Image
 	if !img.Contains(pc) || pc+isa.InstSize > img.End() {
@@ -613,6 +923,34 @@ func (m *Manager) instAt(pc uint32) (isa.Inst, bool) {
 // directivesFor snapshots the current patch set for one node.
 func (m *Manager) directivesFor(nodeID string) (Envelope, error) {
 	m.mu.Lock()
+	d := m.directivesLocked(nodeID)
+	m.mu.Unlock()
+	return NewEnvelope(MsgDirectives, d)
+}
+
+// directivesSetFor snapshots the current patch set for every listed node
+// under one lock — the reply to an aggregated batch. Nodes are visited in
+// the given order, so candidate assignment (which mutates per-case state)
+// is deterministic for a sorted NodeIDs list.
+func (m *Manager) directivesSetFor(nodeIDs []string) (Envelope, error) {
+	m.mu.Lock()
+	set := DirectivesSet{Seq: m.seq, ByNode: make(map[string]Directives, len(nodeIDs))}
+	for _, id := range nodeIDs {
+		set.ByNode[id] = m.directivesLocked(id)
+	}
+	m.mu.Unlock()
+	return NewEnvelope(MsgDirectivesSet, set)
+}
+
+// directivesLocked assembles one node's directives. Called with m.mu held.
+//
+// A quarantined node still receives plausible directives — the reply
+// reveals nothing about its status — but is never handed a per-node
+// candidate assignment: its reports are ignored, so an assignment would
+// park that candidate unevaluated forever (the quarantined node gets the
+// case's current best, read-only).
+func (m *Manager) directivesLocked(nodeID string) Directives {
+	quarantined := m.quarantined[nodeID] != ""
 	d := Directives{Seq: m.seq}
 	for _, pc := range m.order {
 		c := m.cases[pc]
@@ -625,7 +963,11 @@ func (m *Manager) directivesFor(nodeID string) (Envelope, error) {
 				})
 			}
 		case core.StateEvaluating, core.StatePatched:
-			if entry := c.assignFor(nodeID); entry != nil {
+			entry := c.current
+			if !quarantined {
+				entry = c.assignFor(nodeID)
+			}
+			if entry != nil {
 				r := entry.Repair
 				d.Repairs = append(d.Repairs, RepairSpec{
 					FailureID: c.id,
@@ -644,6 +986,5 @@ func (m *Manager) directivesFor(nodeID string) (Envelope, error) {
 		d.LearnLo = m.conf.Image.Base + span*uint32(shard)
 		d.LearnHi = d.LearnLo + span
 	}
-	m.mu.Unlock()
-	return NewEnvelope(MsgDirectives, d)
+	return d
 }

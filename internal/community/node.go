@@ -19,8 +19,8 @@ import (
 // notifications back, and contributes its share of the distributed
 // learning.
 type Node struct {
-	ID    string
-	Image *image.Image
+	ID    string       // stable identity; all community state is keyed by it
+	Image *image.Image // the protected binary this node runs
 
 	// RecordFailures makes the node capture every execution as a
 	// copy-on-write recording and ship failing ones to the manager
@@ -50,6 +50,21 @@ func (n *Node) Connect() error {
 		return err
 	}
 	return n.roundTrip(env)
+}
+
+// Attach re-homes the node onto a replacement transport — a sibling
+// aggregator after its own crashed, or the same manager after a network
+// drop — and re-registers. The node keeps its identity, its locally
+// inferred learning state, and its last directives; everything durable on
+// the community side (learning shard, repair assignment, quarantine
+// status) is keyed by node ID at the manager, so a re-attached node
+// resumes exactly where it left off no matter which tier it lands on.
+func (n *Node) Attach(conn Conn) error {
+	if n.conn != nil {
+		_ = n.conn.Close()
+	}
+	n.conn = conn
+	return n.Connect()
 }
 
 // roundTrip sends a message and applies the directives that come back.

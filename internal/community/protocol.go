@@ -49,8 +49,14 @@ const (
 	// and at most one replay-farm pass per failure location per batch —
 	// however many runs the batch describes.
 	MsgBatch
+	// MsgDirectivesSet is the reply to an aggregated MsgBatch (one whose
+	// NodeIDs list the member nodes an Aggregator speaks for): one
+	// Directives snapshot per listed node, so the aggregator can serve
+	// member syncs from its cache without an upstream round trip each.
+	MsgDirectivesSet
 )
 
+// String names the message kind for logs and errors.
 func (k MsgKind) String() string {
 	switch k {
 	case MsgHello:
@@ -67,97 +73,139 @@ func (k MsgKind) String() string {
 		return "recording"
 	case MsgBatch:
 		return "batch"
+	case MsgDirectivesSet:
+		return "directives-set"
 	}
 	return fmt.Sprintf("msg%d", uint8(k))
 }
 
 // Hello is a node's registration.
 type Hello struct {
-	NodeID string
+	NodeID string // the registering node's stable identity
 }
 
 // LearnUpload is a serialized local invariant database.
 type LearnUpload struct {
-	NodeID string
+	NodeID string // the uploading node
 	DB     []byte // daikon.DB.Marshal output
 }
 
 // FailureInfo mirrors vm.Failure across the wire.
 type FailureInfo struct {
-	PC      uint32
-	Monitor string
-	Kind    string
-	Target  uint32
-	Stack   []uint32
+	PC      uint32   // instruction at which the monitor fired
+	Monitor string   // which monitor detected the failure
+	Kind    string   // monitor-specific failure classification
+	Target  uint32   // offending transfer target or write address
+	Stack   []uint32 // innermost-first procedure-entry snapshot
 }
 
 // RunReport is one execution's result. Seq echoes the directive sequence
 // the node ran under, so the manager can discard reports from instances
 // that had not yet applied the current phase's patches.
 type RunReport struct {
-	NodeID       string
-	Seq          uint64
-	Outcome      uint8 // vm.Outcome
-	ExitCode     uint32
-	Failure      *FailureInfo
-	Observations []correlate.Observation
+	NodeID       string                  // the reporting node
+	Seq          uint64                  // directive sequence the run executed under
+	Outcome      uint8                   // vm.Outcome
+	ExitCode     uint32                  // exit status when Outcome is an exit
+	Failure      *FailureInfo            // the detected failure, if any
+	Observations []correlate.Observation // invariant-check observations from the run
 }
 
 // RecordingUpload ships one failing execution's recording to the manager.
 // The payload is the replay.Recording wire form (rec.Marshal), kept opaque
 // here so the protocol layer does not depend on the replay machinery.
 type RecordingUpload struct {
-	NodeID    string
-	Recording []byte
+	NodeID    string // the capturing node
+	Recording []byte // replay.Recording wire form
 }
 
-// Batch aggregates one node's activity since its last contact: the run
+// Batch aggregates activity since the sender's last contact: the run
 // reports in execution order, the recordings of any failing runs (each a
 // replay.Recording wire form), and any learning-database uploads. The
 // manager applies the whole batch under one lock and replies with one
 // Directives snapshot.
+//
+// A Batch is also the envelope an Aggregator compacts a whole region's
+// round into: NodeIDs then lists every member node the aggregator speaks
+// for (reports keep their original NodeID, recordings are deduplicated per
+// failure location with RecordingFrom attributing each survivor, and the
+// region's learning uploads arrive pre-merged as a single database). An
+// aggregated batch is answered with MsgDirectivesSet instead of
+// MsgDirectives.
 type Batch struct {
-	NodeID     string
-	Reports    []RunReport
+	NodeID  string      // the sender: a node, or an aggregator when NodeIDs is set
+	Reports []RunReport // run reports in execution order
+	// Recordings are failing-run recordings (replay.Recording wire form).
 	Recordings [][]byte
-	LearnDBs   [][]byte
+	// RecordingFrom, when present, is parallel to Recordings and names the
+	// node that captured each one (for quarantine attribution). Absent, the
+	// recordings are attributed to NodeID.
+	RecordingFrom []string
+	// LearnDBs are serialized invariant databases (daikon.DB.Marshal) —
+	// one per member upload, or a single pre-merged region database in an
+	// aggregated batch.
+	LearnDBs [][]byte
+
+	// Aggregated marks the sender as an Aggregator (every flush sets it,
+	// even an empty heartbeat with no members yet), which selects the
+	// MsgDirectivesSet reply shape and — when the manager provisions a
+	// trusted tier — subjects the sender to the aggregator allowlist.
+	Aggregated bool
+	// NodeIDs lists the member nodes an aggregated batch relays for
+	// (sorted). The manager registers the members (learn shards are keyed
+	// by node ID, so members keep theirs wherever they re-attach) and
+	// replies with one Directives per member.
+	NodeIDs []string
+	// Quarantined lists nodes the sending aggregator has quarantined since
+	// its last flush (edge sanity checks); the manager merges them into
+	// its own quarantine set.
+	Quarantined []string
 }
 
 // CheckSpec asks a node to install checking patches for one invariant.
 type CheckSpec struct {
-	FailureID string
-	Invariant daikon.Invariant
+	FailureID string           // the failure case the check belongs to
+	Invariant daikon.Invariant // the invariant to observe
 }
 
 // RepairSpec asks a node to install one repair patch. It carries exactly
 // the fields a node needs to compile the enforcement locally.
 type RepairSpec struct {
-	FailureID string
-	Invariant daikon.Invariant
-	Strategy  repair.Strategy
-	Value     uint32
-	SPDelta   uint32
-	PC        uint32
-	Depth     int
+	FailureID string           // the failure case the repair targets
+	Invariant daikon.Invariant // the invariant the repair enforces
+	Strategy  repair.Strategy  // enforcement strategy (§2.5)
+	Value     uint32           // strategy operand (e.g. the set-value constant)
+	SPDelta   uint32           // stack-pointer restore for return-from-procedure
+	PC        uint32           // enforcement site
+	Depth     int              // call-stack depth of the enforcement site
 }
 
 // Directives is the manager's current instruction set for a node. It is
 // idempotent: nodes reconcile their installed patches to match.
 type Directives struct {
-	Seq     uint64
-	Checks  []CheckSpec
-	Repairs []RepairSpec
+	Seq     uint64       // the manager's directive sequence at snapshot time
+	Checks  []CheckSpec  // invariant checks to install
+	Repairs []RepairSpec // repair patches to install
 	// LearnLo/LearnHi restrict the node's tracing to instruction
 	// addresses in [LearnLo, LearnHi) (0,0 = no learning assignment) —
 	// the amortized distributed learning of §3.1.
 	LearnLo uint32
-	LearnHi uint32
+	LearnHi uint32 // see LearnLo
+}
+
+// DirectivesSet is the manager's reply to an aggregated Batch: the current
+// Directives snapshot of every member node the batch spoke for. Seq mirrors
+// the per-node snapshots' sequence (they are taken together, under one
+// lock).
+type DirectivesSet struct {
+	Seq    uint64                // the manager's directive sequence at snapshot time
+	ByNode map[string]Directives // one snapshot per member node
 }
 
 // Envelope frames one message on the wire.
 type Envelope struct {
-	Kind    MsgKind
-	Payload []byte
+	Kind    MsgKind // payload discriminator
+	Payload []byte  // gob-encoded message of that kind
 }
 
 func encodePayload(v any) ([]byte, error) {

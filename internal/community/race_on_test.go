@@ -1,0 +1,9 @@
+//go:build race
+
+package community
+
+// raceDetectorEnabled reports whether this test binary was built with the
+// race detector; the 1,000-node soak is skipped there (it is sequential
+// and deterministic — the smaller soaks provide the race coverage — and
+// the detector's ~10x slowdown would dominate the suite).
+const raceDetectorEnabled = true

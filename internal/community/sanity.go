@@ -1,0 +1,95 @@
+package community
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/daikon"
+	"repro/internal/image"
+	"repro/internal/replay"
+	"repro/internal/vm"
+)
+
+// maxVetSteps bounds the step budget a community recording may claim.
+// Community nodes seal recordings at vm.DefaultMaxSteps, so anything far
+// beyond it is not honest traffic — it is an attempt to make the vetting
+// replay (and the abandoned goroutine a vet deadline leaves behind) run
+// arbitrarily long. Checked statically at both tiers, before any replay.
+const maxVetSteps = 4 * vm.DefaultMaxSteps
+
+// requireSender rejects messages with no sender identity. Every piece of
+// community state — shards, assignments, quarantine — is keyed by node
+// ID, so an anonymous message has no accountable place in the protocol:
+// accepting one would let an attacker send tamperable input that no
+// quarantine can ever stick to.
+func requireSender(nodeID string) error {
+	if nodeID == "" {
+		return fmt.Errorf("community: message carries no sender ID")
+	}
+	return nil
+}
+
+// checkRecordingStatic returns the reason a recording is implausible
+// without replaying it: its embedded image must be byte-identical to the
+// protected binary (a recording is replayed against its OWN image, so a
+// recording of some other program could "reproduce" any claim), its
+// claimed failure must sit in the code range, and its step budget must be
+// community-plausible.
+func checkRecordingStatic(img *image.Image, imgWire []byte, rec *replay.Recording, pc uint32) string {
+	if !bytes.Equal(rec.Image, imgWire) {
+		return "recording image does not match the protected binary"
+	}
+	if !img.Contains(pc) {
+		return fmt.Sprintf("recording claims failure outside the code range (%#x)", pc)
+	}
+	if rec.MaxSteps > maxVetSteps {
+		return fmt.Sprintf("recording claims an implausible step budget (%d)", rec.MaxSteps)
+	}
+	return ""
+}
+
+// checkReportStatic returns the reason a run report is implausible for the
+// protected image, judged from the binary alone (no campaign state), or
+// "". These are the checks an aggregator can apply at the edge; the
+// manager layers observation-provenance checks on top.
+func checkReportStatic(img *image.Image, rep *RunReport) string {
+	if rep.Failure == nil {
+		return ""
+	}
+	if !img.Contains(rep.Failure.PC) {
+		return fmt.Sprintf("failure PC %#x outside the code range", rep.Failure.PC)
+	}
+	for _, pc := range rep.Failure.Stack {
+		if !img.Contains(pc) {
+			return fmt.Sprintf("stack entry %#x outside the code range", pc)
+		}
+	}
+	// Targets may legitimately point at data (heap writes), so only
+	// control-transfer failures pin the target to the code range.
+	if rep.Failure.Monitor == "ShadowStack" && rep.Failure.Target != 0 && !img.Contains(rep.Failure.Target) {
+		return fmt.Sprintf("control transfer target %#x outside the code range", rep.Failure.Target)
+	}
+	return ""
+}
+
+// checkLearnDBStatic returns the reason an uploaded invariant database is
+// implausible, or "". Every invariant must describe instructions inside
+// the protected image — §3.1 uploads carry invariants only, and an
+// invariant at an address the binary does not contain can only poison the
+// community database.
+func checkLearnDBStatic(img *image.Image, db *daikon.DB) string {
+	for _, inv := range db.All() {
+		if !img.Contains(inv.Var.PC) {
+			return fmt.Sprintf("uploaded invariant %s outside the code range", inv.ID())
+		}
+		if inv.NumVars() == 2 && !img.Contains(inv.Var2.PC) {
+			return fmt.Sprintf("uploaded invariant %s outside the code range", inv.ID())
+		}
+	}
+	for v := range db.VarsSeen {
+		if !img.Contains(v.PC) {
+			return fmt.Sprintf("uploaded variable %s outside the code range", v)
+		}
+	}
+	return ""
+}

@@ -2,12 +2,14 @@ package community
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/daikon"
 	"repro/internal/image"
 	"repro/internal/monitor"
 	"repro/internal/repair"
+	"repro/internal/replay"
 	"repro/internal/vm"
 )
 
@@ -15,14 +17,38 @@ import (
 // node each round.
 type SoakAttack struct {
 	Label string // human label, e.g. the Bugzilla id
-	Input []byte
+	Input []byte // the attack page presented to every node
+}
+
+// ChurnConfig schedules membership churn and infrastructure failure into a
+// soak. All churn is deterministic for a fixed config: the same nodes
+// crash, rejoin, and fail over in the same order every run.
+type ChurnConfig struct {
+	// CrashPerRound crashes that many honest nodes at the start of every
+	// round from round 2 on (rotating through the population, recorders
+	// excepted); each crashed node misses the round, then re-attaches at
+	// the start of the next one — to a different aggregator than the one
+	// it crashed under, when there is more than one.
+	CrashPerRound int
+	// JoinPerRound adds that many brand-new nodes at the start of every
+	// round from round 2 on — the §3 "protection without exposure"
+	// population: they must end up holding the adopted repairs without
+	// ever having been attacked unprotected.
+	JoinPerRound int
+	// AggregatorCrashRound fails the first aggregator at the start of
+	// that round (0 = never; requires at least two aggregators). Its
+	// members fail over to the surviving siblings and its unflushed
+	// buffers are lost — nothing durable is, because all community state
+	// lives at the manager keyed by node ID.
+	AggregatorCrashRound int
 }
 
 // SoakConfig drives a large-N community soak: Nodes node managers share
-// one manager, every node presents every attack once per round, and the
-// soak reports when the whole community has converged on one adopted
-// repair per defect.
+// one manager — flat, or through a tier of Aggregators — every node
+// presents every attack once per round, and the soak reports when the
+// whole community has converged on one adopted repair per defect.
 type SoakConfig struct {
+	// Image is the protected binary every member runs.
 	Image *image.Image
 	// Seed is the pre-learned invariant database (the Blue Team run).
 	Seed *daikon.DB
@@ -40,6 +66,34 @@ type SoakConfig struct {
 	// repairs keep being exercised on legitimate traffic; may be empty.
 	Benign [][]byte
 
+	// Aggregators inserts a tier of that many aggregators between the
+	// nodes and the manager (0 = the flat star). Nodes attach
+	// round-robin; aggregators flush once per round (or earlier, per
+	// FlushEvery), so central-manager envelope load scales with the
+	// aggregator count instead of the node count.
+	Aggregators int
+	// FlushEvery is the aggregators' auto-flush threshold in buffered run
+	// reports; 0 flushes once per round only.
+	FlushEvery int
+
+	// Adversaries turns that many of the Nodes into adversarial members
+	// exercising the §5 attack surface: even-indexed adversaries spoof
+	// (failure reports and learning uploads with PCs outside the code
+	// range — caught by the edge sanity checks), odd-indexed ones forge
+	// (recordings of healthy runs relabelled as failures — caught by the
+	// manager's farm vetting). Each keeps sending well-formed traffic
+	// after its first tamper; the community must quarantine every
+	// adversary, keep their later traffic ignored, and still converge.
+	// Setting this forces VetReports on.
+	Adversaries int
+	// VetReports arms the sanity checks and quarantine machinery at both
+	// tiers even without adversaries.
+	VetReports bool
+
+	// Churn schedules node crashes, rejoins, fresh joins, and an
+	// aggregator failover; nil runs an immortal population.
+	Churn *ChurnConfig
+
 	// Batched selects MsgBatch shipping (one round trip per node per
 	// round) instead of per-run RunOnce messaging.
 	Batched bool
@@ -54,38 +108,56 @@ type SoakConfig struct {
 	ReplayWorkers int
 	// StackScope is the candidate-selection scope (default 1).
 	StackScope int
+	// CheckRuns and Bonus plumb through to the manager's pipeline
+	// configuration (0 = the defaults, 2 and 1).
+	CheckRuns int
+	Bonus     int // see CheckRuns
 }
 
 // SoakDefect is one row of the convergence table.
 type SoakDefect struct {
-	Label     string `json:"label"`
-	FailurePC uint32 `json:"failure_pc"`
-	Monitor   string `json:"monitor"`
+	Label     string `json:"label"`      // the attack's human label
+	FailurePC uint32 `json:"failure_pc"` // ground-truth failure location (probed)
+	Monitor   string `json:"monitor"`    // monitor that detects the attack
 	// Adopted is the repair the community converged on ("" if it never
 	// converged).
 	Adopted string `json:"adopted"`
 	// Rounds is the presentations-per-node needed before every node held
 	// the same adopted repair (0 if never).
 	Rounds int `json:"rounds"`
-	// Agree is how many nodes held the adopted repair at the round the
-	// defect converged (or at the final round, if it never did).
+	// Agree is how many eligible nodes (alive, not quarantined) held the
+	// adopted repair at the round the defect converged (or at the final
+	// round, if it never did).
 	Agree     int  `json:"agree"`
-	Converged bool `json:"converged"`
+	Converged bool `json:"converged"` // the defect held full agreement at the last check
 }
 
 // SoakReport is the machine-readable outcome of one soak.
 type SoakReport struct {
-	Nodes     int  `json:"nodes"`
-	RoundsRun int  `json:"rounds_run"`
-	Batched   bool `json:"batched"`
-	// Messages is how many envelopes the manager handled; Batches how
-	// many were MsgBatch. The batched/per-message comparison of these
-	// two is the point of the batching protocol.
-	Messages   int          `json:"messages"`
-	Batches    int          `json:"batches"`
-	ReplayRuns int          `json:"replay_runs"`
-	Defects    []SoakDefect `json:"defects"`
-	Converged  bool         `json:"converged"`
+	Nodes       int  `json:"nodes"`       // initial community size
+	Aggregators int  `json:"aggregators"` // aggregator tier size (0 = flat)
+	RoundsRun   int  `json:"rounds_run"`  // rounds actually executed
+	Batched     bool `json:"batched"`     // MsgBatch shipping vs per-run messaging
+	// Messages is how many envelopes the central manager handled —
+	// everything that reached it upstream. The flat/hierarchical and
+	// batched/per-message comparisons of this number are the point of
+	// the batching protocol and the aggregator tier.
+	Messages   int `json:"messages"`
+	Batches    int `json:"batches"`     // MsgBatch envelopes among Messages
+	ReplayRuns int `json:"replay_runs"` // offline replays (vetting + checking + farm)
+	// Quarantined is the sorted list of nodes the community quarantined;
+	// QuarantinedAdoptions counts adopted repairs whose deciding report
+	// came from a quarantined node (the tamper-resistance invariant:
+	// always zero).
+	Quarantined          []string `json:"quarantined,omitempty"`
+	QuarantinedAdoptions int      `json:"quarantined_adoptions"` // see Quarantined
+	// Churn accounting.
+	Crashes             int          `json:"crashes,omitempty"`              // node crashes executed
+	Rejoins             int          `json:"rejoins,omitempty"`              // crashed nodes that re-attached
+	Joins               int          `json:"joins,omitempty"`                // fresh nodes joined mid-campaign
+	AggregatorFailovers int          `json:"aggregator_failovers,omitempty"` // aggregator crashes executed
+	Defects             []SoakDefect `json:"defects"`                        // per-defect convergence rows
+	Converged           bool         `json:"converged"`                      // every defect converged
 }
 
 // probeFailurePC runs one input on a bare monitored machine to learn the
@@ -126,13 +198,73 @@ func repairSpecID(spec *RepairSpec) string {
 	return r.ID()
 }
 
+// soakMember is one simulated community member and its soak-side role.
+type soakMember struct {
+	n   *Node
+	agg int // attached aggregator index; -1 = direct to the manager
+	// adversary marks a tampering member; forger selects the
+	// forged-recording flavor (vs the spoofed-report flavor); advIndex
+	// varies the tamper so concurrent adversaries don't mask each other.
+	adversary bool
+	forger    bool
+	advIndex  int
+	tampered  bool // the first-tamper message has been sent
+	crashed   bool
+}
+
+// soakRig is the assembled community: one manager, an optional aggregator
+// tier, and the member population.
+type soakRig struct {
+	conf    SoakConfig
+	mgr     *Manager
+	aggs    []*Aggregator
+	aggDead []bool
+	members []*soakMember
+	report  *SoakReport
+
+	crashCursor int
+	joinSeq     int
+}
+
+// attach connects (or re-connects) a member to serving infrastructure:
+// aggregator agg, or the manager when agg < 0.
+func (r *soakRig) attach(m *soakMember, agg int) error {
+	nodeSide, serveSide := Pipe()
+	if agg >= 0 {
+		go func() { _ = r.aggs[agg].Serve(serveSide) }()
+	} else {
+		go func() { _ = r.mgr.Serve(serveSide) }()
+	}
+	m.agg = agg
+	return m.n.Attach(nodeSide)
+}
+
+// nextAliveAgg picks the aggregator a re-attaching member fails over to:
+// the next alive sibling after the one it crashed under (or the same one,
+// when it is the only survivor). Returns -1 in flat topology.
+func (r *soakRig) nextAliveAgg(after int) int {
+	if len(r.aggs) == 0 {
+		return -1
+	}
+	for i := 1; i <= len(r.aggs); i++ {
+		cand := (after + i) % len(r.aggs)
+		if !r.aggDead[cand] {
+			return cand
+		}
+	}
+	return -1
+}
+
 // RunSoak simulates a community of Nodes node managers sharing one
-// manager over in-process transports. Each round, every node presents
-// every attack (plus a rotating benign input) and reports — batched or
-// per message. After each round the soak syncs every node and checks
-// convergence: the manager holds an adopted repair for every defect and
-// every node's directives carry the same repair. Nodes run sequentially
-// in a fixed order, so a soak is deterministic for a fixed config.
+// manager over in-process transports — flat, or through an aggregator
+// tier. Each round, every alive node presents every attack (plus a
+// rotating benign input) and reports — batched or per message; the
+// aggregators then flush their compacted batches upstream. After each
+// round the soak syncs every eligible node and checks convergence: the
+// manager holds an adopted repair for every defect and every eligible
+// node's directives carry the same repair. Nodes run sequentially in a
+// fixed order and churn follows a fixed schedule, so a soak is
+// deterministic for a fixed config.
 func RunSoak(conf SoakConfig) (*SoakReport, error) {
 	if conf.Image == nil {
 		return nil, fmt.Errorf("community: soak needs an image")
@@ -149,8 +281,21 @@ func RunSoak(conf SoakConfig) (*SoakReport, error) {
 	if conf.Recorders <= 0 {
 		conf.Recorders = 1
 	}
-	if conf.Recorders > conf.Nodes {
-		conf.Recorders = conf.Nodes
+	if conf.Adversaries < 0 || conf.Adversaries >= conf.Nodes {
+		return nil, fmt.Errorf("community: %d adversaries need a larger community than %d", conf.Adversaries, conf.Nodes)
+	}
+	if conf.Adversaries > 0 {
+		conf.VetReports = true
+	}
+	honest := conf.Nodes - conf.Adversaries
+	if conf.Recorders > honest {
+		conf.Recorders = honest
+	}
+	if conf.Aggregators < 0 || conf.Aggregators > conf.Nodes {
+		return nil, fmt.Errorf("community: aggregator count %d out of range", conf.Aggregators)
+	}
+	if conf.Churn != nil && conf.Churn.AggregatorCrashRound > 0 && conf.Aggregators < 2 {
+		return nil, fmt.Errorf("community: aggregator failover needs at least 2 aggregators")
 	}
 	workers := conf.ReplayWorkers
 	if workers == 0 {
@@ -173,39 +318,96 @@ func RunSoak(conf SoakConfig) (*SoakReport, error) {
 		byPC[pc] = i
 	}
 
+	// Name the aggregator tier up front: under VetReports the manager
+	// only accepts aggregated batches from this provisioned list, so an
+	// adversarial member cannot impersonate an aggregator.
+	aggIDs := make([]string, conf.Aggregators)
+	for i := range aggIDs {
+		aggIDs[i] = fmt.Sprintf("agg%02d", i)
+	}
 	mgr, err := NewManager(ManagerConfig{
-		Image:           conf.Image,
-		Seed:            conf.Seed,
-		BootstrapInputs: conf.BootstrapInputs,
-		StackScope:      conf.StackScope,
-		ReplayWorkers:   workers,
+		Image:              conf.Image,
+		Seed:               conf.Seed,
+		BootstrapInputs:    conf.BootstrapInputs,
+		StackScope:         conf.StackScope,
+		CheckRuns:          conf.CheckRuns,
+		Bonus:              conf.Bonus,
+		ReplayWorkers:      workers,
+		VetReports:         conf.VetReports,
+		TrustedAggregators: aggIDs,
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	nodes := make([]*Node, 0, conf.Nodes)
+	rig := &soakRig{
+		conf: conf,
+		mgr:  mgr,
+		report: &SoakReport{
+			Nodes:       conf.Nodes,
+			Aggregators: conf.Aggregators,
+			Batched:     conf.Batched,
+		},
+	}
 	defer func() {
-		// Registered before the first Connect so a mid-loop failure still
-		// closes every node already serving (each Close unblocks its
-		// manager goroutine).
-		for _, n := range nodes {
-			_ = n.Close()
+		for _, m := range rig.members {
+			_ = m.n.Close()
+		}
+		for i, a := range rig.aggs {
+			if !rig.aggDead[i] {
+				_ = a.Close()
+			}
 		}
 	}()
-	for i := 0; i < conf.Nodes; i++ {
-		nodeSide, mgrSide := Pipe()
+
+	// The aggregator tier.
+	for i := 0; i < conf.Aggregators; i++ {
+		upSide, mgrSide := Pipe()
 		go func() { _ = mgr.Serve(mgrSide) }()
-		n := NewNode(fmt.Sprintf("node%03d", i), conf.Image, nodeSide)
-		n.RecordFailures = i < conf.Recorders
-		nodes = append(nodes, n)
-		if err := n.Connect(); err != nil {
+		agg, err := NewAggregator(AggregatorConfig{
+			ID:         aggIDs[i],
+			Image:      conf.Image,
+			Upstream:   upSide,
+			FlushEvery: conf.FlushEvery,
+			VetReports: conf.VetReports,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rig.aggs = append(rig.aggs, agg)
+		rig.aggDead = append(rig.aggDead, false)
+	}
+
+	// The population: honest members first (the leading Recorders of them
+	// capture failing runs), adversaries last.
+	for i := 0; i < conf.Nodes; i++ {
+		m := &soakMember{agg: -1}
+		if i < honest {
+			m.n = NewNode(fmt.Sprintf("node%04d", i), conf.Image, nil)
+			m.n.RecordFailures = i < conf.Recorders
+		} else {
+			adv := i - honest
+			m.adversary = true
+			m.forger = adv%2 == 1
+			m.advIndex = adv
+			m.n = NewNode(fmt.Sprintf("adv%03d", adv), conf.Image, nil)
+		}
+		rig.members = append(rig.members, m)
+		agg := -1
+		if conf.Aggregators > 0 {
+			agg = i % conf.Aggregators
+		}
+		if err := rig.attach(m, agg); err != nil {
 			return nil, err
 		}
 	}
 
-	report := &SoakReport{Nodes: conf.Nodes, Batched: conf.Batched}
+	report := rig.report
 	for round := 1; round <= conf.Rounds; round++ {
+		if err := rig.churnStep(round); err != nil {
+			return nil, err
+		}
+
 		inputs := make([][]byte, 0, len(conf.Attacks)+1)
 		for _, atk := range conf.Attacks {
 			inputs = append(inputs, atk.Input)
@@ -213,22 +415,42 @@ func RunSoak(conf SoakConfig) (*SoakReport, error) {
 		if len(conf.Benign) > 0 {
 			inputs = append(inputs, conf.Benign[(round-1)%len(conf.Benign)])
 		}
-		for _, n := range nodes {
+		for _, m := range rig.members {
+			if m.crashed {
+				continue
+			}
+			if m.adversary {
+				if err := rig.adversaryTurn(m, inputs); err != nil {
+					return nil, err
+				}
+				continue
+			}
 			if conf.Batched {
-				if _, err := n.RunBatch(inputs); err != nil {
+				if _, err := m.n.RunBatch(inputs); err != nil {
 					return nil, err
 				}
 			} else {
 				for _, input := range inputs {
-					if _, err := n.RunOnce(input); err != nil {
+					if _, err := m.n.RunOnce(input); err != nil {
 						return nil, err
 					}
 				}
 			}
 		}
+		for i, a := range rig.aggs {
+			if !rig.aggDead[i] {
+				if err := a.Flush(); err != nil {
+					return nil, err
+				}
+			}
+		}
 		report.RoundsRun = round
 
-		if soakConverged(mgr, nodes, defects, round) {
+		// A churn soak runs its whole schedule: convergence must not just
+		// be reached, it must hold while nodes crash, rejoin, and join
+		// and aggregators fail over. Without churn the population is
+		// static and the first full agreement is final.
+		if rig.converged(defects, round) && conf.Churn == nil {
 			break
 		}
 	}
@@ -236,6 +458,16 @@ func RunSoak(conf SoakConfig) (*SoakReport, error) {
 	report.Messages = mgr.Messages()
 	report.Batches = mgr.Batches()
 	report.ReplayRuns = mgr.ReplayRuns()
+	quarantined := mgr.Quarantined()
+	for id := range quarantined {
+		report.Quarantined = append(report.Quarantined, id)
+	}
+	sort.Strings(report.Quarantined)
+	for _, by := range mgr.Adoptions() {
+		if _, q := quarantined[by]; q {
+			report.QuarantinedAdoptions++
+		}
+	}
 	report.Converged = true
 	for i := range defects {
 		if !defects[i].Converged {
@@ -246,39 +478,205 @@ func RunSoak(conf SoakConfig) (*SoakReport, error) {
 	return report, nil
 }
 
-// soakConverged syncs every node and updates the convergence table;
-// it reports whether every defect has converged. A defect converges in
-// the first round after which the manager has adopted a repair for it
-// and every node's directives carry that same repair.
-func soakConverged(mgr *Manager, nodes []*Node, defects []SoakDefect, round int) bool {
-	states := mgr.CaseStates()
+// churnStep applies the round's churn schedule: fail over a crashed
+// aggregator's members, revive last round's crashed nodes on a different
+// aggregator, crash this round's victims, and join fresh members.
+func (r *soakRig) churnStep(round int) error {
+	churn := r.conf.Churn
+	if churn == nil || round < 2 {
+		return nil
+	}
 
-	// One sync per node, then read each node's repair per failure case.
+	if churn.AggregatorCrashRound == round && len(r.aggs) >= 2 && !r.aggDead[0] {
+		_ = r.aggs[0].Close()
+		r.aggDead[0] = true
+		r.report.AggregatorFailovers++
+		for _, m := range r.members {
+			if m.agg == 0 && !m.crashed {
+				if err := r.attach(m, r.nextAliveAgg(0)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	for _, m := range r.members {
+		if m.crashed {
+			if err := r.attach(m, r.nextAliveAgg(m.agg)); err != nil {
+				return err
+			}
+			m.crashed = false
+			r.report.Rejoins++
+		}
+	}
+
+	// Crash honest, non-recording members, rotating through whoever is
+	// still alive; the pool shrinks as members are picked, so no member
+	// is crashed twice in a round and at least one pool member survives.
+	honestPool := make([]*soakMember, 0, len(r.members))
+	for _, m := range r.members {
+		if !m.adversary && !m.n.RecordFailures && !m.crashed {
+			honestPool = append(honestPool, m)
+		}
+	}
+	for i := 0; i < churn.CrashPerRound && len(honestPool) > 1; i++ {
+		idx := r.crashCursor % len(honestPool)
+		m := honestPool[idx]
+		honestPool = append(honestPool[:idx], honestPool[idx+1:]...)
+		r.crashCursor++
+		_ = m.n.Close()
+		m.crashed = true
+		r.report.Crashes++
+	}
+
+	for i := 0; i < churn.JoinPerRound; i++ {
+		m := &soakMember{n: NewNode(fmt.Sprintf("join%03d", r.joinSeq), r.conf.Image, nil)}
+		r.joinSeq++
+		agg := -1
+		if len(r.aggs) > 0 {
+			agg = r.nextAliveAgg(r.joinSeq % len(r.aggs))
+		}
+		if err := r.attach(m, agg); err != nil {
+			return err
+		}
+		r.members = append(r.members, m)
+		r.report.Joins++
+	}
+	return nil
+}
+
+// adversaryTurn plays one adversarial member's round: the first active
+// round ships its tamper (a spoofed report and a poisoned upload, or a
+// forged recording), every later round ships a well-formed benign report —
+// which the community must keep ignoring once the node is quarantined.
+func (r *soakRig) adversaryTurn(m *soakMember, inputs [][]byte) error {
+	n := m.n
+	if !m.tampered {
+		m.tampered = true
+		if m.forger {
+			return r.sendForgedRecording(n, m.advIndex)
+		}
+		return r.sendSpoofedTraffic(n)
+	}
+	// Later rounds: a plausible, well-formed report. For a quarantined
+	// node it must change nothing at the manager.
+	rep := RunReport{NodeID: n.ID, Seq: n.dir.Seq, Outcome: uint8(vm.OutcomeExit)}
+	env, err := NewEnvelope(MsgRunReport, rep)
+	if err != nil {
+		return err
+	}
+	return n.roundTrip(env)
+}
+
+// sendSpoofedTraffic ships the edge-checkable tampers: a failure report
+// and a learning upload whose PCs sit outside the image's code range.
+func (r *soakRig) sendSpoofedTraffic(n *Node) error {
+	img := r.conf.Image
+	badPC := img.End() + 0x1000
+	rep := RunReport{
+		NodeID:  n.ID,
+		Seq:     n.dir.Seq,
+		Outcome: uint8(vm.OutcomeFailure),
+		Failure: &FailureInfo{PC: badPC, Monitor: "MemoryFirewall", Kind: "spoofed"},
+	}
+	env, err := NewEnvelope(MsgRunReport, rep)
+	if err != nil {
+		return err
+	}
+	if err := n.roundTrip(env); err != nil {
+		return err
+	}
+
+	poisoned := daikon.NewDB()
+	poisoned.Add(&daikon.Invariant{
+		Kind:    daikon.KindLowerBound,
+		Var:     daikon.VarID{PC: badPC},
+		Bound:   -1,
+		Samples: 1 << 20,
+	})
+	raw, err := poisoned.Marshal()
+	if err != nil {
+		return err
+	}
+	env, err = NewEnvelope(MsgLearnUpload, LearnUpload{NodeID: n.ID, DB: raw})
+	if err != nil {
+		return err
+	}
+	return n.roundTrip(env)
+}
+
+// sendForgedRecording ships the farm-checkable tamper: a recording of a
+// healthy run relabelled as a monitor-detected failure at a plausible
+// in-range location. It passes every static check; only replaying it
+// (replay.Farm.Vet) reveals that the claimed failure does not reproduce.
+// Each forger claims a different location, so one forgery never shadows
+// another in the aggregators' per-location deduplication.
+func (r *soakRig) sendForgedRecording(n *Node, advIndex int) error {
+	img := r.conf.Image
+	input := []byte("forged")
+	if len(r.conf.Benign) > 0 {
+		input = r.conf.Benign[0]
+	}
+	rec, _, err := replay.Record(n.ID+"/forged", img, input, nil, replay.Options{})
+	if err != nil {
+		return err
+	}
+	claimPC := img.Base + uint32((int(img.Entry-img.Base)+4*advIndex)%len(img.Code))
+	rec.Outcome = vm.OutcomeFailure
+	rec.ExitCode = 0
+	rec.Failure = &vm.Failure{PC: claimPC, Monitor: "MemoryFirewall", Kind: "forged"}
+	raw, err := rec.Marshal()
+	if err != nil {
+		return err
+	}
+	env, err := NewEnvelope(MsgRecording, RecordingUpload{NodeID: n.ID, Recording: raw})
+	if err != nil {
+		return err
+	}
+	return n.roundTrip(env)
+}
+
+// converged syncs every eligible member and updates the convergence
+// table; it reports whether every defect has converged. A defect
+// converges in the first round after which the manager has adopted a
+// repair for it and every eligible node's directives carry that same
+// repair. Eligible means alive, honest, and not quarantined: crashed
+// nodes re-attach and catch up next round, and quarantined nodes are
+// outside the trust boundary by definition.
+func (r *soakRig) converged(defects []SoakDefect, round int) bool {
+	states := r.mgr.CaseStates()
+	quarantined := r.mgr.Quarantined()
+
 	type held struct {
 		ids   map[string]string // failureID -> repair ID
 		valid bool
 	}
-	holdings := make([]held, len(nodes))
-	for i, n := range nodes {
-		if err := n.Sync(); err != nil {
+	var holdings []held
+	for _, m := range r.members {
+		if m.crashed || m.adversary {
+			continue
+		}
+		if _, q := quarantined[m.n.ID]; q {
+			continue
+		}
+		if err := m.n.Sync(); err != nil {
+			holdings = append(holdings, held{})
 			continue
 		}
 		h := held{ids: make(map[string]string), valid: true}
-		dir := n.Directives()
+		dir := m.n.Directives()
 		for j := range dir.Repairs {
 			spec := &dir.Repairs[j]
 			h.ids[spec.FailureID] = repairSpecID(spec)
 		}
-		holdings[i] = h
+		holdings = append(holdings, h)
 	}
 
 	all := true
 	for i := range defects {
 		d := &defects[i]
-		if d.Converged {
-			continue
-		}
 		if states[d.FailurePC] != core.StatePatched {
+			d.Converged = false
 			all = false
 			continue
 		}
@@ -306,10 +704,15 @@ func soakConverged(mgr *Manager, nodes []*Node, defects []SoakDefect, round int)
 			}
 		}
 		d.Agree = agree
-		if uniform && adopted != "" && agree == len(nodes) {
-			d.Converged = true
+		// Convergence is re-evaluated every round (a churn soak must HOLD
+		// agreement, not just reach it); Rounds keeps the first round full
+		// agreement was observed.
+		d.Converged = uniform && adopted != "" && agree == len(holdings)
+		if d.Converged {
 			d.Adopted = adopted
-			d.Rounds = round
+			if d.Rounds == 0 {
+				d.Rounds = round
+			}
 		} else {
 			all = false
 		}

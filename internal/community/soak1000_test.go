@@ -1,0 +1,82 @@
+package community
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/webapp"
+)
+
+// TestSoak1000NodesChurnAdversaries is the headline community soak: a
+// thousand nodes behind 32 aggregators, 5% of them adversarial, under
+// continuous node churn and an aggregator failover. The community must
+// converge to one adopted repair per defect and hold that agreement
+// across the whole schedule, quarantine every adversary, and never let a
+// quarantined node drive an adoption — while the central manager handles
+// at least 5x fewer envelopes than the flat topology's analytic floor of
+// two per node per round.
+//
+// The soak is sequential and deterministic; it is skipped in -short mode
+// and under the race detector (the smaller soaks in this package provide
+// identical coverage there at a fraction of the cost).
+func TestSoak1000NodesChurnAdversaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1,000-node soak skipped in -short mode")
+	}
+	if raceDetectorEnabled {
+		t.Skip("1,000-node soak skipped under the race detector")
+	}
+	app := webapp.MustBuild()
+	conf := soakConfig(t, app, 1000, true)
+	conf.Aggregators = 32
+	conf.Adversaries = 50
+	conf.Churn = &ChurnConfig{CrashPerRound: 10, JoinPerRound: 5, AggregatorCrashRound: 3}
+	conf.Rounds = 5
+
+	rep, err := RunSoak(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Fatalf("1,000-node soak did not converge: %+v", rep)
+	}
+	for _, d := range rep.Defects {
+		if !d.Converged || d.Adopted == "" {
+			t.Fatalf("defect %s did not converge: %+v", d.Label, d)
+		}
+		if d.Agree != rep.Defects[0].Agree {
+			t.Fatalf("defects disagree on eligible population: %d vs %d", d.Agree, rep.Defects[0].Agree)
+		}
+	}
+	// Eligible population at the final round: 1000 nodes − 50 adversaries
+	// − CrashPerRound crashed that round + every join so far.
+	if want := 1000 - 50 - conf.Churn.CrashPerRound + rep.Joins; rep.Defects[0].Agree != want {
+		t.Fatalf("final agreement %d, want %d eligible nodes", rep.Defects[0].Agree, want)
+	}
+
+	if len(rep.Quarantined) != conf.Adversaries {
+		t.Fatalf("quarantined %d nodes, want all %d adversaries", len(rep.Quarantined), conf.Adversaries)
+	}
+	for _, id := range rep.Quarantined {
+		if !strings.HasPrefix(id, "adv") {
+			t.Fatalf("honest node %q quarantined", id)
+		}
+	}
+	if rep.QuarantinedAdoptions != 0 {
+		t.Fatalf("%d adoptions driven by quarantined nodes", rep.QuarantinedAdoptions)
+	}
+
+	if rep.Crashes == 0 || rep.Rejoins == 0 || rep.Joins == 0 || rep.AggregatorFailovers != 1 {
+		t.Fatalf("churn schedule did not execute: %+v", rep)
+	}
+
+	// The flat star costs at least two manager envelopes per node per
+	// round (a sync and a batch); the hierarchy must beat that floor 5x.
+	flatFloor := 2 * rep.Nodes * rep.RoundsRun
+	if rep.Messages*5 > flatFloor {
+		t.Fatalf("manager handled %d envelopes; flat floor is %d (< 5x reduction)", rep.Messages, flatFloor)
+	}
+	t.Logf("1,000 nodes: %d manager envelopes over %d rounds (flat floor %d, %.0fx), %d quarantined, agree=%d",
+		rep.Messages, rep.RoundsRun, flatFloor, float64(flatFloor)/float64(rep.Messages),
+		len(rep.Quarantined), rep.Defects[0].Agree)
+}

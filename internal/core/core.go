@@ -82,6 +82,19 @@ type ReplayConfig struct {
 	// SnapshotInterval is the recording snapshot cadence in steps;
 	// 0 selects replay.DefaultSnapshotInterval.
 	SnapshotInterval uint64
+	// VetRecordings replays each freshly sealed recording once,
+	// unmodified, and confirms the recorded outcome reproduces
+	// (replay.Farm.Vet) before the fast path trusts it — a determinism
+	// self-check of the recording pipeline itself (a tape corrupted by a
+	// snapshot bug would otherwise silently mis-rank candidates), at the
+	// cost of one extra replay per failing run. A recording that fails
+	// the vet is ignored and the live pipeline proceeds as in the paper;
+	// Metrics.VetRejects counts such rejections. Cross-trust-boundary
+	// vetting of recordings shipped in by community members is the
+	// community manager's, via ManagerConfig.VetReports — always
+	// stricter (image identity, step-budget clamp, quarantine), never
+	// optional there when armed.
+	VetRecordings bool
 }
 
 // CaseState is the lifecycle of one failure location.
@@ -126,6 +139,7 @@ type Metrics struct {
 	Unsuccessful    int           // failed repair-evaluation runs
 	ReplayRuns      int           // offline replays (checking + farm)
 	ReplayDiscards  int           // candidates discarded by farm verdicts
+	VetRejects      int           // recordings rejected by pre-replay vetting
 	ReplayTime      time.Duration // wall clock spent in the fast path
 	BuildChecks     time.Duration // analog of "Building Invariant Checks"
 	BuildRepairs    time.Duration // analog of "Building Repair Patches"

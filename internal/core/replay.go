@@ -42,6 +42,15 @@ func (cv *ClearView) replayFastPath(rec *replay.Recording, failPC uint32) {
 	start := time.Now()
 	defer func() { fc.Metrics.ReplayTime += time.Since(start) }()
 
+	if rp.VetRecordings {
+		farm := &replay.Farm{Workers: rp.Workers, Deadline: rp.Deadline}
+		if err := farm.Vet(rec); err != nil {
+			fc.Metrics.VetRejects++
+			return
+		}
+		fc.Metrics.ReplayRuns++
+	}
+
 	// Phase 1: compress the runs-2/3 checking phase.
 	for fc.State == StateChecking && fc.CheckSet.DetectedRuns() < cv.conf.CheckRuns {
 		fc.CheckSet.StartRun()

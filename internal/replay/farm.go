@@ -13,13 +13,13 @@ import (
 // Verdict is the outcome of replaying the recorded failing run under one
 // candidate repair.
 type Verdict struct {
-	RepairID string
-	Index    int // position in the candidate slice handed to Evaluate
+	RepairID string // stable identifier of the judged candidate
+	Index    int    // position in the candidate slice handed to Evaluate
 
-	Outcome  vm.Outcome
-	ExitCode uint32
-	Steps    uint64
-	Elapsed  time.Duration
+	Outcome  vm.Outcome    // how the replay ended
+	ExitCode uint32        // exit status when Outcome is an exit
+	Steps    uint64        // instructions the replay executed
+	Elapsed  time.Duration // wall clock the replay took
 
 	// Recurred reports that the recorded failure fired again at the same
 	// location despite the candidate being in place.

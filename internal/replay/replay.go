@@ -42,9 +42,9 @@ const DefaultSnapshotInterval = 100_000
 // its replays. Replays must run under the same monitor configuration as
 // the recording for detection parity.
 type Monitors struct {
-	MemoryFirewall bool
-	HeapGuard      bool
-	ShadowStack    bool
+	MemoryFirewall bool // illegal-write detection (§2.3)
+	HeapGuard      bool // heap canary checking
+	ShadowStack    bool // return-address integrity
 }
 
 // AllMonitors is the Red Team configuration (§4.2.2), the default
@@ -58,13 +58,13 @@ func AllMonitors() Monitors {
 // the failing run may have executed under adopted patches for other
 // failure locations, and a faithful replay needs them in place).
 type PatchSpec struct {
-	FailureID string
-	Invariant daikon.Invariant
-	Strategy  repair.Strategy
-	Value     uint32
-	SPDelta   uint32
-	PC        uint32
-	Depth     int
+	FailureID string           // the failure case the repair targets
+	Invariant daikon.Invariant // the invariant the repair enforces
+	Strategy  repair.Strategy  // enforcement strategy (§2.5)
+	Value     uint32           // strategy operand (e.g. the set-value constant)
+	SPDelta   uint32           // stack-pointer restore for return-from-procedure
+	PC        uint32           // enforcement site
+	Depth     int              // call-stack depth of the enforcement site
 }
 
 // Spec captures a deployed repair as a self-contained PatchSpec.
@@ -97,20 +97,20 @@ func (s *PatchSpec) Repair() *repair.Repair {
 // everything needed to re-create the run bit-identically on another
 // machine, plus periodic snapshots for fast-forwarding.
 type Recording struct {
-	ID       string
-	Image    []byte // image.Marshal form
-	Input    []byte
+	ID       string      // human-readable label ("node/seqN")
+	Image    []byte      // image.Marshal form
+	Input    []byte      // the exact input stream the run consumed
 	Deployed []PatchSpec // repairs in place during the recorded run
-	Monitors Monitors
-	MaxSteps uint64 // step budget of the recorded machine
+	Monitors Monitors    // monitor configuration of the recorded machine
+	MaxSteps uint64      // step budget of the recorded machine
 
 	Snapshots []*vm.Snapshot // ascending by Steps; [0] is the step-0 state
 
 	// How the recorded run ended.
 	Outcome  vm.Outcome
-	ExitCode uint32
-	Failure  *vm.Failure
-	Steps    uint64
+	ExitCode uint32      // see Outcome
+	Failure  *vm.Failure // see Outcome
+	Steps    uint64      // see Outcome
 }
 
 // FailurePC returns the recorded failure location, if the run failed.
