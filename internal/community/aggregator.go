@@ -51,10 +51,15 @@ type AggregatorConfig struct {
 type Aggregator struct {
 	conf AggregatorConfig
 
+	// flushMu serializes flushes: exactly one upstream round trip is in
+	// flight at a time, and the snapshot-clear-restore dance around it is
+	// atomic with respect to other flushes. It is always acquired before
+	// a.mu, never while holding it.
+	flushMu sync.Mutex
+
 	mu    sync.Mutex
 	nodes map[string]bool       // member IDs seen (registered upstream at next flush)
 	dirs  map[string]Directives // per-member directive cache from the last flush
-	seq   uint64                // manager sequence as of the last flush
 
 	reports    []RunReport
 	learn      *daikon.DB
@@ -65,6 +70,18 @@ type Aggregator struct {
 	quarantined map[string]bool
 	newlyQuar   []string // edge verdicts not yet reported upstream
 	imgWire     []byte   // the protected image's wire form, for recording identity checks
+	rejects     int      // member-batch reports dropped for claiming a peer's identity
+
+	// epoch counts flush snapshots taken (takeLocked bumps it); state
+	// buffered at epoch e rides the NEXT snapshot, number e+1. delivered
+	// is the highest snapshot number whose flush fully completed — batch
+	// sent AND DirectivesSet reply merged — so "my data went upstream and
+	// the directive cache reflects it" is exactly delivered > e (see
+	// flushIfDue). A failed Send restores its snapshot without advancing
+	// delivered; a lost reply leaves delivered behind too, costing at
+	// worst one redundant near-empty re-flush.
+	epoch     uint64
+	delivered uint64 // see epoch
 
 	conns    map[Conn]bool // live member connections, for Close
 	closed   bool
@@ -97,7 +114,9 @@ func NewAggregator(conf AggregatorConfig) (*Aggregator, error) {
 }
 
 // Serve handles one member connection until it closes; run it in a
-// goroutine per connection, like Manager.Serve.
+// goroutine per connection, like Manager.Serve. The connection is bound to
+// the first sender identity it claims (see bindSender), so a member cannot
+// switch to a peer's identity mid-stream.
 func (a *Aggregator) Serve(conn Conn) error {
 	a.mu.Lock()
 	if a.closed {
@@ -116,12 +135,13 @@ func (a *Aggregator) Serve(conn Conn) error {
 		a.mu.Unlock()
 		_ = conn.Close()
 	}()
+	var sender string
 	for {
 		env, err := conn.Recv()
 		if err != nil {
 			return err
 		}
-		reply, err := a.handle(env)
+		reply, err := a.handle(env, &sender)
 		if err != nil {
 			return err
 		}
@@ -131,104 +151,149 @@ func (a *Aggregator) Serve(conn Conn) error {
 	}
 }
 
-// handle buffers one member message and answers it from the directive
-// cache.
-func (a *Aggregator) handle(env Envelope) (Envelope, error) {
+// handle buffers one member message, flushes if the message made a flush
+// due, and answers from the directive cache. bound is the connection's
+// pinned sender identity (see bindSender).
+func (a *Aggregator) handle(env Envelope, bound *string) (Envelope, error) {
+	nodeID, epoch, needFlush, err := a.buffer(env, bound)
+	if err != nil {
+		return Envelope{}, err
+	}
+	if needFlush {
+		if err := a.flushIfDue(epoch); err != nil {
+			return Envelope{}, err
+		}
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	return a.cachedDirectives(nodeID)
+}
+
+// buffer applies one member message to the flush buffers and reports
+// whether a flush is now due: the report buffer reached FlushEvery, or a
+// new member joined mid-campaign (it must be registered upstream before it
+// leaves with real directives — §3's protection without exposure must
+// survive the cache tier; cold-start attaches, before any flush, register
+// locally: the whole region is new and flushes soon anyway). The flush
+// itself happens back in handle, after a.mu is released, so members on
+// other connections never stall behind the upstream round trip; epoch is
+// the snapshot epoch the message was buffered under, letting that flush
+// skip the round trip when a concurrent one already swept the buffers
+// (see flushIfDue).
+func (a *Aggregator) buffer(env Envelope, bound *string) (nodeID string, epoch uint64, needFlush bool, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	epoch = a.epoch
 	switch env.Kind {
 	case MsgHello:
 		var h Hello
 		if err := decodePayload(env.Payload, &h); err != nil {
-			return Envelope{}, err
+			return "", 0, false, err
 		}
-		if err := requireSender(h.NodeID); err != nil {
-			return Envelope{}, err
+		if err := bindSender(bound, h.NodeID); err != nil {
+			return "", 0, false, err
 		}
+		// Mid-campaign means a flush snapshot has been taken (epoch > 0),
+		// not that one has completed: a joiner arriving while the very
+		// first flush's round trip is in flight is already too late for
+		// its snapshot and needs a flush of its own.
 		_, known := a.nodes[h.NodeID]
 		a.nodes[h.NodeID] = true
-		if !known && a.flushes > 0 {
-			// A mid-campaign join: flush now so the newcomer is
-			// registered upstream and leaves with real directives —
-			// §3's protection without exposure must survive the cache
-			// tier. (Cold-start attaches, before any flush, register
-			// locally: the whole region is new and flushes soon anyway.)
-			if err := a.flushLocked(); err != nil {
-				return Envelope{}, err
-			}
-		}
-		return a.cachedDirectives(h.NodeID)
+		return h.NodeID, epoch, !known && epoch > 0, nil
 	case MsgRunReport:
 		var rep RunReport
 		if err := decodePayload(env.Payload, &rep); err != nil {
-			return Envelope{}, err
+			return "", 0, false, err
 		}
-		if err := requireSender(rep.NodeID); err != nil {
-			return Envelope{}, err
+		if err := bindSender(bound, rep.NodeID); err != nil {
+			return "", 0, false, err
 		}
 		a.nodes[rep.NodeID] = true
 		a.bufferReport(&rep)
-		if err := a.maybeFlushLocked(); err != nil {
-			return Envelope{}, err
-		}
-		return a.cachedDirectives(rep.NodeID)
+		return rep.NodeID, epoch, a.flushDueLocked(), nil
 	case MsgLearnUpload:
 		var up LearnUpload
 		if err := decodePayload(env.Payload, &up); err != nil {
-			return Envelope{}, err
+			return "", 0, false, err
 		}
-		if err := requireSender(up.NodeID); err != nil {
-			return Envelope{}, err
+		if err := bindSender(bound, up.NodeID); err != nil {
+			return "", 0, false, err
 		}
 		a.nodes[up.NodeID] = true
 		if err := a.bufferLearnDB(up.NodeID, up.DB); err != nil {
-			return Envelope{}, err
+			return "", 0, false, err
 		}
-		return a.cachedDirectives(up.NodeID)
+		return up.NodeID, epoch, false, nil
 	case MsgRecording:
 		var up RecordingUpload
 		if err := decodePayload(env.Payload, &up); err != nil {
-			return Envelope{}, err
+			return "", 0, false, err
 		}
-		if err := requireSender(up.NodeID); err != nil {
-			return Envelope{}, err
+		if err := bindSender(bound, up.NodeID); err != nil {
+			return "", 0, false, err
 		}
 		a.nodes[up.NodeID] = true
 		if err := a.bufferRecording(up.NodeID, up.Recording); err != nil {
-			return Envelope{}, err
+			return "", 0, false, err
 		}
-		return a.cachedDirectives(up.NodeID)
+		return up.NodeID, epoch, false, nil
 	case MsgBatch:
 		var b Batch
 		if err := decodePayload(env.Payload, &b); err != nil {
-			return Envelope{}, err
+			return "", 0, false, err
 		}
-		if len(b.NodeIDs) > 0 {
-			return Envelope{}, fmt.Errorf("community: aggregator %s cannot relay an aggregated batch", a.conf.ID)
+		if batchAggregated(&b) {
+			return "", 0, false, fmt.Errorf("community: aggregator %s cannot relay an aggregated batch", a.conf.ID)
 		}
-		if err := requireSender(b.NodeID); err != nil {
-			return Envelope{}, err
+		if err := bindSender(bound, b.NodeID); err != nil {
+			return "", 0, false, err
+		}
+		if a.quarantined[b.NodeID] {
+			// The whole batch is from a quarantined member: ignored at
+			// map-lookup cost, before any payload is unmarshalled.
+			return b.NodeID, epoch, a.flushDueLocked(), nil
+		}
+		// Decode every payload before buffering anything, mirroring the
+		// manager's handleBatch: a malformed item rejects the batch whole
+		// rather than shipping its earlier items upstream half-applied.
+		dbs := make([]*daikon.DB, 0, len(b.LearnDBs))
+		for _, raw := range b.LearnDBs {
+			db, err := daikon.UnmarshalDB(raw)
+			if err != nil {
+				return "", 0, false, err
+			}
+			dbs = append(dbs, db)
+		}
+		recs := make([]*replay.Recording, 0, len(b.Recordings))
+		for _, raw := range b.Recordings {
+			rec, err := replay.Unmarshal(raw)
+			if err != nil {
+				return "", 0, false, err
+			}
+			recs = append(recs, rec)
 		}
 		a.nodes[b.NodeID] = true
-		for _, raw := range b.LearnDBs {
-			if err := a.bufferLearnDB(b.NodeID, raw); err != nil {
-				return Envelope{}, err
-			}
+		for _, db := range dbs {
+			a.bufferLearnDecoded(b.NodeID, db)
 		}
 		for i := range b.Reports {
+			if b.Reports[i].NodeID != b.NodeID {
+				// A member batch may only report the member's own runs: a
+				// report claiming a peer's identity is a framing attempt —
+				// under VetReports its sanity-check verdict would land on
+				// the named peer — and is dropped before any check can
+				// quarantine anyone.
+				a.rejects++
+				continue
+			}
 			a.bufferReport(&b.Reports[i])
 		}
-		for _, raw := range b.Recordings {
-			if err := a.bufferRecording(b.NodeID, raw); err != nil {
-				return Envelope{}, err
-			}
+		for i, rec := range recs {
+			a.bufferRecordingDecoded(b.NodeID, rec, b.Recordings[i])
 		}
-		if err := a.maybeFlushLocked(); err != nil {
-			return Envelope{}, err
-		}
-		return a.cachedDirectives(b.NodeID)
+		return b.NodeID, epoch, a.flushDueLocked(), nil
 	default:
-		return Envelope{}, fmt.Errorf("community: aggregator %s: unexpected message %v", a.conf.ID, env.Kind)
+		return "", 0, false, fmt.Errorf("community: aggregator %s: unexpected message %v", a.conf.ID, env.Kind)
 	}
 }
 
@@ -262,8 +327,10 @@ func (a *Aggregator) bufferReport(rep *RunReport) {
 	a.reports = append(a.reports, *rep)
 }
 
-// bufferLearnDB folds one member's learning upload into the region
-// database. Called with a.mu held.
+// bufferLearnDB decodes and folds one member's learning upload into the
+// region database. A quarantined sender's payload is dropped before the
+// decode: its traffic must cost the region a map lookup, not unmarshal
+// work under a.mu. Called with a.mu held.
 func (a *Aggregator) bufferLearnDB(nodeID string, raw []byte) error {
 	if a.quarantined[nodeID] {
 		return nil
@@ -272,10 +339,22 @@ func (a *Aggregator) bufferLearnDB(nodeID string, raw []byte) error {
 	if err != nil {
 		return err
 	}
+	a.bufferLearnDecoded(nodeID, db)
+	return nil
+}
+
+// bufferLearnDecoded is bufferLearnDB's apply half, for callers that
+// decode up front (a member batch is decoded whole before any of it is
+// buffered, so a malformed item rejects the batch rather than leaving it
+// half-applied). Called with a.mu held.
+func (a *Aggregator) bufferLearnDecoded(nodeID string, db *daikon.DB) {
+	if a.quarantined[nodeID] {
+		return
+	}
 	if a.conf.VetReports {
 		if reason := checkLearnDBStatic(a.conf.Image, db); reason != "" {
 			a.quarantineLocked(nodeID)
-			return nil
+			return
 		}
 	}
 	if a.learn == nil {
@@ -284,12 +363,11 @@ func (a *Aggregator) bufferLearnDB(nodeID string, raw []byte) error {
 		a.learn.Merge(db, daikon.DefaultMaxOneOf)
 	}
 	a.learnCount++
-	return nil
 }
 
-// bufferRecording queues one failing-run recording, deduplicating per
-// failure location (the first capture wins; the manager's farm only needs
-// one copy of a deterministic failure). Called with a.mu held.
+// bufferRecording decodes and queues one failing-run recording. A
+// quarantined sender's payload is dropped before the decode (see
+// bufferLearnDB). Called with a.mu held.
 func (a *Aggregator) bufferRecording(nodeID string, raw []byte) error {
 	if a.quarantined[nodeID] {
 		return nil
@@ -298,9 +376,21 @@ func (a *Aggregator) bufferRecording(nodeID string, raw []byte) error {
 	if err != nil {
 		return err
 	}
+	a.bufferRecordingDecoded(nodeID, rec, raw)
+	return nil
+}
+
+// bufferRecordingDecoded queues one decoded failing-run recording (raw is
+// its wire form, forwarded upstream verbatim), deduplicating per failure
+// location — the first capture wins; the manager's farm only needs one
+// copy of a deterministic failure. Called with a.mu held.
+func (a *Aggregator) bufferRecordingDecoded(nodeID string, rec *replay.Recording, raw []byte) {
+	if a.quarantined[nodeID] {
+		return
+	}
 	pc, ok := rec.FailurePC()
 	if !ok {
-		return nil // only failing runs are worth upstream bytes
+		return // only failing runs are worth upstream bytes
 	}
 	if a.conf.VetReports {
 		// The edge runs every static recording check (replays are the
@@ -309,15 +399,14 @@ func (a *Aggregator) bufferRecording(nodeID string, raw []byte) error {
 		// never travels upstream.
 		if checkRecordingStatic(a.conf.Image, a.imgWire, rec, pc) != "" {
 			a.quarantineLocked(nodeID)
-			return nil
+			return
 		}
 	}
 	if _, dup := a.recRaw[pc]; dup {
-		return nil
+		return
 	}
 	a.recRaw[pc] = raw
 	a.recFrom[pc] = nodeID
-	return nil
 }
 
 // quarantineLocked records an edge verdict: the node's traffic is dropped
@@ -331,13 +420,99 @@ func (a *Aggregator) quarantineLocked(nodeID string) {
 	a.newlyQuar = append(a.newlyQuar, nodeID)
 }
 
-// maybeFlushLocked flushes when the report buffer has reached the
-// configured size. Called with a.mu held.
-func (a *Aggregator) maybeFlushLocked() error {
-	if a.conf.FlushEvery > 0 && len(a.reports) >= a.conf.FlushEvery {
-		return a.flushLocked()
+// flushDueLocked reports whether the report buffer has reached the
+// configured auto-flush size. Called with a.mu held.
+func (a *Aggregator) flushDueLocked() bool {
+	return a.conf.FlushEvery > 0 && len(a.reports) >= a.conf.FlushEvery
+}
+
+// flushSnapshot is one flush's worth of buffered state, taken (and
+// cleared) under a.mu so the upstream round trip can run outside the lock.
+type flushSnapshot struct {
+	members    []string // sorted member IDs at snapshot time
+	reports    []RunReport
+	learn      *daikon.DB
+	learnCount int
+	recRaw     map[uint32][]byte
+	recFrom    map[uint32]string
+	newlyQuar  []string
+}
+
+// takeLocked moves the buffered state into a snapshot, leaving the buffers
+// empty. Called with a.mu held.
+func (a *Aggregator) takeLocked() flushSnapshot {
+	snap := flushSnapshot{
+		members:    make([]string, 0, len(a.nodes)),
+		reports:    a.reports,
+		learn:      a.learn,
+		learnCount: a.learnCount,
+		recRaw:     a.recRaw,
+		recFrom:    a.recFrom,
+		newlyQuar:  a.newlyQuar,
 	}
-	return nil
+	for id := range a.nodes {
+		snap.members = append(snap.members, id)
+	}
+	sort.Strings(snap.members)
+	a.reports = nil
+	a.learn = nil
+	a.learnCount = 0
+	a.recRaw = make(map[uint32][]byte)
+	a.recFrom = make(map[uint32]string)
+	a.newlyQuar = nil
+	a.epoch++
+	return snap
+}
+
+// restore merges an unsent snapshot back into the buffers, ahead of
+// whatever members buffered while the flush was in flight, so a failed
+// Send loses nothing. Takes a.mu.
+func (a *Aggregator) restore(snap flushSnapshot) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.reports = append(snap.reports, a.reports...)
+	if snap.learnCount > 0 {
+		if a.learn != nil {
+			snap.learn.Merge(a.learn, daikon.DefaultMaxOneOf)
+		}
+		a.learn = snap.learn
+		a.learnCount += snap.learnCount
+	}
+	for pc, raw := range snap.recRaw {
+		// The snapshot's capture came first, so it wins the per-location
+		// dedupe over anything buffered during the flush attempt.
+		a.recRaw[pc] = raw
+		a.recFrom[pc] = snap.recFrom[pc]
+	}
+	a.newlyQuar = append(snap.newlyQuar, a.newlyQuar...)
+}
+
+// batch compacts a snapshot into the upstream envelope's payload.
+func (snap *flushSnapshot) batch(aggID string) (Batch, error) {
+	b := Batch{
+		NodeID:      aggID,
+		Aggregated:  true,
+		NodeIDs:     snap.members,
+		Reports:     snap.reports,
+		Quarantined: snap.newlyQuar,
+	}
+	var pcs []uint32
+	for pc := range snap.recRaw {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	for _, pc := range pcs {
+		b.Recordings = append(b.Recordings, snap.recRaw[pc])
+		b.RecordingFrom = append(b.RecordingFrom, snap.recFrom[pc])
+	}
+	if snap.learnCount > 0 {
+		raw, err := snap.learn.Marshal()
+		if err != nil {
+			return Batch{}, err
+		}
+		b.LearnDBs = [][]byte{raw}
+	}
+	return b, nil
 }
 
 // Flush compacts everything buffered since the last flush into one
@@ -347,49 +522,72 @@ func (a *Aggregator) maybeFlushLocked() error {
 // the per-member directive cache from the manager's DirectivesSet reply.
 // A flush with nothing buffered still runs: it registers new members and
 // pulls fresh directives (the region's heartbeat).
+//
+// The buffers are snapshotted and cleared under a.mu, but the upstream
+// round trip itself runs outside it, so member connections keep being
+// served while the manager works. If Send fails, the snapshot is restored
+// and the next flush re-sends it; once Send has succeeded the buffers stay
+// cleared whatever happens to the reply — the manager may already have
+// applied the batch, and re-sending it would double-count the region's
+// runs and detections upstream.
 func (a *Aggregator) Flush() error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.flushLocked()
+	a.flushMu.Lock()
+	defer a.flushMu.Unlock()
+	return a.flushHoldingFlushMu()
 }
 
-// flushLocked is Flush's body. Called with a.mu held.
-func (a *Aggregator) flushLocked() error {
+// flushIfDue is the auto-flush entry point (FlushEvery reached, or a
+// mid-campaign join): it flushes unless the state buffered at epoch has
+// already been DELIVERED by a concurrent flush — one whose snapshot was
+// taken after the triggering message was buffered (snapshot number >
+// epoch) and which completed its whole round trip, reply merge included.
+// That flush finished before flushMu was granted here, so the directive
+// cache already reflects the buffered state; another round trip would
+// only ship a redundant near-empty envelope, inflating the very upstream
+// count the hierarchy minimizes. A snapshot alone is not enough: a failed
+// Send restored the buffers, and a lost reply left the cache stale, so in
+// either case the due flush must still run.
+func (a *Aggregator) flushIfDue(epoch uint64) error {
+	a.flushMu.Lock()
+	defer a.flushMu.Unlock()
+	a.mu.Lock()
+	carried := a.delivered > epoch
+	a.mu.Unlock()
+	if carried {
+		return nil
+	}
+	return a.flushHoldingFlushMu()
+}
+
+// flushHoldingFlushMu is Flush's body. Called with a.flushMu held (and
+// a.mu NOT held).
+func (a *Aggregator) flushHoldingFlushMu() error {
+	a.mu.Lock()
 	if a.closed {
+		a.mu.Unlock()
 		return fmt.Errorf("community: aggregator %s is closed", a.conf.ID)
 	}
-	b := Batch{NodeID: a.conf.ID, Aggregated: true}
-	for id := range a.nodes {
-		b.NodeIDs = append(b.NodeIDs, id)
-	}
-	sort.Strings(b.NodeIDs)
-	b.Reports = a.reports
-	var pcs []uint32
-	for pc := range a.recRaw {
-		pcs = append(pcs, pc)
-	}
-	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
-	for _, pc := range pcs {
-		b.Recordings = append(b.Recordings, a.recRaw[pc])
-		b.RecordingFrom = append(b.RecordingFrom, a.recFrom[pc])
-	}
-	if a.learnCount > 0 {
-		raw, err := a.learn.Marshal()
-		if err != nil {
-			return err
-		}
-		b.LearnDBs = [][]byte{raw}
-	}
-	b.Quarantined = a.newlyQuar
+	snap := a.takeLocked()
+	snapEpoch := a.epoch
+	a.mu.Unlock()
 
+	b, err := snap.batch(a.conf.ID)
+	if err != nil {
+		a.restore(snap)
+		return err
+	}
 	env, err := NewEnvelope(MsgBatch, b)
 	if err != nil {
+		a.restore(snap)
 		return err
 	}
 	if err := a.conf.Upstream.Send(env); err != nil {
+		a.restore(snap)
 		return err
 	}
+	a.mu.Lock()
 	a.upstream++
+	a.mu.Unlock()
 	reply, err := a.conf.Upstream.Recv()
 	if err != nil {
 		return err
@@ -401,18 +599,21 @@ func (a *Aggregator) flushLocked() error {
 	if err := decodePayload(reply.Payload, &set); err != nil {
 		return err
 	}
-	a.seq = set.Seq
+
+	a.mu.Lock()
 	for id, d := range set.ByNode {
 		a.dirs[id] = d
 	}
-
-	a.reports = nil
-	a.learn = nil
-	a.learnCount = 0
-	a.recRaw = make(map[uint32][]byte)
-	a.recFrom = make(map[uint32]string)
-	a.newlyQuar = nil
+	// delivered advances only now, after the reply refreshed the directive
+	// cache: flushIfDue's skip promises BOTH that the buffered data went
+	// upstream and that the cache reflects it (a mid-campaign joiner's
+	// skipped flush must still leave it with real directives). If the
+	// reply is lost after a successful Send, the next due flush runs
+	// again — a near-empty envelope, never a double-send, because the
+	// buffers stay cleared.
+	a.delivered = snapEpoch
 	a.flushes++
+	a.mu.Unlock()
 	return nil
 }
 
@@ -441,6 +642,14 @@ func (a *Aggregator) Members() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Rejects returns how many member-batch reports were dropped for claiming
+// a NodeID other than the sending member's own (attempted framing).
+func (a *Aggregator) Rejects() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rejects
 }
 
 // QuarantinedNodes returns the sorted IDs of members quarantined at this

@@ -378,6 +378,86 @@ func TestRecordingAttributionNotTrustedFromNodes(t *testing.T) {
 	}
 }
 
+// TestReportAttributionNotTrustedFromNodes mirrors the recording case for
+// the report path: a node cannot frame a peer by shipping a run report
+// under the peer's NodeID. Report attribution travels only in trusted
+// aggregated batches; a report in a member's own batch claiming any other
+// identity is dropped at both tiers before the sanity checks can
+// quarantine the named peer, and a connection bound to one identity cannot
+// switch to another to send the forgery directly.
+func TestReportAttributionNotTrustedFromNodes(t *testing.T) {
+	app := webapp.MustBuild()
+	m, aggs := twoAggRig(t, redTeamManagerConfig(t, app))
+
+	forged := RunReport{
+		NodeID:  "victim",
+		Outcome: uint8(vm.OutcomeFailure),
+		Failure: &FailureInfo{PC: app.Image.End() + 0x1000, Monitor: "MemoryFirewall", Kind: "framed"},
+	}
+
+	// Through the aggregator: the framer's own batch carries a report
+	// claiming the victim. The edge drops it before its out-of-range PC
+	// can quarantine anyone.
+	framer := NewNode("framer", app.Image, nil)
+	attachNode(t, aggs[0], framer)
+	env, err := NewEnvelope(MsgBatch, Batch{NodeID: "framer", Reports: []RunReport{forged}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := framer.roundTrip(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := aggs[0].Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := aggs[0].QuarantinedNodes(); len(got) != 0 {
+		t.Fatalf("edge quarantined someone over a misattributed report: %v", got)
+	}
+	if got := aggs[0].Rejects(); got != 1 {
+		t.Fatalf("edge rejects = %d, want 1", got)
+	}
+
+	// Straight at the manager: a member batch (reports only, so not
+	// aggregated and not subject to the aggregator allowlist) claiming the
+	// victim is dropped and counted, and never opens a case.
+	direct := NewNode("framer2", app.Image, nil)
+	nodeSide, mgrSide := Pipe()
+	go func() { _ = m.Serve(mgrSide) }()
+	if err := direct.Attach(nodeSide); err != nil {
+		t.Fatal(err)
+	}
+	env, err = NewEnvelope(MsgBatch, Batch{NodeID: "framer2", Reports: []RunReport{forged}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.roundTrip(env); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Rejects(); got != 1 {
+		t.Fatalf("manager rejects = %d, want 1", got)
+	}
+	if len(m.CaseStates()) != 0 {
+		t.Fatalf("misattributed report opened a case: %v", m.CaseStates())
+	}
+
+	// A bound connection cannot switch identities to send the forgery as
+	// a direct MsgRunReport: the connection is dropped instead.
+	env, err = NewEnvelope(MsgRunReport, forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.roundTrip(env); err == nil {
+		t.Fatal("identity switch on a bound connection was accepted")
+	}
+
+	if _, q := m.Quarantined()["victim"]; q {
+		t.Fatal("a framed peer was quarantined")
+	}
+	if _, q := m.Quarantined()["framer"]; q {
+		t.Fatal("framer quarantined: the forged report should have been dropped, not processed")
+	}
+}
+
 // TestForeignImageRecordingQuarantined: a recording is replayed against
 // its own embedded image, so a recording of some OTHER binary could
 // "reproduce" any claim — both tiers reject a recording whose image is

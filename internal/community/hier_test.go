@@ -1,11 +1,94 @@
 package community
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/redteam"
+	"repro/internal/vm"
 	"repro/internal/webapp"
 )
+
+// flakyConn wraps a Conn, failing the next failSends Send calls.
+type flakyConn struct {
+	Conn
+	failSends int
+}
+
+func (c *flakyConn) Send(e Envelope) error {
+	if c.failSends > 0 {
+		c.failSends--
+		return fmt.Errorf("transient upstream failure")
+	}
+	return c.Conn.Send(e)
+}
+
+// TestFlushSendFailureRestoresBuffers: a flush whose upstream Send fails
+// loses nothing — the snapshot is restored and the next flush delivers it
+// — and a pending auto-flush is not skipped on the strength of the failed
+// attempt's snapshot: only a DELIVERED snapshot counts as carried.
+func TestFlushSendFailureRestoresBuffers(t *testing.T) {
+	app := webapp.MustBuild()
+	m, err := NewManager(ManagerConfig{Image: app.Image})
+	if err != nil {
+		t.Fatal(err)
+	}
+	upSide, mgrSide := Pipe()
+	go func() { _ = m.Serve(mgrSide) }()
+	flaky := &flakyConn{Conn: upSide, failSends: 1}
+	agg, err := NewAggregator(AggregatorConfig{ID: "agg00", Image: app.Image, Upstream: flaky})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := NewNode("n0", app.Image, nil)
+	attachNode(t, agg, n)
+	site := app.Labels["site_290162"]
+	env, err := NewEnvelope(MsgRunReport, RunReport{
+		NodeID:  "n0",
+		Outcome: uint8(vm.OutcomeFailure),
+		Failure: &FailureInfo{PC: site, Monitor: "MemoryFirewall"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.roundTrip(env); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := agg.Flush(); err == nil {
+		t.Fatal("flush with a failing upstream send reported success")
+	}
+	if len(m.CaseStates()) != 0 {
+		t.Fatalf("failed flush reached the manager: %v", m.CaseStates())
+	}
+	// An auto-flush for state buffered before the failed attempt (epoch 0)
+	// must still run: the attempt snapshotted but delivered nothing.
+	if err := agg.flushIfDue(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.CaseStates()[site]; !ok {
+		t.Fatalf("restored report did not reach the manager: %v", m.CaseStates())
+	}
+	if got := agg.UpstreamEnvelopes(); got != 1 {
+		t.Fatalf("upstream envelopes = %d, want 1 (a failed send must not count)", got)
+	}
+	// Once delivered, an auto-flush for state buffered before the delivery
+	// is skipped — the data is already upstream.
+	if err := agg.flushIfDue(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := agg.UpstreamEnvelopes(); got != 1 {
+		t.Fatalf("redundant auto-flush sent an envelope: upstream = %d", got)
+	}
+	// The explicit heartbeat Flush still always runs.
+	if err := agg.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := agg.UpstreamEnvelopes(); got != 2 {
+		t.Fatalf("heartbeat flush did not run: upstream = %d", got)
+	}
+}
 
 // hierSoakConfig assembles a small hierarchical soak over real Red Team
 // scenarios.

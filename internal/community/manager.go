@@ -2,6 +2,7 @@ package community
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -58,8 +59,9 @@ type ManagerConfig struct {
 	// the manager actually issued, uploaded invariants must sit inside
 	// the code range, and recordings must carry the protected binary's
 	// exact image and reproduce their claimed failure when replayed on
-	// the farm (replay.Farm.Vet, bounded by a deadline so a stalling
-	// recording cannot freeze the manager). The first failed check
+	// the farm (replay.Farm.Vet, bounded by a deadline and run outside
+	// the manager lock, so a stalling recording delays only its own
+	// sender's connection). The first failed check
 	// quarantines the sending node: all of its traffic — including
 	// later, well-formed reports — is ignored from then on, so a
 	// compromised member can be noisy but never poisons the community
@@ -75,6 +77,13 @@ type ManagerConfig struct {
 	// impersonate an aggregator to mass-quarantine honest nodes or frame
 	// them for forged recordings. Empty trusts any aggregated sender
 	// (single-operator deployments and tests).
+	//
+	// The allowlist keys on the sender ID the batch claims; connections
+	// are pinned to their first claimed identity (bindSender), but
+	// authenticating that first claim is the transport's job — the
+	// deployment must provision the aggregator tier's channels the way
+	// the paper's management console provisions its secure channel (see
+	// ARCHITECTURE.md's divergences).
 	TrustedAggregators []string
 }
 
@@ -166,6 +175,10 @@ type Manager struct {
 
 	recordings map[uint32]*replay.Recording // latest failing recording per location
 	replayRuns int
+	// vetSem bounds concurrent vet replays across ALL connections (vetting
+	// runs outside m.mu, so without it N senders could each spin up a full
+	// farm's worth of replay goroutines at once).
+	vetSem chan struct{}
 
 	// quarantined maps offending node IDs to the reason their first
 	// failed sanity check gave; once present, every message the node
@@ -190,6 +203,10 @@ func NewManager(conf ManagerConfig) (*Manager, error) {
 	if conf.CheckRuns <= 0 {
 		conf.CheckRuns = 2
 	}
+	vetWorkers := conf.ReplayWorkers
+	if vetWorkers <= 0 {
+		vetWorkers = runtime.GOMAXPROCS(0)
+	}
 	m := &Manager{
 		conf:        conf,
 		inv:         conf.Seed,
@@ -199,6 +216,7 @@ func NewManager(conf ManagerConfig) (*Manager, error) {
 		recordings:  make(map[uint32]*replay.Recording),
 		quarantined: make(map[string]string),
 		imgWire:     conf.Image.Marshal(),
+		vetSem:      make(chan struct{}, vetWorkers),
 	}
 	if len(conf.TrustedAggregators) > 0 {
 		m.trustedAggs = make(map[string]bool, len(conf.TrustedAggregators))
@@ -250,14 +268,18 @@ func (m *Manager) CaseStates() map[uint32]core.CaseState {
 
 // Serve handles one node connection until it closes. Run it in a
 // goroutine per connection (both transports support concurrent serving).
+// The connection is bound to the first sender identity it claims (see
+// bindSender), so one peer cannot speak as a member and later as another
+// member or an aggregator over the same channel.
 func (m *Manager) Serve(conn Conn) error {
 	defer conn.Close()
+	var sender string
 	for {
 		env, err := conn.Recv()
 		if err != nil {
 			return err
 		}
-		reply, err := m.handle(env)
+		reply, err := m.handle(env, &sender)
 		if err != nil {
 			return err
 		}
@@ -267,7 +289,7 @@ func (m *Manager) Serve(conn Conn) error {
 	}
 }
 
-func (m *Manager) handle(env Envelope) (Envelope, error) {
+func (m *Manager) handle(env Envelope, bound *string) (Envelope, error) {
 	m.mu.Lock()
 	m.messages++
 	m.mu.Unlock()
@@ -277,7 +299,7 @@ func (m *Manager) handle(env Envelope) (Envelope, error) {
 		if err := decodePayload(env.Payload, &h); err != nil {
 			return Envelope{}, err
 		}
-		if err := requireSender(h.NodeID); err != nil {
+		if err := bindSender(bound, h.NodeID); err != nil {
 			return Envelope{}, err
 		}
 		m.mu.Lock()
@@ -289,7 +311,7 @@ func (m *Manager) handle(env Envelope) (Envelope, error) {
 		if err := decodePayload(env.Payload, &up); err != nil {
 			return Envelope{}, err
 		}
-		if err := requireSender(up.NodeID); err != nil {
+		if err := bindSender(bound, up.NodeID); err != nil {
 			return Envelope{}, err
 		}
 		if err := m.mergeLearnDB(up.NodeID, up.DB); err != nil {
@@ -301,7 +323,7 @@ func (m *Manager) handle(env Envelope) (Envelope, error) {
 		if err := decodePayload(env.Payload, &rep); err != nil {
 			return Envelope{}, err
 		}
-		if err := requireSender(rep.NodeID); err != nil {
+		if err := bindSender(bound, rep.NodeID); err != nil {
 			return Envelope{}, err
 		}
 		m.processReport(&rep)
@@ -311,7 +333,7 @@ func (m *Manager) handle(env Envelope) (Envelope, error) {
 		if err := decodePayload(env.Payload, &up); err != nil {
 			return Envelope{}, err
 		}
-		if err := requireSender(up.NodeID); err != nil {
+		if err := bindSender(bound, up.NodeID); err != nil {
 			return Envelope{}, err
 		}
 		if err := m.ingestRecordings(up.NodeID, [][]byte{up.Recording}); err != nil {
@@ -323,7 +345,7 @@ func (m *Manager) handle(env Envelope) (Envelope, error) {
 		if err := decodePayload(env.Payload, &b); err != nil {
 			return Envelope{}, err
 		}
-		if err := requireSender(b.NodeID); err != nil {
+		if err := bindSender(bound, b.NodeID); err != nil {
 			return Envelope{}, err
 		}
 		if err := m.handleBatch(&b); err != nil {
@@ -354,9 +376,21 @@ func (m *Manager) registerLocked(nodeID string) {
 	m.nodes[nodeID] = shard
 }
 
+// isQuarantined reports whether a node is quarantined. It exists so
+// ingest paths can drop a quarantined sender's payload BEFORE decoding
+// it: quarantined traffic must cost a map lookup, not unmarshal work.
+func (m *Manager) isQuarantined(nodeID string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.quarantined[nodeID] != ""
+}
+
 // mergeLearnDB folds one serialized node database into the community
 // database, attributing it to nodeID for quarantine purposes.
 func (m *Manager) mergeLearnDB(nodeID string, raw []byte) error {
+	if m.isQuarantined(nodeID) {
+		return nil
+	}
 	db, err := daikon.UnmarshalDB(raw)
 	if err != nil {
 		return err
@@ -403,6 +437,9 @@ func (m *Manager) mergeDB(db *daikon.DB) {
 // not once per recording, which is the batching win: a hundred nodes
 // shipping the same deterministic failure cost one farm pass.
 func (m *Manager) ingestRecordings(nodeID string, raws [][]byte) error {
+	if m.isQuarantined(nodeID) {
+		return nil // dropped before any decode; see isQuarantined
+	}
 	recs := make([]*replay.Recording, 0, len(raws))
 	senders := make([]string, 0, len(raws))
 	for _, raw := range raws {
@@ -413,18 +450,25 @@ func (m *Manager) ingestRecordings(nodeID string, raws [][]byte) error {
 		recs = append(recs, rec)
 		senders = append(senders, nodeID)
 	}
-	m.mu.Lock()
 	m.ingestDecoded(recs, senders)
-	m.mu.Unlock()
 	return nil
 }
 
 // ingestDecoded vets and stores decoded recordings (senders is parallel to
-// recs) and fast-paths each distinct failure location once. Called with
-// m.mu held.
+// recs) and fast-paths each distinct failure location once. Called WITHOUT
+// m.mu held: the static checks and the final stores run under the lock,
+// but the farm-backed vetting — the only step bounded by wall clock rather
+// than work — runs outside it, so an adversarial recording crafted to
+// stall the vetter delays only the connection that shipped it, never every
+// other connection the manager is serving.
 func (m *Manager) ingestDecoded(recs []*replay.Recording, senders []string) {
-	var pcs []uint32
-	seen := make(map[uint32]bool)
+	type vetJob struct {
+		rec    *replay.Recording
+		sender string
+		pc     uint32
+	}
+	m.mu.Lock()
+	pend := make([]vetJob, 0, len(recs))
 	for i, rec := range recs {
 		sender := ""
 		if i < len(senders) {
@@ -442,42 +486,73 @@ func (m *Manager) ingestDecoded(recs []*replay.Recording, senders []string) {
 				m.quarantineLocked(sender, reason)
 				continue
 			}
-			// Farm-backed vetting: the claimed failure must reproduce
-			// when the recording is replayed as sealed. The machine is
-			// deterministic, so honest recordings cannot fail this; a
-			// mismatch means the claim was fabricated.
 			m.replayRuns++
-			if err := m.vetFarm().Vet(rec); err != nil {
-				m.quarantineLocked(sender, err.Error())
-				continue
-			}
 		}
-		m.recordings[pc] = rec
-		if !seen[pc] {
-			seen[pc] = true
-			pcs = append(pcs, pc)
+		pend = append(pend, vetJob{rec, sender, pc})
+	}
+	vet := m.conf.VetReports
+	m.mu.Unlock()
+
+	// Farm-backed vetting, off the lock: the claimed failure must
+	// reproduce when the recording is replayed as sealed. The machine is
+	// deterministic, so honest recordings cannot fail this; a mismatch
+	// means the claim was fabricated. vetSem bounds replay concurrency
+	// across every connection currently ingesting recordings — not just
+	// this call — so a flood of recording batches cannot oversubscribe
+	// the host with one farm's worth of replays per sender.
+	var verdicts []error
+	if vet && len(pend) > 0 {
+		verdicts = make([]error, len(pend))
+		farm := m.vetFarm()
+		var wg sync.WaitGroup
+		for i := range pend {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				m.vetSem <- struct{}{}
+				defer func() { <-m.vetSem }()
+				verdicts[i] = farm.Vet(pend[i].rec)
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	m.mu.Lock()
+	var pcs []uint32
+	seen := make(map[uint32]bool)
+	for i := range pend {
+		if m.quarantined[pend[i].sender] != "" {
+			continue // quarantined while this batch was off vetting
+		}
+		if verdicts != nil && verdicts[i] != nil {
+			m.quarantineLocked(pend[i].sender, verdicts[i].Error())
+			continue
+		}
+		m.recordings[pend[i].pc] = pend[i].rec
+		if !seen[pend[i].pc] {
+			seen[pend[i].pc] = true
+			pcs = append(pcs, pend[i].pc)
 		}
 	}
 	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
 	for _, pc := range pcs {
 		m.replayFastPath(pc)
 	}
+	m.mu.Unlock()
 }
 
-// vetDeadline bounds each recording vet in wall clock. Vetting happens
-// under m.mu, so a recording crafted to stall (a huge claimed step budget
-// over a spin loop) must be rejected, not waited on — an honest webapp
-// recording replays in milliseconds, so the margin is enormous.
+// vetDeadline bounds each recording vet in wall clock. A recording crafted
+// to stall (a huge claimed step budget over a spin loop) must be rejected,
+// not waited on — an honest webapp recording replays in milliseconds, so
+// the margin is enormous. Vetting runs outside m.mu (see ingestDecoded),
+// so even a deadline miss stalls only the sender's own ingestion.
 const vetDeadline = 5 * time.Second
 
-// vetFarm returns the farm used for recording vetting, honouring the
-// ReplayWorkers bound.
+// vetFarm returns the deadline-bounded farm used for recording vetting.
+// Concurrency is bounded by m.vetSem at the call sites (per-Vet tokens,
+// shared across connections), not by Farm.Workers.
 func (m *Manager) vetFarm() *replay.Farm {
-	workers := m.conf.ReplayWorkers
-	if workers < 0 {
-		workers = 0 // Farm interprets 0 as GOMAXPROCS
-	}
-	return &replay.Farm{Workers: workers, Deadline: vetDeadline}
+	return &replay.Farm{Deadline: vetDeadline}
 }
 
 // aggregatorTrusted reports whether a sender may speak for other nodes.
@@ -504,11 +579,26 @@ func batchAggregated(b *Batch) bool {
 // RecordingFrom attribution — is only honored from a trusted aggregator;
 // from anyone else it is a protocol violation and the connection is
 // dropped (an ordinary member must not be able to frame or
-// mass-quarantine its peers).
+// mass-quarantine its peers). The same rule governs report attribution:
+// only a trusted aggregated batch may relay reports carrying foreign
+// NodeIDs; in a plain member batch, a report claiming any identity but the
+// sender's own is a framing attempt (under VetReports it could quarantine
+// the named peer, or credit it with an adoption) and is dropped, counted
+// in Rejects.
 func (m *Manager) handleBatch(b *Batch) error {
 	aggregated := batchAggregated(b)
 	if aggregated && !m.aggregatorTrusted(b.NodeID) {
 		return fmt.Errorf("community: %q is not a trusted aggregator", b.NodeID)
+	}
+	if !aggregated && m.isQuarantined(b.NodeID) {
+		// The whole batch is from a quarantined member: ignored at
+		// map-lookup cost, before any payload is unmarshalled. (The
+		// locked section below re-checks, in case quarantine lands
+		// between here and there.)
+		m.mu.Lock()
+		m.batches++
+		m.mu.Unlock()
+		return nil
 	}
 
 	dbs := make([]*daikon.DB, 0, len(b.LearnDBs))
@@ -545,12 +635,24 @@ func (m *Manager) handleBatch(b *Batch) error {
 		recs = append(recs, rec)
 		senders = append(senders, sender)
 	}
+	reports := b.Reports
+	misattributed := 0
+	if !aggregated {
+		reports = make([]RunReport, 0, len(b.Reports))
+		for i := range b.Reports {
+			if b.Reports[i].NodeID != b.NodeID {
+				misattributed++
+				continue
+			}
+			reports = append(reports, b.Reports[i])
+		}
+	}
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.batches++
-	m.rejects += unattributed
+	m.rejects += unattributed + misattributed
 	if !aggregated && m.quarantined[b.NodeID] != "" {
+		m.mu.Unlock()
 		return nil // the whole batch is from a quarantined node
 	}
 	for _, id := range b.NodeIDs {
@@ -569,9 +671,10 @@ func (m *Manager) handleBatch(b *Batch) error {
 	for _, db := range dbs {
 		m.mergeDBFrom(dbSender, db)
 	}
-	for i := range b.Reports {
-		m.processReportLocked(&b.Reports[i])
+	for i := range reports {
+		m.processReportLocked(&reports[i])
 	}
+	m.mu.Unlock()
 	m.ingestDecoded(recs, senders)
 	return nil
 }
@@ -737,6 +840,13 @@ func (m *Manager) redeploy(c *caseState) {
 // nodes would otherwise take live executions to produce; once candidates
 // exist, the farm judges all of them before any node is asked to
 // evaluate one in production.
+//
+// These replays run under the lock, but only for vetted recordings and
+// with bounded work: checkRecordingStatic caps the claimed step budget at
+// one honest run's (maxVetSteps), the checking loop runs at most CheckRuns
+// replays, and farmSeed's per-candidate replays carry vetDeadline — so the
+// fast path costs at most a short, fixed burst per distinct failure
+// location, not an attacker-controlled stall.
 func (m *Manager) replayFastPath(pc uint32) {
 	if m.conf.ReplayWorkers == 0 {
 		return
@@ -774,13 +884,16 @@ func (m *Manager) replayFastPath(pc uint32) {
 // the verdicts into the evaluator, so nodes are only ever assigned
 // repairs that survived the recorded failure. Opens a new phase: the
 // candidate ranking changed, so in-flight reports must not be credited
-// against the new assignments.
+// against the new assignments. The farm carries vetDeadline because this
+// runs under m.mu: a candidate whose replay overruns it yields an Err
+// verdict, which replay.Apply skips — no evidence either way, live
+// evaluation decides.
 func (m *Manager) farmSeed(c *caseState, rec *replay.Recording) {
 	workers := m.conf.ReplayWorkers
 	if workers < 0 {
 		workers = 0 // Farm interprets 0 as GOMAXPROCS
 	}
-	farm := &replay.Farm{Workers: workers}
+	farm := &replay.Farm{Workers: workers, Deadline: vetDeadline}
 	verdicts := farm.Evaluate(rec, c.id, c.repairs)
 	replay.Apply(verdicts, c.evaluator)
 	m.replayRuns += len(verdicts)
@@ -888,8 +1001,10 @@ func (m *Manager) Quarantined() map[string]string {
 	return out
 }
 
-// Rejects returns how many inputs were rejected without node attribution
-// (pre-merged aggregate databases that failed sanity checks).
+// Rejects returns how many inputs were dropped without advancing any
+// state: pre-merged aggregate databases that failed sanity checks,
+// aggregated recordings with no capturing member named, and member-batch
+// reports claiming a NodeID other than the batch sender's.
 func (m *Manager) Rejects() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -122,8 +122,8 @@ type RecordingUpload struct {
 // Batch aggregates activity since the sender's last contact: the run
 // reports in execution order, the recordings of any failing runs (each a
 // replay.Recording wire form), and any learning-database uploads. The
-// manager applies the whole batch under one lock and replies with one
-// Directives snapshot.
+// manager decodes the whole batch up front, applies it (recording vetting
+// runs off the manager lock), and replies with one Directives snapshot.
 //
 // A Batch is also the envelope an Aggregator compacts a whole region's
 // round into: NodeIDs then lists every member node the aggregator speaks

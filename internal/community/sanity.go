@@ -11,11 +11,14 @@ import (
 )
 
 // maxVetSteps bounds the step budget a community recording may claim.
-// Community nodes seal recordings at vm.DefaultMaxSteps, so anything far
-// beyond it is not honest traffic — it is an attempt to make the vetting
-// replay (and the abandoned goroutine a vet deadline leaves behind) run
-// arbitrarily long. Checked statically at both tiers, before any replay.
-const maxVetSteps = 4 * vm.DefaultMaxSteps
+// Community nodes seal recordings at exactly vm.DefaultMaxSteps, so any
+// larger claim is not honest traffic — it is an attempt to make replays of
+// the recording (the vetting pass, the abandoned goroutine a vet deadline
+// leaves behind, and the manager's fast-path replays, which run under the
+// manager lock) take arbitrarily long. Checked statically at both tiers,
+// before any replay, which caps every single replay's work at one honest
+// run's budget.
+const maxVetSteps = vm.DefaultMaxSteps
 
 // requireSender rejects messages with no sender identity. Every piece of
 // community state — shards, assignments, quarantine — is keyed by node
@@ -25,6 +28,27 @@ const maxVetSteps = 4 * vm.DefaultMaxSteps
 func requireSender(nodeID string) error {
 	if nodeID == "" {
 		return fmt.Errorf("community: message carries no sender ID")
+	}
+	return nil
+}
+
+// bindSender pins a connection to the first sender identity it claims:
+// every later message on the same connection must claim the same ID, or
+// the connection is dropped as a protocol violation. Identity on a fresh
+// connection is still self-asserted — authenticating it is the transport's
+// job (the management console's secure channel; see ARCHITECTURE.md's
+// divergences) — but binding means a member that has spoken as itself can
+// never switch to a peer's identity (to frame it with tampered traffic) or
+// to an aggregator's (to exercise aggregator powers) on that connection.
+func bindSender(bound *string, claimed string) error {
+	if err := requireSender(claimed); err != nil {
+		return err
+	}
+	if *bound == "" {
+		*bound = claimed
+	}
+	if *bound != claimed {
+		return fmt.Errorf("community: connection bound to sender %q got a message claiming %q", *bound, claimed)
 	}
 	return nil
 }

@@ -420,7 +420,7 @@ func RunSoak(conf SoakConfig) (*SoakReport, error) {
 				continue
 			}
 			if m.adversary {
-				if err := rig.adversaryTurn(m, inputs); err != nil {
+				if err := rig.adversaryTurn(m); err != nil {
 					return nil, err
 				}
 				continue
@@ -549,7 +549,9 @@ func (r *soakRig) churnStep(round int) error {
 // round ships its tamper (a spoofed report and a poisoned upload, or a
 // forged recording), every later round ships a well-formed benign report —
 // which the community must keep ignoring once the node is quarantined.
-func (r *soakRig) adversaryTurn(m *soakMember, inputs [][]byte) error {
+// Adversaries never run the round's inputs: their contribution is
+// tampered traffic, not executions.
+func (r *soakRig) adversaryTurn(m *soakMember) error {
 	n := m.n
 	if !m.tampered {
 		m.tampered = true

@@ -2,6 +2,7 @@ package replay
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/vm"
@@ -53,7 +54,7 @@ func (f *Farm) VetAll(recs []*Recording) []error {
 	}
 	workers := f.Workers
 	if workers <= 0 {
-		workers = len(recs)
+		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(recs) {
 		workers = len(recs)
