@@ -47,7 +47,7 @@ func sharedSetups(b *testing.B) (*redteam.Setup, *redteam.Setup) {
 
 func exploit(b *testing.B, id string) redteam.Exploit {
 	b.Helper()
-	for _, ex := range redteam.Exploits() {
+	for _, ex := range redteam.AllExploits() {
 		if ex.Bugzilla == id {
 			return ex
 		}
@@ -60,7 +60,7 @@ func exploit(b *testing.B, id string) redteam.Exploit {
 // "presentations" metric being the paper's headline number.
 func BenchmarkTable1(b *testing.B) {
 	base, expanded := sharedSetups(b)
-	for _, ex := range redteam.Exploits() {
+	for _, ex := range redteam.AllExploits() {
 		if !ex.Repairable {
 			continue // 307259 appears in BenchmarkTable3 and the tests
 		}

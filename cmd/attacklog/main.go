@@ -8,37 +8,62 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/redteam"
 )
 
 func main() {
-	id := os.Args[1]
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: attacklog <bugzilla-or-class-id>")
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, os.Args[1]); err != nil {
+		fmt.Fprintln(os.Stderr, "attacklog:", err)
+		os.Exit(1)
+	}
+}
+
+// run narrates the campaign for one exploit id to w; it is the whole
+// command behind the argument parsing, so the golden tests drive it
+// directly.
+func run(w io.Writer, id string) error {
 	scope := 1
 	expanded := false
 	var ex redteam.Exploit
-	for _, e := range redteam.Exploits() {
+	found := false
+	for _, e := range redteam.AllExploits() {
 		if e.Bugzilla == id {
 			ex = e
 			scope = e.NeedsStackScope
 			expanded = e.NeedsExpandedCorpus
+			found = true
 		}
+	}
+	if !found {
+		return fmt.Errorf("unknown exploit %q", id)
 	}
 	setup, err := redteam.NewSetup(expanded)
 	if err != nil {
-		panic(err)
+		return err
 	}
 	cv, err := setup.ClearView(scope)
 	if err != nil {
-		panic(err)
+		return err
 	}
 	label := func(pc uint32) string {
 		var best string
 		var bestAddr uint32
 		for name, addr := range setup.App.Labels {
-			if addr <= pc && addr > bestAddr {
+			if addr > pc {
+				continue
+			}
+			// Deterministic winner: closest label, lexicographically first
+			// among labels sharing an address (map order must not leak).
+			if addr > bestAddr || best == "" || (addr == bestAddr && name < best) {
 				bestAddr, best = addr, name
 			}
 		}
@@ -46,31 +71,36 @@ func main() {
 	}
 	for i := 1; i <= 16; i++ {
 		res := cv.Execute(redteam.AttackInput(setup.App, ex, 0))
-		fmt.Printf("pres %2d: %v exit=%d", i, res.Outcome, res.ExitCode)
+		fmt.Fprintf(w, "pres %2d: %v exit=%d", i, res.Outcome, res.ExitCode)
 		if res.Failure != nil {
-			fmt.Printf(" at %s (%s)", label(res.Failure.PC), res.Failure.Monitor)
+			fmt.Fprintf(w, " at %s (%s)", label(res.Failure.PC), res.Failure.Monitor)
 		}
 		if res.Crash != nil {
-			fmt.Printf(" crash at %s: %s", label(res.Crash.PC), res.Crash.Reason)
+			fmt.Fprintf(w, " crash at %s: %s", label(res.Crash.PC), res.Crash.Reason)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 		for _, fc := range cv.Cases() {
-			fmt.Printf("   case %s state=%v cands=%d repairs=%d current=%s unsucc=%d\n",
+			fmt.Fprintf(w, "   case %s state=%v cands=%d repairs=%d current=%s unsucc=%d\n",
 				label(fc.PC), fc.State, fc.Metrics.CandidateCount, fc.Metrics.RepairCount,
 				fc.CurrentRepairID(), fc.Metrics.Unsuccessful)
 			if fc.State == core.StateEvaluating || (fc.State == core.StatePatched && i < 20) {
 				for _, e := range fc.Evaluator.Entries() {
-					fmt.Printf("      repair %-60s s=%d f=%d\n", e.Repair.ID(), e.Successes, e.Failures)
+					fmt.Fprintf(w, "      repair %-60s s=%d f=%d\n", e.Repair.ID(), e.Successes, e.Failures)
 				}
 			}
 			if i == 1 {
 				for _, c := range fc.Candidates {
-					fmt.Printf("      cand d%d %-60s\n", c.Depth, c.Inv)
+					fmt.Fprintf(w, "      cand d%d %-60s\n", c.Depth, c.Inv)
 				}
 			}
 			if fc.Correlations != nil {
-				for id, c := range fc.Correlations {
-					fmt.Printf("      corr %-60s %v\n", id, c)
+				ids := make([]string, 0, len(fc.Correlations))
+				for id := range fc.Correlations {
+					ids = append(ids, id)
+				}
+				sort.Strings(ids)
+				for _, id := range ids {
+					fmt.Fprintf(w, "      corr %-60s %v\n", id, fc.Correlations[id])
 				}
 			}
 		}
@@ -78,4 +108,5 @@ func main() {
 			break
 		}
 	}
+	return nil
 }

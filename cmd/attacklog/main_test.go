@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// normalize strips hex addresses out of the narration so the goldens pin
+// structure — presentation outcomes, case states, candidate/correlation/
+// repair listings — rather than the exact layout of the current webapp
+// build (the cmd/disasm pattern).
+func normalize(s string) string {
+	return regexp.MustCompile(`0x[0-9a-fA-F]+`).ReplaceAllString(s, "0xADDR")
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestAttackLogGolden pins the full campaign narration for one paper
+// exploit and one extended-class exploit per new detector family: the
+// presentation-by-presentation outcomes, the candidate and correlation
+// listings, and the adopted repair, with addresses normalized away.
+func TestAttackLogGolden(t *testing.T) {
+	for _, id := range []string{"290162", "div-zero", "unaligned", "hang-loop"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(&buf, id); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, id+".golden", normalize(buf.String()))
+		})
+	}
+}
+
+func TestAttackLogUnknownExploit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "999999"); err == nil {
+		t.Fatal("unknown exploit id accepted")
+	}
+}

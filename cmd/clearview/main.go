@@ -87,7 +87,7 @@ func reconfig() error {
 		return err
 	}
 	find := func(id string) redteam.Exploit {
-		for _, ex := range redteam.Exploits() {
+		for _, ex := range redteam.AllExploits() {
 			if ex.Bugzilla == id {
 				return ex
 			}
@@ -134,7 +134,7 @@ func autoimmune() error {
 	if err != nil {
 		return err
 	}
-	for _, ex := range redteam.Exploits() {
+	for _, ex := range redteam.AllExploits() {
 		if !ex.Repairable || ex.NeedsExpandedCorpus {
 			continue
 		}
@@ -190,7 +190,7 @@ func maintainerReports() error {
 	fmt.Println("Maintainer defect reports (§1):")
 	for _, id := range []string{"290162", "269095", "307259"} {
 		var ex redteam.Exploit
-		for _, e := range redteam.Exploits() {
+		for _, e := range redteam.AllExploits() {
 			if e.Bugzilla == id {
 				ex = e
 			}

@@ -6,6 +6,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -20,45 +21,53 @@ func main() {
 	verbose := flag.Bool("v", false, "list every invariant")
 	flag.Parse()
 
-	app, err := webapp.Build()
-	if err != nil {
+	if err := run(os.Stdout, *expanded, *verbose, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "learn:", err)
 		os.Exit(1)
 	}
+}
+
+// run performs the learning phase and writes the report to w; it is the
+// whole command behind the flag parsing, so the golden tests drive it
+// directly.
+func run(w io.Writer, expanded, verbose bool, outFile string) error {
+	app, err := webapp.Build()
+	if err != nil {
+		return err
+	}
 	corpus := redteam.LearningCorpus()
 	name := "default (12 pages)"
-	if *expanded {
+	if expanded {
 		corpus = redteam.ExpandedCorpus()
 		name = "expanded"
 	}
 	db, stats, err := core.Learn(app.Image, core.LearnConfig{Inputs: [][]byte{corpus}})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "learn:", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("corpus: %s\n", name)
-	fmt.Printf("runs: %d (%d normal, %d discarded)\n", stats.Runs, stats.NormalRuns, stats.Discarded)
-	fmt.Printf("trace entries: %d\n", stats.Observations)
+	fmt.Fprintf(w, "corpus: %s\n", name)
+	fmt.Fprintf(w, "runs: %d (%d normal, %d discarded)\n", stats.Runs, stats.NormalRuns, stats.Discarded)
+	fmt.Fprintf(w, "trace entries: %d\n", stats.Observations)
 	counts := db.CountByKind()
-	fmt.Printf("invariants: %d total (one-of %d, lower-bound %d, less-than %d, sp-offset %d)\n",
+	fmt.Fprintf(w, "invariants: %d total (one-of %d, lower-bound %d, less-than %d, nonzero %d, modulus %d, sp-offset %d)\n",
 		db.Len(), counts[daikon.KindOneOf], counts[daikon.KindLowerBound],
-		counts[daikon.KindLessThan], counts[daikon.KindSPOffset])
+		counts[daikon.KindLessThan], counts[daikon.KindNonzero],
+		counts[daikon.KindModulus], counts[daikon.KindSPOffset])
 
-	if *verbose {
+	if verbose {
 		for _, inv := range db.All() {
-			fmt.Printf("  %s\n", inv)
+			fmt.Fprintf(w, "  %s\n", inv)
 		}
 	}
-	if *out != "" {
+	if outFile != "" {
 		raw, err := db.Marshal()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "learn:", err)
-			os.Exit(1)
+			return err
 		}
-		if err := os.WriteFile(*out, raw, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "learn:", err)
-			os.Exit(1)
+		if err := os.WriteFile(outFile, raw, 0o644); err != nil {
+			return err
 		}
-		fmt.Printf("database written to %s (%d bytes)\n", *out, len(raw))
+		fmt.Fprintf(w, "database written to %s (%d bytes)\n", outFile, len(raw))
 	}
+	return nil
 }

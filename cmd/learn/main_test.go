@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestLearnReportGolden pins the learning report for both corpora: run
+// counts, trace volume, and the per-family invariant census (including
+// the nonzero and modulus families). A corpus or inference change that
+// moves any number shows up as a golden diff, not a silent drift.
+func TestLearnReportGolden(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		expanded bool
+	}{
+		{name: "default.golden", expanded: false},
+		{name: "expanded.golden", expanded: true},
+	} {
+		var buf bytes.Buffer
+		if err := run(&buf, tc.expanded, false, ""); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, tc.name, buf.String())
+	}
+}
+
+// TestLearnWritesDatabase checks the -o path: the serialized database
+// must round-trip through the file.
+func TestLearnWritesDatabase(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.gob")
+	var buf bytes.Buffer
+	if err := run(&buf, false, false, path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 {
+		t.Fatal("empty database written")
+	}
+}

@@ -28,7 +28,7 @@ func main() {
 }
 
 func run(exploitID, mode string, max int) error {
-	exploits := redteam.Exploits()
+	exploits := redteam.AllExploits()
 	selected := exploits
 	if exploitID != "" {
 		selected = nil

@@ -40,7 +40,7 @@ func main() {
 func run(exploitID string, workers int, deadline time.Duration, confirm bool) error {
 	var ex redteam.Exploit
 	found := false
-	for _, e := range redteam.Exploits() {
+	for _, e := range redteam.AllExploits() {
 		if e.Bugzilla == exploitID {
 			ex, found = e, true
 		}
@@ -85,6 +85,8 @@ func run(exploitID string, workers int, deadline time.Duration, confirm bool) er
 		MemoryFirewall: true,
 		HeapGuard:      true,
 		ShadowStack:    true,
+		FaultGuard:     true,
+		HangGuard:      true,
 		Replay:         &core.ReplayConfig{Workers: workers, Deadline: deadline},
 	})
 	if err != nil {

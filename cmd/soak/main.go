@@ -26,8 +26,10 @@ import (
 )
 
 // defaultExploits are repairable at the default stack scope with the
-// default learning corpus — every one must converge in a soak.
-const defaultExploits = "269095,290162,295854,312278,320182"
+// default learning corpus — every one must converge in a soak. The last
+// three are the extended failure classes (arithmetic faults and the
+// runaway loop) detected by FaultGuard/HangGuard.
+const defaultExploits = "269095,290162,295854,312278,320182,div-zero,unaligned,hang-loop"
 
 func main() {
 	nodes := flag.Int("nodes", 1000, "community size")
@@ -79,7 +81,7 @@ func run(f soakFlags) error {
 	}
 
 	byID := map[string]redteam.Exploit{}
-	for _, ex := range redteam.Exploits() {
+	for _, ex := range redteam.AllExploits() {
 		byID[ex.Bugzilla] = ex
 	}
 	var attacks []community.SoakAttack

@@ -49,7 +49,9 @@
 //	internal/cfg        dynamic procedure discovery + predominators
 //	internal/trace      Daikon front end (per-instruction operand tracing)
 //	internal/daikon     invariant inference engine + community DB merge
-//	internal/monitor    Memory Firewall, Heap Guard, Shadow Stack
+//	internal/monitor    Memory Firewall, Heap Guard, Shadow Stack,
+//	                    Fault Guard (divide-by-zero, unaligned access),
+//	                    Hang Guard (runaway-loop step budget)
 //	internal/correlate  candidate selection, checking patches, classification
 //	internal/repair     candidate repair generation
 //	internal/evaluate   repair scoring and ranking
@@ -58,7 +60,7 @@
 //	internal/fuzz       coverage-guided exploit-variant fuzzer
 //	internal/core       the ClearView pipeline orchestrator
 //	internal/community  the two-tier community (pipe & TCP transports)
-//	internal/webapp     the protected application (ten seeded defects)
+//	internal/webapp     the protected application (thirteen seeded defects)
 //	internal/redteam    exploit builders, corpora, drivers, reports
 //
 // internal/community arranges the §3 application community as two tiers:

@@ -2,8 +2,12 @@ package repro_test
 
 import (
 	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
+
+	"repro/internal/monitor"
 )
 
 // TestPackageTourCoversEveryPackage pins the hand-maintained package
@@ -43,6 +47,81 @@ func TestPackageTourCoversEveryPackage(t *testing.T) {
 	for _, e := range entries {
 		if e.IsDir() && !strings.Contains(string(arch), "internal/"+e.Name()) {
 			t.Errorf("ARCHITECTURE.md does not mention internal/%s", e.Name())
+		}
+	}
+}
+
+// monitorNames extracts every detector name the monitor package declares
+// (the string each plugin's Name method returns).
+func monitorNames(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("internal", "monitor", "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nameMethod := regexp.MustCompile(`func \(\w+ \*\w+\) Name\(\) string \{ return "(\w+)" \}`)
+	var names []string
+	for _, f := range files {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range nameMethod.FindAllStringSubmatch(string(raw), -1) {
+			names = append(names, m[1])
+		}
+	}
+	if len(names) < 5 {
+		t.Fatalf("found only %d detector Name methods in internal/monitor — extraction broken?", len(names))
+	}
+	// The extracted set must match the package's exported canonical list
+	// (monitor.DetectorNames) — the one the community sanity checks build
+	// their allowlist from — so a new detector cannot be deployable yet
+	// rejected as "unknown monitor" by omission.
+	canonical := map[string]bool{}
+	for _, n := range monitor.DetectorNames {
+		canonical[n] = true
+	}
+	for _, n := range names {
+		if !canonical[n] {
+			t.Errorf("detector %s has a Name method but is missing from monitor.DetectorNames", n)
+		}
+	}
+	if len(canonical) != len(names) {
+		t.Errorf("monitor.DetectorNames has %d entries, Name methods declare %d", len(canonical), len(names))
+	}
+	return names
+}
+
+// TestFailureClassMatrixCoversEveryDetector pins the failure-class matrix
+// to the code: every detector the monitor package declares must appear in
+// ARCHITECTURE.md's "Failure-class matrix" section and in README.md, so a
+// new detector cannot land without a documented failure class, invariant
+// family, repair strategy, and reproducing test.
+func TestFailureClassMatrixCoversEveryDetector(t *testing.T) {
+	arch, err := os.ReadFile("ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, matrix, found := strings.Cut(string(arch), "## Failure-class matrix")
+	if !found {
+		t.Fatal("ARCHITECTURE.md has no Failure-class matrix section")
+	}
+	if next := strings.Index(matrix, "\n## "); next >= 0 {
+		matrix = matrix[:next]
+	}
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range monitorNames(t) {
+		if !strings.Contains(matrix, name) {
+			t.Errorf("detector %s missing from ARCHITECTURE.md's failure-class matrix", name)
+		}
+		if !strings.Contains(string(readme), name) {
+			t.Errorf("detector %s missing from README.md", name)
 		}
 	}
 }

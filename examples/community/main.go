@@ -209,7 +209,7 @@ func acceptLoop(l *community.Listener, serve func(community.Conn) error) {
 
 // exploit finds a Red Team exploit by Bugzilla id.
 func exploit(id string) redteam.Exploit {
-	for _, e := range redteam.Exploits() {
+	for _, e := range redteam.AllExploits() {
 		if e.Bugzilla == id {
 			return e
 		}

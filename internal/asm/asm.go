@@ -122,6 +122,10 @@ func (a *Assembler) Store(m Mem, src isa.Reg) { a.inst(memInst(isa.STORE, src, m
 // LoadB emits A = zero-extended mem8[m].
 func (a *Assembler) LoadB(dst isa.Reg, m Mem) { a.inst(memInst(isa.LOADB, dst, m)) }
 
+// LoadA emits A = mem32[m] with an alignment check: the computed address
+// must be 4-aligned or the machine raises an alignment fault.
+func (a *Assembler) LoadA(dst isa.Reg, m Mem) { a.inst(memInst(isa.LOADA, dst, m)) }
+
 // StoreB emits mem8[m] = low byte of A.
 func (a *Assembler) StoreB(m Mem, src isa.Reg) { a.inst(memInst(isa.STOREB, src, m)) }
 
@@ -143,6 +147,8 @@ func (a *Assembler) SubRR(dst, src isa.Reg)       { a.aluRR(isa.SUBRR, dst, src)
 func (a *Assembler) SubRI(dst isa.Reg, imm int32) { a.aluRI(isa.SUBRI, dst, imm) }
 func (a *Assembler) MulRR(dst, src isa.Reg)       { a.aluRR(isa.MULRR, dst, src) }
 func (a *Assembler) MulRI(dst isa.Reg, imm int32) { a.aluRI(isa.MULRI, dst, imm) }
+func (a *Assembler) DivRR(dst, src isa.Reg)       { a.aluRR(isa.DIVRR, dst, src) }
+func (a *Assembler) ModRR(dst, src isa.Reg)       { a.aluRR(isa.MODRR, dst, src) }
 func (a *Assembler) AndRR(dst, src isa.Reg)       { a.aluRR(isa.ANDRR, dst, src) }
 func (a *Assembler) AndRI(dst isa.Reg, imm int32) { a.aluRI(isa.ANDRI, dst, imm) }
 func (a *Assembler) OrRR(dst, src isa.Reg)        { a.aluRR(isa.ORRR, dst, src) }

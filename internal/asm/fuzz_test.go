@@ -16,7 +16,7 @@ func buildProgram(a *Assembler, data []byte) {
 	reg := func(b byte) isa.Reg { return isa.Reg(b % isa.NumRegs) }
 	for i := 0; i+1 < len(data); i += 2 {
 		op, arg := data[i], data[i+1]
-		switch op % 16 {
+		switch op % 19 {
 		case 0:
 			a.Nop()
 		case 1:
@@ -49,6 +49,12 @@ func buildProgram(a *Assembler, data []byte) {
 			a.Word(uint32(arg) * 0x01010101)
 		case 15:
 			a.Sys(int32(arg % 10))
+		case 16:
+			a.DivRR(reg(arg), reg(arg>>3))
+		case 17:
+			a.ModRR(reg(arg), reg(arg>>3))
+		case 18:
+			a.LoadA(reg(arg), MX(reg(arg>>3), reg(arg>>5), arg%4, int32(arg%16)))
 		}
 	}
 }
@@ -65,6 +71,8 @@ func FuzzAssemble(f *testing.F) {
 	f.Add([]byte{0x08, 0x01, 0x07, 0x01, 0x0E, 0x7F})                         // forward ref + data word
 	f.Add([]byte{0x07, 0x02, 0x07, 0x02})                                     // duplicate label
 	f.Add([]byte{0x0A, 0x03, 0x03, 0x2A, 0x04, 0xC9, 0x0B, 0x06, 0x0C, 0x02}) // call undefined + mem ops
+	f.Add([]byte{0x10, 0x11, 0x11, 0x0A, 0x12, 0x6B})                         // div/mod/aligned-load forms
+	f.Add([]byte{0x12, 0x00, 0x12, 0xFF, 0x10, 0x00})                         // loada edge operands + div
 	f.Fuzz(func(t *testing.T, data []byte) {
 		a := New(0x1000)
 		buildProgram(a, data)

@@ -49,7 +49,7 @@ func redTeamManagerConfig(t *testing.T, app *webapp.App) ManagerConfig {
 
 func exploitByID(t *testing.T, id string) redteam.Exploit {
 	t.Helper()
-	for _, ex := range redteam.Exploits() {
+	for _, ex := range redteam.AllExploits() {
 		if ex.Bugzilla == id {
 			return ex
 		}

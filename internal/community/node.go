@@ -6,7 +6,6 @@ import (
 	"repro/internal/correlate"
 	"repro/internal/daikon"
 	"repro/internal/image"
-	"repro/internal/monitor"
 	"repro/internal/repair"
 	"repro/internal/replay"
 	"repro/internal/trace"
@@ -149,8 +148,10 @@ func (n *Node) compile() ([]*vm.Patch, []*correlate.CheckSet) {
 func (n *Node) runLocal(input []byte) (vm.RunResult, RunReport, []byte, error) {
 	patches, sets := n.compile()
 
-	shadow := monitor.NewShadowStack()
-	plugins := []vm.Plugin{shadow, monitor.NewMemoryFirewall(), monitor.NewHeapGuard()}
+	// The node runs the full detector set — the same configuration
+	// sealRecording claims (replay.AllMonitors), so the manager's replays
+	// and vets reproduce the node's detections bit for bit.
+	plugins, shadow, hang := replay.AllMonitors().Plugins()
 
 	var rec *trace.Recorder
 	if n.dir.LearnHi > n.dir.LearnLo {
@@ -178,6 +179,7 @@ func (n *Node) runLocal(input []byte) (vm.RunResult, RunReport, []byte, error) {
 		return vm.RunResult{}, RunReport{}, nil, err
 	}
 	shadow.Install(machine)
+	hang.Install(machine)
 	res := machine.Run()
 
 	if rec != nil {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/daikon"
 	"repro/internal/image"
+	"repro/internal/monitor"
 	"repro/internal/replay"
 	"repro/internal/vm"
 )
@@ -72,6 +73,20 @@ func checkRecordingStatic(img *image.Image, imgWire []byte, rec *replay.Recordin
 	return ""
 }
 
+// knownMonitors is the detector set a community member can legitimately
+// claim in a failure report, derived from the monitor package's canonical
+// list so a new detector can never be rejected here by omission. A report
+// naming any other monitor is fabricated: no deployed detector produces
+// it, so no replay could ever vet it, and accepting it would open an
+// unvettable failure case.
+var knownMonitors = func() map[string]bool {
+	out := make(map[string]bool, len(monitor.DetectorNames))
+	for _, name := range monitor.DetectorNames {
+		out[name] = true
+	}
+	return out
+}()
+
 // checkReportStatic returns the reason a run report is implausible for the
 // protected image, judged from the binary alone (no campaign state), or
 // "". These are the checks an aggregator can apply at the edge; the
@@ -79,6 +94,9 @@ func checkRecordingStatic(img *image.Image, imgWire []byte, rec *replay.Recordin
 func checkReportStatic(img *image.Image, rep *RunReport) string {
 	if rep.Failure == nil {
 		return ""
+	}
+	if !knownMonitors[rep.Failure.Monitor] {
+		return fmt.Sprintf("failure claims unknown monitor %q", rep.Failure.Monitor)
 	}
 	if !img.Contains(rep.Failure.PC) {
 		return fmt.Sprintf("failure PC %#x outside the code range", rep.Failure.PC)

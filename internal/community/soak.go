@@ -7,7 +7,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/daikon"
 	"repro/internal/image"
-	"repro/internal/monitor"
 	"repro/internal/repair"
 	"repro/internal/replay"
 	"repro/internal/vm"
@@ -160,22 +159,22 @@ type SoakReport struct {
 	Converged           bool         `json:"converged"`                      // every defect converged
 }
 
-// probeFailurePC runs one input on a bare monitored machine to learn the
-// failure location an attack produces — the key the soak uses to match
-// manager cases to attack labels.
+// probeFailurePC runs one input on a bare monitored machine (the same
+// full detector set the nodes run) to learn the failure location an
+// attack produces — the key the soak uses to match manager cases to
+// attack labels.
 func probeFailurePC(img *image.Image, input []byte) (uint32, string, error) {
-	shadow := monitor.NewShadowStack()
+	plugins, shadow, hang := replay.AllMonitors().Plugins()
 	machine, err := vm.New(vm.Config{
-		Image: img,
-		Input: input,
-		Plugins: []vm.Plugin{
-			shadow, monitor.NewMemoryFirewall(), monitor.NewHeapGuard(),
-		},
+		Image:   img,
+		Input:   input,
+		Plugins: plugins,
 	})
 	if err != nil {
 		return 0, "", err
 	}
 	shadow.Install(machine)
+	hang.Install(machine)
 	res := machine.Run()
 	if res.Failure == nil {
 		return 0, "", fmt.Errorf("input did not fail under the monitors (outcome %v)", res.Outcome)

@@ -12,7 +12,11 @@ func soakConfig(t *testing.T, app *webapp.App, nodes int, batched bool) SoakConf
 	t.Helper()
 	mc := redTeamManagerConfig(t, app)
 	var attacks []SoakAttack
-	for _, id := range []string{"290162", "312278"} {
+	// Two paper defects plus two extended failure classes (FaultGuard's
+	// divide-by-zero and HangGuard's runaway loop) so every soak shape —
+	// including the 1,000-node churn/adversary headline — carries the new
+	// detector families.
+	for _, id := range []string{"290162", "312278", "div-zero", "hang-loop"} {
 		ex := exploitByID(t, id)
 		attacks = append(attacks, SoakAttack{
 			Label: ex.Bugzilla, Input: redteam.AttackInput(app, ex, 0),

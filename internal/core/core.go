@@ -55,10 +55,16 @@ type Config struct {
 	DisableSameBlockRestriction bool
 	ReverseRepairOrder          bool
 
-	// Monitor configuration (§4.2.2: the Red Team ran with all three).
+	// Monitor configuration (§4.2.2: the Red Team ran with the first
+	// three; FaultGuard and HangGuard are the extended failure classes).
 	MemoryFirewall bool
 	HeapGuard      bool
 	ShadowStack    bool
+	FaultGuard     bool
+	HangGuard      bool
+	// HangBudget is HangGuard's step budget; 0 selects
+	// monitor.DefaultHangBudget. Must stay below MaxSteps.
+	HangBudget uint64
 
 	MaxSteps uint64
 
@@ -130,10 +136,10 @@ func (s CaseState) String() string {
 type Metrics struct {
 	DetectRuns      int           // runs to first detection (always 1)
 	CheckRuns       int           // failing runs with checks in place
-	ChecksBuilt     [3]int        // [one-of, lower-bound, less-than] checked
+	ChecksBuilt     [5]int        // [one-of, lower-bound, less-than, nonzero, modulus] checked
 	CheckExecs      uint64        // total invariant checks executed
 	CheckViolations uint64        // total violations observed
-	RepairsBuilt    [3]int        // correlated [one-of, lower-bound, less-than]
+	RepairsBuilt    [5]int        // correlated [one-of, lower-bound, less-than, nonzero, modulus]
 	CandidateCount  int           // candidate invariants selected
 	RepairCount     int           // candidate repairs generated
 	Unsuccessful    int           // failed repair-evaluation runs
@@ -256,6 +262,14 @@ func (cv *ClearView) Execute(input []byte) vm.RunResult {
 	if cv.conf.HeapGuard {
 		plugins = append(plugins, monitor.NewHeapGuard())
 	}
+	if cv.conf.FaultGuard {
+		plugins = append(plugins, monitor.NewFaultGuard())
+	}
+	var hang *monitor.HangGuard
+	if cv.conf.HangGuard {
+		hang = &monitor.HangGuard{Budget: cv.conf.HangBudget}
+		plugins = append(plugins, hang)
+	}
 
 	var patches []*vm.Patch
 	var deployed []replay.PatchSpec
@@ -297,6 +311,9 @@ func (cv *ClearView) Execute(input []byte) vm.RunResult {
 	if shadow != nil {
 		shadow.Install(machine)
 	}
+	if hang != nil {
+		hang.Install(machine)
+	}
 	res := machine.Run()
 	elapsed := time.Since(start)
 
@@ -320,6 +337,9 @@ func (cv *ClearView) monitors() replay.Monitors {
 		MemoryFirewall: cv.conf.MemoryFirewall,
 		HeapGuard:      cv.conf.HeapGuard,
 		ShadowStack:    cv.conf.ShadowStack,
+		FaultGuard:     cv.conf.FaultGuard,
+		HangGuard:      cv.conf.HangGuard,
+		HangBudget:     cv.conf.HangBudget,
 	}
 }
 
@@ -420,13 +440,8 @@ func (cv *ClearView) openCase(f *vm.Failure, elapsed time.Duration) {
 	fc.CheckSet = correlate.BuildCheckSet(fc.ID, fc.Candidates)
 	cv.PatchesGenerated += len(fc.CheckSet.Patches)
 	for _, c := range fc.Candidates {
-		switch c.Inv.Kind {
-		case daikon.KindOneOf:
-			fc.Metrics.ChecksBuilt[0]++
-		case daikon.KindLowerBound:
-			fc.Metrics.ChecksBuilt[1]++
-		case daikon.KindLessThan:
-			fc.Metrics.ChecksBuilt[2]++
+		if s := repair.KindSlot(c.Inv.Kind); s >= 0 {
+			fc.Metrics.ChecksBuilt[s]++
 		}
 	}
 	fc.Metrics.BuildChecks = time.Since(buildStart)
@@ -452,8 +467,7 @@ func (cv *ClearView) finishChecking(fc *FailureCase) {
 	selected := correlate.SelectForRepair(fc.Candidates, fc.Correlations)
 	fc.Repairs = repair.GenerateAll(selected, cv.instAt, cv.conf.Invariants.SPOffsetAt)
 	fc.Metrics.RepairCount = len(fc.Repairs)
-	oneOf, lower, less := repair.CountByKind(fc.Repairs)
-	fc.Metrics.RepairsBuilt = [3]int{oneOf, lower, less}
+	fc.Metrics.RepairsBuilt = repair.CountByKind(fc.Repairs)
 	cv.PatchesGenerated += len(fc.Repairs)
 	fc.Metrics.BuildRepairs = time.Since(buildStart)
 

@@ -22,6 +22,96 @@ func find(db *DB, kind Kind, id VarID) *Invariant {
 	return nil
 }
 
+// TestNonzeroInference: a variable never observed zero gets a nonzero
+// invariant whose witness is the observed value of smallest magnitude;
+// one zero observation kills it.
+func TestNonzeroInference(t *testing.T) {
+	e := NewEngine()
+	feed(e, v(0x100, 0), 0xFFFF_FFF4, 7, 0xFFFF_FFFE) // -12, 7, -2
+	db := e.Finalize(Options{})
+	inv := find(db, KindNonzero, v(0x100, 0))
+	if inv == nil {
+		t.Fatal("no nonzero invariant inferred")
+	}
+	if inv.Bound != -2 {
+		t.Errorf("witness = %d, want the smallest-magnitude observation -2", inv.Bound)
+	}
+	if !inv.Holds(5, 0) || inv.Holds(0, 0) {
+		t.Error("nonzero Holds wrong")
+	}
+
+	e2 := NewEngine()
+	feed(e2, v(0x100, 0), 7, 0, 9)
+	if inv := find(e2.Finalize(Options{}), KindNonzero, v(0x100, 0)); inv != nil {
+		t.Errorf("nonzero survived a zero observation: %v", inv)
+	}
+}
+
+// TestModulusInference: values sharing a stride get a congruence
+// invariant; the modulus always divides 2^32, so the unsigned mod-2^32
+// check in Holds is exact — in particular, every invariant must hold on
+// its own training data even when observations straddle the signed
+// boundary (5 and -1 are six apart signed but not in Z/2^32).
+func TestModulusInference(t *testing.T) {
+	e := NewEngine()
+	feed(e, v(0x100, 0), 4, 12, 28)
+	db := e.Finalize(Options{})
+	inv := find(db, KindModulus, v(0x100, 0))
+	if inv == nil {
+		t.Fatal("no modulus invariant inferred")
+	}
+	if m, r := inv.Modulus(); m != 8 || r != 4 {
+		t.Errorf("learned v ≡ %d (mod %d), want 4 (mod 8)", r, m)
+	}
+	if !inv.Holds(20, 0) || inv.Holds(22, 0) {
+		t.Error("modulus Holds wrong")
+	}
+
+	// Signed-boundary soundness: whatever modulus comes out of {5, -1}
+	// must hold on both observations (a signed-distance gcd would emit
+	// mod 6, which 0xFFFFFFFF violates).
+	e2 := NewEngine()
+	vals := []uint32{5, 0xFFFF_FFFF}
+	feed(e2, v(0x200, 0), vals...)
+	if inv := find(e2.Finalize(Options{}), KindModulus, v(0x200, 0)); inv != nil {
+		for _, val := range vals {
+			if !inv.Holds(val, 0) {
+				t.Errorf("inferred %v is violated by its own training value %#x", inv, val)
+			}
+		}
+		if m, _ := inv.Modulus(); (1<<32)%uint64(m) != 0 {
+			t.Errorf("modulus %d does not divide 2^32 — unsigned congruence is unsound", m)
+		}
+	}
+
+	// A constant variable gets no modulus (one-of covers it).
+	e3 := NewEngine()
+	feed(e3, v(0x300, 0), 8, 8, 8)
+	if inv := find(e3.Finalize(Options{}), KindModulus, v(0x300, 0)); inv != nil {
+		t.Errorf("modulus inferred for a constant: %v", inv)
+	}
+}
+
+// TestModulusMergeSound: the merged congruence must hold on every value
+// either member observed, including residue distances that cross the
+// signed boundary.
+func TestModulusMergeSound(t *testing.T) {
+	valsA := []uint32{1, 5, 9}        // v ≡ 1 (mod 4)
+	valsB := []uint32{0xFFFF_FFFF, 3} // v ≡ 3 (mod 4)
+	e1, e2 := NewEngine(), NewEngine()
+	feed(e1, v(0x100, 0), valsA...)
+	feed(e2, v(0x100, 0), valsB...)
+	db1, db2 := e1.Finalize(Options{}), e2.Finalize(Options{})
+	db1.Merge(db2, 0)
+	if inv := find(db1, KindModulus, v(0x100, 0)); inv != nil {
+		for _, val := range append(append([]uint32{}, valsA...), valsB...) {
+			if !inv.Holds(val, 0) {
+				t.Errorf("merged %v violated by member observation %#x", inv, val)
+			}
+		}
+	}
+}
+
 func TestOneOfInference(t *testing.T) {
 	e := NewEngine()
 	feed(e, v(0x100, 0), 0x2000, 0x3000, 0x2000)
@@ -342,8 +432,8 @@ func TestDBAtIndex(t *testing.T) {
 	feed(e, v(0x100, 1), 6)
 	feed(e, v(0x200, 0), 7)
 	db := e.Finalize(Options{})
-	if n := len(db.At(0x100)); n != 4 { // 2 vars x (one-of + lower-bound)
-		t.Errorf("At(0x100) = %d invariants, want 4", n)
+	if n := len(db.At(0x100)); n != 6 { // 2 vars x (one-of + lower-bound + nonzero)
+		t.Errorf("At(0x100) = %d invariants, want 6", n)
 	}
 	if n := len(db.At(0x999)); n != 0 {
 		t.Errorf("At(unknown) = %d", n)

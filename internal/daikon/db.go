@@ -144,6 +144,29 @@ func (db *DB) Merge(other *DB, maxOneOf int) {
 					delete(db.ByID, id)
 					continue
 				}
+			case KindNonzero:
+				// Both members saw the variable only nonzero; keep the
+				// witness of smaller magnitude so enforcement stays the
+				// gentlest observed constant.
+				if closerToZero(uint32(o.Bound), uint32(inv.Bound)) {
+					inv.Bound = o.Bound
+				}
+			case KindModulus:
+				// The community-wide congruence is the coarsest one both
+				// members' observations satisfy: modulus gcd(m1, m2,
+				// r1 - r2 in Z/2^32), dead if that collapses below 2. The
+				// residue distance is the unsigned mod-2^32 difference,
+				// matching Holds's arithmetic; both inputs divide 2^32
+				// (the engine folds 2^32 into its gcd), so the result
+				// does too.
+				m1, r1 := inv.Modulus()
+				m2, r2 := o.Modulus()
+				m := gcd(gcd(uint64(m1), uint64(m2)), uint64(r1-r2))
+				if m < 2 {
+					delete(db.ByID, id)
+					continue
+				}
+				inv.Values = []uint32{uint32(m), r1 % uint32(m)}
 			}
 			inv.Samples += o.Samples
 			continue

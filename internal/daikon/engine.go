@@ -20,6 +20,47 @@ type varStat struct {
 	min        int32
 	vals       map[uint32]bool // nil once the one-of set overflowed
 	nonPointer bool
+
+	// Nonzero family: sawZero kills the invariant; nzWitness folds toward
+	// the observed value of smallest magnitude (ties: smaller unsigned),
+	// the deterministic constant the nonzero-guard repair enforces.
+	sawZero   bool
+	nzWitness uint32
+
+	// Modulus family: modFirst is the first observed value; modGCD is the
+	// running gcd of 2^32 and every unsigned difference (v - modFirst)
+	// over later observations (2^32 until a second distinct value
+	// arrives). Folding 2^32 into the gcd keeps the modulus a divisor of
+	// 2^32, which makes the unsigned mod-2^32 congruence check in
+	// Invariant.Holds exact — a modulus derived from signed distances
+	// would otherwise be violated by its own training data (e.g. values
+	// 5 and -1 are 6 apart signed but 0xFFFFFFFA apart in Z/2^32).
+	// A final gcd in [2, 2^32) yields v ≡ modFirst (mod gcd).
+	modFirst uint32
+	modGCD   uint64
+}
+
+// closerToZero reports whether a is a "smaller" value than b for witness
+// selection: smaller signed magnitude first, smaller unsigned value on ties.
+func closerToZero(a, b uint32) bool {
+	ma, mb := int64(int32(a)), int64(int32(b))
+	if ma < 0 {
+		ma = -ma
+	}
+	if mb < 0 {
+		mb = -mb
+	}
+	if ma != mb {
+		return ma < mb
+	}
+	return a < b
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
 }
 
 // pairKey orders the two variables by execution order (earlier first).
@@ -68,12 +109,23 @@ func NewEngine() *Engine {
 func (e *Engine) observeVar(o Obs) {
 	st := e.vars[o.Var]
 	if st == nil {
-		st = &varStat{min: int32(o.Val), vals: map[uint32]bool{}}
+		st = &varStat{
+			min: int32(o.Val), vals: map[uint32]bool{},
+			nzWitness: o.Val, modFirst: o.Val, modGCD: 1 << 32,
+		}
 		e.vars[o.Var] = st
 	}
 	st.count++
 	if int32(o.Val) < st.min {
 		st.min = int32(o.Val)
+	}
+	if o.Val == 0 {
+		st.sawZero = true
+	} else if closerToZero(o.Val, st.nzWitness) || st.nzWitness == 0 {
+		st.nzWitness = o.Val
+	}
+	if o.Val != st.modFirst {
+		st.modGCD = gcd(st.modGCD, uint64(o.Val-st.modFirst))
 	}
 	if st.vals != nil {
 		st.vals[o.Val] = true
@@ -166,6 +218,13 @@ func (e *Engine) Finalize(opt Options) *DB {
 		}
 		if st.nonPointer || opt.DisablePointerHeuristic {
 			db.Add(&Invariant{Kind: KindLowerBound, Var: v, Bound: st.min, Samples: st.count})
+			if !st.sawZero {
+				db.Add(&Invariant{Kind: KindNonzero, Var: v, Bound: int32(st.nzWitness), Samples: st.count})
+			}
+			if st.modGCD >= 2 && st.modGCD < 1<<32 {
+				m := uint32(st.modGCD)
+				db.Add(&Invariant{Kind: KindModulus, Var: v, Values: []uint32{m, st.modFirst % m}, Samples: st.count})
+			}
 		}
 	}
 

@@ -51,6 +51,15 @@ const (
 	// never enforced itself, but consumed by the return-from-procedure
 	// repair to restore the stack pointer.
 	KindSPOffset
+	// KindNonzero is v ≠ 0 — the divisor/stride family behind the
+	// arithmetic-fault and runaway-loop repairs. Bound holds a witness:
+	// the observed value of smallest magnitude, which the nonzero-guard
+	// repair enforces when the invariant is violated.
+	KindNonzero
+	// KindModulus is v ≡ r (mod m) with m ≥ 2 — the classic Daikon
+	// congruence family, here the alignment invariant behind the
+	// unaligned-access repairs. Values holds [m, r].
+	KindModulus
 )
 
 func (k Kind) String() string {
@@ -63,6 +72,10 @@ func (k Kind) String() string {
 		return "less-than"
 	case KindSPOffset:
 		return "sp-offset"
+	case KindNonzero:
+		return "nonzero"
+	case KindModulus:
+		return "modulus"
 	}
 	return fmt.Sprintf("kind%d", uint8(k))
 }
@@ -70,12 +83,25 @@ func (k Kind) String() string {
 // Invariant is one learned property. All fields are exported for gob
 // serialization (community invariant upload, §3.1).
 type Invariant struct {
-	Kind    Kind
-	Var     VarID
-	Var2    VarID    // KindLessThan only: Var ≤ Var2
-	Values  []uint32 // KindOneOf only, sorted ascending
-	Bound   int32    // KindLowerBound: Bound ≤ v; KindSPOffset: the offset
-	Samples uint64   // observations supporting the invariant
+	Kind Kind
+	Var  VarID
+	Var2 VarID // KindLessThan only: Var ≤ Var2
+	// Values is the one-of value set (sorted ascending) for KindOneOf and
+	// the [modulus, residue] pair for KindModulus.
+	Values []uint32
+	// Bound is the lower bound for KindLowerBound, the stack-pointer
+	// offset for KindSPOffset, and the enforcement witness (the observed
+	// value of smallest magnitude) for KindNonzero.
+	Bound   int32
+	Samples uint64 // observations supporting the invariant
+}
+
+// Modulus returns the (m, r) pair of a KindModulus invariant.
+func (inv *Invariant) Modulus() (m, r uint32) {
+	if inv.Kind != KindModulus || len(inv.Values) != 2 {
+		return 0, 0
+	}
+	return inv.Values[0], inv.Values[1]
 }
 
 // ID returns a stable identifier used for patch naming and community
@@ -88,6 +114,10 @@ func (inv *Invariant) ID() string {
 		return fmt.Sprintf("sp@%#x", inv.Var.PC)
 	case KindLowerBound:
 		return fmt.Sprintf("lb@%s", inv.Var)
+	case KindNonzero:
+		return fmt.Sprintf("nz@%s", inv.Var)
+	case KindModulus:
+		return fmt.Sprintf("mod@%s", inv.Var)
 	default:
 		return fmt.Sprintf("oneof@%s", inv.Var)
 	}
@@ -116,6 +146,16 @@ func (inv *Invariant) Holds(v1, v2 uint32) bool {
 		return int32(v1) <= int32(v2)
 	case KindSPOffset:
 		return true // auxiliary, never violated by definition
+	case KindNonzero:
+		return v1 != 0
+	case KindModulus:
+		m, r := inv.Modulus()
+		if m < 2 {
+			return true
+		}
+		// Wraparound-safe congruence: plain (v1-r)%m is wrong for v1 < r
+		// unless m divides 2^32.
+		return (v1%m+m-r%m)%m == 0
 	}
 	return false
 }
@@ -138,6 +178,11 @@ func (inv *Invariant) String() string {
 		return fmt.Sprintf("%s ≤ %s", inv.Var, inv.Var2)
 	case KindSPOffset:
 		return fmt.Sprintf("spEntry = sp@%#x + %d", inv.Var.PC, inv.Bound)
+	case KindNonzero:
+		return fmt.Sprintf("%s ≠ 0", inv.Var)
+	case KindModulus:
+		m, r := inv.Modulus()
+		return fmt.Sprintf("%s ≡ %d (mod %d)", inv.Var, r, m)
 	}
 	return "invariant?"
 }

@@ -26,7 +26,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/image"
-	"repro/internal/monitor"
 	"repro/internal/replay"
 	"repro/internal/vm"
 )
@@ -156,21 +155,10 @@ func New(conf Config) (*Fuzzer, error) {
 }
 
 // newMachine assembles a monitored machine with coverage attached — the
-// same monitor stack a community node runs (§4.2.2).
+// same monitor stack a community node runs (§4.2.2 plus the extended
+// detectors).
 func (f *Fuzzer) newMachine(input []byte, cov *vm.Coverage) (*vm.VM, error) {
-	mons := f.conf.monitors()
-	var plugins []vm.Plugin
-	var shadow *monitor.ShadowStack
-	if mons.ShadowStack {
-		shadow = monitor.NewShadowStack()
-		plugins = append(plugins, shadow)
-	}
-	if mons.MemoryFirewall {
-		plugins = append(plugins, monitor.NewMemoryFirewall())
-	}
-	if mons.HeapGuard {
-		plugins = append(plugins, monitor.NewHeapGuard())
-	}
+	plugins, shadow, hang := f.conf.monitors().Plugins()
 	machine, err := vm.New(vm.Config{
 		Image:    f.conf.Image,
 		Input:    input,
@@ -183,6 +171,9 @@ func (f *Fuzzer) newMachine(input []byte, cov *vm.Coverage) (*vm.VM, error) {
 	}
 	if shadow != nil {
 		shadow.Install(machine)
+	}
+	if hang != nil {
+		hang.Install(machine)
 	}
 	return machine, nil
 }

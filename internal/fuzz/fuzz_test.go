@@ -17,7 +17,7 @@ var (
 	fixOnce   sync.Once
 	fixSetup  *redteam.Setup
 	fixTruth  map[uint32]string // failure PC -> Bugzilla id
-	fixSeeds  [][]byte          // the ten attack inputs + benign pages
+	fixSeeds  [][]byte          // the thirteen attack inputs + benign pages
 	fixErr    error
 	fixErrMsg string
 )
@@ -31,7 +31,7 @@ func campaignFixture(t *testing.T) (*redteam.Setup, [][]byte, map[uint32]string)
 			return
 		}
 		fixTruth = make(map[uint32]string)
-		for _, ex := range redteam.Exploits() {
+		for _, ex := range redteam.AllExploits() {
 			_, res, err := redteam.RecordAttack(fixSetup, ex, 0)
 			if err != nil {
 				fixErr, fixErrMsg = err, "record "+ex.Bugzilla+": "+err.Error()
@@ -63,12 +63,14 @@ func newCampaign(t *testing.T, setup *redteam.Setup, seeds [][]byte, seed int64)
 
 // TestCampaignRediscoversSeededDefects is the acceptance gate: with a
 // fixed seed and a bounded iteration budget, the fuzzer must rediscover
-// failing inputs for at least 8 of the 10 seeded webapp defects — and,
-// beyond the bar, produce byte-distinct failing variants of them.
+// failing inputs for at least 11 of the 13 seeded webapp defects —
+// including the extended failure classes (divide-by-zero, unaligned
+// access, runaway loop) — and, beyond the bar, produce byte-distinct
+// failing variants of them.
 func TestCampaignRediscoversSeededDefects(t *testing.T) {
 	setup, seeds, truth := campaignFixture(t)
-	if len(truth) != 10 {
-		t.Fatalf("ground truth has %d distinct defect locations, want 10", len(truth))
+	if len(truth) != 13 {
+		t.Fatalf("ground truth has %d distinct defect locations, want 13", len(truth))
 	}
 	f := newCampaign(t, setup, seeds, 1)
 	if err := f.Run(300); err != nil {
@@ -83,8 +85,8 @@ func TestCampaignRediscoversSeededDefects(t *testing.T) {
 			variants += fd.Variants
 		}
 	}
-	if rediscovered < 8 {
-		t.Fatalf("rediscovered %d/10 seeded defects within budget, want >= 8", rediscovered)
+	if rediscovered < 11 {
+		t.Fatalf("rediscovered %d/13 seeded defects within budget, want >= 11", rediscovered)
 	}
 	if variants == 0 {
 		t.Fatal("no byte-distinct failing variants generated for any seeded defect")
@@ -95,7 +97,7 @@ func TestCampaignRediscoversSeededDefects(t *testing.T) {
 	if f.Coverage().EdgeCount() == 0 {
 		t.Fatal("no edge coverage accumulated")
 	}
-	t.Logf("rediscovered %d/10 defects, %d findings total, %d variants, corpus %d, edges %d",
+	t.Logf("rediscovered %d/13 defects, %d findings total, %d variants, corpus %d, edges %d",
 		rediscovered, len(f.Findings()), variants, f.CorpusLen(), f.Coverage().EdgeCount())
 }
 
@@ -158,14 +160,56 @@ func TestBenignSeedsDiscoverDefects(t *testing.T) {
 			novel++
 		}
 	}
-	if defects < 6 {
-		t.Fatalf("benign-seed campaign found %d/10 seeded defects, want >= 6", defects)
+	if defects < 8 {
+		t.Fatalf("benign-seed campaign found %d/13 seeded defects, want >= 8", defects)
 	}
 	if novel < 1 {
 		t.Fatal("benign-seed campaign found no failure locations beyond the seeded defects")
 	}
 	t.Logf("benign seeds: %d seeded defects + %d novel failure locations in %d iters",
 		defects, novel, f.Iters())
+}
+
+// TestNewFailureClassFingerprintDeterminism: a campaign seeded only with
+// the extended-class attacks (divide-by-zero, unaligned access, runaway
+// loop) must capture all three as findings under their new monitors, and
+// the whole campaign — including the hang executions, whose step budget
+// is part of the machine configuration — must fingerprint identically on
+// a re-run.
+func TestNewFailureClassFingerprintDeterminism(t *testing.T) {
+	setup, _, _ := campaignFixture(t)
+	var seeds [][]byte
+	for _, ex := range redteam.NewClassExploits() {
+		seeds = append(seeds, redteam.AttackInput(setup.App, ex, 0))
+	}
+	run := func() *fuzz.Fuzzer {
+		f := newCampaign(t, setup, seeds, 7)
+		if err := f.Run(60); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	a, b := run(), run()
+	if af, bf := a.Fingerprint(), b.Fingerprint(); af != bf {
+		t.Fatalf("fingerprints differ across identical new-class campaigns: %#x vs %#x", af, bf)
+	}
+	monitors := map[string]int{}
+	for _, fd := range a.Findings() {
+		monitors[fd.Monitor]++
+		if fd.Recording == nil {
+			t.Fatalf("finding %#x (%s) has no recording", fd.PC, fd.Monitor)
+		}
+		res, err := fd.Recording.Replay(nil, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failure == nil || res.Failure.PC != fd.PC || res.Failure.Monitor != fd.Monitor {
+			t.Fatalf("recording for %s@%#x replayed to %+v", fd.Monitor, fd.PC, res)
+		}
+	}
+	if monitors["FaultGuard"] < 2 || monitors["HangGuard"] < 1 {
+		t.Fatalf("new-class campaign findings missing detectors: %v", monitors)
+	}
 }
 
 // TestFindingRecordingReplays: the captured recording is the shippable

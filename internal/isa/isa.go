@@ -137,6 +137,18 @@ const (
 	// size live in the same basic block as the copy itself.
 	COPYB
 
+	// DIVRR and MODRR are signed division and remainder (A /= B, A %= B).
+	// Like the x86 idiv they raise an arithmetic fault when the divisor is
+	// zero — the fault class monitor.FaultGuard converts into a monitored
+	// failure. The most-negative-dividend / -1 case wraps (no fault).
+	DIVRR
+	MODRR
+	// LOADA is a 32-bit load that requires its computed address to be
+	// 4-aligned (the word-walk idiom of SIMD/RISC-style table scans); a
+	// misaligned address raises an alignment fault instead of loading.
+	// The ordinary LOAD keeps x86's tolerance of unaligned access.
+	LOADA
+
 	opCount // sentinel; must remain last
 )
 
@@ -173,6 +185,7 @@ var opNames = [...]string{
 	CALL: "call", CALLR: "callr", CALLM: "callm", RET: "ret",
 	PUSH: "push", PUSHI: "pushi", POP: "pop",
 	SYS: "sys", COPYB: "copyb",
+	DIVRR: "divrr", MODRR: "modrr", LOADA: "loada",
 }
 
 // String returns the opcode mnemonic.
@@ -224,11 +237,16 @@ func (o Op) EndsBlock() bool {
 // from B + X<<Scale + Imm.
 func (o Op) HasMemOperand() bool {
 	switch o {
-	case LOAD, STORE, LOADB, STOREB, LEA, CALLM:
+	case LOAD, STORE, LOADB, STOREB, LEA, CALLM, LOADA:
 		return true
 	}
 	return false
 }
+
+// Faultable reports whether the instruction can raise an arithmetic or
+// alignment fault from its operand values alone (the faults FaultGuard
+// intercepts): division by zero and misaligned word loads.
+func (o Op) Faultable() bool { return o == DIVRR || o == MODRR || o == LOADA }
 
 // IsStore reports whether the opcode writes memory through its computed
 // address (the writes Heap Guard instruments).
@@ -303,9 +321,9 @@ func (in Inst) String() string {
 		return fmt.Sprintf("%s %s, %d", in.Op, in.A, in.Imm)
 	case SEXTB:
 		return fmt.Sprintf("%s %s", in.Op, in.A)
-	case MOVRR, ADDRR, SUBRR, MULRR, ANDRR, ORRR, XORRR, CMPRR:
+	case MOVRR, ADDRR, SUBRR, MULRR, ANDRR, ORRR, XORRR, CMPRR, DIVRR, MODRR:
 		return fmt.Sprintf("%s %s, %s", in.Op, in.A, in.B)
-	case LOAD, LOADB, LEA:
+	case LOAD, LOADB, LEA, LOADA:
 		return fmt.Sprintf("%s %s, %s", in.Op, in.A, mem())
 	case STORE, STOREB:
 		return fmt.Sprintf("%s %s, %s", in.Op, mem(), in.A)

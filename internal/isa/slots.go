@@ -73,7 +73,7 @@ func Slots(in Inst) []SlotSpec {
 	switch in.Op {
 	case MOVRR:
 		regB()
-	case LOAD, LOADB:
+	case LOAD, LOADB, LOADA:
 		memOperand()
 		out = append(out, SlotSpec{Kind: SlotMemVal})
 	case STORE, STOREB:
@@ -81,7 +81,7 @@ func Slots(in Inst) []SlotSpec {
 		memOperand()
 	case LEA:
 		memOperand()
-	case ADDRR, SUBRR, MULRR, ANDRR, ORRR, XORRR, CMPRR:
+	case ADDRR, SUBRR, MULRR, ANDRR, ORRR, XORRR, CMPRR, DIVRR, MODRR:
 		regA()
 		regB()
 	case ADDRI, SUBRI, MULRI, ANDRI, ORRI, XORRI, SHLRI, SHRRI, SARRI, CMPRI, SEXTB:

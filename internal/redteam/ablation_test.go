@@ -68,12 +68,13 @@ func TestAblationPointerHeuristicShrinksDatabase(t *testing.T) {
 // useful repairs").
 func TestAblationSameBlockStillRepairs(t *testing.T) {
 	setup := getSetup(t, false)
-	for _, id := range []string{"290162", "296134"} {
+	for _, id := range []string{"290162", "296134", "div-zero", "unaligned"} {
 		ex := exploitByID(t, id)
 		cv, err := core.New(core.Config{
 			Image:      setup.App.Image,
 			Invariants: setup.DB,
 			StackScope: 1, MemoryFirewall: true, HeapGuard: true, ShadowStack: true,
+			FaultGuard: true, HangGuard: true,
 			DisableSameBlockRestriction: true,
 		})
 		if err != nil {
@@ -91,12 +92,13 @@ func TestAblationSameBlockStillRepairs(t *testing.T) {
 // found.
 func TestAblationReverseOrderStillRepairs(t *testing.T) {
 	setup := getSetup(t, false)
-	for _, id := range []string{"269095", "290162", "295854"} {
+	for _, id := range []string{"269095", "290162", "295854", "div-zero", "unaligned", "hang-loop"} {
 		ex := exploitByID(t, id)
 		cv, err := core.New(core.Config{
 			Image:      setup.App.Image,
 			Invariants: setup.DB,
 			StackScope: 1, MemoryFirewall: true, HeapGuard: true, ShadowStack: true,
+			FaultGuard: true, HangGuard: true,
 			ReverseRepairOrder: true,
 		})
 		if err != nil {

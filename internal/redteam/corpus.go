@@ -103,8 +103,30 @@ func learningPage(k int) []byte {
 	p.Arr(1, int8((k+1)%4))
 	p.Arr(2, int8((k+2)%4))
 
+	// SCALE: twelve distinct bias bytes whose divisors (bias - 8) span
+	// both signs — the divisor's lower bound goes negative (so zero
+	// satisfies it) and its one-of overflows; only the nonzero invariant
+	// pins the defect. Scaled values: gcd-1 spacing so no accidental
+	// modulus forms on the raw byte.
+	p.Scale(byte(17+(k*13)%97), scaleBiases[k])
+
+	// WALK: two reads at strides 4,8,...,48 — twelve distinct multiples
+	// of four kill the one-of and leave the alignment modulus (≡0 mod 4)
+	// as the only survivor on the stride and offset.
+	p.Walk(2, byte(4*(k+1)))
+
+	// LOOP: counts 5..16 and step bytes 4..15 (strides -12..-1). Every
+	// raw byte stays inside the learned bounds under the step-16 attack;
+	// only the computed stride's nonzero invariant corrects it.
+	p.Loop(byte(5+k), byte(4+k))
+
 	return p.Build()
 }
+
+// scaleBiases are the twelve learning bias bytes of the SCALE element:
+// divisors bias-8 ∈ {-7..-1, 1, 2, 4, 8, 16}, never zero, mixed sign,
+// pairwise differences with gcd 1.
+var scaleBiases = [12]byte{1, 2, 3, 4, 5, 6, 7, 9, 10, 12, 16, 24}
 
 // growPages exercises the unicode growth path with counts and growth
 // sizes chosen so that needed <= newCap always holds, both orderings of
@@ -166,6 +188,11 @@ func EvaluationPages() [][]byte {
 		copy(sdata[:], bytesOfLen(9, j+41))
 		p.Str(r+ln, r, sdata)
 		p.Arr(j%3, int8(j%4))
+		// Extended elements, inside every learned envelope: nonzero
+		// divisors, word-multiple strides, negative loop strides.
+		p.Scale(byte(17+j%80), scaleBiases[j%12])
+		p.Walk(2, byte(4*(1+j%12)))
+		p.Loop(byte(5+j%12), byte(4+j%12))
 		pages[j] = p.Build()
 	}
 	return pages

@@ -36,8 +36,10 @@ func NewSetup(expandedCorpus bool) (*Setup, error) {
 	return &Setup{App: app, DB: db}, nil
 }
 
-// ClearView builds a protected instance with the Red Team monitor
-// configuration (Memory Firewall + Heap Guard + Shadow Stack, §4.2.2).
+// ClearView builds a protected instance with the extended Red Team
+// monitor configuration: the paper's three detectors (Memory Firewall +
+// Heap Guard + Shadow Stack, §4.2.2) plus the arithmetic-fault and hang
+// detectors the new failure classes need.
 func (s *Setup) ClearView(stackScope int) (*core.ClearView, error) {
 	return core.New(core.Config{
 		Image:          s.App.Image,
@@ -46,6 +48,8 @@ func (s *Setup) ClearView(stackScope int) (*core.ClearView, error) {
 		MemoryFirewall: true,
 		HeapGuard:      true,
 		ShadowStack:    true,
+		FaultGuard:     true,
+		HangGuard:      true,
 	})
 }
 
@@ -62,6 +66,8 @@ func (s *Setup) ReplayClearView(stackScope, workers int) (*core.ClearView, error
 		MemoryFirewall: true,
 		HeapGuard:      true,
 		ShadowStack:    true,
+		FaultGuard:     true,
+		HangGuard:      true,
 		Replay:         &core.ReplayConfig{Workers: workers},
 	})
 }

@@ -8,7 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/daikon"
-	"repro/internal/monitor"
+	"repro/internal/replay"
 	"repro/internal/vm"
 	"repro/internal/webapp"
 )
@@ -45,42 +45,37 @@ func finalizeRows(rows []OverheadRow) {
 
 // monitorConfig names one Table 2 row's monitor set.
 type monitorConfig struct {
-	name        string
-	firewall    bool
-	heapGuard   bool
-	shadowStack bool
+	name string
+	mons replay.Monitors
 }
 
-// table2Configs are the five rows of Table 2 (§4.4.2).
+// table2Configs are the rows of Table 2 (§4.4.2): the paper's five
+// configurations plus the full extended detector set, so the table also
+// prices the arithmetic-fault and hang detectors (whose cost is confined
+// to faultable instructions and the dispatch loop respectively).
 func table2Configs() []monitorConfig {
 	return []monitorConfig{
 		{name: "Bare application"},
-		{name: "Memory Firewall", firewall: true},
-		{name: "Memory Firewall + Shadow Stack", firewall: true, shadowStack: true},
-		{name: "Memory Firewall + Heap Guard", firewall: true, heapGuard: true},
-		{name: "Memory Firewall + Heap Guard + Shadow Stack", firewall: true, heapGuard: true, shadowStack: true},
+		{name: "Memory Firewall", mons: replay.Monitors{MemoryFirewall: true}},
+		{name: "Memory Firewall + Shadow Stack", mons: replay.Monitors{MemoryFirewall: true, ShadowStack: true}},
+		{name: "Memory Firewall + Heap Guard", mons: replay.Monitors{MemoryFirewall: true, HeapGuard: true}},
+		{name: "Memory Firewall + Heap Guard + Shadow Stack",
+			mons: replay.Monitors{MemoryFirewall: true, HeapGuard: true, ShadowStack: true}},
+		{name: "All detectors (+ Fault Guard + Hang Guard)", mons: replay.AllMonitors()},
 	}
 }
 
 func runUnderConfig(app *webapp.App, input []byte, mc monitorConfig, patches []*vm.Patch) (vm.RunResult, error) {
-	var plugins []vm.Plugin
-	var shadow *monitor.ShadowStack
-	if mc.shadowStack {
-		shadow = monitor.NewShadowStack()
-		plugins = append(plugins, shadow)
-	}
-	if mc.firewall {
-		plugins = append(plugins, monitor.NewMemoryFirewall())
-	}
-	if mc.heapGuard {
-		plugins = append(plugins, monitor.NewHeapGuard())
-	}
+	plugins, shadow, hang := mc.mons.Plugins()
 	machine, err := vm.New(vm.Config{Image: app.Image, Input: input, Plugins: plugins, Patches: patches})
 	if err != nil {
 		return vm.RunResult{}, err
 	}
 	if shadow != nil {
 		shadow.Install(machine)
+	}
+	if hang != nil {
+		hang.Install(machine)
 	}
 	return machine.Run(), nil
 }
@@ -176,8 +171,8 @@ func MeasureOverheadWithPatch(s *Setup, repeats int) ([]OverheadRow, error) {
 	}
 
 	mc := monitorConfig{
-		name:     "Memory Firewall + Heap Guard + Shadow Stack + adopted repair",
-		firewall: true, heapGuard: true, shadowStack: true,
+		name: "All detectors + adopted repair",
+		mons: replay.AllMonitors(),
 	}
 	if repeats <= 0 {
 		repeats = 1

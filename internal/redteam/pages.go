@@ -154,6 +154,27 @@ func (p *PageBuilder) Arr(clone int, idx int8) *PageBuilder {
 	return p
 }
 
+// Scale appends a SCALE element (divisor = bias - 8; bias 8 is the
+// div-zero attack).
+func (p *PageBuilder) Scale(val, bias byte) *PageBuilder {
+	p.body = append(p.body, 0x0A, val, bias)
+	return p
+}
+
+// Walk appends a WALK element (cnt aligned word reads at the given byte
+// stride; a stride off the word grid is the unaligned attack).
+func (p *PageBuilder) Walk(cnt, stride byte) *PageBuilder {
+	p.body = append(p.body, 0x0B, cnt, stride)
+	return p
+}
+
+// Loop appends a LOOP element (stride = step - 16; step 16 is the
+// non-terminating-loop attack).
+func (p *PageBuilder) Loop(count, step byte) *PageBuilder {
+	p.body = append(p.body, 0x0C, count, step)
+	return p
+}
+
 // Build frames the body with its little-endian length prefix.
 func (p *PageBuilder) Build() []byte {
 	out := make([]byte, 2+len(p.body))

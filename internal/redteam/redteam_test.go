@@ -31,7 +31,7 @@ func getSetup(t *testing.T, expanded bool) *Setup {
 
 func exploitByID(t *testing.T, id string) Exploit {
 	t.Helper()
-	for _, ex := range Exploits() {
+	for _, ex := range AllExploits() {
 		if ex.Bugzilla == id {
 			return ex
 		}
@@ -58,6 +58,12 @@ var expectedPresentations = map[string]int{
 	"312278": 4,
 	"320182": 6,
 	"325403": 4, // with the expanded corpus
+	// Extended failure classes (not in the paper): each follows the
+	// minimum-presentations arithmetic — detect, two checking runs, and a
+	// first-ranked repair that works.
+	"div-zero":  4,
+	"unaligned": 4,
+	"hang-loop": 4,
 }
 
 func runExploit(t *testing.T, id string) AttackResult {

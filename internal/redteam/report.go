@@ -27,11 +27,11 @@ type Table3Row struct {
 	Bugzilla     string
 	CaseID       string
 	DetectRuns   int
-	ChecksBuilt  [3]int // [one-of, lower-bound, less-than]
+	ChecksBuilt  [5]int // [one-of, lower-bound, less-than, nonzero, modulus]
 	CheckRuns    int
 	CheckExecs   uint64
 	CheckViol    uint64
-	RepairsBuilt [3]int
+	RepairsBuilt [5]int
 	Unsuccessful int
 	Patched      bool
 	BuildChecks  time.Duration
@@ -65,15 +65,16 @@ func buildSetups() (map[bool]*Setup, error) {
 	return map[bool]*Setup{false: base, true: expanded}, nil
 }
 
-// RunTable1 reproduces Table 1: presentations until a protective patch,
-// per exploit, under the configuration the paper used for each row.
+// RunTable1 reproduces Table 1 over the full defect matrix: the paper's
+// ten exploits under the configuration the paper used for each row, plus
+// the three extended-failure-class rows (FaultGuard/HangGuard defects).
 func RunTable1() ([]Table1Row, error) {
 	setups, err := buildSetups()
 	if err != nil {
 		return nil, err
 	}
 	var rows []Table1Row
-	for _, ex := range Exploits() {
+	for _, ex := range AllExploits() {
 		cv, res, err := exerciseOne(setups, ex)
 		if err != nil {
 			return nil, err
@@ -106,7 +107,7 @@ func RunTable3() ([]Table3Row, error) {
 		return nil, err
 	}
 	var rows []Table3Row
-	for _, ex := range Exploits() {
+	for _, ex := range AllExploits() {
 		cv, _, err := exerciseOne(setups, ex)
 		if err != nil {
 			return nil, err
@@ -195,7 +196,7 @@ func PrintTable1(w io.Writer, rows []Table1Row) {
 // PrintTable3 renders Table 3 rows.
 func PrintTable3(w io.Writer, rows []Table3Row) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "Bugzilla\tDetect\tChecks[1of,lb,lt]\tCheckRuns\tViol/Total\tRepairs[1of,lb,lt]\tUnsucc\tPatched\tTime")
+	fmt.Fprintln(tw, "Bugzilla\tDetect\tChecks[1of,lb,lt,nz,mod]\tCheckRuns\tViol/Total\tRepairs[1of,lb,lt,nz,mod]\tUnsucc\tPatched\tTime")
 	for _, r := range rows {
 		fmt.Fprintf(tw, "%s\t%d\t%v\t%d\t(%d/%d)\t%v\t%d\t%v\t%s\n",
 			r.Bugzilla, r.DetectRuns, r.ChecksBuilt, r.CheckRuns,

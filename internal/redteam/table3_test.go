@@ -15,9 +15,10 @@ func TestTable3Structure(t *testing.T) {
 		byID[r.Bugzilla] = r
 	}
 
-	// Twelve rows: ten exploits with 311710 split into a/b/c.
-	if len(rows) != 12 {
-		t.Fatalf("rows = %d, want 12", len(rows))
+	// Fifteen rows: ten paper exploits with 311710 split into a/b/c, plus
+	// the three extended failure classes.
+	if len(rows) != 15 {
+		t.Fatalf("rows = %d, want 15", len(rows))
 	}
 	for _, id := range []string{"311710a", "311710b", "311710c"} {
 		if _, ok := byID[id]; !ok {
@@ -34,7 +35,7 @@ func TestTable3Structure(t *testing.T) {
 		if r.CheckRuns != 2 {
 			t.Errorf("%s: check runs = %d", id, r.CheckRuns)
 		}
-		if r.ChecksBuilt == [3]int{} {
+		if r.ChecksBuilt == [5]int{} {
 			t.Errorf("%s: no invariant checks built", id)
 		}
 		if r.CheckExecs == 0 || r.CheckViol == 0 {
@@ -50,6 +51,7 @@ func TestTable3Structure(t *testing.T) {
 		"290162": 0, "296134": 0, "312278": 0,
 		"311710a": 0, "311710b": 0, "311710c": 0,
 		"285595": 0, "325403": 0,
+		"div-zero": 0, "unaligned": 0, "hang-loop": 0,
 	}
 	for id, want := range wantUnsucc {
 		if got := byID[id].Unsuccessful; got != want {
@@ -65,12 +67,18 @@ func TestTable3Structure(t *testing.T) {
 	if r307.Unsuccessful == 0 {
 		t.Error("307259: no unsuccessful repairs recorded")
 	}
-	// It is also the checks-executed outlier (the copy-loop checks run
-	// per byte), echoing the paper's (7444/29428) row.
+	// It is also the checks-executed outlier among the paper's rows (the
+	// copy-loop checks run per byte), echoing the paper's (7444/29428)
+	// row. hang-loop is excluded: its checking runs spin a loop until the
+	// HangGuard budget, so its check count dwarfs every per-byte loop by
+	// construction.
 	for id, r := range byID {
-		if id != "307259" && r.CheckExecs >= r307.CheckExecs {
+		if id != "307259" && id != "hang-loop" && r.CheckExecs >= r307.CheckExecs {
 			t.Errorf("%s executed %d checks, >= the 307259 outlier's %d", id, r.CheckExecs, r307.CheckExecs)
 		}
+	}
+	if byID["hang-loop"].CheckExecs <= r307.CheckExecs {
+		t.Error("hang-loop checking should out-execute every finite campaign (its loop spins to the budget)")
 	}
 
 	// The memory-management exploits repair through a one-of invariant;
@@ -88,6 +96,18 @@ func TestTable3Structure(t *testing.T) {
 	}
 	if byID["325403"].RepairsBuilt[1] == 0 && byID["325403"].RepairsBuilt[2] == 0 {
 		t.Error("325403: no bound repairs")
+	}
+
+	// The extended classes repair through the new invariant families:
+	// nonzero for the zero divisor and the zero loop stride, modulus for
+	// the misaligned walk ([x,y,z,nz,mod] vector slots 3 and 4).
+	for _, id := range []string{"div-zero", "hang-loop"} {
+		if byID[id].RepairsBuilt[3] == 0 {
+			t.Errorf("%s: no nonzero repairs", id)
+		}
+	}
+	if byID["unaligned"].RepairsBuilt[4] == 0 {
+		t.Error("unaligned: no modulus repairs")
 	}
 
 	// The three 311710 clones are genuine copy-paste: identical
@@ -108,7 +128,7 @@ func TestTable1Report(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 10 {
+	if len(rows) != 13 {
 		t.Fatalf("rows = %d", len(rows))
 	}
 	for _, r := range rows {
@@ -127,7 +147,7 @@ func TestTable1Report(t *testing.T) {
 		}
 	}
 	s := Summarize(rows)
-	if s.Blocked != 10 || s.Patched != 9 || s.NeverRepairable != 1 {
+	if s.Blocked != 13 || s.Patched != 12 || s.NeverRepairable != 1 {
 		t.Errorf("summary = %+v", s)
 	}
 	if s.MeanPresent < 4 || s.MeanPresent > 7 {

@@ -39,6 +39,20 @@ const (
 	StratSkipCall
 	// StratReturnProc returns immediately from the enclosing procedure.
 	StratReturnProc
+	// StratNonzeroClamp sets a zero-valued variable to the learned nonzero
+	// witness (the observed value of smallest magnitude) — the clamp form
+	// of the nonzero-guard repair for divide-by-zero and stride-zero
+	// failures. As a stride repair it doubles as the loop-bound clamp: a
+	// re-nonzeroed stride restores the loop's learned progress.
+	StratNonzeroClamp
+	// StratSkipInst suppresses the faulting instruction when the nonzero
+	// invariant is violated — the skip form of the nonzero-guard (the
+	// generalization of skip-call to non-call instructions).
+	StratSkipInst
+	// StratClampMod rounds the variable down to the nearest value
+	// congruent with the learned modulus invariant (e.g. re-aligns a
+	// misaligned offset to the learned 4-byte stride).
+	StratClampMod
 )
 
 func (s Strategy) String() string {
@@ -55,6 +69,12 @@ func (s Strategy) String() string {
 		return "skip-call"
 	case StratReturnProc:
 		return "return-proc"
+	case StratNonzeroClamp:
+		return "nonzero-clamp"
+	case StratSkipInst:
+		return "skip-inst"
+	case StratClampMod:
+		return "clamp-mod"
 	}
 	return fmt.Sprintf("strategy%d", uint8(s))
 }
@@ -65,7 +85,7 @@ func (s Strategy) String() string {
 // whole procedure (the order observed for exploit 269095 in §4.3.1).
 func (s Strategy) ControlFlowRank() int {
 	switch s {
-	case StratSkipCall:
+	case StratSkipCall, StratSkipInst:
 		return 1
 	case StratReturnProc:
 		return 2
@@ -151,6 +171,14 @@ func Generate(c correlate.Candidate, instAt InstAt, spOffset func(pc uint32) (ui
 		}
 	case daikon.KindLowerBound:
 		add(&Repair{Strategy: StratClampLower})
+	case daikon.KindNonzero:
+		// Clamp before skip: the state change is tried first (§2.6
+		// ordering), and the skip generalizes skip-call to any faulting
+		// instruction.
+		add(&Repair{Strategy: StratNonzeroClamp, Value: uint32(inv.Bound)})
+		add(&Repair{Strategy: StratSkipInst})
+	case daikon.KindModulus:
+		add(&Repair{Strategy: StratClampMod})
 	case daikon.KindLessThan:
 		// Enforcement can only mutate slots of the instruction at the
 		// check point.
@@ -178,9 +206,32 @@ func GenerateAll(cands []correlate.Candidate, instAt InstAt, spOffset func(pc ui
 	return out
 }
 
-// CountByKind tallies repairs per invariant kind for the Table 3 "[x,y,z]"
-// reporting (x one-of, y lower-bound, z less-than).
-func CountByKind(rs []*Repair) (oneOf, lower, less int) {
+// KindSlot maps an enforceable invariant kind to its index in the Table 3
+// "[x,y,z,n,m]" vectors: one-of, lower-bound, less-than, nonzero, modulus.
+// Auxiliary kinds return -1.
+func KindSlot(k daikon.Kind) int {
+	switch k {
+	case daikon.KindOneOf:
+		return 0
+	case daikon.KindLowerBound:
+		return 1
+	case daikon.KindLessThan:
+		return 2
+	case daikon.KindNonzero:
+		return 3
+	case daikon.KindModulus:
+		return 4
+	}
+	return -1
+}
+
+// NumKinds is the length of the KindSlot-indexed reporting vectors.
+const NumKinds = 5
+
+// CountByKind tallies repairs per invariant kind for the Table 3
+// "[x,y,z,n,m]" reporting (see KindSlot for the index order).
+func CountByKind(rs []*Repair) [NumKinds]int {
+	var out [NumKinds]int
 	seen := map[string]bool{}
 	for _, r := range rs {
 		id := r.Inv.ID()
@@ -188,16 +239,11 @@ func CountByKind(rs []*Repair) (oneOf, lower, less int) {
 			continue
 		}
 		seen[id] = true
-		switch r.Inv.Kind {
-		case daikon.KindOneOf:
-			oneOf++
-		case daikon.KindLowerBound:
-			lower++
-		case daikon.KindLessThan:
-			less++
+		if s := KindSlot(r.Inv.Kind); s >= 0 {
+			out[s]++
 		}
 	}
-	return
+	return out
 }
 
 // BuildPatches compiles the repair into execution-environment patches. The
@@ -301,7 +347,23 @@ func (r *Repair) enforce(ctx *vm.Ctx, staged *stagedVal) error {
 		return ctx.SetSlot(int(inv.Var.Slot), v2)
 	case StratRaiseLess:
 		return ctx.SetSlot(int(inv.Var2.Slot), v1)
-	case StratSkipCall:
+	case StratNonzeroClamp:
+		return ctx.SetSlot(int(inv.Var.Slot), r.Value)
+	case StratClampMod:
+		m, rr := inv.Modulus()
+		if m < 2 {
+			return nil
+		}
+		// Round v1 to the nearest congruent value below it — or above it
+		// when rounding down would wrap past zero (an offset of 1 under
+		// v ≡ 2 (mod 4) must become 2, not 0xFFFFFFFE).
+		deficit := (v1%m + m - rr%m) % m
+		enforced := v1 - deficit
+		if deficit > v1 {
+			enforced = v1 + (m - deficit)
+		}
+		return ctx.SetSlot(int(inv.Var.Slot), enforced)
+	case StratSkipCall, StratSkipInst:
 		ctx.Skip()
 		return nil
 	case StratReturnProc:

@@ -250,6 +250,65 @@ func TestClampLessSameInstruction(t *testing.T) {
 	}
 }
 
+// TestClampModEnforcement: the clamp-mod repair rounds a violating value
+// onto the learned congruence class — downward normally, upward when
+// rounding down would wrap past zero (the 1-under-(v ≡ 2 mod 4) case
+// must enforce 2, not 0xFFFFFFFE).
+func TestClampModEnforcement(t *testing.T) {
+	for _, tc := range []struct {
+		start, want uint32
+	}{
+		{start: 7, want: 6}, // round down to ≡ 2 (mod 4)
+		{start: 1, want: 2}, // rounding down would wrap; round up
+		{start: 10, want: 10} /* already congruent: untouched */} {
+		img, labels := mkImage(t, func(a *asm.Assembler) {
+			a.Label("main")
+			a.MovRI(isa.EDX, int32(tc.start))
+			a.Label("site")
+			a.MovRR(isa.EAX, isa.EDX) // slot 0 = regB (EDX), the offset
+			a.Sys(isa.SysExit)
+		})
+		inv := &daikon.Invariant{
+			Kind: daikon.KindModulus, Var: vid(labels["site"], 0), Values: []uint32{4, 2},
+		}
+		rs := Generate(correlate.Candidate{Inv: inv}, instAtFor(img), noSP)
+		if len(rs) != 1 || rs[0].Strategy != StratClampMod {
+			t.Fatalf("repairs for modulus = %v, want one clamp-mod", rs)
+		}
+		machine, _ := vm.New(vm.Config{Image: img, Patches: rs[0].BuildPatches("t")})
+		if res := machine.Run(); res.ExitCode != tc.want {
+			t.Errorf("start %d: exit = %d, want %d", tc.start, res.ExitCode, tc.want)
+		}
+	}
+}
+
+// TestNonzeroEnforcement: the nonzero-guard clamp replaces a zero value
+// with the learned witness; skip-inst suppresses the instruction.
+func TestNonzeroEnforcement(t *testing.T) {
+	img, labels := mkImage(t, func(a *asm.Assembler) {
+		a.Label("main")
+		a.MovRI(isa.EDX, 0)
+		a.Label("site")
+		a.MovRR(isa.EAX, isa.EDX)
+		a.Sys(isa.SysExit)
+	})
+	inv := &daikon.Invariant{
+		Kind: daikon.KindNonzero, Var: vid(labels["site"], 0), Bound: -3,
+	}
+	rs := Generate(correlate.Candidate{Inv: inv}, instAtFor(img), noSP)
+	if len(rs) != 2 || rs[0].Strategy != StratNonzeroClamp || rs[1].Strategy != StratSkipInst {
+		t.Fatalf("repairs for nonzero = %v, want [nonzero-clamp skip-inst]", rs)
+	}
+	machine, _ := vm.New(vm.Config{Image: img, Patches: rs[0].BuildPatches("t")})
+	if res := machine.Run(); res.ExitCode != uint32(0xFFFF_FFFD) { // -3, the witness
+		t.Errorf("clamp exit = %#x, want the witness -3", res.ExitCode)
+	}
+	machine, _ = vm.New(vm.Config{Image: img, Patches: rs[1].BuildPatches("t")})
+	if res := machine.Run(); res.ExitCode != 0 { // MOVRR skipped; EAX still 0
+		t.Errorf("skip-inst exit = %d, want 0", res.ExitCode)
+	}
+}
+
 func TestCountByKind(t *testing.T) {
 	oneof := &daikon.Invariant{Kind: daikon.KindOneOf, Var: vid(0x100, 0), Values: []uint32{1, 2}}
 	lb := &daikon.Invariant{Kind: daikon.KindLowerBound, Var: vid(0x108, 0)}
@@ -259,9 +318,8 @@ func TestCountByKind(t *testing.T) {
 		{Inv: oneof, Strategy: StratSkipCall},
 		{Inv: lb, Strategy: StratClampLower},
 	}
-	o, l, lt := CountByKind(rs)
-	if o != 1 || l != 1 || lt != 0 {
-		t.Errorf("counts = %d/%d/%d, want 1/1/0 (distinct invariants)", o, l, lt)
+	if got := CountByKind(rs); got != [NumKinds]int{1, 1, 0, 0, 0} {
+		t.Errorf("counts = %v, want [1 1 0 0 0] (distinct invariants)", got)
 	}
 }
 

@@ -40,17 +40,57 @@ const DefaultSnapshotInterval = 100_000
 
 // Monitors selects the failure detectors active during a recorded run and
 // its replays. Replays must run under the same monitor configuration as
-// the recording for detection parity.
+// the recording for detection parity — including the hang budget, since a
+// replayed hang must fire at the same block as the recorded one.
 type Monitors struct {
 	MemoryFirewall bool // illegal-write detection (§2.3)
 	HeapGuard      bool // heap canary checking
 	ShadowStack    bool // return-address integrity
+	FaultGuard     bool // arithmetic faults (divide by zero, unaligned access)
+	HangGuard      bool // runaway-loop step-budget watchdog
+	// HangBudget is the HangGuard step budget; 0 selects
+	// monitor.DefaultHangBudget when HangGuard is armed.
+	HangBudget uint64
 }
 
-// AllMonitors is the Red Team configuration (§4.2.2), the default
+// AllMonitors is the full detector set: the Red Team configuration
+// (§4.2.2) plus the arithmetic-fault and hang detectors, the default
 // everywhere.
 func AllMonitors() Monitors {
-	return Monitors{MemoryFirewall: true, HeapGuard: true, ShadowStack: true}
+	return Monitors{
+		MemoryFirewall: true, HeapGuard: true, ShadowStack: true,
+		FaultGuard: true, HangGuard: true,
+	}
+}
+
+// Plugins materializes the selected detectors as machine plugins; the
+// second and third results need machine-level installation after vm.New
+// (ShadowStack.Install, HangGuard.Install) and are nil when unselected.
+// Every machine builder that runs under a Monitors value — recording,
+// replay, fuzzing, community nodes — assembles its detector stack here so
+// the configuration can never drift between the recorder and the replayer.
+func (m Monitors) Plugins() ([]vm.Plugin, *monitor.ShadowStack, *monitor.HangGuard) {
+	var plugins []vm.Plugin
+	var shadow *monitor.ShadowStack
+	var hang *monitor.HangGuard
+	if m.ShadowStack {
+		shadow = monitor.NewShadowStack()
+		plugins = append(plugins, shadow)
+	}
+	if m.MemoryFirewall {
+		plugins = append(plugins, monitor.NewMemoryFirewall())
+	}
+	if m.HeapGuard {
+		plugins = append(plugins, monitor.NewHeapGuard())
+	}
+	if m.FaultGuard {
+		plugins = append(plugins, monitor.NewFaultGuard())
+	}
+	if m.HangGuard {
+		hang = &monitor.HangGuard{Budget: m.HangBudget}
+		plugins = append(plugins, hang)
+	}
+	return plugins, shadow, hang
 }
 
 // PatchSpec is the declarative form of one deployed repair — the same
@@ -229,18 +269,7 @@ func Record(id string, img *image.Image, input []byte, deployed []PatchSpec, opt
 // newMachine assembles a machine with the monitor set, patches, and
 // optional tape attached.
 func newMachine(img *image.Image, input []byte, mons Monitors, patches []*vm.Patch, maxSteps uint64, tape *Tape) (*vm.VM, error) {
-	var plugins []vm.Plugin
-	var shadow *monitor.ShadowStack
-	if mons.ShadowStack {
-		shadow = monitor.NewShadowStack()
-		plugins = append(plugins, shadow)
-	}
-	if mons.MemoryFirewall {
-		plugins = append(plugins, monitor.NewMemoryFirewall())
-	}
-	if mons.HeapGuard {
-		plugins = append(plugins, monitor.NewHeapGuard())
-	}
+	plugins, shadow, hang := mons.Plugins()
 	cfg := vm.Config{
 		Image:    img,
 		Input:    input,
@@ -258,6 +287,9 @@ func newMachine(img *image.Image, input []byte, mons Monitors, patches []*vm.Pat
 	}
 	if shadow != nil {
 		shadow.Install(machine)
+	}
+	if hang != nil {
+		hang.Install(machine)
 	}
 	return machine, nil
 }

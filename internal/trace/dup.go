@@ -54,7 +54,7 @@ func applyWriteEffects(in isa.Inst, known map[isa.Reg]bool) {
 	case isa.MOVRR:
 		// Pure copy: A now holds B's (just-observed) value.
 		known[in.A] = true
-	case isa.LOAD, isa.LOADB, isa.POP:
+	case isa.LOAD, isa.LOADB, isa.LOADA, isa.POP:
 		// A holds exactly the value observed at this instruction's
 		// memval slot.
 		known[in.A] = true
@@ -63,6 +63,7 @@ func applyWriteEffects(in isa.Inst, known map[isa.Reg]bool) {
 		}
 	case isa.MOVRI, isa.LEA,
 		isa.ADDRR, isa.ADDRI, isa.SUBRR, isa.SUBRI, isa.MULRR, isa.MULRI,
+		isa.DIVRR, isa.MODRR,
 		isa.ANDRR, isa.ANDRI, isa.ORRR, isa.ORRI, isa.XORRR, isa.XORRI,
 		isa.SHLRI, isa.SHRRI, isa.SARRI, isa.SEXTB:
 		invalidate(in.A)

@@ -185,6 +185,12 @@ func (v *VM) condHolds(op isa.Op) bool {
 // error) keeps the termination path allocation-free.
 var errExit = errors.New("exit")
 
+// errDivZero is the arithmetic fault DIVRR/MODRR raise on a zero divisor.
+// Unguarded it terminates the run as a crash; monitor.FaultGuard checks
+// the divisor first and converts the would-be fault into a monitored
+// failure with stack provenance.
+var errDivZero = errors.New("integer divide by zero")
+
 // exec performs the instruction's semantics and returns the next PC.
 func (v *VM) exec(in isa.Inst, addr uint32, ctx *Ctx) (uint32, error) {
 	next := addr + isa.InstSize
@@ -231,6 +237,26 @@ func (v *VM) exec(in isa.Inst, addr uint32, ctx *Ctx) (uint32, error) {
 		regs[in.A] *= regs[in.B]
 	case isa.MULRI:
 		regs[in.A] *= uint32(in.Imm)
+	case isa.DIVRR:
+		if regs[in.B] == 0 {
+			return 0, errDivZero
+		}
+		regs[in.A] = uint32(int32(regs[in.A]) / int32(regs[in.B]))
+	case isa.MODRR:
+		if regs[in.B] == 0 {
+			return 0, errDivZero
+		}
+		regs[in.A] = uint32(int32(regs[in.A]) % int32(regs[in.B]))
+	case isa.LOADA:
+		a := v.effAddr(in)
+		if a&3 != 0 {
+			return 0, fmt.Errorf("unaligned 32-bit load at %#x", a)
+		}
+		val, err := v.Mem.Read32(a)
+		if err != nil {
+			return 0, err
+		}
+		regs[in.A] = val
 	case isa.ANDRR:
 		regs[in.A] &= regs[in.B]
 	case isa.ANDRI:
@@ -499,6 +525,13 @@ func (v *VM) Run() RunResult {
 	pc := v.CPU.PC
 	var prev *Block
 	for {
+		if v.hangBudget != 0 && v.steps >= v.hangBudget {
+			f := v.hangFail(pc, v.steps)
+			if f.Stack == nil {
+				f.Stack = v.snapshotStack()
+			}
+			return v.result(OutcomeFailure, 0, f, nil)
+		}
 		b, err := v.dispatch(prev, pc)
 		if err != nil {
 			return v.result(OutcomeCrash, 0, nil, &Crash{PC: pc, Reason: err.Error()})

@@ -196,6 +196,16 @@ type VM struct {
 	cov       *Coverage
 	lastBlock uint32
 
+	// Hang watch (monitor.HangGuard): when hangBudget is nonzero and the
+	// step count reaches it, the next code-cache dispatch — the same point
+	// that records edge coverage — terminates the run with the failure
+	// hangFail produces instead of executing the block. Checking at
+	// dispatch (not per instruction) keeps the watch off the hot loop and
+	// pins the failure location to a basic-block head, so every run of the
+	// same input fails at the same PC.
+	hangBudget uint64
+	hangFail   func(pc uint32, steps uint64) *Failure
+
 	stackLo, stackHi uint32
 }
 
@@ -259,6 +269,17 @@ func New(cfg Config) (*VM, error) {
 
 // SetStackProvider registers the shadow-stack snapshot source.
 func (v *VM) SetStackProvider(p StackProvider) { v.stack = p }
+
+// SetHangWatch arms the step-budget watchdog: once budget instructions
+// have executed, the next basic-block dispatch ends the run with the
+// failure fail produces (given the block's start PC and the step count).
+// A zero budget disarms the watch. monitor.HangGuard registers itself
+// here; the budget must stay below Config.MaxSteps or the ordinary
+// step-limit crash fires first.
+func (v *VM) SetHangWatch(budget uint64, fail func(pc uint32, steps uint64) *Failure) {
+	v.hangBudget = budget
+	v.hangFail = fail
+}
 
 // SetTransferValidator registers a validation check applied to
 // runtime-dispatched control transfers that do not correspond to a decoded

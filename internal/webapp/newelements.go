@@ -1,0 +1,111 @@
+package webapp
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// This file assembles the three extended-failure-class elements — the
+// defects the Red Team exercise would have targeted if the paper's
+// detector families had covered arithmetic faults and runaway loops:
+//
+//	0x0A SCALE [val u8] [bias u8]   divide-by-zero (FaultGuard)
+//	0x0B WALK  [cnt u8] [stride u8] unaligned table walk (FaultGuard)
+//	0x0C LOOP  [count u8] [step u8] non-terminating loop (HangGuard)
+//
+// Each defect is engineered so that exactly one of the new invariant
+// families corrects it: the SCALE divisor spans both signs in training
+// (lower bound below zero, one-of overflowed), so only the nonzero
+// invariant dies on the zero divisor; the WALK stride is always a
+// multiple of four (one-of overflowed, bound satisfied by the misaligned
+// stride), so only the modulus invariant corrects the walk; the LOOP
+// stride is derived from a biased byte whose raw values stay inside every
+// learned bound, so the zero stride violates only the nonzero invariant
+// on the loop's stride operand.
+
+// emitScaleHandler assembles the SCALE element (divide-by-zero): the
+// element scales a display value by a quality divisor derived from a
+// biased byte (den = bias - 8) that training never sets to 8. A page with
+// bias 8 yields divisor zero, and the unchecked DIVRR faults — FaultGuard
+// converts the fault into a monitored failure at site_divzero_div. The
+// correcting invariant is the divisor's nonzero (its lower bound is
+// negative, its one-of long dead), repaired by the nonzero-guard clamp to
+// the learned witness.
+func emitScaleHandler(a *asm.Assembler) {
+	a.Label("scale_render")
+	a.LoadB(isa.EDX, asm.M(isa.EBX, 1)) // display value
+	a.LoadB(isa.ECX, asm.M(isa.EBX, 2)) // bias byte
+	a.SubRI(isa.ECX, 8)                 // divisor = bias - 8 (mixed sign)
+	a.MovRR(isa.EAX, isa.EDX)
+	a.MulRI(isa.EAX, 16) // scaled = val * 16
+	a.Label("site_divzero_div")
+	a.DivRR(isa.EAX, isa.ECX) // the defect: divisor never validated
+	a.Push(isa.EAX)
+	a.MovRR(isa.EAX, isa.ESP)
+	a.MovRI(isa.ECX, 1)
+	a.Sys(isa.SysWrite)
+	a.Pop(isa.EAX)
+	a.MovRI(isa.EAX, 3)
+	a.Ret()
+}
+
+// emitWalkHandler assembles the WALK element (unaligned access): it scans
+// the constant word table with aligned loads at page-supplied strides.
+// Training strides are always word multiples; a stride of 6 lands the
+// second load on a misaligned address and LOADA faults — FaultGuard
+// reports the unaligned access at site_unaligned_load. The correcting
+// invariant is the stride's modulus (≡ 0 mod 4); the clamp-mod repair
+// rounds the stride back onto the learned alignment.
+func emitWalkHandler(a *asm.Assembler) {
+	a.Label("walk_render")
+	a.LoadB(isa.ECX, asm.M(isa.EBX, 1)) // word count
+	a.LoadB(isa.EDX, asm.M(isa.EBX, 2)) // stride in bytes
+	a.Load(isa.ESI, asm.M(isa.EBP, GlobWordTab))
+	a.MovRI(isa.EDI, 0) // offset
+	a.MovRI(isa.EAX, 0) // checksum accumulator
+	a.Label("site_unaligned_load")
+	a.LoadA(isa.EBX, asm.MX(isa.ESI, isa.EDI, 0, 0)) // the defect: offset unchecked
+	a.XorRR(isa.EAX, isa.EBX)
+	a.AddRR(isa.EDI, isa.EDX) // offset += stride
+	a.SubRI(isa.ECX, 1)
+	a.CmpRI(isa.ECX, 0)
+	a.Jg("site_unaligned_load")
+	a.Push(isa.EAX)
+	a.MovRR(isa.EAX, isa.ESP)
+	a.MovRI(isa.ECX, 1)
+	a.Sys(isa.SysWrite)
+	a.Pop(isa.EAX)
+	a.MovRI(isa.EAX, 3)
+	a.Ret()
+}
+
+// emitLoopHandler assembles the LOOP element (runaway loop): a countdown
+// whose stride is derived from a biased byte (stride = step - 16;
+// training steps 4..15 give strides -12..-1). A page with step 16 yields
+// stride zero: the count never decreases, the single-block loop spins
+// forever, and HangGuard's step budget fires at the loop head
+// (site_hang_loop). Every raw byte stays inside the learned bounds, so
+// the only violated invariant is the nonzero on the loop's stride
+// operand — the nonzero-guard clamp restores the learned progress and
+// doubles as the loop-bound clamp.
+func emitLoopHandler(a *asm.Assembler) {
+	a.Label("loop_render")
+	a.LoadB(isa.ECX, asm.M(isa.EBX, 1)) // iteration budget (countdown)
+	a.LoadB(isa.EDX, asm.M(isa.EBX, 2)) // step byte
+	a.SubRI(isa.EDX, 16)                // stride = step - 16 (negative in training)
+	a.Label("site_hang_stride")
+	a.MovRR(isa.ESI, isa.EDX) // stride observed pre-loop (the host_render idiom)
+	a.MovRI(isa.EAX, 0)       // iterations completed
+	a.Label("site_hang_loop")
+	a.AddRI(isa.EAX, 1)
+	a.AddRR(isa.ECX, isa.EDX) // the defect: stride never validated
+	a.CmpRI(isa.ECX, 0)
+	a.Jg("site_hang_loop")
+	a.Push(isa.EAX)
+	a.MovRR(isa.EAX, isa.ESP)
+	a.MovRI(isa.ECX, 1)
+	a.Sys(isa.SysWrite)
+	a.Pop(isa.EAX)
+	a.MovRI(isa.EAX, 3)
+	a.Ret()
+}

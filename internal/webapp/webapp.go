@@ -19,11 +19,17 @@
 //	0x07 ARRA   [idx s8]                                           (311710a)
 //	0x08 ARRB   [idx s8]                                           (311710b)
 //	0x09 ARRC   [idx s8]                                           (311710c)
+//	0x0A SCALE  [val] [bias]                                   (div-zero)
+//	0x0B WALK   [cnt] [stride]                                (unaligned)
+//	0x0C LOOP   [count] [step]                                (hang-loop)
 //
 // Each parenthesized number is the Firefox Bugzilla defect from the paper
 // that the element's handler reproduces structurally (same error class,
 // same propagation distance, same invariant that corrects it). See
-// DESIGN.md for the defect-by-defect mapping.
+// DESIGN.md for the defect-by-defect mapping. The last three elements are
+// the extended failure classes beyond the paper's exercise — arithmetic
+// faults and runaway loops, detected by FaultGuard and HangGuard (see
+// internal/webapp/newelements.go).
 //
 // Register conventions: render_page passes EBX = element pointer and
 // EBP = globals block to every handler; handlers return the number of
@@ -53,6 +59,7 @@ const (
 	GlobTableA   = 12 // widget table A (4 object pointers)
 	GlobTableB   = 16 // widget table B
 	GlobTableC   = 20 // widget table C
+	GlobWordTab  = 24 // constant word table the WALK element scans (64 bytes)
 )
 
 // App is the built application plus the metadata test harnesses and the
@@ -76,6 +83,7 @@ type Layout struct {
 	TableA   uint32 // widget table A (the 311710a target)
 	TableB   uint32
 	TableC   uint32
+	WordTab  uint32 // constant word table (the WALK element's scan target)
 }
 
 // heap layout constants mirroring internal/mem: a block of size s consumes
@@ -108,6 +116,7 @@ func computeLayout(heapBase uint32) Layout {
 	for i := 0; i < 4; i++ {
 		nextAlloc(&brk, 16)
 	}
+	l.WordTab = nextAlloc(&brk, 64)
 	return l
 }
 
@@ -123,6 +132,9 @@ func Build() (*App, error) {
 	emitUniHandler(a)
 	emitStrHandler(a)
 	emitArrHandlers(a)
+	emitScaleHandler(a)
+	emitWalkHandler(a)
+	emitLoopHandler(a)
 	code, labels, err := a.Assemble()
 	if err != nil {
 		return nil, fmt.Errorf("webapp: %w", err)
@@ -182,7 +194,10 @@ func emitMain(a *asm.Assembler) {
 	a.MovRI(isa.ECX, 64)
 	a.Store(asm.M(isa.EAX, 0), isa.ECX)
 
-	// Widget tables A/B/C, four widgets each.
+	// Widget tables A/B/C, four widgets each (emitted below), then the
+	// constant word table the WALK element scans: 16 words, every byte
+	// 0x51, so aligned and misaligned reads alike observe one constant
+	// value and the table contributes no data-dependent invariants.
 	for i, slot := range []int32{GlobTableA, GlobTableB, GlobTableC} {
 		a.MovRI(isa.EAX, 16)
 		a.Sys(isa.SysAlloc)
@@ -201,6 +216,18 @@ func emitMain(a *asm.Assembler) {
 			a.Store(asm.M(isa.ESI, w*4), isa.EDI)
 		}
 	}
+
+	a.MovRI(isa.EAX, 64)
+	a.Sys(isa.SysAlloc)
+	a.Store(asm.M(isa.EBP, GlobWordTab), isa.EAX)
+	a.MovRR(isa.ESI, isa.EAX)
+	a.MovRI(isa.ECX, 0x51515151)
+	a.MovRI(isa.EDX, 0)
+	a.Label("wordtab_fill")
+	a.Store(asm.MX(isa.ESI, isa.EDX, 0, 0), isa.ECX)
+	a.AddRI(isa.EDX, 4)
+	a.CmpRI(isa.EDX, 64)
+	a.Jl("wordtab_fill")
 
 	a.Label("mainloop")
 	a.Sys(isa.SysInAvail)
@@ -269,6 +296,9 @@ func emitRenderPage(a *asm.Assembler) {
 		{0x07, "arr_a"},
 		{0x08, "arr_b"},
 		{0x09, "arr_c"},
+		{0x0A, "scale_render"},
+		{0x0B, "walk_render"},
+		{0x0C, "loop_render"},
 	}
 	for _, d := range table {
 		a.CmpRI(isa.EAX, d.tag)
