@@ -12,6 +12,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/redteam"
 )
 
@@ -19,15 +20,26 @@ func main() {
 	exploitID := flag.String("exploit", "", "Bugzilla id of the exploit to run (empty = all)")
 	mode := flag.String("mode", "single", "single | variants | simultaneous")
 	max := flag.Int("max", 24, "maximum presentations")
+	profile := flag.Bool("profile", false, "trace pipeline stages and print the per-stage wall/on-CPU/blocked table")
 	flag.Parse()
 
-	if err := run(*exploitID, *mode, *max); err != nil {
+	if err := run(*exploitID, *mode, *max, *profile); err != nil {
 		fmt.Fprintln(os.Stderr, "redteam:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exploitID, mode string, max int) error {
+func run(exploitID, mode string, max int, profile bool) error {
+	var reg *obs.Registry
+	var tr *obs.Tracer
+	if profile {
+		reg = obs.New()
+		tr = obs.NewTracer(reg).WithPprofLabels()
+		defer func() {
+			snap := reg.Snapshot()
+			fmt.Printf("\n%s", obs.FormatStageTable(&snap))
+		}()
+	}
 	exploits := redteam.AllExploits()
 	selected := exploits
 	if exploitID != "" {
@@ -47,6 +59,7 @@ func run(exploitID, mode string, max int) error {
 		if err != nil {
 			return err
 		}
+		setup.Obs = tr
 		cv, err := setup.ClearView(1)
 		if err != nil {
 			return err
@@ -77,6 +90,7 @@ func run(exploitID, mode string, max int) error {
 		if err != nil {
 			return err
 		}
+		setup.Obs = tr
 		cv, err := setup.ClearView(ex.NeedsStackScope)
 		if err != nil {
 			return err

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/evaluate"
+	"repro/internal/obs"
 	"repro/internal/redteam"
 	"repro/internal/replay"
 	"repro/internal/vm"
@@ -29,15 +30,16 @@ func main() {
 	workers := flag.Int("workers", 0, "farm workers (0 = all CPUs)")
 	deadline := flag.Duration("deadline", 0, "wall-clock deadline per candidate replay (0 = unbounded)")
 	confirm := flag.Bool("confirm", false, "deploy the winning repair and confirm it survives a live presentation")
+	profile := flag.Bool("profile", false, "trace pipeline stages and print the per-stage wall/on-CPU/blocked table")
 	flag.Parse()
 
-	if err := run(*exploitID, *workers, *deadline, *confirm); err != nil {
+	if err := run(*exploitID, *workers, *deadline, *confirm, *profile); err != nil {
 		fmt.Fprintln(os.Stderr, "replay:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exploitID string, workers int, deadline time.Duration, confirm bool) error {
+func run(exploitID string, workers int, deadline time.Duration, confirm, profile bool) error {
 	var ex redteam.Exploit
 	found := false
 	for _, e := range redteam.AllExploits() {
@@ -78,6 +80,12 @@ func run(exploitID string, workers int, deadline time.Duration, confirm bool) er
 	fmt.Printf("  wire size  %d bytes (gob)\n", len(raw))
 
 	// Let the pipeline fast-path the whole case off this one presentation.
+	var reg *obs.Registry
+	var tr *obs.Tracer
+	if profile {
+		reg = obs.New()
+		tr = obs.NewTracer(reg).WithPprofLabels()
+	}
 	cv, err := core.New(core.Config{
 		Image:          setup.App.Image,
 		Invariants:     setup.DB,
@@ -87,6 +95,7 @@ func run(exploitID string, workers int, deadline time.Duration, confirm bool) er
 		ShadowStack:    true,
 		FaultGuard:     true,
 		HangGuard:      true,
+		Obs:            tr,
 		Replay:         &core.ReplayConfig{Workers: workers, Deadline: deadline},
 	})
 	if err != nil {
@@ -114,15 +123,19 @@ func run(exploitID string, workers int, deadline time.Duration, confirm bool) er
 	fmt.Printf("\nranked candidate repairs for %s:\n", fc.ID)
 	writeRankedTable(os.Stdout, fc.Evaluator, fc.Current)
 
-	if !confirm {
-		return nil
+	if confirm {
+		second := cv.Execute(attack)
+		if second.Outcome != vm.OutcomeExit || second.ExitCode != 0 {
+			return fmt.Errorf("live confirmation failed: %+v", second)
+		}
+		fmt.Printf("\nlive confirmation: attack survived under %s after 2 presentations (state %s)\n",
+			fc.CurrentRepairID(), fc.State)
 	}
-	second := cv.Execute(attack)
-	if second.Outcome != vm.OutcomeExit || second.ExitCode != 0 {
-		return fmt.Errorf("live confirmation failed: %+v", second)
+
+	if reg != nil {
+		snap := reg.Snapshot()
+		fmt.Printf("\n%s", obs.FormatStageTable(&snap))
 	}
-	fmt.Printf("\nlive confirmation: attack survived under %s after 2 presentations (state %s)\n",
-		fc.CurrentRepairID(), fc.State)
 	return nil
 }
 

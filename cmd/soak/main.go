@@ -11,6 +11,8 @@
 //	soak -adversaries 0 -churn=false  an immortal, honest population
 //	soak -exploits 290162,312278    choose the attack set
 //	soak -json                      emit the full report as JSON
+//	soak -profile                   per-stage wall/on-CPU/blocked table
+//	soak -metrics soak.json         full telemetry snapshot as JSON
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/community"
+	"repro/internal/obs"
 	"repro/internal/redteam"
 )
 
@@ -46,6 +49,9 @@ func main() {
 	joinPerRound := flag.Int("join-per-round", 5, "fresh nodes joined per round under -churn")
 	expanded := flag.Bool("expanded", false, "learn from the expanded corpus (§4.3.2)")
 	asJSON := flag.Bool("json", false, "emit the report as JSON instead of a table")
+	profile := flag.Bool("profile", false, "trace pipeline stages and print the per-stage wall/on-CPU/blocked table")
+	metrics := flag.String("metrics", "", "write the telemetry snapshot as JSON to this file (\"-\" = stdout)")
+	parallel := flag.Bool("parallel", true, "run member turns and aggregator flushes concurrently (false = deterministic serial rounds)")
 	flag.Parse()
 
 	conf := soakFlags{
@@ -54,6 +60,7 @@ func main() {
 		workers: *workers, scope: *scope, adversaries: *adversaries,
 		churn: *churn, crashPerRound: *crashPerRound, joinPerRound: *joinPerRound,
 		expanded: *expanded, asJSON: *asJSON,
+		profile: *profile, metricsPath: *metrics, parallel: *parallel,
 	}
 	if err := run(conf); err != nil {
 		fmt.Fprintln(os.Stderr, "soak:", err)
@@ -71,6 +78,9 @@ type soakFlags struct {
 	churn                       bool
 	crashPerRound, joinPerRound int
 	expanded, asJSON            bool
+	profile                     bool
+	metricsPath                 string
+	parallel                    bool
 }
 
 func run(f soakFlags) error {
@@ -122,14 +132,30 @@ func run(f soakFlags) error {
 		}
 	}
 
-	fmt.Fprintf(os.Stderr, "soaking %d nodes (%d aggregators, %d adversaries, churn: %v) x %d attacks (batched: %v)...\n",
-		f.nodes, f.aggregators, f.adversaries, f.churn, len(attacks), f.batch)
+	var reg *obs.Registry
+	if f.profile || f.metricsPath != "" {
+		reg = obs.New()
+		conf.Obs = reg
+		conf.PprofLabels = f.profile
+	}
+	// Parallel member turns and flushes create the real contended shape a
+	// deployed community has; they surrender run-to-run determinism, which
+	// only the convergence verdict (not any golden output) depends on here.
+	conf.ParallelMembers = f.parallel
+	conf.ParallelFlush = f.parallel
+
+	fmt.Fprintf(os.Stderr, "soaking %d nodes (%d aggregators, %d adversaries, churn: %v) x %d attacks (batched: %v, parallel: %v)...\n",
+		f.nodes, f.aggregators, f.adversaries, f.churn, len(attacks), f.batch, f.parallel)
 	start := time.Now()
 	rep, err := community.RunSoak(conf)
+	elapsed := time.Since(start)
 	if err != nil {
+		// The soak died mid-campaign. Emit whatever telemetry accumulated
+		// anyway — a partial per-stage table is exactly what diagnoses a
+		// hang or a convergence stall.
+		emitTelemetry(f, reg, elapsed)
 		return err
 	}
-	elapsed := time.Since(start)
 
 	if f.asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -137,6 +163,7 @@ func run(f soakFlags) error {
 		if err := enc.Encode(rep); err != nil {
 			return err
 		}
+		emitTelemetry(f, reg, elapsed)
 		return soakVerdict(rep, f.rounds)
 	}
 
@@ -153,7 +180,47 @@ func run(f soakFlags) error {
 	fmt.Printf("quarantined=%d (%v) quarantined_adoptions=%d\n",
 		len(rep.Quarantined), rep.Quarantined, rep.QuarantinedAdoptions)
 	fmt.Printf("converged=%v elapsed=%v\n", rep.Converged, elapsed.Round(time.Millisecond))
+	emitTelemetry(f, reg, elapsed)
 	return soakVerdict(rep, f.rounds)
+}
+
+// emitTelemetry prints the per-stage profile table (-profile) and writes
+// the JSON snapshot (-metrics). It runs on every exit path — success,
+// convergence failure, and mid-campaign error — so the telemetry is never
+// lost with the verdict.
+func emitTelemetry(f soakFlags, reg *obs.Registry, elapsed time.Duration) {
+	if reg == nil {
+		return
+	}
+	snap := reg.Snapshot()
+	if f.profile {
+		fmt.Println()
+		fmt.Print(obs.FormatStageTable(&snap))
+		if user, sys, ok := obs.ProcessCPU(); ok {
+			fmt.Printf("process: wall=%v cpu_user=%v cpu_sys=%v\n",
+				elapsed.Round(time.Millisecond), user.Round(time.Millisecond), sys.Round(time.Millisecond))
+		}
+		if top := obs.TopBlockedStage(&snap); top != nil && top.BlockedNs > 0 {
+			line := fmt.Sprintf("top blocked stage: %s (%.0f%% blocked", top.Name, 100*top.BlockedShare())
+			if pt := top.TopPoint(); pt != nil {
+				line += fmt.Sprintf(", mostly on %s", pt.Point)
+			}
+			fmt.Println(line + ")")
+		}
+	}
+	if f.metricsPath != "" {
+		data, err := json.MarshalIndent(&snap, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "soak: encoding metrics:", err)
+			return
+		}
+		data = append(data, '\n')
+		if f.metricsPath == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(f.metricsPath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "soak: writing metrics:", err)
+		}
+	}
 }
 
 // soakVerdict turns the report into the process exit status: the soak

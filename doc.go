@@ -57,6 +57,9 @@
 //	internal/evaluate   repair scoring and ranking
 //	internal/replay     deterministic record/replay + parallel patch farm
 //	                    + farm-backed report vetting (Farm.Vet)
+//	internal/obs        pipeline telemetry: metrics registry + stage spans
+//	                    with on-CPU/blocked accounting (nil-safe, zero-cost
+//	                    when disabled)
 //	internal/fuzz       coverage-guided exploit-variant fuzzer
 //	internal/core       the ClearView pipeline orchestrator
 //	internal/community  the two-tier community (pipe & TCP transports)

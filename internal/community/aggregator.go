@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/daikon"
 	"repro/internal/image"
+	"repro/internal/obs"
 	"repro/internal/replay"
 )
 
@@ -31,6 +32,12 @@ type AggregatorConfig struct {
 	// flush. Checks that need global state (observation provenance) or a
 	// replay farm (recording reproduction) remain the manager's.
 	VetReports bool
+
+	// Obs, when set, records aggregator telemetry into the tracer's
+	// registry: a span per member envelope (agg.handle) and per flush,
+	// with waits attributed to flushmu, agg.mu, and the upstream round
+	// trip. Nil disables tracing; counters stay live either way.
+	Obs *obs.Tracer
 }
 
 // Aggregator is the middle tier of the two-level community: it serves a
@@ -70,7 +77,6 @@ type Aggregator struct {
 	quarantined map[string]bool
 	newlyQuar   []string // edge verdicts not yet reported upstream
 	imgWire     []byte   // the protected image's wire form, for recording identity checks
-	rejects     int      // member-batch reports dropped for claiming a peer's identity
 
 	// epoch counts flush snapshots taken (takeLocked bumps it); state
 	// buffered at epoch e rides the NEXT snapshot, number e+1. delivered
@@ -83,10 +89,16 @@ type Aggregator struct {
 	epoch     uint64
 	delivered uint64 // see epoch
 
-	conns    map[Conn]bool // live member connections, for Close
-	closed   bool
-	upstream int // envelopes sent upstream (the number the hierarchy minimizes)
-	flushes  int
+	conns  map[Conn]bool // live member connections, for Close
+	closed bool
+
+	// Telemetry; see Manager's twin fields. The counters are atomics in
+	// reg, readable without a.mu.
+	tr        *obs.Tracer
+	reg       *obs.Registry
+	cUpstream *obs.Counter // envelopes sent upstream (the number the hierarchy minimizes)
+	cFlushes  *obs.Counter // completed flushes
+	cRejects  *obs.Counter // member-batch reports dropped for claiming a peer's identity
 }
 
 // NewAggregator builds an aggregator speaking to the manager over
@@ -101,6 +113,10 @@ func NewAggregator(conf AggregatorConfig) (*Aggregator, error) {
 	if conf.Upstream == nil {
 		return nil, fmt.Errorf("community: aggregator needs an upstream connection")
 	}
+	reg := conf.Obs.Registry()
+	if reg == nil {
+		reg = obs.New()
+	}
 	return &Aggregator{
 		conf:        conf,
 		nodes:       make(map[string]bool),
@@ -110,6 +126,11 @@ func NewAggregator(conf AggregatorConfig) (*Aggregator, error) {
 		quarantined: make(map[string]bool),
 		imgWire:     conf.Image.Marshal(),
 		conns:       make(map[Conn]bool),
+		tr:          conf.Obs,
+		reg:         reg,
+		cUpstream:   reg.Counter("agg.upstream"),
+		cFlushes:    reg.Counter("agg.flushes"),
+		cRejects:    reg.Counter("agg.rejects"),
 	}, nil
 }
 
@@ -154,8 +175,25 @@ func (a *Aggregator) Serve(conn Conn) error {
 // handle buffers one member message, flushes if the message made a flush
 // due, and answers from the directive cache. bound is the connection's
 // pinned sender identity (see bindSender).
+//
+// Handling is two-phase. decode does everything that needs no aggregator
+// state — gob decode, learn-database and recording unmarshal, the static
+// vet checks — on the member connection's own goroutine, outside every
+// lock. apply then takes a.mu only to fold the pre-decoded, pre-vetted
+// items into the flush buffers. Profiling the 1,000-node soak showed the
+// old single-phase shape (all decode work under a.mu) convoying every
+// member in a region behind whichever one was unmarshalling a batch:
+// agg.handle spent ~85% of its wall time blocked on agg.mu, and the
+// members' node.sync upstream waits were the same convoy seen from the
+// other side of the wire.
 func (a *Aggregator) handle(env Envelope, bound *string) (Envelope, error) {
-	nodeID, epoch, needFlush, err := a.buffer(env, bound)
+	sp := a.tr.Start("agg.handle")
+	defer sp.Finish()
+	msg, err := a.decode(env, bound, sp)
+	if err != nil {
+		return Envelope{}, err
+	}
+	nodeID, epoch, needFlush, err := a.apply(msg, sp)
 	if err != nil {
 		return Envelope{}, err
 	}
@@ -164,117 +202,150 @@ func (a *Aggregator) handle(env Envelope, bound *string) (Envelope, error) {
 			return Envelope{}, err
 		}
 	}
+	done := sp.Block("agg.mu")
 	a.mu.Lock()
+	done()
 	defer a.mu.Unlock()
 	return a.cachedDirectives(nodeID)
 }
 
-// buffer applies one member message to the flush buffers and reports
-// whether a flush is now due: the report buffer reached FlushEvery, or a
-// new member joined mid-campaign (it must be registered upstream before it
-// leaves with real directives — §3's protection without exposure must
-// survive the cache tier; cold-start attaches, before any flush, register
-// locally: the whole region is new and flushes soon anyway). The flush
-// itself happens back in handle, after a.mu is released, so members on
-// other connections never stall behind the upstream round trip; epoch is
-// the snapshot epoch the message was buffered under, letting that flush
-// skip the round trip when a concurrent one already swept the buffers
-// (see flushIfDue).
-func (a *Aggregator) buffer(env Envelope, bound *string) (nodeID string, epoch uint64, needFlush bool, err error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	epoch = a.epoch
+// decoded is one member envelope after the lock-free half of handling:
+// every payload unmarshalled, every static vet check already run. bad
+// flags carry the vet verdicts into apply, which executes them under a.mu
+// in arrival order — so the first bad item still quarantines the sender
+// and drops the rest of its batch, exactly as the single-phase shape did.
+type decoded struct {
+	kind   MsgKind
+	nodeID string
+
+	hello bool // MsgHello: registration, maybe a mid-campaign join
+
+	reports []vettedReport
+	dbs     []vettedDB
+	recs    []vettedRec
+}
+
+type vettedReport struct {
+	rep RunReport
+	bad bool // failed checkReportStatic
+}
+
+type vettedDB struct {
+	db  *daikon.DB
+	bad bool // failed checkLearnDBStatic
+}
+
+type vettedRec struct {
+	rec  *replay.Recording
+	raw  []byte
+	pc   uint32
+	skip bool // not a failing run: dropped silently, no verdict
+	bad  bool // failed checkRecordingStatic
+}
+
+// decode is handle's lock-free phase: unmarshal and statically vet one
+// member envelope using only immutable config (the image, VetReports) and
+// the connection-local sender binding. The one piece of mutable state it
+// reads is the sender's quarantine flag, through a short a.mu peek, so a
+// quarantined member's batch still costs the region a map lookup rather
+// than unmarshal work; the peek is advisory (apply re-checks under the
+// lock), it only avoids wasted decoding.
+func (a *Aggregator) decode(env Envelope, bound *string, sp *obs.Span) (decoded, error) {
 	switch env.Kind {
 	case MsgHello:
 		var h Hello
 		if err := decodePayload(env.Payload, &h); err != nil {
-			return "", 0, false, err
+			return decoded{}, err
 		}
 		if err := bindSender(bound, h.NodeID); err != nil {
-			return "", 0, false, err
+			return decoded{}, err
 		}
-		// Mid-campaign means a flush snapshot has been taken (epoch > 0),
-		// not that one has completed: a joiner arriving while the very
-		// first flush's round trip is in flight is already too late for
-		// its snapshot and needs a flush of its own.
-		_, known := a.nodes[h.NodeID]
-		a.nodes[h.NodeID] = true
-		return h.NodeID, epoch, !known && epoch > 0, nil
+		return decoded{kind: env.Kind, nodeID: h.NodeID, hello: true}, nil
 	case MsgRunReport:
 		var rep RunReport
 		if err := decodePayload(env.Payload, &rep); err != nil {
-			return "", 0, false, err
+			return decoded{}, err
 		}
 		if err := bindSender(bound, rep.NodeID); err != nil {
-			return "", 0, false, err
+			return decoded{}, err
 		}
-		a.nodes[rep.NodeID] = true
-		a.bufferReport(&rep)
-		return rep.NodeID, epoch, a.flushDueLocked(), nil
+		return decoded{kind: env.Kind, nodeID: rep.NodeID,
+			reports: []vettedReport{a.vetReport(&rep)}}, nil
 	case MsgLearnUpload:
 		var up LearnUpload
 		if err := decodePayload(env.Payload, &up); err != nil {
-			return "", 0, false, err
+			return decoded{}, err
 		}
 		if err := bindSender(bound, up.NodeID); err != nil {
-			return "", 0, false, err
+			return decoded{}, err
 		}
-		a.nodes[up.NodeID] = true
-		if err := a.bufferLearnDB(up.NodeID, up.DB); err != nil {
-			return "", 0, false, err
+		// The learn span covers the lock-free unmarshal+vet — the
+		// aggregator's share of the learning stage's work — and the
+		// quarantine drop too: a rejected upload is still the learning
+		// stage doing its (cheap) work.
+		lsp := a.tr.Start("learn")
+		defer lsp.Finish()
+		msg := decoded{kind: env.Kind, nodeID: up.NodeID}
+		if a.peekQuarantined(up.NodeID, sp) {
+			return msg, nil
 		}
-		return up.NodeID, epoch, false, nil
+		db, err := daikon.UnmarshalDB(up.DB)
+		if err != nil {
+			return decoded{}, err
+		}
+		msg.dbs = []vettedDB{a.vetDB(db)}
+		return msg, nil
 	case MsgRecording:
 		var up RecordingUpload
 		if err := decodePayload(env.Payload, &up); err != nil {
-			return "", 0, false, err
+			return decoded{}, err
 		}
 		if err := bindSender(bound, up.NodeID); err != nil {
-			return "", 0, false, err
+			return decoded{}, err
 		}
-		a.nodes[up.NodeID] = true
-		if err := a.bufferRecording(up.NodeID, up.Recording); err != nil {
-			return "", 0, false, err
+		msg := decoded{kind: env.Kind, nodeID: up.NodeID}
+		if a.peekQuarantined(up.NodeID, sp) {
+			return msg, nil
 		}
-		return up.NodeID, epoch, false, nil
+		rec, err := replay.Unmarshal(up.Recording)
+		if err != nil {
+			return decoded{}, err
+		}
+		msg.recs = []vettedRec{a.vetRecording(rec, up.Recording)}
+		return msg, nil
 	case MsgBatch:
 		var b Batch
 		if err := decodePayload(env.Payload, &b); err != nil {
-			return "", 0, false, err
+			return decoded{}, err
 		}
 		if batchAggregated(&b) {
-			return "", 0, false, fmt.Errorf("community: aggregator %s cannot relay an aggregated batch", a.conf.ID)
+			return decoded{}, fmt.Errorf("community: aggregator %s cannot relay an aggregated batch", a.conf.ID)
 		}
 		if err := bindSender(bound, b.NodeID); err != nil {
-			return "", 0, false, err
+			return decoded{}, err
 		}
-		if a.quarantined[b.NodeID] {
-			// The whole batch is from a quarantined member: ignored at
-			// map-lookup cost, before any payload is unmarshalled.
-			return b.NodeID, epoch, a.flushDueLocked(), nil
+		msg := decoded{kind: env.Kind, nodeID: b.NodeID}
+		if a.peekQuarantined(b.NodeID, sp) {
+			return msg, nil
 		}
 		// Decode every payload before buffering anything, mirroring the
 		// manager's handleBatch: a malformed item rejects the batch whole
 		// rather than shipping its earlier items upstream half-applied.
-		dbs := make([]*daikon.DB, 0, len(b.LearnDBs))
 		for _, raw := range b.LearnDBs {
+			lsp := a.tr.Start("learn")
 			db, err := daikon.UnmarshalDB(raw)
+			lsp.Finish()
 			if err != nil {
-				return "", 0, false, err
+				return decoded{}, err
 			}
-			dbs = append(dbs, db)
+			msg.dbs = append(msg.dbs, a.vetDB(db))
 		}
-		recs := make([]*replay.Recording, 0, len(b.Recordings))
 		for _, raw := range b.Recordings {
 			rec, err := replay.Unmarshal(raw)
 			if err != nil {
-				return "", 0, false, err
+				return decoded{}, err
 			}
-			recs = append(recs, rec)
-		}
-		a.nodes[b.NodeID] = true
-		for _, db := range dbs {
-			a.bufferLearnDecoded(b.NodeID, db)
+			msg.recs = append(msg.recs, a.vetRecording(rec, raw))
 		}
 		for i := range b.Reports {
 			if b.Reports[i].NodeID != b.NodeID {
@@ -283,18 +354,102 @@ func (a *Aggregator) buffer(env Envelope, bound *string) (nodeID string, epoch u
 				// under VetReports its sanity-check verdict would land on
 				// the named peer — and is dropped before any check can
 				// quarantine anyone.
-				a.rejects++
+				a.cRejects.Inc()
 				continue
 			}
-			a.bufferReport(&b.Reports[i])
+			msg.reports = append(msg.reports, a.vetReport(&b.Reports[i]))
 		}
-		for i, rec := range recs {
-			a.bufferRecordingDecoded(b.NodeID, rec, b.Recordings[i])
-		}
-		return b.NodeID, epoch, a.flushDueLocked(), nil
+		return msg, nil
 	default:
-		return "", 0, false, fmt.Errorf("community: aggregator %s: unexpected message %v", a.conf.ID, env.Kind)
+		return decoded{}, fmt.Errorf("community: aggregator %s: unexpected message %v", a.conf.ID, env.Kind)
 	}
+}
+
+// vetReport runs the static report check (when armed) outside a.mu.
+func (a *Aggregator) vetReport(rep *RunReport) vettedReport {
+	v := vettedReport{rep: *rep}
+	if a.conf.VetReports {
+		v.bad = checkReportStatic(a.conf.Image, rep) != ""
+	}
+	return v
+}
+
+// vetDB runs the static learning-database check (when armed) outside a.mu.
+func (a *Aggregator) vetDB(db *daikon.DB) vettedDB {
+	v := vettedDB{db: db}
+	if a.conf.VetReports {
+		v.bad = checkLearnDBStatic(a.conf.Image, db) != ""
+	}
+	return v
+}
+
+// vetRecording runs the static recording checks (when armed) outside a.mu.
+func (a *Aggregator) vetRecording(rec *replay.Recording, raw []byte) vettedRec {
+	v := vettedRec{rec: rec, raw: raw}
+	pc, ok := rec.FailurePC()
+	if !ok {
+		v.skip = true // only failing runs are worth upstream bytes
+		return v
+	}
+	v.pc = pc
+	if a.conf.VetReports {
+		v.bad = checkRecordingStatic(a.conf.Image, a.imgWire, rec, pc) != ""
+	}
+	return v
+}
+
+// peekQuarantined reads the sender's quarantine flag under a short a.mu
+// hold. Advisory only — see decode.
+func (a *Aggregator) peekQuarantined(nodeID string, sp *obs.Span) bool {
+	done := sp.Block("agg.mu")
+	a.mu.Lock()
+	done()
+	q := a.quarantined[nodeID]
+	a.mu.Unlock()
+	return q
+}
+
+// apply is handle's locked phase: fold one decoded envelope into the
+// flush buffers and report whether a flush is now due — the report buffer
+// reached FlushEvery, or a new member joined mid-campaign (it must be
+// registered upstream before it leaves with real directives — §3's
+// protection without exposure must survive the cache tier; cold-start
+// attaches, before any flush, register locally: the whole region is new
+// and flushes soon anyway). The flush itself happens back in handle,
+// after a.mu is released, so members on other connections never stall
+// behind the upstream round trip; epoch is the snapshot epoch the message
+// was buffered under, letting that flush skip the round trip when a
+// concurrent one already swept the buffers (see flushIfDue).
+func (a *Aggregator) apply(msg decoded, sp *obs.Span) (nodeID string, epoch uint64, needFlush bool, err error) {
+	done := sp.Block("agg.mu")
+	a.mu.Lock()
+	done()
+	defer a.mu.Unlock()
+	epoch = a.epoch
+	if msg.hello {
+		// Mid-campaign means a flush snapshot has been taken (epoch > 0),
+		// not that one has completed: a joiner arriving while the very
+		// first flush's round trip is in flight is already too late for
+		// its snapshot and needs a flush of its own.
+		_, known := a.nodes[msg.nodeID]
+		a.nodes[msg.nodeID] = true
+		return msg.nodeID, epoch, !known && epoch > 0, nil
+	}
+	a.nodes[msg.nodeID] = true
+	for i := range msg.dbs {
+		a.bufferLearnVetted(msg.nodeID, &msg.dbs[i])
+	}
+	for i := range msg.reports {
+		a.bufferReportVetted(msg.nodeID, &msg.reports[i])
+	}
+	for i := range msg.recs {
+		a.bufferRecordingVetted(msg.nodeID, &msg.recs[i])
+	}
+	due := false
+	if msg.kind == MsgRunReport || msg.kind == MsgBatch {
+		due = a.flushDueLocked()
+	}
+	return msg.nodeID, epoch, due, nil
 }
 
 // cachedDirectives answers a member from the per-node cache. A member the
@@ -311,102 +466,59 @@ func (a *Aggregator) cachedDirectives(nodeID string) (Envelope, error) {
 	return NewEnvelope(MsgDirectives, d)
 }
 
-// bufferReport queues one run report for the next flush, dropping it if
-// the sender is quarantined or the report fails the edge checks. Called
-// with a.mu held.
-func (a *Aggregator) bufferReport(rep *RunReport) {
-	if a.quarantined[rep.NodeID] {
-		return
-	}
-	if a.conf.VetReports {
-		if reason := checkReportStatic(a.conf.Image, rep); reason != "" {
-			a.quarantineLocked(rep.NodeID)
-			return
-		}
-	}
-	a.reports = append(a.reports, *rep)
-}
-
-// bufferLearnDB decodes and folds one member's learning upload into the
-// region database. A quarantined sender's payload is dropped before the
-// decode: its traffic must cost the region a map lookup, not unmarshal
-// work under a.mu. Called with a.mu held.
-func (a *Aggregator) bufferLearnDB(nodeID string, raw []byte) error {
-	if a.quarantined[nodeID] {
-		return nil
-	}
-	db, err := daikon.UnmarshalDB(raw)
-	if err != nil {
-		return err
-	}
-	a.bufferLearnDecoded(nodeID, db)
-	return nil
-}
-
-// bufferLearnDecoded is bufferLearnDB's apply half, for callers that
-// decode up front (a member batch is decoded whole before any of it is
-// buffered, so a malformed item rejects the batch rather than leaving it
-// half-applied). Called with a.mu held.
-func (a *Aggregator) bufferLearnDecoded(nodeID string, db *daikon.DB) {
+// bufferReportVetted queues one pre-vetted run report for the next flush,
+// dropping it if the sender is quarantined and executing a failed vet
+// verdict. Called with a.mu held.
+func (a *Aggregator) bufferReportVetted(nodeID string, v *vettedReport) {
 	if a.quarantined[nodeID] {
 		return
 	}
-	if a.conf.VetReports {
-		if reason := checkLearnDBStatic(a.conf.Image, db); reason != "" {
-			a.quarantineLocked(nodeID)
-			return
-		}
+	if v.bad {
+		a.quarantineLocked(nodeID)
+		return
+	}
+	a.reports = append(a.reports, v.rep)
+}
+
+// bufferLearnVetted folds one pre-decoded, pre-vetted learning upload into
+// the region database. Called with a.mu held.
+func (a *Aggregator) bufferLearnVetted(nodeID string, v *vettedDB) {
+	if a.quarantined[nodeID] {
+		return
+	}
+	if v.bad {
+		a.quarantineLocked(nodeID)
+		return
 	}
 	if a.learn == nil {
-		a.learn = db
+		a.learn = v.db
 	} else {
-		a.learn.Merge(db, daikon.DefaultMaxOneOf)
+		a.learn.Merge(v.db, daikon.DefaultMaxOneOf)
 	}
 	a.learnCount++
 }
 
-// bufferRecording decodes and queues one failing-run recording. A
-// quarantined sender's payload is dropped before the decode (see
-// bufferLearnDB). Called with a.mu held.
-func (a *Aggregator) bufferRecording(nodeID string, raw []byte) error {
-	if a.quarantined[nodeID] {
-		return nil
-	}
-	rec, err := replay.Unmarshal(raw)
-	if err != nil {
-		return err
-	}
-	a.bufferRecordingDecoded(nodeID, rec, raw)
-	return nil
-}
-
-// bufferRecordingDecoded queues one decoded failing-run recording (raw is
-// its wire form, forwarded upstream verbatim), deduplicating per failure
-// location — the first capture wins; the manager's farm only needs one
-// copy of a deterministic failure. Called with a.mu held.
-func (a *Aggregator) bufferRecordingDecoded(nodeID string, rec *replay.Recording, raw []byte) {
-	if a.quarantined[nodeID] {
+// bufferRecordingVetted queues one pre-decoded, pre-vetted failing-run
+// recording (v.raw is its wire form, forwarded upstream verbatim),
+// deduplicating per failure location — the first capture wins; the
+// manager's farm only needs one copy of a deterministic failure. The edge
+// ran every static recording check outside the lock (replays are the
+// manager's): a recording of some other binary, one claiming an
+// out-of-range failure, or one with an implausible step budget never
+// travels upstream. Called with a.mu held.
+func (a *Aggregator) bufferRecordingVetted(nodeID string, v *vettedRec) {
+	if a.quarantined[nodeID] || v.skip {
 		return
 	}
-	pc, ok := rec.FailurePC()
-	if !ok {
-		return // only failing runs are worth upstream bytes
-	}
-	if a.conf.VetReports {
-		// The edge runs every static recording check (replays are the
-		// manager's): a recording of some other binary, one claiming an
-		// out-of-range failure, or one with an implausible step budget
-		// never travels upstream.
-		if checkRecordingStatic(a.conf.Image, a.imgWire, rec, pc) != "" {
-			a.quarantineLocked(nodeID)
-			return
-		}
-	}
-	if _, dup := a.recRaw[pc]; dup {
+	if v.bad {
+		a.quarantineLocked(nodeID)
 		return
 	}
-	a.recRaw[pc] = raw
-	a.recFrom[pc] = nodeID
+	if _, dup := a.recRaw[v.pc]; dup {
+		return
+	}
+	a.recRaw[v.pc] = v.raw
+	a.recFrom[v.pc] = nodeID
 }
 
 // quarantineLocked records an edge verdict: the node's traffic is dropped
@@ -531,9 +643,13 @@ func (snap *flushSnapshot) batch(aggID string) (Batch, error) {
 // applied the batch, and re-sending it would double-count the region's
 // runs and detections upstream.
 func (a *Aggregator) Flush() error {
+	sp := a.tr.Start("flush")
+	defer sp.Finish()
+	done := sp.Block("flushmu")
 	a.flushMu.Lock()
+	done()
 	defer a.flushMu.Unlock()
-	return a.flushHoldingFlushMu()
+	return a.flushHoldingFlushMu(sp)
 }
 
 // flushIfDue is the auto-flush entry point (FlushEvery reached, or a
@@ -548,21 +664,29 @@ func (a *Aggregator) Flush() error {
 // Send restored the buffers, and a lost reply left the cache stale, so in
 // either case the due flush must still run.
 func (a *Aggregator) flushIfDue(epoch uint64) error {
+	sp := a.tr.Start("flush")
+	defer sp.Finish()
+	done := sp.Block("flushmu")
 	a.flushMu.Lock()
+	done()
 	defer a.flushMu.Unlock()
+	done = sp.Block("agg.mu")
 	a.mu.Lock()
+	done()
 	carried := a.delivered > epoch
 	a.mu.Unlock()
 	if carried {
 		return nil
 	}
-	return a.flushHoldingFlushMu()
+	return a.flushHoldingFlushMu(sp)
 }
 
 // flushHoldingFlushMu is Flush's body. Called with a.flushMu held (and
 // a.mu NOT held).
-func (a *Aggregator) flushHoldingFlushMu() error {
+func (a *Aggregator) flushHoldingFlushMu(sp *obs.Span) error {
+	done := sp.Block("agg.mu")
 	a.mu.Lock()
+	done()
 	if a.closed {
 		a.mu.Unlock()
 		return fmt.Errorf("community: aggregator %s is closed", a.conf.ID)
@@ -581,16 +705,20 @@ func (a *Aggregator) flushHoldingFlushMu() error {
 		a.restore(snap)
 		return err
 	}
-	if err := a.conf.Upstream.Send(env); err != nil {
+	// The whole upstream round trip — send, the manager's work, the
+	// DirectivesSet reply — is this goroutine waiting on the wire.
+	var sendErr error
+	sp.BlockFor("upstream", func() { sendErr = a.conf.Upstream.Send(env) })
+	if sendErr != nil {
 		a.restore(snap)
-		return err
+		return sendErr
 	}
-	a.mu.Lock()
-	a.upstream++
-	a.mu.Unlock()
-	reply, err := a.conf.Upstream.Recv()
-	if err != nil {
-		return err
+	a.cUpstream.Inc()
+	var reply Envelope
+	var recvErr error
+	sp.BlockFor("upstream", func() { reply, recvErr = a.conf.Upstream.Recv() })
+	if recvErr != nil {
+		return recvErr
 	}
 	if reply.Kind != MsgDirectivesSet {
 		return fmt.Errorf("community: aggregator %s: unexpected reply %v", a.conf.ID, reply.Kind)
@@ -600,7 +728,9 @@ func (a *Aggregator) flushHoldingFlushMu() error {
 		return err
 	}
 
+	done = sp.Block("agg.mu")
 	a.mu.Lock()
+	done()
 	for id, d := range set.ByNode {
 		a.dirs[id] = d
 	}
@@ -612,7 +742,7 @@ func (a *Aggregator) flushHoldingFlushMu() error {
 	// again — a near-empty envelope, never a double-send, because the
 	// buffers stay cleared.
 	a.delivered = snapEpoch
-	a.flushes++
+	a.cFlushes.Inc()
 	a.mu.Unlock()
 	return nil
 }
@@ -620,16 +750,17 @@ func (a *Aggregator) flushHoldingFlushMu() error {
 // UpstreamEnvelopes returns how many envelopes this aggregator has sent to
 // the manager — the count the hierarchy exists to keep small.
 func (a *Aggregator) UpstreamEnvelopes() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.upstream
+	return int(a.cUpstream.Value())
 }
 
 // Flushes returns how many flushes have completed.
 func (a *Aggregator) Flushes() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.flushes
+	return int(a.cFlushes.Value())
+}
+
+// ObsSnapshot captures the aggregator's telemetry without taking a.mu.
+func (a *Aggregator) ObsSnapshot() obs.Snapshot {
+	return a.reg.Snapshot()
 }
 
 // Members returns the sorted IDs of every member node seen.
@@ -647,9 +778,7 @@ func (a *Aggregator) Members() []string {
 // Rejects returns how many member-batch reports were dropped for claiming
 // a NodeID other than the sending member's own (attempted framing).
 func (a *Aggregator) Rejects() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.rejects
+	return int(a.cRejects.Value())
 }
 
 // QuarantinedNodes returns the sorted IDs of members quarantined at this

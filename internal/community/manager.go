@@ -14,6 +14,7 @@ import (
 	"repro/internal/evaluate"
 	"repro/internal/image"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/repair"
 	"repro/internal/replay"
 	"repro/internal/vm"
@@ -85,6 +86,15 @@ type ManagerConfig struct {
 	// the paper's management console provisions its secure channel (see
 	// ARCHITECTURE.md's divergences).
 	TrustedAggregators []string
+
+	// Obs, when set, records pipeline telemetry into the tracer's
+	// registry: a stage span per envelope and per pipeline phase (vet,
+	// farm, correlate, learn, evaluate, adopt), with lock and semaphore
+	// waits attributed to named blocking points. Nil disables tracing;
+	// the manager still keeps its counters (Messages, Batches, Rejects,
+	// Uploads, ReplayRuns) in a private registry so the accessors and
+	// ObsSnapshot work either way.
+	Obs *obs.Tracer
 }
 
 // caseState is the manager-side failure-location state machine, mirroring
@@ -171,10 +181,8 @@ type Manager struct {
 
 	nodes     map[string]int // node id -> learning shard
 	nextShard int
-	uploads   int
 
 	recordings map[uint32]*replay.Recording // latest failing recording per location
-	replayRuns int
 	// vetSem bounds concurrent vet replays across ALL connections (vetting
 	// runs outside m.mu, so without it N senders could each spin up a full
 	// farm's worth of replay goroutines at once).
@@ -186,10 +194,19 @@ type Manager struct {
 	quarantined map[string]string
 	trustedAggs map[string]bool // nil = any sender may aggregate
 	imgWire     []byte          // the protected image's wire form, for recording identity checks
-	rejects     int             // inputs rejected without node attribution
 
-	messages int // envelopes handled
-	batches  int // MsgBatch envelopes among them
+	// Telemetry. tr is nil when tracing is disabled; reg always exists so
+	// the counters below are live atomics either way, readable without
+	// m.mu (the counter accessors and ObsSnapshot are race-safe by
+	// construction).
+	tr          *obs.Tracer
+	reg         *obs.Registry
+	cMessages   *obs.Counter // envelopes handled
+	cBatches    *obs.Counter // MsgBatch envelopes among them
+	cRejects    *obs.Counter // inputs rejected without node attribution
+	cUploads    *obs.Counter // learning uploads merged
+	cReplayRuns *obs.Counter // offline replays run by the fast path
+	cAdoptions  *obs.Counter // case transitions into StatePatched
 }
 
 // NewManager builds and bootstraps a manager.
@@ -207,6 +224,10 @@ func NewManager(conf ManagerConfig) (*Manager, error) {
 	if vetWorkers <= 0 {
 		vetWorkers = runtime.GOMAXPROCS(0)
 	}
+	reg := conf.Obs.Registry()
+	if reg == nil {
+		reg = obs.New()
+	}
 	m := &Manager{
 		conf:        conf,
 		inv:         conf.Seed,
@@ -217,6 +238,14 @@ func NewManager(conf ManagerConfig) (*Manager, error) {
 		quarantined: make(map[string]string),
 		imgWire:     conf.Image.Marshal(),
 		vetSem:      make(chan struct{}, vetWorkers),
+		tr:          conf.Obs,
+		reg:         reg,
+		cMessages:   reg.Counter("mgr.messages"),
+		cBatches:    reg.Counter("mgr.batches"),
+		cRejects:    reg.Counter("mgr.rejects"),
+		cUploads:    reg.Counter("mgr.uploads"),
+		cReplayRuns: reg.Counter("mgr.replay_runs"),
+		cAdoptions:  reg.Counter("mgr.adoptions"),
 	}
 	if len(conf.TrustedAggregators) > 0 {
 		m.trustedAggs = make(map[string]bool, len(conf.TrustedAggregators))
@@ -250,9 +279,14 @@ func (m *Manager) InvariantCount() int {
 
 // Uploads returns how many learning uploads have been merged.
 func (m *Manager) Uploads() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.uploads
+	return int(m.cUploads.Value())
+}
+
+// ObsSnapshot captures the manager's telemetry — counters and, when a
+// tracer was configured, per-stage wall/blocked accounting — without
+// taking m.mu, so it is safe to call from any goroutine at any time.
+func (m *Manager) ObsSnapshot() obs.Snapshot {
+	return m.reg.Snapshot()
 }
 
 // CaseStates returns the state of every failure case by location.
@@ -290,9 +324,9 @@ func (m *Manager) Serve(conn Conn) error {
 }
 
 func (m *Manager) handle(env Envelope, bound *string) (Envelope, error) {
-	m.mu.Lock()
-	m.messages++
-	m.mu.Unlock()
+	m.cMessages.Inc()
+	sp := m.tr.Start("mgr.handle")
+	defer sp.Finish()
 	switch env.Kind {
 	case MsgHello:
 		var h Hello
@@ -302,7 +336,9 @@ func (m *Manager) handle(env Envelope, bound *string) (Envelope, error) {
 		if err := bindSender(bound, h.NodeID); err != nil {
 			return Envelope{}, err
 		}
+		done := sp.Block("mgr.mu")
 		m.mu.Lock()
+		done()
 		m.registerLocked(h.NodeID)
 		m.mu.Unlock()
 		return m.directivesFor(h.NodeID)
@@ -348,7 +384,7 @@ func (m *Manager) handle(env Envelope, bound *string) (Envelope, error) {
 		if err := bindSender(bound, b.NodeID); err != nil {
 			return Envelope{}, err
 		}
-		if err := m.handleBatch(&b); err != nil {
+		if err := m.handleBatch(&b, sp); err != nil {
 			return Envelope{}, err
 		}
 		if batchAggregated(&b) {
@@ -388,6 +424,8 @@ func (m *Manager) isQuarantined(nodeID string) bool {
 // mergeLearnDB folds one serialized node database into the community
 // database, attributing it to nodeID for quarantine purposes.
 func (m *Manager) mergeLearnDB(nodeID string, raw []byte) error {
+	sp := m.tr.Start("learn")
+	defer sp.Finish()
 	if m.isQuarantined(nodeID) {
 		return nil
 	}
@@ -395,7 +433,9 @@ func (m *Manager) mergeLearnDB(nodeID string, raw []byte) error {
 	if err != nil {
 		return err
 	}
+	done := sp.Block("mgr.mu")
 	m.mu.Lock()
+	done()
 	m.mergeDBFrom(nodeID, db)
 	m.mu.Unlock()
 	return nil
@@ -412,7 +452,7 @@ func (m *Manager) mergeDBFrom(nodeID string, db *daikon.DB) {
 	if m.conf.VetReports {
 		if reason := m.checkLearnDB(db); reason != "" {
 			if nodeID == "" {
-				m.rejects++
+				m.cRejects.Inc()
 			} else {
 				m.quarantineLocked(nodeID, reason)
 			}
@@ -429,7 +469,7 @@ func (m *Manager) mergeDB(db *daikon.DB) {
 	} else {
 		m.inv.Merge(db, daikon.DefaultMaxOneOf)
 	}
-	m.uploads++
+	m.cUploads.Inc()
 }
 
 // ingestRecordings stores failing-run recordings (latest wins per failure
@@ -462,12 +502,19 @@ func (m *Manager) ingestRecordings(nodeID string, raws [][]byte) error {
 // stall the vetter delays only the connection that shipped it, never every
 // other connection the manager is serving.
 func (m *Manager) ingestDecoded(recs []*replay.Recording, senders []string) {
+	if len(recs) == 0 {
+		return
+	}
 	type vetJob struct {
 		rec    *replay.Recording
 		sender string
 		pc     uint32
 	}
+	sp := m.tr.Start("record")
+	defer sp.Finish()
+	done := sp.Block("mgr.mu")
 	m.mu.Lock()
+	done()
 	pend := make([]vetJob, 0, len(recs))
 	for i, rec := range recs {
 		sender := ""
@@ -486,7 +533,7 @@ func (m *Manager) ingestDecoded(recs []*replay.Recording, senders []string) {
 				m.quarantineLocked(sender, reason)
 				continue
 			}
-			m.replayRuns++
+			m.cReplayRuns.Inc()
 		}
 		pend = append(pend, vetJob{rec, sender, pc})
 	}
@@ -509,15 +556,23 @@ func (m *Manager) ingestDecoded(recs []*replay.Recording, senders []string) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
+				vsp := m.tr.Start("vet")
+				defer vsp.Finish()
+				wait := vsp.Block("vetsem")
 				m.vetSem <- struct{}{}
+				wait()
 				defer func() { <-m.vetSem }()
 				verdicts[i] = farm.Vet(pend[i].rec)
 			}(i)
 		}
-		wg.Wait()
+		// The span owner parks here while the vet goroutines drain: that
+		// wait is this stage's fan-out cost, not CPU work.
+		sp.BlockFor("vet.fanout", wg.Wait)
 	}
 
+	done = sp.Block("mgr.mu")
 	m.mu.Lock()
+	done()
 	var pcs []uint32
 	seen := make(map[uint32]bool)
 	for i := range pend {
@@ -552,7 +607,7 @@ const vetDeadline = 5 * time.Second
 // Concurrency is bounded by m.vetSem at the call sites (per-Vet tokens,
 // shared across connections), not by Farm.Workers.
 func (m *Manager) vetFarm() *replay.Farm {
-	return &replay.Farm{Deadline: vetDeadline}
+	return &replay.Farm{Deadline: vetDeadline, Obs: m.tr}
 }
 
 // aggregatorTrusted reports whether a sender may speak for other nodes.
@@ -585,7 +640,7 @@ func batchAggregated(b *Batch) bool {
 // sender's own is a framing attempt (under VetReports it could quarantine
 // the named peer, or credit it with an adoption) and is dropped, counted
 // in Rejects.
-func (m *Manager) handleBatch(b *Batch) error {
+func (m *Manager) handleBatch(b *Batch, sp *obs.Span) error {
 	aggregated := batchAggregated(b)
 	if aggregated && !m.aggregatorTrusted(b.NodeID) {
 		return fmt.Errorf("community: %q is not a trusted aggregator", b.NodeID)
@@ -595,9 +650,7 @@ func (m *Manager) handleBatch(b *Batch) error {
 		// map-lookup cost, before any payload is unmarshalled. (The
 		// locked section below re-checks, in case quarantine lands
 		// between here and there.)
-		m.mu.Lock()
-		m.batches++
-		m.mu.Unlock()
+		m.cBatches.Inc()
 		return nil
 	}
 
@@ -648,9 +701,11 @@ func (m *Manager) handleBatch(b *Batch) error {
 		}
 	}
 
+	done := sp.Block("mgr.mu")
 	m.mu.Lock()
-	m.batches++
-	m.rejects += unattributed + misattributed
+	done()
+	m.cBatches.Inc()
+	m.cRejects.Add(int64(unattributed + misattributed))
 	if !aggregated && m.quarantined[b.NodeID] != "" {
 		m.mu.Unlock()
 		return nil // the whole batch is from a quarantined node
@@ -668,12 +723,18 @@ func (m *Manager) handleBatch(b *Batch) error {
 		// aggregator's edge checks' to catch).
 		dbSender = ""
 	}
-	for _, db := range dbs {
-		m.mergeDBFrom(dbSender, db)
+	if len(dbs) > 0 {
+		lsp := m.tr.Start("learn")
+		for _, db := range dbs {
+			m.mergeDBFrom(dbSender, db)
+		}
+		lsp.Finish()
 	}
+	esp := m.tr.Start("evaluate")
 	for i := range reports {
 		m.processReportLocked(&reports[i])
 	}
+	esp.Finish()
 	m.mu.Unlock()
 	m.ingestDecoded(recs, senders)
 	return nil
@@ -682,7 +743,11 @@ func (m *Manager) handleBatch(b *Batch) error {
 // processReport advances every failure case with one node run, following
 // the same rules as the single-machine pipeline.
 func (m *Manager) processReport(rep *RunReport) {
+	sp := m.tr.Start("evaluate")
+	defer sp.Finish()
+	done := sp.Block("mgr.mu")
 	m.mu.Lock()
+	done()
 	defer m.mu.Unlock()
 	m.processReportLocked(rep)
 }
@@ -690,7 +755,7 @@ func (m *Manager) processReport(rep *RunReport) {
 // processReportLocked is processReport's body. Called with m.mu held.
 func (m *Manager) processReportLocked(rep *RunReport) {
 	if rep.NodeID == "" {
-		m.rejects++ // anonymous reports have no accountable sender
+		m.cRejects.Inc() // anonymous reports have no accountable sender
 		return
 	}
 	if m.quarantined[rep.NodeID] != "" {
@@ -768,6 +833,7 @@ func (m *Manager) processReportLocked(rep *RunReport) {
 					c.current = entry
 					c.assigned = nil
 					c.adoptedBy = rep.NodeID
+					m.cAdoptions.Inc()
 				}
 			}
 		}
@@ -804,6 +870,8 @@ func (m *Manager) openCase(f *FailureInfo) {
 }
 
 func (m *Manager) finishChecking(c *caseState) {
+	sp := m.tr.Start("correlate")
+	defer sp.Finish()
 	m.seq++
 	c.phaseSeq = m.seq
 	corr := correlate.Classify(c.runs)
@@ -856,6 +924,8 @@ func (m *Manager) replayFastPath(pc uint32) {
 	if c == nil || rec == nil {
 		return
 	}
+	sp := m.tr.Start("farm")
+	defer sp.Finish()
 	if c.state == core.StateChecking {
 		cs := correlate.BuildCheckSet(c.id, c.cands)
 		for c.detected < m.conf.CheckRuns {
@@ -864,20 +934,20 @@ func (m *Manager) replayFastPath(pc uint32) {
 			if err != nil {
 				return
 			}
-			obs := cs.DrainRun()
+			runObs := cs.DrainRun()
 			if res.Failure == nil || res.Failure.PC != c.pc {
 				return // replay does not reproduce: leave it to live runs
 			}
 			c.detected++
-			c.runs = append(c.runs, correlate.RunLog{Detected: true, Obs: obs})
-			m.replayRuns++
+			c.runs = append(c.runs, correlate.RunLog{Detected: true, Obs: runObs})
+			m.cReplayRuns.Inc()
 		}
 		m.finishChecking(c)
 	}
 	if c.state != core.StateEvaluating || c.evaluator == nil || len(c.repairs) == 0 {
 		return
 	}
-	m.farmSeed(c, rec)
+	m.farmSeed(c, rec, sp)
 }
 
 // farmSeed judges every candidate repair against the recording and folds
@@ -888,15 +958,20 @@ func (m *Manager) replayFastPath(pc uint32) {
 // runs under m.mu: a candidate whose replay overruns it yields an Err
 // verdict, which replay.Apply skips — no evidence either way, live
 // evaluation decides.
-func (m *Manager) farmSeed(c *caseState, rec *replay.Recording) {
+func (m *Manager) farmSeed(c *caseState, rec *replay.Recording, sp *obs.Span) {
 	workers := m.conf.ReplayWorkers
 	if workers < 0 {
 		workers = 0 // Farm interprets 0 as GOMAXPROCS
 	}
-	farm := &replay.Farm{Workers: workers, Deadline: vetDeadline}
+	farm := &replay.Farm{Workers: workers, Deadline: vetDeadline, Obs: m.tr}
+	// The calling goroutine parks on the farm's result channel while the
+	// workers replay; under m.mu that park is the convoy the stage table
+	// exists to expose, so it is attributed explicitly.
+	wait := sp.Block("farm.fanout")
 	verdicts := farm.Evaluate(rec, c.id, c.repairs)
+	wait()
 	replay.Apply(verdicts, c.evaluator)
-	m.replayRuns += len(verdicts)
+	m.cReplayRuns.Add(int64(len(verdicts)))
 	m.seq++
 	c.phaseSeq = m.seq
 	c.assigned = nil
@@ -917,24 +992,18 @@ func (m *Manager) RecordingCount() int {
 
 // ReplayRuns returns how many offline replays the fast path has executed.
 func (m *Manager) ReplayRuns() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.replayRuns
+	return int(m.cReplayRuns.Value())
 }
 
 // Messages returns how many envelopes the manager has handled — the cost
 // the batching protocol amortizes.
 func (m *Manager) Messages() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.messages
+	return int(m.cMessages.Value())
 }
 
 // Batches returns how many MsgBatch envelopes were among the messages.
 func (m *Manager) Batches() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.batches
+	return int(m.cBatches.Value())
 }
 
 // quarantineLocked marks a node as untrusted; its traffic is ignored from
@@ -1006,9 +1075,7 @@ func (m *Manager) Quarantined() map[string]string {
 // aggregated recordings with no capturing member named, and member-batch
 // reports claiming a NodeID other than the batch sender's.
 func (m *Manager) Rejects() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.rejects
+	return int(m.cRejects.Value())
 }
 
 // Adoptions returns, for every currently patched failure location, the
@@ -1037,9 +1104,13 @@ func (m *Manager) instAt(pc uint32) (isa.Inst, bool) {
 
 // directivesFor snapshots the current patch set for one node.
 func (m *Manager) directivesFor(nodeID string) (Envelope, error) {
+	sp := m.tr.Start("adopt")
+	done := sp.Block("mgr.mu")
 	m.mu.Lock()
+	done()
 	d := m.directivesLocked(nodeID)
 	m.mu.Unlock()
+	sp.Finish()
 	return NewEnvelope(MsgDirectives, d)
 }
 
@@ -1048,12 +1119,16 @@ func (m *Manager) directivesFor(nodeID string) (Envelope, error) {
 // the given order, so candidate assignment (which mutates per-case state)
 // is deterministic for a sorted NodeIDs list.
 func (m *Manager) directivesSetFor(nodeIDs []string) (Envelope, error) {
+	sp := m.tr.Start("adopt")
+	done := sp.Block("mgr.mu")
 	m.mu.Lock()
+	done()
 	set := DirectivesSet{Seq: m.seq, ByNode: make(map[string]Directives, len(nodeIDs))}
 	for _, id := range nodeIDs {
 		set.ByNode[id] = m.directivesLocked(id)
 	}
 	m.mu.Unlock()
+	sp.Finish()
 	return NewEnvelope(MsgDirectivesSet, set)
 }
 

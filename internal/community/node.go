@@ -6,6 +6,7 @@ import (
 	"repro/internal/correlate"
 	"repro/internal/daikon"
 	"repro/internal/image"
+	"repro/internal/obs"
 	"repro/internal/repair"
 	"repro/internal/replay"
 	"repro/internal/trace"
@@ -28,6 +29,12 @@ type Node struct {
 	// SnapshotInterval tunes the recording snapshot cadence;
 	// 0 selects replay.DefaultSnapshotInterval.
 	SnapshotInterval uint64
+
+	// Obs, when set, traces this node's pipeline stages: node.execute
+	// (the VM run), detect (failure detection to report assembly),
+	// record.seal (tape sealing), and node.sync (the upstream round
+	// trip). Nil disables tracing.
+	Obs *obs.Tracer
 
 	conn Conn
 	dir  Directives
@@ -68,12 +75,18 @@ func (n *Node) Attach(conn Conn) error {
 
 // roundTrip sends a message and applies the directives that come back.
 func (n *Node) roundTrip(env Envelope) error {
-	if err := n.conn.Send(env); err != nil {
-		return err
+	sp := n.Obs.Start("node.sync")
+	defer sp.Finish()
+	var sendErr error
+	sp.BlockFor("upstream", func() { sendErr = n.conn.Send(env) })
+	if sendErr != nil {
+		return sendErr
 	}
-	reply, err := n.conn.Recv()
-	if err != nil {
-		return err
+	var reply Envelope
+	var recvErr error
+	sp.BlockFor("upstream", func() { reply, recvErr = n.conn.Recv() })
+	if recvErr != nil {
+		return recvErr
 	}
 	switch reply.Kind {
 	case MsgDirectives:
@@ -180,7 +193,9 @@ func (n *Node) runLocal(input []byte) (vm.RunResult, RunReport, []byte, error) {
 	}
 	shadow.Install(machine)
 	hang.Install(machine)
+	esp := n.Obs.Start("node.execute")
 	res := machine.Run()
+	esp.Finish()
 
 	if rec != nil {
 		if res.Outcome == vm.OutcomeExit && res.ExitCode == 0 {
@@ -197,6 +212,9 @@ func (n *Node) runLocal(input []byte) (vm.RunResult, RunReport, []byte, error) {
 		ExitCode: res.ExitCode,
 	}
 	if res.Failure != nil {
+		// The monitor fired during the run; the detect span covers turning
+		// that detection into the wire-form failure notification.
+		dsp := n.Obs.Start("detect")
 		rep.Failure = &FailureInfo{
 			PC:      res.Failure.PC,
 			Monitor: res.Failure.Monitor,
@@ -204,6 +222,7 @@ func (n *Node) runLocal(input []byte) (vm.RunResult, RunReport, []byte, error) {
 			Target:  res.Failure.Target,
 			Stack:   res.Failure.Stack,
 		}
+		dsp.Finish()
 	}
 	for _, cs := range sets {
 		rep.Observations = append(rep.Observations, cs.DrainRun()...)
@@ -211,7 +230,9 @@ func (n *Node) runLocal(input []byte) (vm.RunResult, RunReport, []byte, error) {
 
 	var raw []byte
 	if tape != nil && res.Failure != nil {
+		rsp := n.Obs.Start("record.seal")
 		raw, err = n.sealRecording(tape, input, res)
+		rsp.Finish()
 		if err != nil {
 			return res, rep, nil, err
 		}

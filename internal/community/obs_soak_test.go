@@ -1,0 +1,122 @@
+package community
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/webapp"
+)
+
+// soakStages is every pipeline stage a full-featured hierarchical soak —
+// aggregators, adversaries, churn, a recorder node — must light up. The
+// paper-stage mapping lives in ARCHITECTURE.md's observability section.
+var soakStages = []string{
+	"detect",       // monitor detection → failure notification (node)
+	"record",       // manager ingesting shipped recordings
+	"record.seal",  // recorder node sealing a failing run's tape
+	"vet",          // manager vetting recordings before trusting them
+	"farm",         // replay farm candidate evaluation
+	"correlate",    // correlation classification
+	"learn",        // invariant-database merge (fires via the spoofer)
+	"evaluate",     // repair-evaluation bookkeeping
+	"adopt",        // directive assembly / adoption
+	"mgr.handle",   // manager envelope handling
+	"agg.handle",   // aggregator envelope handling
+	"flush",        // aggregator flush round trips
+	"node.execute", // node VM runs
+	"node.sync",    // node upstream round trips
+}
+
+// TestSoakTelemetryStagesAndCounters runs a small hierarchical soak with
+// telemetry armed and asserts (a) every pipeline stage recorded at least
+// one span, and (b) the registry's counters agree exactly with the
+// report's accessor-backed totals — the counters and the accessors are
+// one set of atomics, not two ledgers that can drift.
+func TestSoakTelemetryStagesAndCounters(t *testing.T) {
+	app := webapp.MustBuild()
+	conf := soakConfig(t, app, 12, true)
+	conf.Aggregators = 2
+	conf.Adversaries = 2 // one spoofer (lights "learn") + one forger
+	conf.Recorders = 1
+	conf.Rounds = 4
+	conf.Churn = &ChurnConfig{CrashPerRound: 1, JoinPerRound: 1}
+	reg := obs.New()
+	conf.Obs = reg
+
+	rep, err := RunSoak(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Fatalf("soak did not converge: %+v", rep)
+	}
+	if rep.Obs == nil {
+		t.Fatal("report carries no telemetry snapshot despite SoakConfig.Obs")
+	}
+	for _, name := range soakStages {
+		st := rep.Obs.Stage(name)
+		if st == nil || st.Spans == 0 {
+			t.Errorf("stage %q recorded no spans", name)
+			continue
+		}
+		if st.WallNs < 0 || st.BlockedNs < 0 || st.OnCPUNs < 0 {
+			t.Errorf("stage %q has negative time: %+v", name, st)
+		}
+		if st.OnCPUNs+st.BlockedNs < st.WallNs {
+			t.Errorf("stage %q ledger leaks: on-cpu %d + blocked %d < wall %d",
+				name, st.OnCPUNs, st.BlockedNs, st.WallNs)
+		}
+	}
+
+	for counter, want := range map[string]int{
+		"mgr.messages":    rep.Messages,
+		"mgr.batches":     rep.Batches,
+		"mgr.replay_runs": rep.ReplayRuns,
+	} {
+		if got := rep.Obs.Counter(counter); got != int64(want) {
+			t.Errorf("counter %s = %d, report says %d", counter, got, want)
+		}
+	}
+}
+
+// TestSoakTelemetryParallelChurnStorm is the counter-unification test the
+// race detector cares about: parallel member turns and parallel flushes
+// hammer one shared registry from every goroutine in the rig while churn
+// crashes and joins nodes mid-round. Under -race this pins the lock-free
+// counter/span paths; under the normal build it checks that the parallel
+// soak still converges and reports coherent telemetry.
+func TestSoakTelemetryParallelChurnStorm(t *testing.T) {
+	app := webapp.MustBuild()
+	conf := soakConfig(t, app, 10, true)
+	conf.Aggregators = 2
+	conf.Adversaries = 2
+	conf.Recorders = 1
+	conf.Rounds = 4
+	conf.Churn = &ChurnConfig{CrashPerRound: 1, JoinPerRound: 1}
+	conf.ParallelMembers = true
+	conf.ParallelFlush = true
+	reg := obs.New()
+	conf.Obs = reg
+
+	rep, err := RunSoak(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Fatalf("parallel soak did not converge: %+v", rep)
+	}
+	if rep.Obs == nil {
+		t.Fatal("report carries no telemetry snapshot")
+	}
+	// Counters written from parallel goroutines still match the
+	// accessor-backed report exactly.
+	if got := rep.Obs.Counter("mgr.messages"); got != int64(rep.Messages) {
+		t.Errorf("mgr.messages = %d, report says %d", got, rep.Messages)
+	}
+	if st := rep.Obs.Stage("node.execute"); st == nil || st.Spans == 0 {
+		t.Error("node.execute recorded no spans under the parallel rig")
+	}
+	if st := rep.Obs.Stage("agg.handle"); st == nil || st.Spans == 0 {
+		t.Error("agg.handle recorded no spans under the parallel rig")
+	}
+}

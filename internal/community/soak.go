@@ -3,10 +3,12 @@ package community
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/daikon"
 	"repro/internal/image"
+	"repro/internal/obs"
 	"repro/internal/repair"
 	"repro/internal/replay"
 	"repro/internal/vm"
@@ -111,6 +113,30 @@ type SoakConfig struct {
 	// configuration (0 = the defaults, 2 and 1).
 	CheckRuns int
 	Bonus     int // see CheckRuns
+
+	// Obs, when set, is the telemetry registry the whole rig records
+	// into — the manager, every aggregator, and every member node share
+	// it, so one snapshot holds the full per-stage pipeline table. The
+	// final snapshot is attached to the SoakReport. Nil disables
+	// telemetry (the soak behaves identically either way).
+	Obs *obs.Registry
+	// PprofLabels additionally tags traced goroutines with a pprof
+	// "stage" label for the lifetime of each span, so CPU profiles taken
+	// during the soak can be cut per pipeline stage. Requires Obs.
+	PprofLabels bool
+
+	// ParallelMembers runs each round's member turns concurrently, one
+	// goroutine per alive member, instead of sequentially. This is the
+	// contended deployment shape — many nodes hammering the tier at
+	// once — and it surrenders run-to-run determinism: arrival order at
+	// the aggregators and the manager varies, so adopted repair IDs and
+	// message counts may differ between identical runs. Default off; the
+	// library's determinism guarantees only hold with it off.
+	ParallelMembers bool
+	// ParallelFlush flushes the aggregator tier concurrently at the end
+	// of each round instead of serially. Same determinism caveat as
+	// ParallelMembers.
+	ParallelFlush bool
 }
 
 // SoakDefect is one row of the convergence table.
@@ -157,6 +183,10 @@ type SoakReport struct {
 	AggregatorFailovers int          `json:"aggregator_failovers,omitempty"` // aggregator crashes executed
 	Defects             []SoakDefect `json:"defects"`                        // per-defect convergence rows
 	Converged           bool         `json:"converged"`                      // every defect converged
+	// Obs is the final telemetry snapshot (nil unless SoakConfig.Obs was
+	// set): every counter and per-stage wall/on-CPU/blocked row the rig
+	// recorded.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
 }
 
 // probeFailurePC runs one input on a bare monitored machine (the same
@@ -220,6 +250,7 @@ type soakRig struct {
 	aggDead []bool
 	members []*soakMember
 	report  *SoakReport
+	tr      *obs.Tracer // shared tracer (nil when telemetry is off)
 
 	crashCursor int
 	joinSeq     int
@@ -324,6 +355,10 @@ func RunSoak(conf SoakConfig) (*SoakReport, error) {
 	for i := range aggIDs {
 		aggIDs[i] = fmt.Sprintf("agg%02d", i)
 	}
+	tr := obs.NewTracer(conf.Obs)
+	if conf.PprofLabels {
+		tr = tr.WithPprofLabels()
+	}
 	mgr, err := NewManager(ManagerConfig{
 		Image:              conf.Image,
 		Seed:               conf.Seed,
@@ -334,6 +369,7 @@ func RunSoak(conf SoakConfig) (*SoakReport, error) {
 		ReplayWorkers:      workers,
 		VetReports:         conf.VetReports,
 		TrustedAggregators: aggIDs,
+		Obs:                tr,
 	})
 	if err != nil {
 		return nil, err
@@ -342,6 +378,7 @@ func RunSoak(conf SoakConfig) (*SoakReport, error) {
 	rig := &soakRig{
 		conf: conf,
 		mgr:  mgr,
+		tr:   tr,
 		report: &SoakReport{
 			Nodes:       conf.Nodes,
 			Aggregators: conf.Aggregators,
@@ -369,6 +406,7 @@ func RunSoak(conf SoakConfig) (*SoakReport, error) {
 			Upstream:   upSide,
 			FlushEvery: conf.FlushEvery,
 			VetReports: conf.VetReports,
+			Obs:        tr,
 		})
 		if err != nil {
 			return nil, err
@@ -391,6 +429,7 @@ func RunSoak(conf SoakConfig) (*SoakReport, error) {
 			m.advIndex = adv
 			m.n = NewNode(fmt.Sprintf("adv%03d", adv), conf.Image, nil)
 		}
+		m.n.Obs = tr
 		rig.members = append(rig.members, m)
 		agg := -1
 		if conf.Aggregators > 0 {
@@ -414,32 +453,62 @@ func RunSoak(conf SoakConfig) (*SoakReport, error) {
 		if len(conf.Benign) > 0 {
 			inputs = append(inputs, conf.Benign[(round-1)%len(conf.Benign)])
 		}
-		for _, m := range rig.members {
-			if m.crashed {
-				continue
+		if conf.ParallelMembers {
+			// The contended shape: every alive member plays its turn at
+			// once, so the aggregators and manager see the arrival
+			// concurrency a real deployment produces.
+			var wg sync.WaitGroup
+			errs := make([]error, len(rig.members))
+			for i, m := range rig.members {
+				if m.crashed {
+					continue
+				}
+				wg.Add(1)
+				go func(i int, m *soakMember) {
+					defer wg.Done()
+					errs[i] = rig.memberTurn(m, inputs)
+				}(i, m)
 			}
-			if m.adversary {
-				if err := rig.adversaryTurn(m); err != nil {
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
 					return nil, err
 				}
-				continue
 			}
-			if conf.Batched {
-				if _, err := m.n.RunBatch(inputs); err != nil {
-					return nil, err
+		} else {
+			for _, m := range rig.members {
+				if m.crashed {
+					continue
 				}
-			} else {
-				for _, input := range inputs {
-					if _, err := m.n.RunOnce(input); err != nil {
-						return nil, err
-					}
+				if err := rig.memberTurn(m, inputs); err != nil {
+					return nil, err
 				}
 			}
 		}
-		for i, a := range rig.aggs {
-			if !rig.aggDead[i] {
-				if err := a.Flush(); err != nil {
+		if conf.ParallelFlush {
+			var wg sync.WaitGroup
+			errs := make([]error, len(rig.aggs))
+			for i, a := range rig.aggs {
+				if !rig.aggDead[i] {
+					wg.Add(1)
+					go func(i int, a *Aggregator) {
+						defer wg.Done()
+						errs[i] = a.Flush()
+					}(i, a)
+				}
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
 					return nil, err
+				}
+			}
+		} else {
+			for i, a := range rig.aggs {
+				if !rig.aggDead[i] {
+					if err := a.Flush(); err != nil {
+						return nil, err
+					}
 				}
 			}
 		}
@@ -474,7 +543,30 @@ func RunSoak(conf SoakConfig) (*SoakReport, error) {
 		}
 	}
 	report.Defects = defects
+	if conf.Obs != nil {
+		snap := conf.Obs.Snapshot()
+		report.Obs = &snap
+	}
 	return report, nil
+}
+
+// memberTurn plays one member's round: the adversarial script for an
+// adversary, the round's inputs (batched or per message) for an honest
+// node.
+func (r *soakRig) memberTurn(m *soakMember, inputs [][]byte) error {
+	if m.adversary {
+		return r.adversaryTurn(m)
+	}
+	if r.conf.Batched {
+		_, err := m.n.RunBatch(inputs)
+		return err
+	}
+	for _, input := range inputs {
+		if _, err := m.n.RunOnce(input); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // churnStep applies the round's churn schedule: fail over a crashed
@@ -530,6 +622,7 @@ func (r *soakRig) churnStep(round int) error {
 
 	for i := 0; i < churn.JoinPerRound; i++ {
 		m := &soakMember{n: NewNode(fmt.Sprintf("join%03d", r.joinSeq), r.conf.Image, nil)}
+		m.n.Obs = r.tr
 		r.joinSeq++
 		agg := -1
 		if len(r.aggs) > 0 {

@@ -30,6 +30,7 @@ import (
 	"repro/internal/image"
 	"repro/internal/isa"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/repair"
 	"repro/internal/replay"
 	"repro/internal/vm"
@@ -67,6 +68,13 @@ type Config struct {
 	HangBudget uint64
 
 	MaxSteps uint64
+
+	// Obs, when set, traces the orchestrator's pipeline stages under the
+	// same names the community uses (node.execute, detect, record.seal,
+	// vet, farm, correlate, evaluate) so a single-instance run and a
+	// community soak read off the same per-stage table. Nil disables
+	// tracing; the Metrics struct is always populated either way.
+	Obs *obs.Tracer
 
 	// Replay enables the record/replay fast path (internal/replay): every
 	// execution is recorded with copy-on-write snapshots, and when a
@@ -196,6 +204,8 @@ type ClearView struct {
 	// replay fast path is enabled — community nodes ship it to the
 	// manager, and tools inspect it.
 	LastRecording *replay.Recording
+
+	tr *obs.Tracer
 }
 
 // New builds a ClearView instance. The invariant database is typically the
@@ -211,7 +221,7 @@ func New(conf Config) (*ClearView, error) {
 	if conf.CheckRuns <= 0 {
 		conf.CheckRuns = 2
 	}
-	cv := &ClearView{conf: conf, cases: make(map[uint32]*FailureCase)}
+	cv := &ClearView{conf: conf, cases: make(map[uint32]*FailureCase), tr: conf.Obs}
 	cv.cfgdb = conf.CFG
 	if cv.cfgdb == nil {
 		cv.cfgdb = cfg.NewDB(conf.Image)
@@ -314,16 +324,20 @@ func (cv *ClearView) Execute(input []byte) vm.RunResult {
 	if hang != nil {
 		hang.Install(machine)
 	}
+	esp := cv.tr.Start("node.execute")
 	res := machine.Run()
+	esp.Finish()
 	elapsed := time.Since(start)
 
 	cv.afterRun(res, elapsed)
 
 	if tape != nil && res.Failure != nil {
+		rsp := cv.tr.Start("record.seal")
 		rec := tape.Seal(
 			fmt.Sprintf("fail@%#x/run%d", res.Failure.PC, cv.TotalRuns),
 			cv.conf.Image, input, deployed, cv.monitors(), cv.conf.MaxSteps, res,
 		)
+		rsp.Finish()
 		cv.LastRecording = rec
 		cv.replayFastPath(rec, res.Failure.PC)
 	}
@@ -348,6 +362,12 @@ func (cv *ClearView) afterRun(res vm.RunResult, elapsed time.Duration) {
 	if res.Failure != nil {
 		failPC = res.Failure.PC
 	}
+
+	var esp *obs.Span
+	if len(cv.order) > 0 {
+		esp = cv.tr.Start("evaluate")
+	}
+	defer esp.Finish()
 
 	for _, pc := range cv.order {
 		fc := cv.cases[pc]
@@ -419,6 +439,8 @@ func (cv *ClearView) redeploy(fc *FailureCase) {
 // select candidate correlated invariants and build checking patches
 // (§2.4.1, §2.4.2).
 func (cv *ClearView) openCase(f *vm.Failure, elapsed time.Duration) {
+	sp := cv.tr.Start("detect")
+	defer sp.Finish()
 	fc := &FailureCase{
 		ID:    fmt.Sprintf("fail@%#x", f.PC),
 		PC:    f.PC,
@@ -459,6 +481,8 @@ func (cv *ClearView) openCase(f *vm.Failure, elapsed time.Duration) {
 // finishChecking classifies correlations, discards the checking patches,
 // and generates the candidate repairs (§2.4.3, §2.5).
 func (cv *ClearView) finishChecking(fc *FailureCase) {
+	sp := cv.tr.Start("correlate")
+	defer sp.Finish()
 	fc.Metrics.CheckExecs = fc.CheckSet.TotalChecks
 	fc.Metrics.CheckViolations = fc.CheckSet.TotalViolations
 	fc.Correlations = correlate.Classify(fc.CheckSet.Runs())

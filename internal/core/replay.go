@@ -43,9 +43,13 @@ func (cv *ClearView) replayFastPath(rec *replay.Recording, failPC uint32) {
 	defer func() { fc.Metrics.ReplayTime += time.Since(start) }()
 
 	if rp.VetRecordings {
-		farm := &replay.Farm{Workers: rp.Workers, Deadline: rp.Deadline}
-		if err := farm.Vet(rec); err != nil {
+		vsp := cv.tr.Start("vet")
+		farm := &replay.Farm{Workers: rp.Workers, Deadline: rp.Deadline, Obs: cv.tr}
+		err := farm.Vet(rec)
+		vsp.Finish()
+		if err != nil {
 			fc.Metrics.VetRejects++
+			cv.tr.Counter("core.vet_rejects").Inc()
 			return
 		}
 		fc.Metrics.ReplayRuns++
@@ -75,8 +79,12 @@ func (cv *ClearView) replayFastPath(rec *replay.Recording, failPC uint32) {
 	if fc.State != StateEvaluating || fc.Evaluator == nil || len(fc.Repairs) == 0 {
 		return
 	}
-	farm := &replay.Farm{Workers: rp.Workers, Deadline: rp.Deadline}
+	fsp := cv.tr.Start("farm")
+	farm := &replay.Farm{Workers: rp.Workers, Deadline: rp.Deadline, Obs: cv.tr}
+	wait := fsp.Block("farm.fanout")
 	verdicts := farm.Evaluate(rec, fc.ID, fc.Repairs)
+	wait()
+	fsp.Finish()
 	survivors := replay.Apply(verdicts, fc.Evaluator)
 	applied := 0
 	for i := range verdicts {

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package obs
+
+import "time"
+
+// ProcessCPU is unavailable off unix; callers fall back to wall-only
+// reporting.
+func ProcessCPU() (user, system time.Duration, ok bool) { return 0, 0, false }

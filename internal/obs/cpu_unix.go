@@ -1,0 +1,23 @@
+//go:build unix
+
+package obs
+
+import (
+	"syscall"
+	"time"
+)
+
+// ProcessCPU returns the process's cumulative user and system CPU time —
+// the OS's ground truth for the on-CPU side of the ledger. The soak's
+// summary prints it beside the wall clock so the table's instrumented
+// on-CPU/blocked split can be sanity-checked against the kernel's.
+func ProcessCPU() (user, system time.Duration, ok bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, 0, false
+	}
+	toDur := func(tv syscall.Timeval) time.Duration {
+		return time.Duration(tv.Sec)*time.Second + time.Duration(tv.Usec)*time.Microsecond
+	}
+	return toDur(ru.Utime), toDur(ru.Stime), true
+}

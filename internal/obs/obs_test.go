@@ -1,0 +1,322 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSafety: the disabled state — nil registry, tracer, span, and
+// metric handles — must be inert, not panic.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(7)
+	r.Histogram("x").Observe(time.Second)
+	r.Stage("x").addBlocked("p", time.Second)
+	if got := r.Counter("x").Value(); got != 0 {
+		t.Fatalf("nil counter value = %d", got)
+	}
+	if snap := r.Snapshot(); len(snap.Counters)+len(snap.Stages) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+
+	var tr *Tracer
+	if tr.WithPprofLabels() != nil || tr.Registry() != nil {
+		t.Fatal("nil tracer did not stay nil")
+	}
+	sp := tr.Start("stage")
+	if sp != nil {
+		t.Fatal("nil tracer handed out a span")
+	}
+	sp.Block("p")()
+	sp.AddBlocked("p", time.Second)
+	ran := false
+	sp.BlockFor("p", func() { ran = true })
+	if !ran {
+		t.Fatal("BlockFor on a nil span did not run f")
+	}
+	sp.Finish()
+	tr.Observe("stage", time.Second, time.Second, "p")
+	if NewTracer(nil) != nil {
+		t.Fatal("NewTracer(nil) is not disabled")
+	}
+}
+
+// TestCounterGaugeBasics: counters accumulate, gauges overwrite.
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("pipeline.messages")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("pipeline.messages") != c {
+		t.Fatal("counter not interned")
+	}
+	g := r.Gauge("pipeline.cases")
+	g.Set(3)
+	g.Set(2)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %d, want 2", got)
+	}
+}
+
+// TestHistogramBucketEdges pins the bucket boundaries: a value exactly on
+// an edge lands in that edge's bucket, one past it in the next, and
+// anything beyond the last edge in the overflow bucket.
+func TestHistogramBucketEdges(t *testing.T) {
+	edges := BucketEdges()
+	for i, edge := range edges {
+		h := New().Histogram("edge")
+		h.Observe(edge)
+		h.Observe(edge + 1)
+		snap := mustHistogram(t, New(), h)
+		if snap.Buckets[i] != 1 {
+			t.Fatalf("edge %v: bucket %d = %d, want exactly the on-edge observation", edge, i, snap.Buckets[i])
+		}
+		next := i + 1
+		if snap.Buckets[next] != 1 {
+			t.Fatalf("edge %v + 1: bucket %d = %d, want the past-edge observation", edge, next, snap.Buckets[next])
+		}
+	}
+
+	h := New().Histogram("overflow")
+	h.Observe(time.Minute)
+	h.Observe(-time.Second) // clamped to zero -> first bucket
+	snap := mustHistogram(t, New(), h)
+	if snap.Buckets[NumBuckets-1] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", snap.Buckets[NumBuckets-1])
+	}
+	if snap.Buckets[0] != 1 {
+		t.Fatalf("negative observation not clamped into first bucket: %+v", snap.Buckets)
+	}
+	if snap.SumNs != int64(time.Minute) {
+		t.Fatalf("sum = %d, want %d (negative clamped to 0)", snap.SumNs, int64(time.Minute))
+	}
+	if snap.MaxNs != int64(time.Minute) {
+		t.Fatalf("max = %d, want %d", snap.MaxNs, int64(time.Minute))
+	}
+}
+
+// mustHistogram snapshots one histogram through a throwaway registry.
+func mustHistogram(t *testing.T, _ *Registry, h *Histogram) HistogramSnap {
+	t.Helper()
+	var hs HistogramSnap
+	hs.Count = h.count.Load()
+	hs.SumNs = h.sum.Load()
+	hs.MaxNs = h.max.Load()
+	for i := range h.buckets {
+		hs.Buckets[i] = h.buckets[i].Load()
+	}
+	return hs
+}
+
+// TestSnapshotDeterministicOrder: snapshots list metrics name-sorted, so
+// identical registry contents serialize identically.
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	build := func(names []string) string {
+		r := New()
+		for i, n := range names {
+			r.Counter("c." + n).Add(int64(i + 1))
+			r.Gauge("g." + n).Set(int64(i))
+			r.Histogram("h." + n).Observe(time.Millisecond)
+			sp := NewTracer(r).Start("s." + n)
+			sp.AddBlocked("z."+n, time.Millisecond)
+			sp.AddBlocked("a."+n, time.Millisecond)
+			sp.Finish()
+		}
+		raw, err := json.Marshal(r.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+	forward := build([]string{"alpha", "beta", "gamma"})
+	reversed := build([]string{"gamma", "beta", "alpha"})
+
+	var a, b Snapshot
+	if err := json.Unmarshal([]byte(forward), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(reversed), &b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Counters {
+		if a.Counters[i].Name != b.Counters[i].Name {
+			t.Fatalf("counter order differs: %s vs %s", a.Counters[i].Name, b.Counters[i].Name)
+		}
+	}
+	for i := range a.Stages {
+		if a.Stages[i].Name != b.Stages[i].Name {
+			t.Fatalf("stage order differs: %s vs %s", a.Stages[i].Name, b.Stages[i].Name)
+		}
+		for j := range a.Stages[i].Points {
+			if a.Stages[i].Points[j].Point != b.Stages[i].Points[j].Point {
+				t.Fatalf("point order differs in stage %s", a.Stages[i].Name)
+			}
+		}
+	}
+	// Counter values differ (registration order affects them by
+	// construction above) but the name sequences must match; stages and
+	// points must be sorted.
+	for i := 1; i < len(a.Stages); i++ {
+		if a.Stages[i-1].Name >= a.Stages[i].Name {
+			t.Fatalf("stages not sorted: %s >= %s", a.Stages[i-1].Name, a.Stages[i].Name)
+		}
+	}
+}
+
+// TestSpanLifecycle: double-finished and orphaned spans are harmless, and
+// blocked time lands on the right stage and point.
+func TestSpanLifecycle(t *testing.T) {
+	r := New()
+	tr := NewTracer(r)
+
+	sp := tr.Start("vet")
+	sp.AddBlocked("vetsem", 3*time.Millisecond)
+	sp.Finish()
+	sp.Finish() // double finish: must not double-count
+	sp.Finish()
+
+	orphan := tr.Start("vet")
+	_ = orphan // never finished: contributes nothing, panics nothing
+
+	snap := r.Snapshot()
+	st := snap.Stage("vet")
+	if st == nil {
+		t.Fatal("stage vet missing")
+	}
+	if st.Spans != 1 {
+		t.Fatalf("spans = %d, want 1 (double finish double-counted?)", st.Spans)
+	}
+	if st.BlockedNs != int64(3*time.Millisecond) {
+		t.Fatalf("blocked = %d, want %d", st.BlockedNs, int64(3*time.Millisecond))
+	}
+	if st.WallNs < st.BlockedNs {
+		// Wall includes the blocked portion; it can't be less than what
+		// we measured as blocked... except a span finished faster than
+		// its attributed waits, which AddBlocked allows. Here the wait
+		// was attributed before Finish, so wall >= 0 is all we can pin.
+		t.Logf("wall %d < blocked %d (clamped on-CPU expected)", st.WallNs, st.BlockedNs)
+	}
+	if st.OnCPUNs < 0 {
+		t.Fatalf("on-CPU went negative: %d", st.OnCPUNs)
+	}
+	top := st.TopPoint()
+	if top == nil || top.Point != "vetsem" || top.Waits != 1 {
+		t.Fatalf("top point = %+v, want vetsem with 1 wait", top)
+	}
+
+	// Block() closure path.
+	sp2 := tr.Start("flush")
+	done := sp2.Block("upstream")
+	time.Sleep(time.Millisecond)
+	done()
+	sp2.Finish()
+	snap2 := r.Snapshot()
+	fl := snap2.Stage("flush")
+	if fl.BlockedNs <= 0 || fl.WallNs < fl.BlockedNs {
+		t.Fatalf("flush stage accounting wrong: %+v", fl)
+	}
+
+	// Observe() one-shot path.
+	tr.Observe("adopt", 2*time.Millisecond, time.Millisecond, "mgr.mu")
+	snap3 := r.Snapshot()
+	ad := snap3.Stage("adopt")
+	if ad.Spans != 1 || ad.WallNs != int64(2*time.Millisecond) || ad.BlockedNs != int64(time.Millisecond) {
+		t.Fatalf("observe accounting wrong: %+v", ad)
+	}
+}
+
+// TestRegistryConcurrency hammers every metric type from many goroutines;
+// run under -race this is the registry's thread-safety proof, and the
+// final totals prove no update was lost.
+func TestRegistryConcurrency(t *testing.T) {
+	r := New()
+	tr := NewTracer(r)
+	const workers = 16
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared").Inc()
+				r.Gauge("gauge").Set(int64(i))
+				r.Histogram("hist").Observe(time.Duration(i) * time.Microsecond)
+				sp := tr.Start("stage")
+				sp.AddBlocked("point", time.Microsecond)
+				sp.Finish()
+				if i%10 == 0 {
+					_ = r.Snapshot() // concurrent snapshots must be safe too
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if got := snap.Counter("shared"); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	st := snap.Stage("stage")
+	if st.Spans != workers*perWorker {
+		t.Fatalf("spans = %d, want %d", st.Spans, workers*perWorker)
+	}
+	if st.BlockedNs != int64(workers*perWorker)*int64(time.Microsecond) {
+		t.Fatalf("blocked = %d, want %d", st.BlockedNs, int64(workers*perWorker)*int64(time.Microsecond))
+	}
+	var hist *HistogramSnap
+	for i := range snap.Histograms {
+		if snap.Histograms[i].Name == "hist" {
+			hist = &snap.Histograms[i]
+		}
+	}
+	if hist == nil || hist.Count != workers*perWorker {
+		t.Fatalf("histogram = %+v, want count %d", hist, workers*perWorker)
+	}
+	var bucketSum int64
+	for _, b := range hist.Buckets {
+		bucketSum += b
+	}
+	if bucketSum != hist.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, hist.Count)
+	}
+}
+
+// TestFormatStageTableGolden pins the -profile table's exact rendering
+// for a synthetic snapshot: blocked-descending order, duration
+// formatting, blocked share, and top-wait attribution.
+func TestFormatStageTableGolden(t *testing.T) {
+	snap := &Snapshot{Stages: []StageSnap{
+		{Name: "execute", Spans: 45000, WallNs: 4_320_000_000, BlockedNs: 0, OnCPUNs: 4_320_000_000},
+		{
+			Name: "flush", Spans: 160, WallNs: 2_100_000_000, BlockedNs: 1_700_000_000, OnCPUNs: 400_000_000,
+			Points: []PointSnap{
+				{Point: "agg.mu", Waits: 160, BlockedNs: 100_000_000},
+				{Point: "upstream", Waits: 160, BlockedNs: 1_600_000_000},
+			},
+		},
+		{
+			Name: "vet", Spans: 33, WallNs: 90_000_000, BlockedNs: 45_000_000, OnCPUNs: 45_000_000,
+			Points: []PointSnap{{Point: "vetsem", Waits: 33, BlockedNs: 45_000_000}},
+		},
+		{Name: "adopt", Spans: 8, WallNs: 8_000, BlockedNs: 0, OnCPUNs: 8_000},
+	}}
+	got := FormatStageTable(snap)
+	want := "" +
+		"stage               spans       wall     on-cpu    blocked   blk%  top wait (share of blocked)\n" +
+		"flush                 160       2.1s    400.0ms       1.7s  81.0%  upstream (94%)\n" +
+		"vet                    33     90.0ms     45.0ms     45.0ms  50.0%  vetsem (100%)\n" +
+		"execute             45000       4.3s       4.3s          0   0.0%  -\n" +
+		"adopt                   8      8.0µs      8.0µs          0   0.0%  -\n"
+	if got != want {
+		t.Fatalf("stage table drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if top := TopBlockedStage(snap); top == nil || top.Name != "flush" {
+		t.Fatalf("top blocked stage = %+v, want flush", top)
+	}
+}

@@ -1,0 +1,384 @@
+// Package obs is the pipeline's self-observability layer: a
+// concurrency-safe metrics registry (counters, gauges, duration
+// histograms) and a structured stage tracer that accounts each pipeline
+// phase's wall time split into on-CPU and blocked portions.
+//
+// The design follows the OSDI'24 blocked-samples lesson — on-CPU and
+// off-CPU time must be profiled together, or a lock convoy hides behind a
+// healthy CPU profile. Every known blocking point on the pipeline (lock
+// acquisitions, semaphore waits, upstream round trips) is instrumented
+// explicitly: a stage's blocked time is the sum of its measured waits,
+// its on-CPU time is the remainder of its wall time, and each wait is
+// attributed to a named point so the top convoy is named, not guessed.
+//
+// Everything is nil-safe and zero-cost when disabled: a nil *Registry
+// hands out nil *Counter/*Gauge/*Histogram, a nil *Tracer hands out nil
+// *Span, and every method on a nil receiver is a no-op — so production
+// code threads the handles unconditionally and pays a pointer test when
+// telemetry is off. Nothing in this package is on a per-instruction hot
+// path; instrumentation sits at pipeline patch points (per message, per
+// flush, per replay), never inside the interpreter loop.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry owns a namespace of metrics. All methods are safe for
+// concurrent use; metric handles are interned, so repeated lookups of the
+// same name return the same instance and callers may cache them.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	stages   map[string]*Stage
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		stages:   make(map[string]*Stage),
+	}
+}
+
+// Counter interns the named counter. Nil-safe: a nil registry returns a
+// nil counter, whose methods are no-ops.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge interns the named gauge. Nil-safe like Counter.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram interns the named duration histogram. Nil-safe like Counter.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Stage interns the named pipeline stage. Nil-safe like Counter.
+func (r *Registry) Stage(name string) *Stage {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.stages[name]
+	if !ok {
+		s = &Stage{name: name}
+		r.stages[name] = s
+	}
+	return s
+}
+
+// Counter is a monotonically increasing count. The zero value is ready;
+// all methods are no-ops on a nil receiver and safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value. The zero value is ready; all
+// methods are no-ops on a nil receiver and safe for concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Value returns the last value set (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// bucketEdges are the duration histogram's upper bounds. Decade buckets
+// from 1µs to 10s cover everything the pipeline does, from a directive
+// cache hit to a deadline-bounded farm replay; the final implicit bucket
+// is +Inf.
+var bucketEdges = [...]time.Duration{
+	time.Microsecond,
+	10 * time.Microsecond,
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+}
+
+// NumBuckets is the number of histogram buckets, including the +Inf
+// overflow bucket.
+const NumBuckets = len(bucketEdges) + 1
+
+// BucketEdges returns the histogram bucket upper bounds (the overflow
+// bucket has no edge and is not listed).
+func BucketEdges() []time.Duration {
+	out := make([]time.Duration, len(bucketEdges))
+	copy(out, bucketEdges[:])
+	return out
+}
+
+// bucketFor returns the index of the bucket a duration falls in: the
+// first bucket whose upper bound is >= d, or the overflow bucket.
+func bucketFor(d time.Duration) int {
+	for i, edge := range bucketEdges {
+		if d <= edge {
+			return i
+		}
+	}
+	return len(bucketEdges)
+}
+
+// Histogram is a fixed-bucket duration histogram. The zero value is
+// ready; all methods are no-ops on a nil receiver and safe for concurrent
+// use. Negative observations are clamped to zero (a clock step backwards
+// must not corrupt the totals).
+type Histogram struct {
+	buckets [NumBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketFor(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observations (0 on a nil receiver).
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// CounterSnap is one counter in a snapshot.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnap is one gauge in a snapshot.
+type GaugeSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramSnap is one histogram in a snapshot. Buckets holds the count
+// per bucket in BucketEdges order, with the final entry counting
+// observations above the last edge.
+type HistogramSnap struct {
+	Name    string            `json:"name"`
+	Count   int64             `json:"count"`
+	SumNs   int64             `json:"sum_ns"`
+	MaxNs   int64             `json:"max_ns"`
+	Buckets [NumBuckets]int64 `json:"buckets"`
+}
+
+// PointSnap is one named blocking point within a stage.
+type PointSnap struct {
+	Point     string `json:"point"`
+	Waits     int64  `json:"waits"`
+	BlockedNs int64  `json:"blocked_ns"`
+}
+
+// StageSnap is one pipeline stage in a snapshot. OnCPUNs is WallNs minus
+// BlockedNs (clamped at zero): the wall time not spent at any
+// instrumented blocking point. See the package comment for what that
+// approximation is and is not.
+type StageSnap struct {
+	Name      string      `json:"name"`
+	Spans     int64       `json:"spans"`
+	WallNs    int64       `json:"wall_ns"`
+	BlockedNs int64       `json:"blocked_ns"`
+	OnCPUNs   int64       `json:"on_cpu_ns"`
+	MaxNs     int64       `json:"max_ns"`
+	Points    []PointSnap `json:"points,omitempty"`
+}
+
+// BlockedShare returns blocked time as a fraction of wall time (0 for an
+// idle stage).
+func (s *StageSnap) BlockedShare() float64 {
+	if s.WallNs <= 0 {
+		return 0
+	}
+	return float64(s.BlockedNs) / float64(s.WallNs)
+}
+
+// TopPoint returns the blocking point with the most blocked time, or nil.
+func (s *StageSnap) TopPoint() *PointSnap {
+	var top *PointSnap
+	for i := range s.Points {
+		if top == nil || s.Points[i].BlockedNs > top.BlockedNs {
+			top = &s.Points[i]
+		}
+	}
+	return top
+}
+
+// Snapshot is a consistent-enough copy of a registry: each metric is read
+// atomically, and all slices are sorted by name so the snapshot is
+// deterministic for deterministic inputs (concurrent writers may land
+// between two metric reads; each individual value is still exact).
+type Snapshot struct {
+	Counters   []CounterSnap   `json:"counters,omitempty"`
+	Gauges     []GaugeSnap     `json:"gauges,omitempty"`
+	Histograms []HistogramSnap `json:"histograms,omitempty"`
+	Stages     []StageSnap     `json:"stages,omitempty"`
+}
+
+// Stage returns the named stage row, or nil.
+func (s *Snapshot) Stage(name string) *StageSnap {
+	for i := range s.Stages {
+		if s.Stages[i].Name == name {
+			return &s.Stages[i]
+		}
+	}
+	return nil
+}
+
+// Counter returns the named counter's value (0 when absent).
+func (s *Snapshot) Counter(name string) int64 {
+	for i := range s.Counters {
+		if s.Counters[i].Name == name {
+			return s.Counters[i].Value
+		}
+	}
+	return 0
+}
+
+// Snapshot captures every metric in deterministic (name-sorted) order.
+// Nil-safe: a nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	stages := make(map[string]*Stage, len(r.stages))
+	for k, v := range r.stages {
+		stages[k] = v
+	}
+	r.mu.Unlock()
+
+	for name, c := range counters {
+		snap.Counters = append(snap.Counters, CounterSnap{Name: name, Value: c.Value()})
+	}
+	for name, g := range gauges {
+		snap.Gauges = append(snap.Gauges, GaugeSnap{Name: name, Value: g.Value()})
+	}
+	for name, h := range hists {
+		hs := HistogramSnap{
+			Name:  name,
+			Count: h.count.Load(),
+			SumNs: h.sum.Load(),
+			MaxNs: h.max.Load(),
+		}
+		for i := range h.buckets {
+			hs.Buckets[i] = h.buckets[i].Load()
+		}
+		snap.Histograms = append(snap.Histograms, hs)
+	}
+	for _, st := range stages {
+		snap.Stages = append(snap.Stages, st.snapshot())
+	}
+	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })
+	sort.Slice(snap.Gauges, func(i, j int) bool { return snap.Gauges[i].Name < snap.Gauges[j].Name })
+	sort.Slice(snap.Histograms, func(i, j int) bool { return snap.Histograms[i].Name < snap.Histograms[j].Name })
+	sort.Slice(snap.Stages, func(i, j int) bool { return snap.Stages[i].Name < snap.Stages[j].Name })
+	return snap
+}

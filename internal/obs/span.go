@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage accumulates the spans of one pipeline phase: how many ran, their
+// total and maximum wall time, their total blocked time, and the blocked
+// time attributed to each named blocking point. All methods are safe for
+// concurrent use and no-ops on a nil receiver.
+type Stage struct {
+	name    string
+	spans   atomic.Int64
+	wallNs  atomic.Int64
+	blocked atomic.Int64
+	maxNs   atomic.Int64
+
+	mu     sync.Mutex
+	points map[string]*point
+}
+
+type point struct {
+	waits   atomic.Int64
+	blocked atomic.Int64
+}
+
+// addBlocked attributes a wait at a named point to the stage.
+func (st *Stage) addBlocked(pt string, d time.Duration) {
+	if st == nil || d < 0 {
+		return
+	}
+	st.blocked.Add(int64(d))
+	st.mu.Lock()
+	if st.points == nil {
+		st.points = make(map[string]*point)
+	}
+	p, ok := st.points[pt]
+	if !ok {
+		p = &point{}
+		st.points[pt] = p
+	}
+	st.mu.Unlock()
+	p.waits.Add(1)
+	p.blocked.Add(int64(d))
+}
+
+// snapshot copies the stage's accumulated state.
+func (st *Stage) snapshot() StageSnap {
+	snap := StageSnap{
+		Name:      st.name,
+		Spans:     st.spans.Load(),
+		WallNs:    st.wallNs.Load(),
+		BlockedNs: st.blocked.Load(),
+		MaxNs:     st.maxNs.Load(),
+	}
+	snap.OnCPUNs = snap.WallNs - snap.BlockedNs
+	if snap.OnCPUNs < 0 {
+		snap.OnCPUNs = 0
+	}
+	st.mu.Lock()
+	for name, p := range st.points {
+		snap.Points = append(snap.Points, PointSnap{
+			Point:     name,
+			Waits:     p.waits.Load(),
+			BlockedNs: p.blocked.Load(),
+		})
+	}
+	st.mu.Unlock()
+	for i := 1; i < len(snap.Points); i++ {
+		for j := i; j > 0 && snap.Points[j].Point < snap.Points[j-1].Point; j-- {
+			snap.Points[j], snap.Points[j-1] = snap.Points[j-1], snap.Points[j]
+		}
+	}
+	return snap
+}
+
+// Tracer hands out stage spans against one registry. A nil tracer is the
+// disabled state: Start returns a nil span and every span method is a
+// no-op, so instrumentation sites need no conditionals.
+type Tracer struct {
+	reg *Registry
+	// labels, when set, tags each span's goroutine with a pprof
+	// "stage=<name>" label for the duration of the span, so CPU profile
+	// samples taken while telemetry runs can be attributed per stage with
+	// standard pprof tooling. Spans do not nest labels: a span restores
+	// the empty label set on Finish.
+	labels bool
+}
+
+// NewTracer builds a tracer recording into reg. A nil registry yields a
+// nil (disabled) tracer.
+func NewTracer(reg *Registry) *Tracer {
+	if reg == nil {
+		return nil
+	}
+	return &Tracer{reg: reg}
+}
+
+// WithPprofLabels returns a tracer that additionally tags span goroutines
+// with pprof stage labels (see Tracer.labels). Nil-safe.
+func (t *Tracer) WithPprofLabels() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{reg: t.reg, labels: true}
+}
+
+// Registry returns the registry this tracer records into (nil for a
+// disabled tracer).
+func (t *Tracer) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Counter is shorthand for Registry().Counter; nil-safe.
+func (t *Tracer) Counter(name string) *Counter {
+	if t == nil {
+		return nil
+	}
+	return t.reg.Counter(name)
+}
+
+// Start opens a span for the named stage. Finish it exactly once; extra
+// Finish calls and never-finished (orphaned) spans are both harmless —
+// an orphan simply contributes nothing.
+func (t *Tracer) Start(stage string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{stage: t.reg.Stage(stage), start: time.Now()}
+	if t.labels {
+		s.labeled = true
+		pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(), pprof.Labels("stage", stage)))
+	}
+	return s
+}
+
+// Span is one execution of a pipeline stage. Methods are safe on a nil
+// receiver; Block/AddBlocked may be called from any goroutine, but Start
+// and Finish are expected on the same one (pprof labels are per
+// goroutine).
+type Span struct {
+	stage    *Stage
+	start    time.Time
+	blocked  atomic.Int64
+	finished atomic.Bool
+	labeled  bool
+}
+
+// noop is the shared no-op closure Block returns on a nil span, so
+// disabled telemetry does not allocate.
+var noop = func() {}
+
+// Block starts timing a wait at a named blocking point and returns the
+// function that ends it:
+//
+//	done := span.Block("mgr.mu")
+//	m.mu.Lock()
+//	done()
+//
+// The measured time counts toward the span's blocked total and the
+// point's attribution.
+func (s *Span) Block(pt string) func() {
+	if s == nil {
+		return noop
+	}
+	start := time.Now()
+	return func() { s.AddBlocked(pt, time.Since(start)) }
+}
+
+// BlockFor runs f, attributing its whole duration as blocked time at the
+// named point. On a nil span, f still runs.
+func (s *Span) BlockFor(pt string, f func()) {
+	if s == nil {
+		f()
+		return
+	}
+	done := s.Block(pt)
+	f()
+	done()
+}
+
+// AddBlocked attributes an externally measured wait to the span.
+func (s *Span) AddBlocked(pt string, d time.Duration) {
+	if s == nil || d <= 0 {
+		return
+	}
+	s.blocked.Add(int64(d))
+	s.stage.addBlocked(pt, d)
+}
+
+// Finish closes the span, recording its wall time (and its blocked total
+// accumulated via Block/AddBlocked) into the stage. Double finishes are
+// ignored.
+func (s *Span) Finish() {
+	if s == nil || !s.finished.CompareAndSwap(false, true) {
+		return
+	}
+	wall := time.Since(s.start)
+	if wall < 0 {
+		wall = 0
+	}
+	st := s.stage
+	st.spans.Add(1)
+	st.wallNs.Add(int64(wall))
+	for {
+		cur := st.maxNs.Load()
+		if int64(wall) <= cur || st.maxNs.CompareAndSwap(cur, int64(wall)) {
+			break
+		}
+	}
+	if s.labeled {
+		pprof.SetGoroutineLabels(context.Background())
+	}
+}
+
+// Observe records a complete stage execution in one call — a span with a
+// known wall time and blocked portion, for callers that already timed the
+// work. Nil-safe.
+func (t *Tracer) Observe(stage string, wall, blockedAt time.Duration, pt string) {
+	if t == nil {
+		return
+	}
+	st := t.reg.Stage(stage)
+	if wall < 0 {
+		wall = 0
+	}
+	st.spans.Add(1)
+	st.wallNs.Add(int64(wall))
+	for {
+		cur := st.maxNs.Load()
+		if int64(wall) <= cur || st.maxNs.CompareAndSwap(cur, int64(wall)) {
+			break
+		}
+	}
+	if blockedAt > 0 && pt != "" {
+		st.blocked.Add(int64(blockedAt))
+		st.addBlockedOnly(pt, blockedAt)
+	}
+}
+
+// addBlockedOnly attributes point blocked time without touching the stage
+// total (Observe already added it).
+func (st *Stage) addBlockedOnly(pt string, d time.Duration) {
+	st.mu.Lock()
+	if st.points == nil {
+		st.points = make(map[string]*point)
+	}
+	p, ok := st.points[pt]
+	if !ok {
+		p = &point{}
+		st.points[pt] = p
+	}
+	st.mu.Unlock()
+	p.waits.Add(1)
+	p.blocked.Add(int64(d))
+}

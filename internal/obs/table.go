@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// FormatStageTable renders a snapshot's stages as the per-stage
+// wall/on-CPU/blocked table `cmd/soak -profile` prints, sorted by blocked
+// time descending (the convoy you should look at first is the first row),
+// with wall time as the tiebreak. Durations are rounded for reading; the
+// JSON snapshot carries the exact nanoseconds.
+func FormatStageTable(snap *Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %8s %10s %10s %10s %6s  %s\n",
+		"stage", "spans", "wall", "on-cpu", "blocked", "blk%", "top wait (share of blocked)")
+	stages := make([]StageSnap, len(snap.Stages))
+	copy(stages, snap.Stages)
+	sort.SliceStable(stages, func(i, j int) bool {
+		if stages[i].BlockedNs != stages[j].BlockedNs {
+			return stages[i].BlockedNs > stages[j].BlockedNs
+		}
+		if stages[i].WallNs != stages[j].WallNs {
+			return stages[i].WallNs > stages[j].WallNs
+		}
+		return stages[i].Name < stages[j].Name
+	})
+	for i := range stages {
+		st := &stages[i]
+		topWait := "-"
+		if top := st.TopPoint(); top != nil && st.BlockedNs > 0 {
+			topWait = fmt.Sprintf("%s (%.0f%%)", top.Point,
+				100*float64(top.BlockedNs)/float64(st.BlockedNs))
+		}
+		fmt.Fprintf(&b, "%-16s %8d %10s %10s %10s %5.1f%%  %s\n",
+			st.Name, st.Spans,
+			fmtDur(st.WallNs), fmtDur(st.OnCPUNs), fmtDur(st.BlockedNs),
+			100*st.BlockedShare(), topWait)
+	}
+	return b.String()
+}
+
+// TopBlockedStage returns the stage with the most blocked time, or nil
+// when nothing blocked at all.
+func TopBlockedStage(snap *Snapshot) *StageSnap {
+	var top *StageSnap
+	for i := range snap.Stages {
+		st := &snap.Stages[i]
+		if st.BlockedNs > 0 && (top == nil || st.BlockedNs > top.BlockedNs) {
+			top = st
+		}
+	}
+	return top
+}
+
+// fmtDur renders nanoseconds at three significant-ish digits, never wider
+// than the table column.
+func fmtDur(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", ns)
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.1fs", float64(ns)/1e9)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/daikon"
+	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/vm"
 	"repro/internal/webapp"
@@ -16,6 +17,10 @@ import (
 type Setup struct {
 	App *webapp.App
 	DB  *daikon.DB
+
+	// Obs, when set, is threaded into every ClearView the setup builds,
+	// tracing each instance's pipeline stages into one shared registry.
+	Obs *obs.Tracer
 }
 
 // NewSetup builds the application and learns the invariant database.
@@ -50,6 +55,7 @@ func (s *Setup) ClearView(stackScope int) (*core.ClearView, error) {
 		ShadowStack:    true,
 		FaultGuard:     true,
 		HangGuard:      true,
+		Obs:            s.Obs,
 	})
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/evaluate"
 	"repro/internal/image"
+	"repro/internal/obs"
 	"repro/internal/repair"
 	"repro/internal/vm"
 )
@@ -50,6 +51,10 @@ type Farm struct {
 	// unbounded (the machine's step budget still terminates hangs, so a
 	// deadline only matters when wall-clock latency does).
 	Deadline time.Duration
+	// Obs, when set, records per-candidate replay durations into the
+	// "replay.candidate" histogram and counts deadline misses in
+	// "replay.deadline_misses". Nil disables recording.
+	Obs *obs.Tracer
 }
 
 // Evaluate replays the recording once per candidate repair and returns one
@@ -105,14 +110,18 @@ func (f *Farm) Evaluate(rec *Recording, failureID string, cands []*repair.Repair
 // unboundedly.
 func (f *Farm) evalOne(rec *Recording, img *image.Image, failureID string, cand *repair.Repair, idx int) Verdict {
 	if f.Deadline <= 0 {
-		return runVerdict(rec, img, failureID, cand, idx)
+		v := runVerdict(rec, img, failureID, cand, idx)
+		f.Obs.Registry().Histogram("replay.candidate").Observe(v.Elapsed)
+		return v
 	}
 	ch := make(chan Verdict, 1)
 	go func() { ch <- runVerdict(rec, img, failureID, cand, idx) }()
 	select {
 	case v := <-ch:
+		f.Obs.Registry().Histogram("replay.candidate").Observe(v.Elapsed)
 		return v
 	case <-time.After(f.Deadline):
+		f.Obs.Counter("replay.deadline_misses").Inc()
 		return Verdict{RepairID: cand.ID(), Index: idx, Err: "replay deadline exceeded"}
 	}
 }
