@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/perfvc"
+)
+
+// writeProfile builds a small but contract-complete baseline and saves
+// it under the given name, returning the path and the profile.
+func writeProfile(t *testing.T, dir, name string, mutate func(*perfvc.Profile)) (string, *perfvc.Profile) {
+	t.Helper()
+	p := &perfvc.Profile{
+		Meta: perfvc.Meta{
+			PR: 7, Title: "self-test baseline", Date: "2026-08-08",
+			CPU: "test", Go: "go1.24.0",
+			Regenerate: []string{"go run ./cmd/perfvc record -pr 7"},
+		},
+		Benchmarks: map[string]perfvc.Bench{
+			"BenchmarkDispatchHot": {Package: "./internal/vm", Entry: "BenchmarkDispatchHot",
+				Metrics: map[string]perfvc.Stat{
+					"ns/op":     {Median: 90, Min: 78, Max: 95, Samples: 3},
+					"allocs/op": {Median: 0, Min: 0, Max: 0, Samples: 3},
+					"MIPS":      {Median: 100, Min: 95, Max: 115, Samples: 3},
+				}},
+			"BenchmarkRead32": {Package: "./internal/mem", Entry: "BenchmarkRead32",
+				Metrics: map[string]perfvc.Stat{
+					"ns/op": {Median: 50, Min: 48, Max: 52, Samples: 3},
+				}},
+		},
+	}
+	if mutate != nil {
+		mutate(p)
+	}
+	path := filepath.Join(dir, name)
+	if err := perfvc.Save(path, p); err != nil {
+		t.Fatal(err)
+	}
+	return path, p
+}
+
+// TestCISelfTestIdenticalProfilePasses is the acceptance self-test's
+// green half: gating a profile against itself must pass and print a
+// verdict table with no regression rows.
+func TestCISelfTestIdenticalProfilePasses(t *testing.T) {
+	dir := t.TempDir()
+	base, _ := writeProfile(t, dir, "BENCH_pr7.json", nil)
+	var out bytes.Buffer
+	err := runCI(ciFlags{dir: dir, candidate: base, floor: 0.75}, &out)
+	if err != nil {
+		t.Fatalf("identical profile failed the gate: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"BENCH_pr7.json", "within-noise", "0 regression(s)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("ci output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestCISelfTestSeededRegressionFails is the red half: a candidate with
+// a seeded 3x ns/op regression must fail with a nonzero verdict naming
+// the offending benchmark, and the -candidate-out profile must land on
+// disk for the CI artifact upload.
+func TestCISelfTestSeededRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	writeProfile(t, dir, "BENCH_pr7.json", nil)
+	candPath, _ := writeProfile(t, dir, "candidate.json", func(p *perfvc.Profile) {
+		b := p.Benchmarks["BenchmarkDispatchHot"]
+		b.Metrics["ns/op"] = perfvc.Stat{Median: 270, Min: 260, Max: 285, Samples: 3}
+		p.Benchmarks["BenchmarkDispatchHot"] = b
+	})
+	candOut := filepath.Join(dir, "artifact.json")
+	var out bytes.Buffer
+	err := runCI(ciFlags{dir: dir, candidate: candPath, candidateOut: candOut, floor: 0.75}, &out)
+	if err == nil {
+		t.Fatalf("seeded 3x regression passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkDispatchHot") {
+		t.Errorf("gate error does not name the offender: %v", err)
+	}
+	if !strings.Contains(out.String(), "regression") {
+		t.Errorf("verdict table missing the regression row:\n%s", out.String())
+	}
+	if _, statErr := os.Stat(candOut); statErr != nil {
+		t.Errorf("candidate-out artifact not written: %v", statErr)
+	}
+	saved, loadErr := perfvc.Load(candOut)
+	if loadErr != nil {
+		t.Fatalf("candidate-out not a loadable profile: %v", loadErr)
+	}
+	if saved.Benchmarks["BenchmarkDispatchHot"].Metrics["ns/op"].Median != 270 {
+		t.Error("candidate-out does not carry the gated candidate's numbers")
+	}
+}
+
+// TestCIPicksLatestCommittedBaseline checks the default baseline is the
+// highest-numbered BENCH_pr*.json in -dir, skipping the legacy
+// telemetry-shaped files.
+func TestCIPicksLatestCommittedBaseline(t *testing.T) {
+	dir := t.TempDir()
+	writeProfile(t, dir, "BENCH_pr5.json", func(p *perfvc.Profile) { p.Meta.PR = 5 })
+	cand, _ := writeProfile(t, dir, "BENCH_pr7.json", nil)
+	os.WriteFile(filepath.Join(dir, "BENCH_pr9.json"), []byte(`{"meta":{"pr":9},"stages":{}}`), 0o644)
+	var out bytes.Buffer
+	if err := runCI(ciFlags{dir: dir, candidate: cand, floor: 0.75}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "BENCH_pr7.json (pr 7)") {
+		t.Errorf("did not gate against the latest loadable baseline:\n%s", out.String())
+	}
+}
+
+// TestCompareInProcess smoke-tests the compare subcommand path: exit
+// error on regression, none on identical profiles.
+func TestCompareInProcess(t *testing.T) {
+	dir := t.TempDir()
+	base, _ := writeProfile(t, dir, "BENCH_pr7.json", nil)
+	var out bytes.Buffer
+	if err := runCompare(compareFlags{baseline: base, candidate: base}, &out); err != nil {
+		t.Fatalf("self-compare failed: %v", err)
+	}
+	slow, _ := writeProfile(t, dir, "slow.json", func(p *perfvc.Profile) {
+		b := p.Benchmarks["BenchmarkRead32"]
+		b.Metrics["ns/op"] = perfvc.Stat{Median: 500, Min: 490, Max: 510, Samples: 3}
+		p.Benchmarks["BenchmarkRead32"] = b
+	})
+	err := runCompare(compareFlags{baseline: base, candidate: slow}, &out)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkRead32") {
+		t.Fatalf("compare missed the regression: %v", err)
+	}
+	if err := runCompare(compareFlags{}, &out); err == nil {
+		t.Error("missing required flags accepted")
+	}
+}
+
+// TestRecordRequiresPR pins the record flag contract without running
+// the (minutes-long) real suite.
+func TestRecordRequiresPR(t *testing.T) {
+	if err := runRecord(recordFlags{count: 5}); err == nil || !strings.Contains(err.Error(), "-pr") {
+		t.Errorf("record without -pr: %v", err)
+	}
+}

@@ -60,6 +60,9 @@
 //	internal/obs        pipeline telemetry: metrics registry + stage spans
 //	                    with on-CPU/blocked accounting (nil-safe, zero-cost
 //	                    when disabled)
+//	internal/perfvc     performance version system: benchmark suite
+//	                    registry, noise-aware profile comparison, CI gate
+//	                    (cmd/perfvc; BENCH_pr*.json lineage)
 //	internal/fuzz       coverage-guided exploit-variant fuzzer
 //	internal/core       the ClearView pipeline orchestrator
 //	internal/community  the two-tier community (pipe & TCP transports)

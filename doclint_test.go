@@ -16,6 +16,7 @@ import (
 // Extend this list as packages stabilize.
 var doclintPackages = []string{
 	"internal/community",
+	"internal/perfvc",
 	"internal/replay",
 }
 

@@ -5,7 +5,82 @@ import (
 	"sort"
 	"strings"
 	"time"
+	"unicode/utf8"
 )
+
+// Col describes one column of a FormatTable rendering: its header, its
+// alignment (numeric columns read best right-aligned), a minimum width,
+// and the gap (spaces) separating it from the previous column. A zero Gap
+// means the default single space; the first column's gap is ignored.
+type Col struct {
+	Head  string
+	Right bool
+	Min   int
+	Gap   int
+}
+
+// FormatTable renders header + rows as an aligned monospace table: each
+// column is as wide as its widest cell (but at least Col.Min), left- or
+// right-aligned per Col.Right. It is the shared renderer behind the
+// per-stage profile table and cmd/perfvc's verdict table, so every
+// terminal-facing table in the pipeline lines up the same way.
+func FormatTable(cols []Col, rows [][]string) string {
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = utf8.RuneCountInString(c.Head)
+		if c.Min > widths[i] {
+			widths[i] = c.Min
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && utf8.RuneCountInString(cell) > widths[i] {
+				widths[i] = utf8.RuneCountInString(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cols {
+			if i > 0 {
+				gap := c.Gap
+				if gap == 0 {
+					gap = 1
+				}
+				b.WriteString(strings.Repeat(" ", gap))
+			}
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			pad := widths[i] - utf8.RuneCountInString(cell)
+			if pad < 0 {
+				pad = 0
+			}
+			// The last column never carries trailing padding.
+			switch {
+			case c.Right:
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(cell)
+			case i == len(cols)-1:
+				b.WriteString(cell)
+			default:
+				b.WriteString(cell)
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	heads := make([]string, len(cols))
+	for i, c := range cols {
+		heads[i] = c.Head
+	}
+	writeRow(heads)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
 
 // FormatStageTable renders a snapshot's stages as the per-stage
 // wall/on-CPU/blocked table `cmd/soak -profile` prints, sorted by blocked
@@ -13,9 +88,6 @@ import (
 // with wall time as the tiebreak. Durations are rounded for reading; the
 // JSON snapshot carries the exact nanoseconds.
 func FormatStageTable(snap *Snapshot) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-16s %8s %10s %10s %10s %6s  %s\n",
-		"stage", "spans", "wall", "on-cpu", "blocked", "blk%", "top wait (share of blocked)")
 	stages := make([]StageSnap, len(snap.Stages))
 	copy(stages, snap.Stages)
 	sort.SliceStable(stages, func(i, j int) bool {
@@ -27,6 +99,7 @@ func FormatStageTable(snap *Snapshot) string {
 		}
 		return stages[i].Name < stages[j].Name
 	})
+	rows := make([][]string, 0, len(stages))
 	for i := range stages {
 		st := &stages[i]
 		topWait := "-"
@@ -34,12 +107,21 @@ func FormatStageTable(snap *Snapshot) string {
 			topWait = fmt.Sprintf("%s (%.0f%%)", top.Point,
 				100*float64(top.BlockedNs)/float64(st.BlockedNs))
 		}
-		fmt.Fprintf(&b, "%-16s %8d %10s %10s %10s %5.1f%%  %s\n",
-			st.Name, st.Spans,
+		rows = append(rows, []string{
+			st.Name, fmt.Sprintf("%d", st.Spans),
 			fmtDur(st.WallNs), fmtDur(st.OnCPUNs), fmtDur(st.BlockedNs),
-			100*st.BlockedShare(), topWait)
+			fmt.Sprintf("%.1f%%", 100*st.BlockedShare()), topWait,
+		})
 	}
-	return b.String()
+	return FormatTable([]Col{
+		{Head: "stage", Min: 16},
+		{Head: "spans", Right: true, Min: 8},
+		{Head: "wall", Right: true, Min: 10},
+		{Head: "on-cpu", Right: true, Min: 10},
+		{Head: "blocked", Right: true, Min: 10},
+		{Head: "blk%", Right: true, Min: 6},
+		{Head: "top wait (share of blocked)", Gap: 2},
+	}, rows)
 }
 
 // TopBlockedStage returns the stage with the most blocked time, or nil

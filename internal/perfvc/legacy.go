@@ -1,0 +1,87 @@
+package perfvc
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// legacyMetricNames maps the hand-written BENCH_pr3.json metric keys to
+// the unit strings `go test -bench` actually prints (the keys perfvc
+// profiles use). Keys not listed pass through unchanged — custom count
+// metrics like "presentations" and "msgs" already match their units.
+var legacyMetricNames = map[string]string{
+	"ns_op":     "ns/op",
+	"allocs_op": "allocs/op",
+	"b_op":      "B/op",
+	"mb_s":      "MB/s",
+	"mips":      "MIPS",
+}
+
+// legacyProfile is the hand-written BENCH_pr3.json shape: a meta block
+// plus flat name → {metric: value} maps for the before/after trees.
+type legacyProfile struct {
+	Meta   Meta                          `json:"meta"`
+	Before map[string]map[string]float64 `json:"before"`
+	After  map[string]map[string]float64 `json:"after"`
+}
+
+// ConvertLegacy backfills a hand-written BENCH file (the PR 3 shape:
+// meta + before/after single-shot values) into a comparable Profile,
+// taking the named section ("after" or "before"). Every value becomes a
+// single-sample Stat (median = min = max, samples = 1), so the
+// comparator's spread term is zero and only the class tolerance applies
+// — honest about the fact that the legacy numbers carry no error bars.
+// Files whose shape does not fit (BENCH_pr6.json's stage-telemetry
+// tables have no per-benchmark go-test metrics) return an error.
+func ConvertLegacy(data []byte, section string) (*Profile, error) {
+	var legacy legacyProfile
+	if err := json.Unmarshal(data, &legacy); err != nil {
+		return nil, err
+	}
+	var tree map[string]map[string]float64
+	switch section {
+	case "after":
+		tree = legacy.After
+	case "before":
+		tree = legacy.Before
+	default:
+		return nil, fmt.Errorf("unknown legacy section %q (want before/after)", section)
+	}
+	if len(tree) == 0 {
+		return nil, fmt.Errorf("no %q section — not the PR 3 legacy shape", section)
+	}
+	suite := Registry()
+	p := &Profile{Meta: legacy.Meta, Benchmarks: map[string]Bench{}}
+	var names []string
+	for name := range tree {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	converted := 0
+	for _, name := range names {
+		metrics := tree[name]
+		// Only benchmark-shaped entries convert: a name must look like a
+		// go benchmark and carry at least one numeric metric.
+		if len(metrics) == 0 || len(name) < len("Benchmark") || name[:len("Benchmark")] != "Benchmark" {
+			continue
+		}
+		b := Bench{Entry: name, Metrics: map[string]Stat{}}
+		if e := suite.EntryFor(name); e != nil {
+			b.Entry, b.Package = e.Name, e.Package
+		}
+		for key, v := range metrics {
+			unit := key
+			if mapped, ok := legacyMetricNames[key]; ok {
+				unit = mapped
+			}
+			b.Metrics[unit] = Stat{Median: v, Min: v, Max: v, Samples: 1}
+		}
+		p.Benchmarks[name] = b
+		converted++
+	}
+	if converted == 0 {
+		return nil, fmt.Errorf("%q section holds no benchmark-shaped entries", section)
+	}
+	return p, nil
+}

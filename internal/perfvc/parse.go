@@ -1,0 +1,160 @@
+package perfvc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Sample is one benchmark result line from `go test -bench` output: the
+// benchmark's name (GOMAXPROCS suffix stripped), its iteration count, and
+// every reported metric keyed by its unit string — the standard ns/op,
+// B/op, allocs/op, MB/s plus any custom b.ReportMetric units (MIPS,
+// presentations, msgs, ...).
+type Sample struct {
+	// Name is the full benchmark path, e.g. "BenchmarkTable1/290162".
+	Name string
+	// Iters is b.N for the run.
+	Iters int64
+	// Metrics maps unit → value for every (value, unit) pair on the line.
+	Metrics map[string]float64
+}
+
+// RunOutput is everything ParseBench extracted from one `go test -bench`
+// invocation's combined output.
+type RunOutput struct {
+	// CPU is the host CPU model from the header ("cpu: ..." line), if any.
+	CPU string
+	// Samples holds one entry per result line, in output order; with
+	// `-count N` the same name appears N times.
+	Samples []Sample
+	// Skipped lists benchmarks that called b.Skip (from "--- SKIP" lines).
+	Skipped []string
+	// Failed lists benchmarks that failed (from "--- FAIL" lines).
+	Failed []string
+	// PackageFailed is true when the package-level FAIL marker appeared —
+	// set even when no individual benchmark is attributed (build errors,
+	// panics outside a benchmark).
+	PackageFailed bool
+}
+
+// gomaxprocsSuffix is the "-8" testing appends to a benchmark name when
+// GOMAXPROCS > 1. Only a pure trailing integer is stripped, so
+// sub-benchmark names like "Sequential-30candidates" survive intact.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// normalizeName strips the GOMAXPROCS suffix from a result-line name.
+func normalizeName(name string) string {
+	return gomaxprocsSuffix.ReplaceAllString(name, "")
+}
+
+// ParseBench parses the combined output of `go test -bench` into
+// structured samples. It tolerates interleaved log lines, captures
+// skip/fail markers, and never guesses at malformed result lines — a
+// line that starts like a result but does not parse is an error, since
+// silently dropping it would fake a "removed" benchmark downstream.
+func ParseBench(r io.Reader) (*RunOutput, error) {
+	out := &RunOutput{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "cpu: "):
+			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+		case strings.HasPrefix(strings.TrimSpace(line), "--- SKIP: "):
+			out.Skipped = append(out.Skipped, markerName(line, "--- SKIP: "))
+		case strings.HasPrefix(strings.TrimSpace(line), "--- FAIL: "):
+			out.Failed = append(out.Failed, markerName(line, "--- FAIL: "))
+		case line == "FAIL" || strings.HasPrefix(line, "FAIL\t"):
+			out.PackageFailed = true
+		case strings.HasPrefix(line, "Benchmark"):
+			s, ok, err := parseResultLine(line)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out.Samples = append(out.Samples, s)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// markerName extracts the benchmark name from a "--- SKIP: Name (0.00s)"
+// style marker line.
+func markerName(line, marker string) string {
+	rest := strings.TrimSpace(line)
+	rest = strings.TrimPrefix(rest, marker)
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}
+
+// parseResultLine parses one benchmark result line:
+//
+//	BenchmarkName-8   1000   77.65 ns/op   115.9 MIPS   0 B/op   0 allocs/op
+//
+// ok=false (with nil error) means the line only looked like a result —
+// a benchmark's own log output starting with "Benchmark", with no
+// iteration count — and should be ignored.
+func parseResultLine(line string) (Sample, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Sample{}, false, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Sample{}, false, nil
+	}
+	s := Sample{
+		Name:    normalizeName(fields[0]),
+		Iters:   iters,
+		Metrics: map[string]float64{},
+	}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Sample{}, false, fmt.Errorf("malformed benchmark result line (odd metric fields): %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Sample{}, false, fmt.Errorf("malformed metric value %q in %q", rest[i], line)
+		}
+		s.Metrics[rest[i+1]] = v
+	}
+	return s, true, nil
+}
+
+// fold groups samples by benchmark name and aggregates each metric
+// across samples into a Stat. Metrics missing from some samples are
+// aggregated over the samples that did report them.
+func fold(samples []Sample) map[string]map[string]Stat {
+	values := map[string]map[string][]float64{}
+	for _, s := range samples {
+		m, ok := values[s.Name]
+		if !ok {
+			m = map[string][]float64{}
+			values[s.Name] = m
+		}
+		for unit, v := range s.Metrics {
+			m[unit] = append(m[unit], v)
+		}
+	}
+	out := make(map[string]map[string]Stat, len(values))
+	for name, units := range values {
+		stats := make(map[string]Stat, len(units))
+		for unit, vals := range units {
+			stats[unit] = aggregate(vals)
+		}
+		out[name] = stats
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package perfvc
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// readGolden loads a captured `go test -bench` output file.
+func readGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestParseVMGolden parses real captured internal/vm bench output
+// (-count 3, -benchmem, custom MIPS and instrs/op metrics) into stable
+// structs: per-line samples plus per-benchmark folded statistics.
+func TestParseVMGolden(t *testing.T) {
+	out, err := ParseBench(bytes.NewReader(readGolden(t, "vm_count3.txt")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu = %q", out.CPU)
+	}
+	if out.PackageFailed || len(out.Failed) != 0 || len(out.Skipped) != 0 {
+		t.Errorf("unexpected failure markers: %+v", out)
+	}
+	if len(out.Samples) != 12 {
+		t.Fatalf("got %d samples, want 12 (4 benchmarks x -count 3)", len(out.Samples))
+	}
+	first := out.Samples[0]
+	if first.Name != "BenchmarkDispatchHot" || first.Iters != 2000 {
+		t.Errorf("first sample = %+v", first)
+	}
+	wantFirst := map[string]float64{
+		"ns/op": 94.20, "MIPS": 95.60, "instrs/op": 9.005, "B/op": 0, "allocs/op": 0,
+	}
+	for unit, v := range wantFirst {
+		if got := first.Metrics[unit]; got != v {
+			t.Errorf("first sample %s = %v, want %v", unit, got, v)
+		}
+	}
+
+	stats := fold(out.Samples)
+	if len(stats) != 4 {
+		t.Fatalf("folded %d benchmarks, want 4", len(stats))
+	}
+	hot := stats["BenchmarkDispatchHot"]["ns/op"]
+	if hot.Samples != 3 || hot.Min != 77.88 || hot.Max != 94.38 || hot.Median != 94.20 {
+		t.Errorf("DispatchHot ns/op = %+v", hot)
+	}
+	copyB := stats["BenchmarkCopyB"]["MB/s"]
+	if copyB.Samples != 3 || copyB.Median != 25350.38 || copyB.Min != 15299.94 || copyB.Max != 35862.35 {
+		t.Errorf("CopyB MB/s = %+v", copyB)
+	}
+	hooked := stats["BenchmarkDispatchHooked"]["allocs/op"]
+	if hooked.Median != 9 || hooked.Spread() != 0 {
+		t.Errorf("DispatchHooked allocs/op = %+v", hooked)
+	}
+}
+
+// TestParseSubBenchGolden parses real captured root-package output with
+// sub-benchmarks, custom count metrics, and GOMAXPROCS name suffixes:
+// "-2" must be stripped while "Sequential-30candidates" keeps its own
+// trailing "-30candidates".
+func TestParseSubBenchGolden(t *testing.T) {
+	out, err := ParseBench(bytes.NewReader(readGolden(t, "root_subbench.txt")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := fold(out.Samples)
+	wantNames := []string{
+		"BenchmarkSnapshotClone/Snapshot",
+		"BenchmarkSnapshotClone/Restore",
+		"BenchmarkSnapshotClone/RestoreAndRun",
+		"BenchmarkReplayFarm/Sequential-30candidates",
+		"BenchmarkReplayFarm/Parallel-30candidates",
+	}
+	for _, name := range wantNames {
+		if _, ok := stats[name]; !ok {
+			t.Errorf("missing folded benchmark %q (have %v)", name, keys(stats))
+		}
+	}
+	if len(stats) != len(wantNames) {
+		t.Errorf("folded %d benchmarks, want %d", len(stats), len(wantNames))
+	}
+	if pages := stats["BenchmarkSnapshotClone/Snapshot"]["pages"]; pages.Median != 67 || pages.Samples != 2 {
+		t.Errorf("Snapshot pages = %+v", pages)
+	}
+	if surv := stats["BenchmarkReplayFarm/Sequential-30candidates"]["survivors"]; surv.Median != 21 {
+		t.Errorf("survivors = %+v", surv)
+	}
+	seq := stats["BenchmarkReplayFarm/Sequential-30candidates"]["ns/op"]
+	if seq.Min != 12606384 || seq.Max != 12759907 || seq.Median != (12606384.0+12759907.0)/2 {
+		t.Errorf("Sequential ns/op = %+v (even count: median must be the middle-two mean)", seq)
+	}
+}
+
+// TestParseVerboseSkipFailGolden parses real captured -v output with a
+// skipped benchmark, a failed benchmark, custom ReportMetric units
+// ("mips", "sim-MB/s"), and the bare name-announcement lines -v
+// interleaves (which must not parse as results).
+func TestParseVerboseSkipFailGolden(t *testing.T) {
+	out, err := ParseBench(bytes.NewReader(readGolden(t, "scratch_verbose.txt")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Skipped) != 1 || out.Skipped[0] != "BenchmarkSkipsOnCI" {
+		t.Errorf("skipped = %v", out.Skipped)
+	}
+	if len(out.Failed) != 1 || out.Failed[0] != "BenchmarkBroken" {
+		t.Errorf("failed = %v", out.Failed)
+	}
+	if !out.PackageFailed {
+		t.Error("package FAIL marker not detected")
+	}
+	stats := fold(out.Samples)
+	if len(stats) != 2 {
+		t.Fatalf("folded %d benchmarks, want 2 (skip and fail produce no samples): %v", len(stats), keys(stats))
+	}
+	if mips := stats["BenchmarkSimDispatch"]["mips"]; mips.Samples != 2 || mips.Max != 31579 {
+		t.Errorf("custom mips metric = %+v", mips)
+	}
+	if sim := stats["BenchmarkSimCopy"]["sim-MB/s"]; sim.Samples != 2 || sim.Min != 130666 || sim.Max != 130984 {
+		t.Errorf("custom sim-MB/s metric = %+v", sim)
+	}
+}
+
+// TestParseRejectsMalformedResultLines pins the no-guessing contract: a
+// line that starts like a result but carries unparseable metrics is an
+// error, not a silently dropped sample.
+func TestParseRejectsMalformedResultLines(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX 1000 12.5 ns/op trailing",     // odd metric fields
+		"BenchmarkX 1000 twelve ns/op",            // non-numeric value
+		"BenchmarkX 1000 12.5 ns/op nan-ish MB/s", // second pair bad
+	} {
+		if _, err := ParseBench(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("ParseBench accepted malformed line %q", bad)
+		}
+	}
+	// But a benchmark's own log line starting with "Benchmark" (no
+	// iteration count) is ignored, not an error.
+	out, err := ParseBench(strings.NewReader("BenchmarkX logging something\n"))
+	if err != nil || len(out.Samples) != 0 {
+		t.Errorf("log-looking line: samples=%d err=%v", len(out.Samples), err)
+	}
+}
+
+// keys lists a fold result's benchmark names for error messages.
+func keys(m map[string]map[string]Stat) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package perfvc
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testProfile builds a minimal valid profile.
+func testProfile(pr int) *Profile {
+	return &Profile{
+		Meta: Meta{
+			PR: pr, Title: "test", Date: "2026-08-08", CPU: "x", Go: "go1.24.0",
+			Regenerate: []string{"go run ./cmd/perfvc record -pr 7"},
+		},
+		Benchmarks: map[string]Bench{
+			"BenchmarkA": {Package: ".", Entry: "BenchmarkA", Metrics: map[string]Stat{
+				"ns/op": {Median: 100, Min: 95, Max: 105, Samples: 3},
+			}},
+		},
+	}
+}
+
+// TestProfileSaveLoadRoundTrip checks Save/Load preserve the profile and
+// that Load rejects files that are not perfvc profiles.
+func TestProfileSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_pr7.json")
+	if err := Save(path, testProfile(7)); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Meta.PR != 7 || p.Benchmarks["BenchmarkA"].Metrics["ns/op"].Median != 100 {
+		t.Errorf("round trip lost data: %+v", p)
+	}
+	if err := p.Validate(3); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+
+	// A JSON file without a benchmarks section (the BENCH_pr6 telemetry
+	// shape) must be rejected, not silently loaded empty.
+	other := filepath.Join(dir, "other.json")
+	os.WriteFile(other, []byte(`{"meta": {"pr": 6}, "stages": {}}`), 0o644)
+	if _, err := Load(other); err == nil {
+		t.Error("Load accepted a profile with no benchmarks section")
+	}
+}
+
+// TestProfileValidate sweeps the baseline-contract violations.
+func TestProfileValidate(t *testing.T) {
+	mutate := func(f func(*Profile)) error {
+		p := testProfile(7)
+		f(p)
+		return p.Validate(3)
+	}
+	cases := []struct {
+		name string
+		f    func(*Profile)
+		want string
+	}{
+		{"missing pr", func(p *Profile) { p.Meta.PR = 0 }, "meta.pr"},
+		{"missing date", func(p *Profile) { p.Meta.Date = "" }, "meta.date"},
+		{"missing regenerate", func(p *Profile) { p.Meta.Regenerate = nil }, "regenerate"},
+		{"no benchmarks", func(p *Profile) { p.Benchmarks = nil }, "no benchmarks"},
+		{"too few samples", func(p *Profile) {
+			p.Benchmarks["BenchmarkA"].Metrics["ns/op"] = Stat{Median: 1, Min: 1, Max: 1, Samples: 2}
+		}, "samples"},
+		{"inverted stats", func(p *Profile) {
+			p.Benchmarks["BenchmarkA"].Metrics["ns/op"] = Stat{Median: 200, Min: 95, Max: 105, Samples: 3}
+		}, "median"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := mutate(tc.f)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLatestBaseline checks the highest-numbered committed BENCH file
+// wins and non-profile BENCH files are skipped, not fatal.
+func TestLatestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(filepath.Join(dir, "BENCH_pr3.json"), testProfile(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(filepath.Join(dir, "BENCH_pr7.json"), testProfile(7)); err != nil {
+		t.Fatal(err)
+	}
+	// A legacy telemetry BENCH file with no benchmarks section sits in
+	// the lineage but is not a loadable baseline.
+	os.WriteFile(filepath.Join(dir, "BENCH_pr6.json"), []byte(`{"meta":{"pr":6},"stages":{}}`), 0o644)
+	os.WriteFile(filepath.Join(dir, "BENCH_notes.json"), []byte(`{}`), 0o644)
+
+	p, path, err := LatestBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Meta.PR != 7 || filepath.Base(path) != "BENCH_pr7.json" {
+		t.Errorf("latest = pr %d from %s", p.Meta.PR, path)
+	}
+
+	if _, _, err := LatestBaseline(t.TempDir()); err == nil {
+		t.Error("empty dir produced a baseline")
+	}
+}
+
+// TestConvertLegacy checks the PR 3 backfill shape converts to
+// single-sample stats and wrong shapes are rejected.
+func TestConvertLegacy(t *testing.T) {
+	data := []byte(`{
+		"meta": {"pr": 3, "date": "2026-07-20"},
+		"before": {"BenchmarkDispatchHot": {"ns_op": 515.0, "mips": 17.8}},
+		"after": {
+			"BenchmarkDispatchHot": {"ns_op": 77.65, "mips": 115.9, "allocs_op": 0},
+			"environment": {}
+		}
+	}`)
+	p, err := ConvertLegacy(data, "after")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Benchmarks) != 1 {
+		t.Fatalf("converted %d benchmarks, want 1 (non-Benchmark keys dropped)", len(p.Benchmarks))
+	}
+	hot := p.Benchmarks["BenchmarkDispatchHot"]
+	if hot.Package != "./internal/vm" {
+		t.Errorf("registry did not resolve package: %+v", hot)
+	}
+	ns := hot.Metrics["ns/op"]
+	if ns.Median != 77.65 || ns.Min != 77.65 || ns.Max != 77.65 || ns.Samples != 1 {
+		t.Errorf("ns/op = %+v, want single-sample 77.65", ns)
+	}
+	if hot.Metrics["MIPS"].Median != 115.9 {
+		t.Errorf("MIPS = %+v", hot.Metrics["MIPS"])
+	}
+
+	before, err := ConvertLegacy(data, "before")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// before → after is the PR 3 dispatch rewrite: a clear improvement.
+	rep := Compare(before, p, Options{Suite: Registry()})
+	if rep.Improvements != 1 || rep.Regressions != 0 {
+		t.Errorf("pr3 before→after = %+v", rep.Deltas)
+	}
+
+	if _, err := ConvertLegacy(data, "sideways"); err == nil {
+		t.Error("unknown section accepted")
+	}
+	if _, err := ConvertLegacy([]byte(`{"meta":{"pr":6},"stages":{}}`), "after"); err == nil {
+		t.Error("telemetry shape accepted")
+	}
+}

@@ -1,0 +1,128 @@
+package perfvc
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// Runner executes the suite with `go test -bench` and folds the parsed
+// output into a Profile. Exec is injectable so the aggregation pipeline
+// is testable against captured output without a toolchain.
+type Runner struct {
+	// Dir is the repo root the go commands run in.
+	Dir string
+	// Count is the -count per benchmark (samples per statistic).
+	Count int
+	// CI selects the short CI benchtimes instead of the full ones.
+	CI bool
+	// Exec runs one command and returns its combined output; nil uses
+	// os/exec with the go toolchain. The error is only consulted after
+	// parsing, so bench output from a failing run is still attributed.
+	Exec func(dir string, args []string) ([]byte, error)
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+}
+
+// Run executes every suite group and returns the aggregated profile
+// (meta left for the caller to fill, except CPU, which is taken from the
+// bench output header) plus the exact commands executed — the material
+// for the profile's regenerate block. Skipped benchmarks are reported in
+// the error when the suite expected them; failed benchmarks always are.
+func (r *Runner) Run(s *Suite) (*Profile, []string, error) {
+	if r.Count < 1 {
+		return nil, nil, fmt.Errorf("count must be >= 1, got %d", r.Count)
+	}
+	execFn := r.Exec
+	if execFn == nil {
+		execFn = func(dir string, args []string) ([]byte, error) {
+			cmd := exec.Command("go", args...)
+			cmd.Dir = dir
+			var buf bytes.Buffer
+			cmd.Stdout = &buf
+			cmd.Stderr = &buf
+			err := cmd.Run()
+			return buf.Bytes(), err
+		}
+	}
+	p := &Profile{Benchmarks: map[string]Bench{}}
+	var commands []string
+	var scope []string
+	for _, g := range s.groups(r.CI) {
+		args := []string{
+			"test", "-run", "^$",
+			"-bench", "^(" + strings.Join(g.names, "|") + ")$",
+			"-benchtime", g.benchtime,
+			"-count", strconv.Itoa(r.Count),
+			"-benchmem",
+			g.pkg,
+		}
+		cmd := "go " + strings.Join(args, " ")
+		commands = append(commands, cmd)
+		scope = append(scope, g.names...)
+		if r.Log != nil {
+			fmt.Fprintf(r.Log, "perfvc: %s\n", cmd)
+		}
+		raw, runErr := execFn(r.Dir, args)
+		out, parseErr := ParseBench(bytes.NewReader(raw))
+		if parseErr != nil {
+			return nil, commands, fmt.Errorf("%s: %w", cmd, parseErr)
+		}
+		if len(out.Failed) > 0 {
+			return nil, commands, fmt.Errorf("%s: benchmarks failed: %s", cmd, strings.Join(out.Failed, ", "))
+		}
+		if out.PackageFailed || runErr != nil {
+			return nil, commands, fmt.Errorf("%s: run failed: %v\n%s", cmd, runErr, tail(raw, 2048))
+		}
+		if out.CPU != "" && p.Meta.CPU == "" {
+			p.Meta.CPU = out.CPU
+		}
+		for name, metrics := range fold(out.Samples) {
+			entry := name
+			if e := s.EntryFor(name); e != nil {
+				entry = e.Name
+			}
+			p.Benchmarks[name] = Bench{Package: g.pkg, Entry: entry, Metrics: metrics}
+		}
+		if len(out.Skipped) > 0 && r.Log != nil {
+			fmt.Fprintf(r.Log, "perfvc: skipped: %s\n", strings.Join(out.Skipped, ", "))
+		}
+	}
+	// Every registered entry must have produced at least one result —
+	// a suite run that silently measured nothing is not a baseline.
+	produced := map[string]bool{}
+	for _, b := range p.Benchmarks {
+		produced[b.Entry] = true
+	}
+	var missing []string
+	for _, name := range scope {
+		if !produced[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return nil, commands, fmt.Errorf("registered benchmarks produced no results: %s", strings.Join(missing, ", "))
+	}
+	return p, commands, nil
+}
+
+// Scope returns the set of entry names a run over this suite covers —
+// what Compare needs to distinguish "not attempted" from "removed".
+func (s *Suite) Scope() map[string]bool {
+	scope := make(map[string]bool, len(s.Entries))
+	for _, e := range s.Entries {
+		scope[e.Name] = true
+	}
+	return scope
+}
+
+// tail returns the last n bytes of raw output for error context.
+func tail(raw []byte, n int) []byte {
+	if len(raw) <= n {
+		return raw
+	}
+	return raw[len(raw)-n:]
+}

@@ -1,0 +1,139 @@
+package perfvc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// runSuite declares two groups: a root pair sharing a benchtime and a
+// separate vm entry.
+func runSuite() *Suite {
+	return &Suite{Entries: []Entry{
+		{Name: "BenchmarkAlpha", Package: ".", Benchtime: "100x", CIBenchtime: "10x", Class: ClassSteady},
+		{Name: "BenchmarkBeta", Package: ".", Benchtime: "100x", CIBenchtime: "10x", Class: ClassSteady},
+		{Name: "BenchmarkGamma", Package: "./internal/x", Benchtime: "50x", CIBenchtime: "5x", Class: ClassNoisy},
+	}}
+}
+
+// TestRunnerAggregatesGroups feeds canned bench output through an
+// injected Exec and checks the full pipeline: one invocation per group,
+// correct flags, CPU capture, and folded multi-sample statistics.
+func TestRunnerAggregatesGroups(t *testing.T) {
+	var commands []string
+	r := &Runner{
+		Dir:   "/nonexistent",
+		Count: 2,
+		Exec: func(dir string, args []string) ([]byte, error) {
+			if dir != "/nonexistent" {
+				t.Errorf("dir = %q", dir)
+			}
+			cmd := strings.Join(args, " ")
+			commands = append(commands, cmd)
+			if strings.Contains(cmd, "internal/x") {
+				return []byte("goos: linux\ncpu: Test CPU @ 1.00GHz\n" +
+					"BenchmarkGamma 50 2000 ns/op\n" +
+					"BenchmarkGamma 50 2200 ns/op\n" +
+					"PASS\n"), nil
+			}
+			return []byte("cpu: Test CPU @ 1.00GHz\n" +
+				"BenchmarkAlpha 100 100.0 ns/op 0 B/op 0 allocs/op\n" +
+				"BenchmarkBeta/arm 100 500.0 ns/op\n" +
+				"BenchmarkAlpha 100 110.0 ns/op 0 B/op 0 allocs/op\n" +
+				"BenchmarkBeta/arm 100 510.0 ns/op\n" +
+				"PASS\n"), nil
+		},
+	}
+	p, cmds, err := r.Run(runSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(commands) != 2 {
+		t.Fatalf("executed %d commands, want 2 groups: %v", len(commands), commands)
+	}
+	want0 := "test -run ^$ -bench ^(BenchmarkAlpha|BenchmarkBeta)$ -benchtime 100x -count 2 -benchmem ."
+	if commands[0] != want0 {
+		t.Errorf("group 0 command:\n got %q\nwant %q", commands[0], want0)
+	}
+	if len(cmds) != 2 || !strings.HasPrefix(cmds[0], "go test ") {
+		t.Errorf("regenerate commands = %v", cmds)
+	}
+	if p.Meta.CPU != "Test CPU @ 1.00GHz" {
+		t.Errorf("cpu = %q", p.Meta.CPU)
+	}
+	alpha := p.Benchmarks["BenchmarkAlpha"].Metrics["ns/op"]
+	if alpha.Samples != 2 || alpha.Min != 100 || alpha.Max != 110 || alpha.Median != 105 {
+		t.Errorf("Alpha ns/op = %+v", alpha)
+	}
+	// Sub-benchmark results key by full name but resolve to their entry.
+	beta, ok := p.Benchmarks["BenchmarkBeta/arm"]
+	if !ok || beta.Entry != "BenchmarkBeta" {
+		t.Errorf("Beta sub-bench = %+v (present=%v)", beta, ok)
+	}
+	gamma := p.Benchmarks["BenchmarkGamma"].Metrics["ns/op"]
+	if gamma.Median != 2100 {
+		t.Errorf("Gamma ns/op = %+v", gamma)
+	}
+}
+
+// TestRunnerCIBenchtimes checks the CI flag swaps in the short
+// benchtimes.
+func TestRunnerCIBenchtimes(t *testing.T) {
+	var commands []string
+	r := &Runner{
+		Count: 1,
+		CI:    true,
+		Exec: func(dir string, args []string) ([]byte, error) {
+			commands = append(commands, strings.Join(args, " "))
+			if len(commands) == 1 {
+				return []byte("BenchmarkAlpha 10 1 ns/op\nBenchmarkBeta 10 1 ns/op\nPASS\n"), nil
+			}
+			return []byte("BenchmarkGamma 5 1 ns/op\nPASS\n"), nil
+		},
+	}
+	if _, _, err := r.Run(runSuite()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(commands[0], "-benchtime 10x") || !strings.Contains(commands[1], "-benchtime 5x") {
+		t.Errorf("ci commands = %v", commands)
+	}
+}
+
+// TestRunnerFailurePropagation checks each failure class surfaces as an
+// error instead of a silently thin profile: failed benchmarks, package
+// failure, nonzero exit, and registered entries producing no results.
+func TestRunnerFailurePropagation(t *testing.T) {
+	run := func(out string, execErr error) error {
+		r := &Runner{Count: 1, Exec: func(dir string, args []string) ([]byte, error) {
+			return []byte(out), execErr
+		}}
+		_, _, err := r.Run(&Suite{Entries: []Entry{
+			{Name: "BenchmarkAlpha", Package: ".", Benchtime: "10x"},
+		}})
+		return err
+	}
+
+	if err := run("--- FAIL: BenchmarkAlpha\nFAIL\n", nil); err == nil || !strings.Contains(err.Error(), "BenchmarkAlpha") {
+		t.Errorf("failed benchmark: err = %v", err)
+	}
+	if err := run("# repro [build failed]\nFAIL\trepro [build failed]\n", fmt.Errorf("exit status 1")); err == nil {
+		t.Error("package failure not propagated")
+	}
+	if err := run("BenchmarkAlpha 10 1 ns/op\nPASS\n", fmt.Errorf("exit status 1")); err == nil {
+		t.Error("nonzero exit with parseable output not propagated")
+	}
+	if err := run("PASS\nok\trepro\t0.01s\n", nil); err == nil || !strings.Contains(err.Error(), "no results") {
+		t.Errorf("empty run: err = %v", err)
+	}
+	if _, _, err := (&Runner{Count: 0}).Run(&Suite{}); err == nil {
+		t.Error("count 0 accepted")
+	}
+}
+
+// TestSuiteScope checks Scope lists exactly the registered entry names.
+func TestSuiteScope(t *testing.T) {
+	scope := runSuite().Scope()
+	if len(scope) != 3 || !scope["BenchmarkAlpha"] || !scope["BenchmarkGamma"] {
+		t.Errorf("scope = %v", scope)
+	}
+}

@@ -1,0 +1,217 @@
+package perfvc
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// checkSuite is a small registry for drift-guard mechanism tests.
+func checkSuite() *Suite {
+	return &Suite{
+		Entries: []Entry{
+			{Name: "BenchmarkA", Package: ".", Benchtime: "2x", CIBenchtime: "1x"},
+			{Name: "BenchmarkB", Package: "./internal/x", Benchtime: "100x", CIBenchtime: "10x"},
+		},
+		Excluded: []Exclusion{
+			{Name: "BenchmarkC", Package: ".", Reason: "deterministic count, not a timing surface"},
+		},
+	}
+}
+
+// errsContaining reports whether any error message contains every want.
+func errsContaining(errs []error, wants ...string) bool {
+	for _, err := range errs {
+		ok := true
+		for _, w := range wants {
+			if !strings.Contains(err.Error(), w) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSuiteCheckMechanism drives Check over synthetic repo scans: the
+// happy path, an unregistered benchmark, stale entries and exclusions,
+// package mismatches, and registry self-consistency violations.
+func TestSuiteCheckMechanism(t *testing.T) {
+	clean := map[string]string{
+		"BenchmarkA": ".", "BenchmarkB": "./internal/x", "BenchmarkC": ".",
+	}
+	if errs := checkSuite().Check(clean); len(errs) != 0 {
+		t.Fatalf("clean repo produced violations: %v", errs)
+	}
+
+	t.Run("unregistered benchmark", func(t *testing.T) {
+		repo := map[string]string{
+			"BenchmarkA": ".", "BenchmarkB": "./internal/x", "BenchmarkC": ".",
+			"BenchmarkSneaky": "./internal/x",
+		}
+		errs := checkSuite().Check(repo)
+		if len(errs) != 1 || !errsContaining(errs, "BenchmarkSneaky", "neither", "suite.go") {
+			t.Fatalf("errs = %v", errs)
+		}
+	})
+
+	t.Run("stale registration and exclusion", func(t *testing.T) {
+		errs := checkSuite().Check(map[string]string{"BenchmarkA": "."})
+		if !errsContaining(errs, "BenchmarkB", "no longer exists") {
+			t.Errorf("missing stale-entry violation: %v", errs)
+		}
+		if !errsContaining(errs, "BenchmarkC", "stale exclusion") {
+			t.Errorf("missing stale-exclusion violation: %v", errs)
+		}
+		if len(errs) != 2 {
+			t.Errorf("want exactly 2 violations, got %v", errs)
+		}
+	})
+
+	t.Run("package moved", func(t *testing.T) {
+		repo := map[string]string{
+			"BenchmarkA": "./moved", "BenchmarkB": "./internal/x", "BenchmarkC": "./moved",
+		}
+		errs := checkSuite().Check(repo)
+		if !errsContaining(errs, "BenchmarkA", "registered in package .", "./moved") {
+			t.Errorf("missing moved-entry violation: %v", errs)
+		}
+		if !errsContaining(errs, "BenchmarkC", "excluded for package .", "./moved") {
+			t.Errorf("missing moved-exclusion violation: %v", errs)
+		}
+	})
+
+	t.Run("registry self-consistency", func(t *testing.T) {
+		bad := checkSuite()
+		bad.Entries = append(bad.Entries, bad.Entries[0])                                             // duplicate
+		bad.Excluded = append(bad.Excluded, Exclusion{Name: "BenchmarkA"})                            // both + no reason
+		bad.Excluded = append(bad.Excluded, Exclusion{Name: "BenchmarkD", Package: ".", Reason: "x"}) // stale
+		errs := bad.Check(clean)
+		for _, want := range []string{"registered twice", "no reason", "both registered and excluded", "BenchmarkD"} {
+			if !errsContaining(errs, want) {
+				t.Errorf("missing %q violation: %v", want, errs)
+			}
+		}
+	})
+}
+
+// TestRepoBenchmarksScan exercises the filesystem scan on a synthetic
+// tree: package mapping, testdata/.git skipping, non-test files ignored,
+// and helper functions that merely mention *testing.B not matched.
+func TestRepoBenchmarksScan(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The fixture sources are single-line escaped strings so this test
+	// file itself carries no column-0 `func Benchmark` lines for the real
+	// repo-wide drift scan to trip over.
+	write("root_test.go", "package main\n\nimport \"testing\"\n\n"+
+		"func BenchmarkRoot(b *testing.B) {}\n\n"+
+		"func helperBench(b *testing.B) {} // not top-level Benchmark*\n")
+	write("internal/x/x_test.go", "package x\n\nimport \"testing\"\n\n"+
+		"func BenchmarkInner(b *testing.B) {}\nfunc TestSomething(t *testing.T) {}\n")
+	write("internal/x/x.go", "package x\n\n"+
+		"// func BenchmarkFake(b *testing.B) {} — in a non-test file, ignored\n")
+	write("testdata/captured_test.go", "package ignored\n\n"+
+		"func BenchmarkCaptured(b *testing.B) {}\n")
+	write(".git/objects/junk_test.go", "func BenchmarkGitJunk(b *testing.B) {}\n")
+
+	found, err := RepoBenchmarks(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"BenchmarkRoot": ".", "BenchmarkInner": "./internal/x"}
+	if len(found) != len(want) {
+		t.Fatalf("found = %v, want %v", found, want)
+	}
+	for name, pkg := range want {
+		if found[name] != pkg {
+			t.Errorf("%s = %q, want %q", name, found[name], pkg)
+		}
+	}
+}
+
+// TestSuiteGroups pins the invocation batching: entries sharing a
+// package and benchtime run in one `go test -bench` call, and the CI
+// flag swaps in the short benchtimes.
+func TestSuiteGroups(t *testing.T) {
+	s := &Suite{Entries: []Entry{
+		{Name: "BenchmarkA", Package: ".", Benchtime: "2x", CIBenchtime: "1x"},
+		{Name: "BenchmarkB", Package: ".", Benchtime: "2x", CIBenchtime: "1x"},
+		{Name: "BenchmarkC", Package: ".", Benchtime: "500x", CIBenchtime: "100x"},
+		{Name: "BenchmarkD", Package: "./internal/x", Benchtime: "2x"},
+	}}
+	full := s.groups(false)
+	if len(full) != 3 {
+		t.Fatalf("full groups = %d, want 3", len(full))
+	}
+	if full[0].pkg != "." || full[0].benchtime != "2x" || len(full[0].names) != 2 {
+		t.Errorf("group 0 = %+v", full[0])
+	}
+	ci := s.groups(true)
+	if ci[0].benchtime != "1x" || ci[1].benchtime != "100x" {
+		t.Errorf("ci benchtimes = %s, %s", ci[0].benchtime, ci[1].benchtime)
+	}
+	// No CIBenchtime declared: the full benchtime carries over.
+	if ci[2].benchtime != "2x" {
+		t.Errorf("ci fallback benchtime = %s, want 2x", ci[2].benchtime)
+	}
+}
+
+// TestEntryForSubBench pins sub-benchmark resolution and the ns/op
+// default gate.
+func TestEntryForSubBench(t *testing.T) {
+	s := Registry()
+	e := s.EntryFor("BenchmarkReplayFarm/Sequential-30candidates")
+	if e == nil || e.Name != "BenchmarkReplayFarm" {
+		t.Fatalf("EntryFor sub-bench = %+v", e)
+	}
+	if got := e.GateMetrics(); len(got) != 1 || got[0] != "ns/op" {
+		t.Errorf("default gate = %v, want [ns/op]", got)
+	}
+	if s.EntryFor("BenchmarkNotAThing") != nil {
+		t.Error("unknown benchmark resolved to an entry")
+	}
+}
+
+// TestRegistrySelfConsistent guards the canonical registry itself: no
+// duplicate names, every exclusion has a reason, benchtimes parse as
+// fixed iteration counts (Nx) so samples are comparable across runs.
+func TestRegistrySelfConsistent(t *testing.T) {
+	s := Registry()
+	seen := map[string]bool{}
+	for _, e := range s.Entries {
+		if seen[e.Name] {
+			t.Errorf("%s registered twice", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Package == "" || e.Benchtime == "" || e.CIBenchtime == "" {
+			t.Errorf("%s missing package or benchtime: %+v", e.Name, e)
+		}
+		for _, bt := range []string{e.Benchtime, e.CIBenchtime} {
+			if !strings.HasSuffix(bt, "x") {
+				t.Errorf("%s benchtime %q is not a fixed iteration count", e.Name, bt)
+			}
+		}
+	}
+	for _, x := range s.Excluded {
+		if x.Reason == "" {
+			t.Errorf("exclusion %s has no reason", x.Name)
+		}
+		if seen[x.Name] {
+			t.Errorf("%s both registered and excluded", x.Name)
+		}
+	}
+}

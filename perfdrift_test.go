@@ -1,0 +1,124 @@
+// Suite-drift guard and BENCH lineage validation: every Benchmark
+// function in the repo must be accounted for in internal/perfvc's
+// registry (tracked or excluded with a reason), and every committed
+// BENCH_pr*.json must honor the profile contract — so the performance
+// lineage stays regenerable and a new benchmark cannot silently escape
+// regression tracking.
+package repro_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"repro/internal/perfvc"
+)
+
+// TestBenchmarkSuiteDrift fails when a `func Benchmark*` exists that the
+// perfvc registry neither tracks nor excludes, when a registered or
+// excluded name no longer exists, or when one moved packages. Fix by
+// editing internal/perfvc/suite.go: register the benchmark with a
+// benchtime and tolerance class, or exclude it with a reason.
+func TestBenchmarkSuiteDrift(t *testing.T) {
+	repo, err := perfvc.RepoBenchmarks(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repo) == 0 {
+		t.Fatal("benchmark scan found nothing — the drift guard is broken, not the suite")
+	}
+	for _, violation := range perfvc.Registry().Check(repo) {
+		t.Error(violation)
+	}
+}
+
+// TestBenchLineage validates the committed BENCH_pr*.json files: every
+// file carries the established meta block (pr, date, regenerate
+// commands), and files in the perfvc profile shape additionally pass the
+// full baseline contract (>= 3 samples, ordered stats).
+func TestBenchLineage(t *testing.T) {
+	paths, err := filepath.Glob("BENCH_pr*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no BENCH_pr*.json lineage found at the repo root")
+	}
+	numbered := regexp.MustCompile(`^BENCH_pr(\d+)\.json$`)
+	for _, path := range paths {
+		t.Run(path, func(t *testing.T) {
+			if !numbered.MatchString(filepath.Base(path)) {
+				t.Fatalf("%s does not match the BENCH_pr<N>.json naming scheme", path)
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var shape struct {
+				Meta       perfvc.Meta     `json:"meta"`
+				Benchmarks json.RawMessage `json:"benchmarks"`
+			}
+			if err := json.Unmarshal(raw, &shape); err != nil {
+				t.Fatalf("not valid JSON: %v", err)
+			}
+			if shape.Meta.PR <= 0 {
+				t.Error("meta.pr missing")
+			}
+			if shape.Meta.Date == "" {
+				t.Error("meta.date missing")
+			}
+			if len(shape.Meta.Regenerate) == 0 {
+				t.Error("meta.regenerate missing — a baseline nobody can reproduce is not a baseline")
+			}
+			if len(shape.Benchmarks) > 0 {
+				p, err := perfvc.Load(path)
+				if err != nil {
+					t.Fatalf("perfvc profile shape but Load failed: %v", err)
+				}
+				if err := p.Validate(3); err != nil {
+					t.Errorf("baseline contract: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestLegacyBenchBackfill pins the PR 3 headline numbers through the
+// legacy converter: the dispatch rewrite's 77.65 ns/op / 115.9 MIPS
+// "after" tree converts to a comparable profile, self-comparison yields
+// zero regressions, and the PR 6 telemetry BENCH file (stage tables, no
+// per-benchmark metrics) is rejected rather than misread.
+func TestLegacyBenchBackfill(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_pr3.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := perfvc.ConvertLegacy(raw, "after")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, ok := p.Benchmarks["BenchmarkDispatchHot"]
+	if !ok {
+		t.Fatalf("BenchmarkDispatchHot missing from converted profile: %v", p.Names())
+	}
+	if ns := hot.Metrics["ns/op"]; ns.Median != 77.65 || ns.Samples != 1 {
+		t.Errorf("ns/op = %+v, want the recorded 77.65 as a single sample", ns)
+	}
+	if mips := hot.Metrics["MIPS"]; mips.Median != 115.9 {
+		t.Errorf("MIPS = %+v, want the recorded 115.9", mips)
+	}
+	rep := perfvc.Compare(p, p, perfvc.Options{Suite: perfvc.Registry()})
+	if rep.Regressions != 0 || rep.Improvements != 0 {
+		t.Errorf("legacy self-comparison produced verdicts: %+v", rep.Deltas)
+	}
+
+	raw6, err := os.ReadFile("BENCH_pr6.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := perfvc.ConvertLegacy(raw6, "after"); err == nil {
+		t.Error("BENCH_pr6.json's telemetry shape converted — it has no benchmark metrics")
+	}
+}
