@@ -13,6 +13,7 @@
 //	soak -json                      emit the full report as JSON
 //	soak -profile                   per-stage wall/on-CPU/blocked table
 //	soak -metrics soak.json         full telemetry snapshot as JSON
+//	soak -chaos -seed 7             inject seeded transport faults + a root failover
 package main
 
 import (
@@ -52,6 +53,8 @@ func main() {
 	profile := flag.Bool("profile", false, "trace pipeline stages and print the per-stage wall/on-CPU/blocked table")
 	metrics := flag.String("metrics", "", "write the telemetry snapshot as JSON to this file (\"-\" = stdout)")
 	parallel := flag.Bool("parallel", true, "run member turns and aggregator flushes concurrently (false = deterministic serial rounds)")
+	chaos := flag.Bool("chaos", false, "inject seeded transport faults (drops, delays, duplicates, disconnects, partitions), replicate the root, and crash its leader mid-campaign under -churn")
+	seed := flag.Int64("seed", 1, "chaos fault-schedule seed (with -chaos)")
 	flag.Parse()
 
 	conf := soakFlags{
@@ -61,6 +64,7 @@ func main() {
 		churn: *churn, crashPerRound: *crashPerRound, joinPerRound: *joinPerRound,
 		expanded: *expanded, asJSON: *asJSON,
 		profile: *profile, metricsPath: *metrics, parallel: *parallel,
+		chaos: *chaos, seed: *seed,
 	}
 	if err := run(conf); err != nil {
 		fmt.Fprintln(os.Stderr, "soak:", err)
@@ -81,6 +85,8 @@ type soakFlags struct {
 	profile                     bool
 	metricsPath                 string
 	parallel                    bool
+	chaos                       bool
+	seed                        int64
 }
 
 func run(f soakFlags) error {
@@ -131,6 +137,15 @@ func run(f soakFlags) error {
 			conf.Churn.AggregatorCrashRound = 3
 		}
 	}
+	if f.chaos {
+		conf.Chaos = community.DefaultChaos(f.seed)
+		conf.RootReplicas = 1
+		if conf.Churn != nil {
+			// Crash the root leader mid-campaign; the community must fail
+			// over to the promoted follower and still converge.
+			conf.Churn.RootCrashRound = f.rounds/2 + 1
+		}
+	}
 
 	var reg *obs.Registry
 	if f.profile || f.metricsPath != "" {
@@ -141,8 +156,11 @@ func run(f soakFlags) error {
 	// Parallel member turns and flushes create the real contended shape a
 	// deployed community has; they surrender run-to-run determinism, which
 	// only the convergence verdict (not any golden output) depends on here.
+	// Under chaos the flushes stay serial: every flush applies twice (leader
+	// + follower) behind the replication lock, and a 32-way flush convoy
+	// there would outlast the retry policy's patience.
 	conf.ParallelMembers = f.parallel
-	conf.ParallelFlush = f.parallel
+	conf.ParallelFlush = f.parallel && !f.chaos
 
 	fmt.Fprintf(os.Stderr, "soaking %d nodes (%d aggregators, %d adversaries, churn: %v) x %d attacks (batched: %v, parallel: %v)...\n",
 		f.nodes, f.aggregators, f.adversaries, f.churn, len(attacks), f.batch, f.parallel)
@@ -179,6 +197,10 @@ func run(f soakFlags) error {
 		rep.Crashes, rep.Rejoins, rep.Joins, rep.AggregatorFailovers)
 	fmt.Printf("quarantined=%d (%v) quarantined_adoptions=%d\n",
 		len(rep.Quarantined), rep.Quarantined, rep.QuarantinedAdoptions)
+	if f.chaos {
+		fmt.Printf("chaos: dropped=%d retries=%d reconnects=%d root_failovers=%d replay_log=%d\n",
+			rep.DroppedEnvelopes, rep.Retries, rep.Reconnects, rep.RootFailovers, rep.ReplayLogEntries)
+	}
 	fmt.Printf("converged=%v elapsed=%v\n", rep.Converged, elapsed.Round(time.Millisecond))
 	emitTelemetry(f, reg, elapsed)
 	return soakVerdict(rep, f.rounds)

@@ -73,6 +73,45 @@ func TestSoakSmokeMetrics(t *testing.T) {
 	checkSnapshotFile(t, f.metricsPath)
 }
 
+// TestChaosSoakSmoke is the CI chaos gate: the smoke-shaped soak with the
+// seeded fault schedule armed — transport drops, delays, duplicates,
+// mid-flush disconnects, partition windows, a replicated root, and a
+// leader crash mid-campaign. It must converge (run returns nil), and the
+// metrics snapshot must prove the faults actually fired and were
+// absorbed: nonzero chaos, retry, reconnect, and failover counters.
+func TestChaosSoakSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak smoke skipped in -short mode")
+	}
+	f := smokeFlags(t)
+	f.chaos = true
+	f.seed = 1
+	if err := run(f); err != nil {
+		t.Fatalf("chaos soak failed: %v", err)
+	}
+	checkSnapshotFile(t, f.metricsPath)
+
+	data, err := os.ReadFile(f.metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"chaos.dropped", "node.retries", "node.reconnects",
+		"root.failovers", "root.log_entries",
+	} {
+		if snap.Counter(name) == 0 {
+			t.Errorf("counter %q is zero; the chaos run proved nothing", name)
+		}
+	}
+	if got := snap.Counter("root.failovers"); got != 1 {
+		t.Errorf("root.failovers = %d, want exactly 1", got)
+	}
+}
+
 // TestSoakFailureExitsNonzeroWithPartialMetrics pins the failure
 // contract: a soak that cannot converge must report an error (main turns
 // it into a nonzero exit) AND still write the telemetry it gathered — a

@@ -38,6 +38,17 @@ type AggregatorConfig struct {
 	// with waits attributed to flushmu, agg.mu, and the upstream round
 	// trip. Nil disables tracing; counters stay live either way.
 	Obs *obs.Tracer
+
+	// Retry, when set, arms the resilient upstream path: flush round trips
+	// run under the policy's receive timeout and are retried with backoff,
+	// re-dialing the manager via Redial between attempts (root failover:
+	// the re-dial lands on the promoted leader). Each flush snapshot is
+	// numbered (Batch.FlushSeq), so a retried or duplicated flush is
+	// applied at most once upstream — reports are never double-counted
+	// across a retried Send. Nil keeps the legacy fail-fast flush.
+	Retry *RetryPolicy
+	// Redial reopens the upstream connection for the resilient path.
+	Redial func() (Conn, error)
 }
 
 // Aggregator is the middle tier of the two-level community: it serves a
@@ -92,6 +103,16 @@ type Aggregator struct {
 	conns  map[Conn]bool // live member connections, for Close
 	closed bool
 
+	// upstream is the live manager connection — conf.Upstream until the
+	// resilient path re-dials past a fault or a root failover. Written
+	// under a.mu; the flush path reads it while holding flushMu, so at
+	// most one round trip uses it at a time.
+	upstream Conn
+	// rt/token drive the resilient flush path (nil rt = legacy fail-fast;
+	// token is guarded by flushMu, the only path that stamps it).
+	rt    *retrier
+	token uint64
+
 	// Telemetry; see Manager's twin fields. The counters are atomics in
 	// reg, readable without a.mu.
 	tr        *obs.Tracer
@@ -99,6 +120,8 @@ type Aggregator struct {
 	cUpstream *obs.Counter // envelopes sent upstream (the number the hierarchy minimizes)
 	cFlushes  *obs.Counter // completed flushes
 	cRejects  *obs.Counter // member-batch reports dropped for claiming a peer's identity
+	cRetries  *obs.Counter // flush round-trip retries (resilient path)
+	cRedials  *obs.Counter // upstream re-dials (resilient path)
 }
 
 // NewAggregator builds an aggregator speaking to the manager over
@@ -117,7 +140,7 @@ func NewAggregator(conf AggregatorConfig) (*Aggregator, error) {
 	if reg == nil {
 		reg = obs.New()
 	}
-	return &Aggregator{
+	a := &Aggregator{
 		conf:        conf,
 		nodes:       make(map[string]bool),
 		dirs:        make(map[string]Directives),
@@ -126,12 +149,22 @@ func NewAggregator(conf AggregatorConfig) (*Aggregator, error) {
 		quarantined: make(map[string]bool),
 		imgWire:     conf.Image.Marshal(),
 		conns:       make(map[Conn]bool),
+		upstream:    conf.Upstream,
 		tr:          conf.Obs,
 		reg:         reg,
 		cUpstream:   reg.Counter("agg.upstream"),
 		cFlushes:    reg.Counter("agg.flushes"),
 		cRejects:    reg.Counter("agg.rejects"),
-	}, nil
+		cRetries:    reg.Counter("agg.retries"),
+		cRedials:    reg.Counter("agg.redials"),
+	}
+	if conf.Retry != nil {
+		a.rt = newRetrier(conf.Retry, conf.ID)
+		if rt, ok := a.upstream.(RecvTimeouter); ok {
+			rt.SetRecvTimeout(a.rt.pol.RecvTimeout)
+		}
+	}
+	return a, nil
 }
 
 // Serve handles one member connection until it closes; run it in a
@@ -166,6 +199,7 @@ func (a *Aggregator) Serve(conn Conn) error {
 		if err != nil {
 			return err
 		}
+		reply.Token = env.Token // correlate; see Envelope.Token
 		if err := conn.Send(reply); err != nil {
 			return err
 		}
@@ -700,25 +734,19 @@ func (a *Aggregator) flushHoldingFlushMu(sp *obs.Span) error {
 		a.restore(snap)
 		return err
 	}
+	if a.rt != nil {
+		// Number the snapshot so the manager applies it at most once even
+		// if the resilient loop below sends it more than once.
+		b.FlushSeq = snapEpoch
+	}
 	env, err := NewEnvelope(MsgBatch, b)
 	if err != nil {
 		a.restore(snap)
 		return err
 	}
-	// The whole upstream round trip — send, the manager's work, the
-	// DirectivesSet reply — is this goroutine waiting on the wire.
-	var sendErr error
-	sp.BlockFor("upstream", func() { sendErr = a.conf.Upstream.Send(env) })
-	if sendErr != nil {
-		a.restore(snap)
-		return sendErr
-	}
-	a.cUpstream.Inc()
-	var reply Envelope
-	var recvErr error
-	sp.BlockFor("upstream", func() { reply, recvErr = a.conf.Upstream.Recv() })
-	if recvErr != nil {
-		return recvErr
+	reply, err := a.flushRoundTrip(sp, env, snap)
+	if err != nil {
+		return err
 	}
 	if reply.Kind != MsgDirectivesSet {
 		return fmt.Errorf("community: aggregator %s: unexpected reply %v", a.conf.ID, reply.Kind)
@@ -745,6 +773,155 @@ func (a *Aggregator) flushHoldingFlushMu(sp *obs.Span) error {
 	a.cFlushes.Inc()
 	a.mu.Unlock()
 	return nil
+}
+
+// flushRoundTrip runs one flush's upstream exchange and returns the reply.
+//
+// Legacy path (no Retry policy): one shot. A failed Send restores the
+// snapshot — on the in-process pipe a send error means the envelope never
+// left — and a lost reply propagates with the buffers left cleared (see
+// Flush's contract).
+//
+// Resilient path: the same numbered envelope is retried across backoff and
+// upstream re-dials until a reply arrives or attempts run out. Re-sending
+// is safe — even when an earlier attempt was actually delivered (a
+// mid-flush disconnect is ambiguous) — because FlushSeq makes the manager
+// apply each snapshot at most once, so a retried flush can recover its
+// reply instead of surrendering it.
+func (a *Aggregator) flushRoundTrip(sp *obs.Span, env Envelope, snap flushSnapshot) (Envelope, error) {
+	if a.rt == nil {
+		var sendErr error
+		sp.BlockFor("upstream", func() { sendErr = a.conf.Upstream.Send(env) })
+		if sendErr != nil {
+			a.restore(snap)
+			return Envelope{}, sendErr
+		}
+		a.cUpstream.Inc()
+		var reply Envelope
+		var recvErr error
+		sp.BlockFor("upstream", func() { reply, recvErr = a.conf.Upstream.Recv() })
+		if recvErr != nil {
+			return Envelope{}, recvErr
+		}
+		return reply, nil
+	}
+
+	a.token++ // flushMu serializes every stamper
+	env.Token = a.token
+	up := a.upstreamConn()
+	var lastErr error
+	hard, slow := 0, 0
+	for {
+		var sendErr error
+		sp.BlockFor("upstream", func() { sendErr = up.Send(env) })
+		if sendErr == nil {
+			a.cUpstream.Inc()
+			reply, recvErr := a.recvMatching(sp, up, env.Token)
+			if recvErr == nil {
+				return reply, nil
+			}
+			lastErr = recvErr
+		} else {
+			lastErr = sendErr
+		}
+		timedOut := sendErr == nil && IsTimeout(lastErr)
+		if timedOut {
+			slow++
+		} else {
+			hard++
+		}
+		if hard >= a.rt.pol.MaxAttempts || hard+slow >= a.rt.pol.TimeoutAttempts {
+			break
+		}
+		a.cRetries.Inc()
+		a.rt.sleep(hard)
+		if timedOut {
+			// The wire is healthy; the reply is lost or just slow (a batch
+			// apply can outlast the receive window). Re-sending on the SAME
+			// connection keeps a slow reply reachable — a redial would
+			// guarantee its loss — and FlushSeq makes the duplicate safe.
+			continue
+		}
+		if c, err := a.redialUpstream(); err != nil {
+			lastErr = err // keep the dead conn; the next Send fails fast
+		} else {
+			up = c
+		}
+	}
+	// Exhausted. The manager may or may not have applied the snapshot, so
+	// restoring the reports would risk double-counting them under a fresh
+	// FlushSeq; only the idempotent state is re-queued.
+	a.restoreIdempotent(snap)
+	return Envelope{}, fmt.Errorf("community: aggregator %s: flush failed after %d attempts: %w",
+		a.conf.ID, hard+slow, lastErr)
+}
+
+// recvMatching receives until a reply carries the given token, draining
+// the stray replies duplicated earlier requests left on the channel.
+func (a *Aggregator) recvMatching(sp *obs.Span, up Conn, token uint64) (Envelope, error) {
+	for {
+		var reply Envelope
+		var recvErr error
+		sp.BlockFor("upstream", func() { reply, recvErr = up.Recv() })
+		if recvErr != nil {
+			return Envelope{}, recvErr
+		}
+		if reply.Token == token {
+			return reply, nil
+		}
+	}
+}
+
+// upstreamConn reads the live upstream connection.
+func (a *Aggregator) upstreamConn() Conn {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.upstream
+}
+
+// redialUpstream reopens the manager connection — after a root failover
+// the re-dial lands on the promoted leader — and installs it as the live
+// upstream.
+func (a *Aggregator) redialUpstream() (Conn, error) {
+	if a.conf.Redial == nil {
+		return nil, fmt.Errorf("community: aggregator %s: no redial path", a.conf.ID)
+	}
+	c, err := a.conf.Redial()
+	if err != nil {
+		return nil, err
+	}
+	if rt, ok := c.(RecvTimeouter); ok {
+		rt.SetRecvTimeout(a.rt.pol.RecvTimeout)
+	}
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		_ = c.Close()
+		return nil, fmt.Errorf("community: aggregator %s is closed", a.conf.ID)
+	}
+	old := a.upstream
+	a.upstream = c
+	a.mu.Unlock()
+	_ = old.Close()
+	a.cRedials.Inc()
+	return c, nil
+}
+
+// restoreIdempotent re-queues the parts of an undeliverable snapshot that
+// are safe to ship twice: quarantine verdicts (the manager's merge is
+// idempotent, and protection-without-exposure must not lose them) and
+// failing-run recordings (latest-wins per location upstream). Reports and
+// the merged learn database are surrendered — the manager may already
+// have applied the snapshot, and re-shipping them under a fresh FlushSeq
+// would double-count the region's runs.
+func (a *Aggregator) restoreIdempotent(snap flushSnapshot) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for pc, raw := range snap.recRaw {
+		a.recRaw[pc] = raw
+		a.recFrom[pc] = snap.recFrom[pc]
+	}
+	a.newlyQuar = append(snap.newlyQuar, a.newlyQuar...)
 }
 
 // UpstreamEnvelopes returns how many envelopes this aggregator has sent to
@@ -812,8 +989,9 @@ func (a *Aggregator) Close() error {
 		conns = append(conns, c)
 	}
 	a.conns = make(map[Conn]bool)
+	up := a.upstream
 	a.mu.Unlock()
-	_ = a.conf.Upstream.Close()
+	_ = up.Close()
 	for _, c := range conns {
 		_ = c.Close()
 	}

@@ -192,6 +192,10 @@ type Manager struct {
 	// failed sanity check gave; once present, every message the node
 	// sends is ignored (VetReports).
 	quarantined map[string]string
+	// lastFlush tracks the highest FlushSeq applied per aggregator, so a
+	// re-sent flush snapshot (retry across a lost reply, or a duplicated
+	// envelope) is answered but never applied twice. See Batch.FlushSeq.
+	lastFlush   map[string]uint64
 	trustedAggs map[string]bool // nil = any sender may aggregate
 	imgWire     []byte          // the protected image's wire form, for recording identity checks
 
@@ -236,6 +240,7 @@ func NewManager(conf ManagerConfig) (*Manager, error) {
 		nodes:       make(map[string]int),
 		recordings:  make(map[uint32]*replay.Recording),
 		quarantined: make(map[string]string),
+		lastFlush:   make(map[string]uint64),
 		imgWire:     conf.Image.Marshal(),
 		vetSem:      make(chan struct{}, vetWorkers),
 		tr:          conf.Obs,
@@ -317,6 +322,7 @@ func (m *Manager) Serve(conn Conn) error {
 		if err != nil {
 			return err
 		}
+		reply.Token = env.Token // correlate; see Envelope.Token
 		if err := conn.Send(reply); err != nil {
 			return err
 		}
@@ -644,6 +650,22 @@ func (m *Manager) handleBatch(b *Batch, sp *obs.Span) error {
 	aggregated := batchAggregated(b)
 	if aggregated && !m.aggregatorTrusted(b.NodeID) {
 		return fmt.Errorf("community: %q is not a trusted aggregator", b.NodeID)
+	}
+	if aggregated && b.FlushSeq != 0 {
+		// At-most-once application per flush snapshot: a duplicate (the
+		// sender retrying across a lost reply, or a faulty wire delivering
+		// the envelope twice) is acknowledged — handle still answers with
+		// the members' current directives — but applied zero more times.
+		m.mu.Lock()
+		dup := m.lastFlush[b.NodeID] >= b.FlushSeq
+		if !dup {
+			m.lastFlush[b.NodeID] = b.FlushSeq
+		}
+		m.mu.Unlock()
+		if dup {
+			m.cBatches.Inc()
+			return nil
+		}
 	}
 	if !aggregated && m.isQuarantined(b.NodeID) {
 		// The whole batch is from a quarantined member: ignored at

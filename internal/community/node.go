@@ -39,6 +39,15 @@ type Node struct {
 	conn Conn
 	dir  Directives
 
+	// Resilience (nil rt = the legacy fail-fast path, byte-identical to
+	// pre-chaos behavior). See EnableResilience.
+	rt     *retrier
+	redial func() (Conn, error)
+	token  uint64
+
+	cRetries    *obs.Counter // node.retries
+	cReconnects *obs.Counter // node.reconnects
+
 	engine   *daikon.Engine
 	maxSteps uint64
 }
@@ -47,6 +56,42 @@ type Node struct {
 // conn.
 func NewNode(id string, img *image.Image, conn Conn) *Node {
 	return &Node{ID: id, Image: img, conn: conn, engine: daikon.NewEngine()}
+}
+
+// EnableResilience arms the retry/backoff/reconnect path: every round trip
+// runs under the policy's receive timeout and is retried with exponential
+// backoff and seeded jitter; between attempts the node re-dials a fresh
+// connection (redial; nil falls back to failing in place) and re-registers
+// with a Hello, so its registration and directive cache survive the
+// reconnect. Non-idempotent requests (reports, batches, recordings) are
+// never re-sent once a send has succeeded — the peer may already have
+// applied them — so community counts stay exact at the cost of at-most-once
+// delivery under faults. reg (nil ok) receives the node.retries and
+// node.reconnects counters.
+func (n *Node) EnableResilience(p *RetryPolicy, redial func() (Conn, error), reg *obs.Registry) {
+	n.rt = newRetrier(p, n.ID)
+	n.redial = redial
+	n.cRetries = reg.Counter("node.retries")
+	n.cReconnects = reg.Counter("node.reconnects")
+	n.applyRecvTimeout()
+}
+
+// applyRecvTimeout pushes the policy's receive deadline onto the current
+// connection, when both exist.
+func (n *Node) applyRecvTimeout() {
+	if n.rt == nil || n.conn == nil {
+		return
+	}
+	if rt, ok := n.conn.(RecvTimeouter); ok {
+		rt.SetRecvTimeout(n.rt.pol.RecvTimeout)
+	}
+}
+
+// nextToken stamps a fresh request token (resilient path only; a node's
+// round trips are serial, so no lock is needed).
+func (n *Node) nextToken() uint64 {
+	n.token++
+	return n.token
 }
 
 // Connect registers with the manager and fetches initial directives.
@@ -70,6 +115,7 @@ func (n *Node) Attach(conn Conn) error {
 		_ = n.conn.Close()
 	}
 	n.conn = conn
+	n.applyRecvTimeout()
 	return n.Connect()
 }
 
@@ -77,16 +123,35 @@ func (n *Node) Attach(conn Conn) error {
 func (n *Node) roundTrip(env Envelope) error {
 	sp := n.Obs.Start("node.sync")
 	defer sp.Finish()
+	if n.rt == nil {
+		_, err := n.roundTripOnce(sp, env)
+		return err
+	}
+	return n.roundTripResilient(sp, env)
+}
+
+// roundTripOnce is one send/receive exchange. sent reports whether the
+// send itself succeeded — the retry loop must know, because a request that
+// may have reached the peer must not be re-sent unless it is idempotent.
+func (n *Node) roundTripOnce(sp *obs.Span, env Envelope) (sent bool, err error) {
 	var sendErr error
 	sp.BlockFor("upstream", func() { sendErr = n.conn.Send(env) })
 	if sendErr != nil {
-		return sendErr
+		return false, sendErr
 	}
 	var reply Envelope
 	var recvErr error
-	sp.BlockFor("upstream", func() { reply, recvErr = n.conn.Recv() })
-	if recvErr != nil {
-		return recvErr
+	for {
+		sp.BlockFor("upstream", func() { reply, recvErr = n.conn.Recv() })
+		if recvErr != nil {
+			return true, recvErr
+		}
+		if n.rt == nil || reply.Token == env.Token {
+			break
+		}
+		// A reply carrying a stale token is the stray answer to a
+		// duplicated earlier request; draining it here re-aligns the
+		// request/response framing.
 	}
 	switch reply.Kind {
 	case MsgDirectives:
@@ -96,14 +161,102 @@ func (n *Node) roundTrip(env Envelope) error {
 		// phase bleed into this one.
 		var dir Directives
 		if err := decodePayload(reply.Payload, &dir); err != nil {
-			return err
+			return true, err
+		}
+		if n.rt != nil && dir.Seq < n.dir.Seq {
+			// Resilient nodes keep their newest directives: a reconnect may
+			// land on an aggregator whose cache has not seen this node since
+			// its last flush, and trading installed patches for that cache
+			// miss's empty set would reopen the protection window PR 4's
+			// guarantee closed. The node's reports keep carrying the kept
+			// sequence, so the manager still credits them correctly.
+			return true, nil
 		}
 		n.dir = dir
-		return nil
+		return true, nil
 	case MsgAck:
-		return nil
+		return true, nil
 	}
-	return fmt.Errorf("community: unexpected reply %v", reply.Kind)
+	return true, fmt.Errorf("community: unexpected reply %v", reply.Kind)
+}
+
+// roundTripResilient drives roundTripOnce under the retry policy: backoff
+// with seeded jitter between attempts, a reconnect-and-resync (fresh
+// connection + Hello re-registration) before each retry, and at-most-once
+// delivery for non-idempotent payloads — once a send has succeeded, the
+// request is never sent again; the reconnect's Hello refreshes the
+// directives and the payload is surrendered to the fault.
+func (n *Node) roundTripResilient(sp *obs.Span, env Envelope) error {
+	env.Token = n.nextToken()
+	sentOnce := false
+	var lastErr error
+	hard, slow := 0, 0
+	for {
+		sent, err := n.roundTripOnce(sp, env)
+		if err == nil {
+			return nil
+		}
+		sentOnce = sentOnce || sent
+		lastErr = err
+		inPlace := sent && IsTimeout(err) && env.Kind == MsgHello
+		if inPlace {
+			slow++
+		} else {
+			hard++
+		}
+		if hard >= n.rt.pol.MaxAttempts || hard+slow >= n.rt.pol.TimeoutAttempts {
+			break
+		}
+		n.cRetries.Inc()
+		n.rt.sleep(hard)
+		if inPlace {
+			// A Hello (registration or sync) is idempotent and the wire is
+			// healthy — the reply is lost or just slow behind a busy
+			// upstream. Re-send in place; reconnecting would abandon the
+			// connection a slow reply is still riding on.
+			continue
+		}
+		if rerr := n.reconnect(sp); rerr != nil {
+			lastErr = rerr
+			continue
+		}
+		if sentOnce && env.Kind != MsgHello {
+			// The request may already have been applied upstream;
+			// re-sending it would double-count this node's runs. The
+			// reconnect re-registered the node and refreshed its
+			// directives, which is all the campaign needs to continue.
+			return nil
+		}
+	}
+	return fmt.Errorf("community: node %s: round trip failed after %d attempts: %w",
+		n.ID, hard+slow, lastErr)
+}
+
+// reconnect re-dials a fresh connection and re-registers over it — the
+// resync half of retry: the upstream (a sibling aggregator or the manager
+// itself) re-learns the member, and the Hello's reply refreshes the
+// directive cache, so protection survives the reconnect.
+func (n *Node) reconnect(sp *obs.Span) error {
+	if n.redial == nil {
+		return fmt.Errorf("community: node %s: no redial path", n.ID)
+	}
+	conn, err := n.redial()
+	if err != nil {
+		return err
+	}
+	if n.conn != nil {
+		_ = n.conn.Close()
+	}
+	n.conn = conn
+	n.applyRecvTimeout()
+	n.cReconnects.Inc()
+	henv, err := NewEnvelope(MsgHello, Hello{NodeID: n.ID})
+	if err != nil {
+		return err
+	}
+	henv.Token = n.nextToken()
+	_, err = n.roundTripOnce(sp, henv)
+	return err
 }
 
 // Directives returns the node's current instruction set (for tests).

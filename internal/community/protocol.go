@@ -160,6 +160,14 @@ type Batch struct {
 	// its last flush (edge sanity checks); the manager merges them into
 	// its own quarantine set.
 	Quarantined []string
+	// FlushSeq, when nonzero on an aggregated batch, numbers the sending
+	// aggregator's flush snapshots (1, 2, ...). The manager applies each
+	// snapshot at most once per sender: a re-sent or duplicated flush —
+	// a resilient aggregator retrying across a lost reply, or a faulty
+	// wire delivering the envelope twice — is answered with fresh
+	// directives but never double-counts the region's reports. Zero (the
+	// legacy wire form) disables the dedupe.
+	FlushSeq uint64
 }
 
 // CheckSpec asks a node to install checking patches for one invariant.
@@ -206,6 +214,13 @@ type DirectivesSet struct {
 type Envelope struct {
 	Kind    MsgKind // payload discriminator
 	Payload []byte  // gob-encoded message of that kind
+	// Token correlates a reply with its request: servers echo the request's
+	// token verbatim. Resilient clients stamp each request with a fresh
+	// token and discard replies carrying any other — the stray reply a
+	// duplicated request produces would otherwise shift the
+	// request/response framing off by one forever. Zero (the legacy wire
+	// form: gob omits it) means "uncorrelated" and is matched by zero.
+	Token uint64
 }
 
 func encodePayload(v any) ([]byte, error) {

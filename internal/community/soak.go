@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/daikon"
@@ -42,6 +43,11 @@ type ChurnConfig struct {
 	// buffers are lost — nothing durable is, because all community state
 	// lives at the manager keyed by node ID.
 	AggregatorCrashRound int
+	// RootCrashRound fails the root leader at the start of that round
+	// (0 = never; requires RootReplicas >= 1): every root connection is
+	// severed, the senior follower is promoted, and clients re-dial into
+	// the new leader through their retry path.
+	RootCrashRound int
 }
 
 // SoakConfig drives a large-N community soak: Nodes node managers share
@@ -94,6 +100,22 @@ type SoakConfig struct {
 	// Churn schedules node crashes, rejoins, fresh joins, and an
 	// aggregator failover; nil runs an immortal population.
 	Churn *ChurnConfig
+
+	// Chaos wraps every transport in a seeded FaultConn injecting drops,
+	// delays, duplicates, mid-flush disconnects, and partition windows,
+	// and arms the resilient client path (Retry) on every member and
+	// aggregator. Nil runs the fault-free soak, byte-identical to the
+	// pre-chaos behavior.
+	Chaos *ChaosConfig
+	// Retry overrides the retry policy the chaos path arms (nil =
+	// DefaultRetry seeded from Chaos.Seed). Resilience is also armed —
+	// chaos or not — when the churn schedule crashes the root, since the
+	// clients must survive their severed connections.
+	Retry *RetryPolicy
+	// RootReplicas replicates the root: a leader plus this many hot
+	// followers applying the same envelope stream (see RootGroup). 0 runs
+	// the single unreplicated manager.
+	RootReplicas int
 
 	// Batched selects MsgBatch shipping (one round trip per node per
 	// round) instead of per-run RunOnce messaging.
@@ -177,12 +199,19 @@ type SoakReport struct {
 	Quarantined          []string `json:"quarantined,omitempty"`
 	QuarantinedAdoptions int      `json:"quarantined_adoptions"` // see Quarantined
 	// Churn accounting.
-	Crashes             int          `json:"crashes,omitempty"`              // node crashes executed
-	Rejoins             int          `json:"rejoins,omitempty"`              // crashed nodes that re-attached
-	Joins               int          `json:"joins,omitempty"`                // fresh nodes joined mid-campaign
-	AggregatorFailovers int          `json:"aggregator_failovers,omitempty"` // aggregator crashes executed
-	Defects             []SoakDefect `json:"defects"`                        // per-defect convergence rows
-	Converged           bool         `json:"converged"`                      // every defect converged
+	Crashes             int `json:"crashes,omitempty"`              // node crashes executed
+	Rejoins             int `json:"rejoins,omitempty"`              // crashed nodes that re-attached
+	Joins               int `json:"joins,omitempty"`                // fresh nodes joined mid-campaign
+	AggregatorFailovers int `json:"aggregator_failovers,omitempty"` // aggregator crashes executed
+	// Fault-tolerance accounting (chaos / replicated-root soaks): proof
+	// the injected faults actually fired and were absorbed.
+	Retries          int          `json:"retries,omitempty"`            // round trips retried (nodes + aggregators)
+	Reconnects       int          `json:"reconnects,omitempty"`         // fresh connections dialed past faults
+	DroppedEnvelopes int          `json:"dropped_envelopes,omitempty"`  // envelopes the chaos schedule silently lost
+	RootFailovers    int          `json:"root_failovers,omitempty"`     // root leader crashes survived
+	ReplayLogEntries int          `json:"replay_log_entries,omitempty"` // envelopes in the root replication log
+	Defects          []SoakDefect `json:"defects"`                      // per-defect convergence rows
+	Converged        bool         `json:"converged"`                    // every defect converged
 	// Obs is the final telemetry snapshot (nil unless SoakConfig.Obs was
 	// set): every counter and per-stage wall/on-CPU/blocked row the rig
 	// recorded.
@@ -241,32 +270,106 @@ type soakMember struct {
 	crashed   bool
 }
 
-// soakRig is the assembled community: one manager, an optional aggregator
-// tier, and the member population.
+// soakRig is the assembled community: one root (a single manager, or a
+// replicated RootGroup), an optional aggregator tier, and the member
+// population.
 type soakRig struct {
 	conf    SoakConfig
-	mgr     *Manager
+	mgr     *Manager   // the unreplicated root (nil when root is set)
+	root    *RootGroup // the replicated root (nil when mgr is set)
 	aggs    []*Aggregator
 	aggDead []bool
 	members []*soakMember
 	report  *SoakReport
-	tr      *obs.Tracer // shared tracer (nil when telemetry is off)
+	tr      *obs.Tracer   // shared tracer (nil when telemetry is off)
+	reg     *obs.Registry // chaos/retry counter registry (may be nil)
+	retry   *RetryPolicy  // non-nil arms member/aggregator resilience
 
 	crashCursor int
 	joinSeq     int
+	connSeq     int64 // FaultConn stream numbers (atomic)
+}
+
+// rootMgr is the manager the soak's accounting and convergence checks
+// read: the group's current leader, or the single manager.
+func (r *soakRig) rootMgr() *Manager {
+	if r.root != nil {
+		return r.root.Leader()
+	}
+	return r.mgr
+}
+
+// serveRoot spawns a serving goroutine for one root-side connection.
+func (r *soakRig) serveRoot(conn Conn) {
+	if r.root != nil {
+		go func() { _ = r.root.Serve(conn) }()
+	} else {
+		go func() { _ = r.mgr.Serve(conn) }()
+	}
+}
+
+// wrap injects the chaos schedule into one client-side connection (a
+// no-op without Chaos). Each connection gets its own stream number, so
+// reconnects draw fresh — but still seed-determined — fault schedules.
+func (r *soakRig) wrap(c Conn) Conn {
+	if r.conf.Chaos == nil {
+		return c
+	}
+	fc, err := NewFaultConn(c, r.conf.Chaos, atomic.AddInt64(&r.connSeq, 1), r.reg)
+	if err != nil {
+		return c // config was validated up front; unreachable
+	}
+	return fc
+}
+
+// dialRoot opens a fresh client connection to the root — the soak's
+// "dial the manager" — through the chaos wrapper when armed. It is both
+// the initial upstream dial and the aggregators' Redial path, which is
+// how a re-dial lands on the promoted leader after a root failover.
+func (r *soakRig) dialRoot() (Conn, error) {
+	upSide, rootSide := Pipe()
+	r.serveRoot(rootSide)
+	return r.wrap(upSide), nil
 }
 
 // attach connects (or re-connects) a member to serving infrastructure:
-// aggregator agg, or the manager when agg < 0.
+// aggregator agg, or the root when agg < 0.
 func (r *soakRig) attach(m *soakMember, agg int) error {
 	nodeSide, serveSide := Pipe()
 	if agg >= 0 {
 		go func() { _ = r.aggs[agg].Serve(serveSide) }()
 	} else {
-		go func() { _ = r.mgr.Serve(serveSide) }()
+		r.serveRoot(serveSide)
 	}
 	m.agg = agg
-	return m.n.Attach(nodeSide)
+	return m.n.Attach(r.wrap(nodeSide))
+}
+
+// redialMember is a member's retry-path redial: a fresh connection to its
+// current home — or, when that home aggregator has died, to the next
+// alive sibling (the retry-path mirror of churn's explicit failover).
+func (r *soakRig) redialMember(m *soakMember) (Conn, error) {
+	agg := m.agg
+	if agg >= 0 && (agg >= len(r.aggs) || r.aggDead[agg]) {
+		agg = r.nextAliveAgg(agg)
+		m.agg = agg
+	}
+	nodeSide, serveSide := Pipe()
+	if agg >= 0 {
+		go func() { _ = r.aggs[agg].Serve(serveSide) }()
+	} else {
+		r.serveRoot(serveSide)
+	}
+	return r.wrap(nodeSide), nil
+}
+
+// enlist arms a member's resilience when the soak runs one of the
+// fault-tolerant shapes.
+func (r *soakRig) enlist(m *soakMember) {
+	if r.retry == nil {
+		return
+	}
+	m.n.EnableResilience(r.retry, func() (Conn, error) { return r.redialMember(m) }, r.reg)
 }
 
 // nextAliveAgg picks the aggregator a re-attaching member fails over to:
@@ -327,6 +430,20 @@ func RunSoak(conf SoakConfig) (*SoakReport, error) {
 	if conf.Churn != nil && conf.Churn.AggregatorCrashRound > 0 && conf.Aggregators < 2 {
 		return nil, fmt.Errorf("community: aggregator failover needs at least 2 aggregators")
 	}
+	if conf.Churn != nil && conf.Churn.RootCrashRound > 0 && conf.RootReplicas < 1 {
+		return nil, fmt.Errorf("community: root failover needs at least 1 root replica")
+	}
+	if conf.Chaos != nil {
+		if err := conf.Chaos.validate(); err != nil {
+			return nil, err
+		}
+		if conf.Obs == nil {
+			// The chaos counters are the run's proof its faults fired; they
+			// need a live registry even when the caller asked for no
+			// telemetry.
+			conf.Obs = obs.New()
+		}
+	}
 	workers := conf.ReplayWorkers
 	if workers == 0 {
 		workers = -1
@@ -359,7 +476,7 @@ func RunSoak(conf SoakConfig) (*SoakReport, error) {
 	if conf.PprofLabels {
 		tr = tr.WithPprofLabels()
 	}
-	mgr, err := NewManager(ManagerConfig{
+	mgrConf := ManagerConfig{
 		Image:              conf.Image,
 		Seed:               conf.Seed,
 		BootstrapInputs:    conf.BootstrapInputs,
@@ -370,20 +487,44 @@ func RunSoak(conf SoakConfig) (*SoakReport, error) {
 		VetReports:         conf.VetReports,
 		TrustedAggregators: aggIDs,
 		Obs:                tr,
-	})
-	if err != nil {
-		return nil, err
+	}
+
+	// Resilience is armed by chaos, and also by a root-crash schedule on
+	// its own: the crash severs every root connection, and only the retry
+	// path's re-dial reaches the promoted leader.
+	retry := conf.Retry
+	if retry == nil && (conf.Chaos != nil ||
+		(conf.Churn != nil && conf.Churn.RootCrashRound > 0)) {
+		var seed int64
+		if conf.Chaos != nil {
+			seed = conf.Chaos.Seed
+		}
+		retry = DefaultRetry(seed)
 	}
 
 	rig := &soakRig{
-		conf: conf,
-		mgr:  mgr,
-		tr:   tr,
+		conf:  conf,
+		tr:    tr,
+		reg:   conf.Obs,
+		retry: retry,
 		report: &SoakReport{
 			Nodes:       conf.Nodes,
 			Aggregators: conf.Aggregators,
 			Batched:     conf.Batched,
 		},
+	}
+	if conf.RootReplicas > 0 {
+		root, err := NewRootGroup(mgrConf, conf.RootReplicas, conf.Obs)
+		if err != nil {
+			return nil, err
+		}
+		rig.root = root
+	} else {
+		mgr, err := NewManager(mgrConf)
+		if err != nil {
+			return nil, err
+		}
+		rig.mgr = mgr
 	}
 	defer func() {
 		for _, m := range rig.members {
@@ -394,19 +535,26 @@ func RunSoak(conf SoakConfig) (*SoakReport, error) {
 				_ = a.Close()
 			}
 		}
+		if rig.root != nil {
+			_ = rig.root.Close()
+		}
 	}()
 
 	// The aggregator tier.
 	for i := 0; i < conf.Aggregators; i++ {
-		upSide, mgrSide := Pipe()
-		go func() { _ = mgr.Serve(mgrSide) }()
+		upstream, err := rig.dialRoot()
+		if err != nil {
+			return nil, err
+		}
 		agg, err := NewAggregator(AggregatorConfig{
 			ID:         aggIDs[i],
 			Image:      conf.Image,
-			Upstream:   upSide,
+			Upstream:   upstream,
 			FlushEvery: conf.FlushEvery,
 			VetReports: conf.VetReports,
 			Obs:        tr,
+			Retry:      retry,
+			Redial:     rig.dialRoot,
 		})
 		if err != nil {
 			return nil, err
@@ -430,6 +578,7 @@ func RunSoak(conf SoakConfig) (*SoakReport, error) {
 			m.n = NewNode(fmt.Sprintf("adv%03d", adv), conf.Image, nil)
 		}
 		m.n.Obs = tr
+		rig.enlist(m)
 		rig.members = append(rig.members, m)
 		agg := -1
 		if conf.Aggregators > 0 {
@@ -523,18 +672,27 @@ func RunSoak(conf SoakConfig) (*SoakReport, error) {
 		}
 	}
 
-	report.Messages = mgr.Messages()
-	report.Batches = mgr.Batches()
-	report.ReplayRuns = mgr.ReplayRuns()
-	quarantined := mgr.Quarantined()
+	root := rig.rootMgr()
+	report.Messages = root.Messages()
+	report.Batches = root.Batches()
+	report.ReplayRuns = root.ReplayRuns()
+	quarantined := root.Quarantined()
 	for id := range quarantined {
 		report.Quarantined = append(report.Quarantined, id)
 	}
 	sort.Strings(report.Quarantined)
-	for _, by := range mgr.Adoptions() {
+	for _, by := range root.Adoptions() {
 		if _, q := quarantined[by]; q {
 			report.QuarantinedAdoptions++
 		}
+	}
+	if conf.Obs != nil {
+		report.Retries = int(conf.Obs.Counter("node.retries").Value() + conf.Obs.Counter("agg.retries").Value())
+		report.Reconnects = int(conf.Obs.Counter("node.reconnects").Value() + conf.Obs.Counter("agg.redials").Value())
+		report.DroppedEnvelopes = int(conf.Obs.Counter("chaos.dropped").Value())
+	}
+	if rig.root != nil {
+		report.ReplayLogEntries = rig.root.LogLen()
 	}
 	report.Converged = true
 	for i := range defects {
@@ -576,6 +734,16 @@ func (r *soakRig) churnStep(round int) error {
 	churn := r.conf.Churn
 	if churn == nil || round < 2 {
 		return nil
+	}
+
+	if churn.RootCrashRound == round && r.root != nil {
+		// The root leader dies mid-campaign. FailLeader severs every live
+		// connection, so the resilient clients' next round trips time out,
+		// re-dial, and land on the promoted follower.
+		if err := r.root.FailLeader(); err != nil {
+			return err
+		}
+		r.report.RootFailovers++
 	}
 
 	if churn.AggregatorCrashRound == round && len(r.aggs) >= 2 && !r.aggDead[0] {
@@ -623,6 +791,7 @@ func (r *soakRig) churnStep(round int) error {
 	for i := 0; i < churn.JoinPerRound; i++ {
 		m := &soakMember{n: NewNode(fmt.Sprintf("join%03d", r.joinSeq), r.conf.Image, nil)}
 		m.n.Obs = r.tr
+		r.enlist(m)
 		r.joinSeq++
 		agg := -1
 		if len(r.aggs) > 0 {
@@ -645,7 +814,10 @@ func (r *soakRig) churnStep(round int) error {
 // tampered traffic, not executions.
 func (r *soakRig) adversaryTurn(m *soakMember) error {
 	n := m.n
-	if !m.tampered {
+	// A resilient soak re-offends every round: at-most-once delivery may
+	// surrender a tamper to an injected fault, and the quarantine
+	// guarantee must hold against an attacker who simply keeps attacking.
+	if !m.tampered || r.retry != nil {
 		m.tampered = true
 		if m.forger {
 			return r.sendForgedRecording(n, m.advIndex)
@@ -738,14 +910,15 @@ func (r *soakRig) sendForgedRecording(n *Node, advIndex int) error {
 // nodes re-attach and catch up next round, and quarantined nodes are
 // outside the trust boundary by definition.
 func (r *soakRig) converged(defects []SoakDefect, round int) bool {
-	states := r.mgr.CaseStates()
-	quarantined := r.mgr.Quarantined()
+	root := r.rootMgr()
+	states := root.CaseStates()
+	quarantined := root.Quarantined()
 
 	type held struct {
 		ids   map[string]string // failureID -> repair ID
 		valid bool
 	}
-	var holdings []held
+	var eligible []*soakMember
 	for _, m := range r.members {
 		if m.crashed || m.adversary {
 			continue
@@ -753,9 +926,11 @@ func (r *soakRig) converged(defects []SoakDefect, round int) bool {
 		if _, q := quarantined[m.n.ID]; q {
 			continue
 		}
+		eligible = append(eligible, m)
+	}
+	collect := func(m *soakMember) held {
 		if err := m.n.Sync(); err != nil {
-			holdings = append(holdings, held{})
-			continue
+			return held{}
 		}
 		h := held{ids: make(map[string]string), valid: true}
 		dir := m.n.Directives()
@@ -763,7 +938,26 @@ func (r *soakRig) converged(defects []SoakDefect, round int) bool {
 			spec := &dir.Repairs[j]
 			h.ids[spec.FailureID] = repairSpecID(spec)
 		}
-		holdings = append(holdings, h)
+		return h
+	}
+	holdings := make([]held, len(eligible))
+	if r.conf.ParallelMembers {
+		// Under chaos a sync may eat several recv timeouts before its
+		// retry lands; collected serially that latency multiplies by the
+		// population.
+		var wg sync.WaitGroup
+		for i, m := range eligible {
+			wg.Add(1)
+			go func(i int, m *soakMember) {
+				defer wg.Done()
+				holdings[i] = collect(m)
+			}(i, m)
+		}
+		wg.Wait()
+	} else {
+		for i, m := range eligible {
+			holdings[i] = collect(m)
+		}
 	}
 
 	all := true

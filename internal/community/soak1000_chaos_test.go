@@ -1,0 +1,94 @@
+package community
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/webapp"
+)
+
+// TestChaosSoak1000NodesFailover is the robustness headline: the full
+// 1,000-node hierarchical community — 32 aggregators, 50 adversaries,
+// continuous churn — with every connection wrapped in the seeded fault
+// schedule (drops, delays, duplicates, mid-flush disconnects, partition
+// windows), a replicated root, an aggregator crash at round 3, AND the
+// root leader crashing at round 4. The campaign must converge on one
+// adopted repair per defect, quarantine every adversary, and the report's
+// fault counters must prove the chaos actually fired.
+//
+// Members play their rounds concurrently (a serial schedule would stack
+// every injected timeout end to end); flushes stay serial so the root's
+// replication lock sees one large batch at a time. Like the fault-free
+// headline, it is skipped in -short mode and under the race detector —
+// TestChaosSoakConverges covers the same machinery at race-friendly
+// scale.
+func TestChaosSoak1000NodesFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1,000-node chaos soak skipped in -short mode")
+	}
+	if raceDetectorEnabled {
+		t.Skip("1,000-node chaos soak skipped under the race detector")
+	}
+	app := webapp.MustBuild()
+	conf := soakConfig(t, app, 1000, true)
+	conf.Aggregators = 32
+	conf.Adversaries = 50
+	conf.Rounds = 5
+	conf.Churn = &ChurnConfig{
+		CrashPerRound: 10, JoinPerRound: 5,
+		AggregatorCrashRound: 3, RootCrashRound: 4,
+	}
+	conf.Chaos = DefaultChaos(1)
+	conf.RootReplicas = 1
+	conf.Retry = &RetryPolicy{Seed: 1, RecvTimeout: 100 * time.Millisecond}
+	conf.ParallelMembers = true
+
+	rep, err := RunSoak(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Fatalf("chaos soak did not converge: %+v", rep)
+	}
+	for _, d := range rep.Defects {
+		if !d.Converged || d.Adopted == "" {
+			t.Fatalf("defect %s did not converge: %+v", d.Label, d)
+		}
+	}
+
+	if len(rep.Quarantined) != conf.Adversaries {
+		t.Fatalf("quarantined %d nodes, want all %d adversaries", len(rep.Quarantined), conf.Adversaries)
+	}
+	for _, id := range rep.Quarantined {
+		if !strings.HasPrefix(id, "adv") {
+			t.Fatalf("honest node %q quarantined", id)
+		}
+	}
+	if rep.QuarantinedAdoptions != 0 {
+		t.Fatalf("%d adoptions driven by quarantined nodes", rep.QuarantinedAdoptions)
+	}
+
+	// The schedule must have executed in full: churn, the aggregator
+	// crash, and the root failover.
+	if rep.Crashes == 0 || rep.Rejoins == 0 || rep.Joins == 0 || rep.AggregatorFailovers != 1 {
+		t.Fatalf("churn schedule did not execute: %+v", rep)
+	}
+	if rep.RootFailovers != 1 {
+		t.Fatalf("root failovers %d, want 1", rep.RootFailovers)
+	}
+	if rep.ReplayLogEntries == 0 {
+		t.Fatal("replicated root recorded no log entries")
+	}
+
+	// And the faults must provably have fired and been absorbed.
+	if rep.DroppedEnvelopes == 0 {
+		t.Fatal("chaos dropped no envelopes; the schedule never fired")
+	}
+	if rep.Retries == 0 || rep.Reconnects == 0 {
+		t.Fatalf("faults fired but clients never retried/reconnected: %+v", rep)
+	}
+	t.Logf("1,000 nodes under chaos: %d dropped, %d retries, %d reconnects, %d root failover(s), %d log entries, %d manager envelopes over %d rounds",
+		rep.DroppedEnvelopes, rep.Retries, rep.Reconnects, rep.RootFailovers,
+		rep.ReplayLogEntries, rep.Messages, rep.RoundsRun)
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Conn is one bidirectional message channel between a node and the
@@ -14,6 +16,30 @@ type Conn interface {
 	Send(Envelope) error
 	Recv() (Envelope, error)
 	Close() error
+}
+
+// RecvTimeouter is the optional Conn extension the resilient client path
+// needs: a per-receive deadline, so a dropped request or reply (or a dead
+// peer) surfaces as a timeout error instead of hanging the caller forever.
+// Both built-in transports implement it; zero disables the timeout.
+type RecvTimeouter interface {
+	SetRecvTimeout(time.Duration)
+}
+
+// errRecvTimeout marks a receive that expired without an envelope. It
+// implements net.Error's Timeout contract so callers can treat pipe and
+// TCP deadline expiries uniformly (see IsTimeout).
+type errRecvTimeout struct{}
+
+func (errRecvTimeout) Error() string   { return "community: recv timed out" }
+func (errRecvTimeout) Timeout() bool   { return true }
+func (errRecvTimeout) Temporary() bool { return true }
+
+// IsTimeout reports whether an error from Conn.Recv (either substrate) is
+// a receive-deadline expiry rather than a dead connection.
+func IsTimeout(err error) bool {
+	t, ok := err.(interface{ Timeout() bool })
+	return ok && t.Timeout()
 }
 
 // ---- in-process transport ----
@@ -31,6 +57,10 @@ type pipeConn struct {
 	out    chan<- Envelope
 	in     <-chan Envelope
 	shared *pipeShared
+	// recvTimeout bounds each Recv in nanoseconds (0 = wait forever). An
+	// atomic so SetRecvTimeout from a connecting goroutine never races the
+	// receiver.
+	recvTimeout atomic.Int64
 }
 
 // Pipe returns a connected in-process transport pair (node side, manager
@@ -53,15 +83,38 @@ func (c *pipeConn) Send(e Envelope) error {
 	}
 }
 
+// SetRecvTimeout bounds every subsequent Recv (0 = wait forever).
+func (c *pipeConn) SetRecvTimeout(d time.Duration) { c.recvTimeout.Store(int64(d)) }
+
 func (c *pipeConn) Recv() (Envelope, error) {
+	// Envelopes already buffered in the channel beat both the close signal
+	// and the timeout: a real TCP stack delivers bytes that were in flight
+	// before the FIN, and a racing Close must not drop them (the manager's
+	// last directive snapshot may be in that buffer).
+	select {
+	case e := <-c.in:
+		return e, nil
+	default:
+	}
+	var timeout <-chan time.Time
+	if d := time.Duration(c.recvTimeout.Load()); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeout = t.C
+	}
 	select {
 	case <-c.shared.done:
-		return Envelope{}, fmt.Errorf("community: recv on closed pipe")
-	case e, ok := <-c.in:
-		if !ok {
-			return Envelope{}, fmt.Errorf("community: pipe closed")
+		// The close may have raced an in-flight Send; drain it if so.
+		select {
+		case e := <-c.in:
+			return e, nil
+		default:
 		}
+		return Envelope{}, fmt.Errorf("community: recv on closed pipe")
+	case e := <-c.in:
 		return e, nil
+	case <-timeout:
+		return Envelope{}, errRecvTimeout{}
 	}
 }
 
@@ -78,21 +131,53 @@ type tcpConn struct {
 	dec *gob.Decoder
 	sMu sync.Mutex
 	rMu sync.Mutex
+	// recvTimeout/sendTimeout bound each op in nanoseconds (0 = no
+	// deadline). Atomics for the same reason as pipeConn's.
+	recvTimeout atomic.Int64
+	sendTimeout atomic.Int64
 }
+
+// defaultTCPSendTimeout bounds every TCP send even when the caller sets no
+// explicit timeout: a peer that stops draining its socket (dead but not
+// closed, or partitioned away) must surface as a write error, never hang a
+// manager goroutine forever. Generous — an honest envelope flushes in
+// microseconds; only a wedged peer takes minutes.
+const defaultTCPSendTimeout = 2 * time.Minute
 
 func newTCPConn(c net.Conn) *tcpConn {
 	return &tcpConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
 }
 
+// SetRecvTimeout bounds every subsequent Recv (0 = wait forever).
+func (t *tcpConn) SetRecvTimeout(d time.Duration) { t.recvTimeout.Store(int64(d)) }
+
+// SetSendTimeout bounds every subsequent Send (0 = the package default;
+// see defaultTCPSendTimeout).
+func (t *tcpConn) SetSendTimeout(d time.Duration) { t.sendTimeout.Store(int64(d)) }
+
 func (t *tcpConn) Send(e Envelope) error {
 	t.sMu.Lock()
 	defer t.sMu.Unlock()
+	d := time.Duration(t.sendTimeout.Load())
+	if d <= 0 {
+		d = defaultTCPSendTimeout
+	}
+	if err := t.c.SetWriteDeadline(time.Now().Add(d)); err != nil {
+		return fmt.Errorf("community: tcp send deadline: %w", err)
+	}
 	return t.enc.Encode(e)
 }
 
 func (t *tcpConn) Recv() (Envelope, error) {
 	t.rMu.Lock()
 	defer t.rMu.Unlock()
+	var deadline time.Time // zero = wait forever
+	if d := time.Duration(t.recvTimeout.Load()); d > 0 {
+		deadline = time.Now().Add(d)
+	}
+	if err := t.c.SetReadDeadline(deadline); err != nil {
+		return Envelope{}, fmt.Errorf("community: tcp recv deadline: %w", err)
+	}
 	var e Envelope
 	err := t.dec.Decode(&e)
 	return e, err
@@ -131,7 +216,7 @@ func (l *Listener) Addr() string { return l.l.Addr().String() }
 func (l *Listener) Accept() (Conn, error) {
 	c, err := l.l.Accept()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("community: accept on %s: %w", l.Addr(), err)
 	}
 	return newTCPConn(c), nil
 }
