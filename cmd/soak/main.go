@@ -14,6 +14,7 @@
 //	soak -profile                   per-stage wall/on-CPU/blocked table
 //	soak -metrics soak.json         full telemetry snapshot as JSON
 //	soak -chaos -seed 7             inject seeded transport faults + a root failover
+//	soak -sim -nodes 100000         discrete-event simulation at deployment scale
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/community"
+	"repro/internal/community/sim"
 	"repro/internal/obs"
 	"repro/internal/redteam"
 )
@@ -55,6 +57,7 @@ func main() {
 	parallel := flag.Bool("parallel", true, "run member turns and aggregator flushes concurrently (false = deterministic serial rounds)")
 	chaos := flag.Bool("chaos", false, "inject seeded transport faults (drops, delays, duplicates, disconnects, partitions), replicate the root, and crash its leader mid-campaign under -churn")
 	seed := flag.Int64("seed", 1, "chaos fault-schedule seed (with -chaos)")
+	simulate := flag.Bool("sim", false, "run the campaign as a discrete-event simulation (internal/community/sim): no goroutine per node, virtual time — the shape for -nodes 100000 and beyond; forces serial rounds")
 	flag.Parse()
 
 	conf := soakFlags{
@@ -64,7 +67,7 @@ func main() {
 		churn: *churn, crashPerRound: *crashPerRound, joinPerRound: *joinPerRound,
 		expanded: *expanded, asJSON: *asJSON,
 		profile: *profile, metricsPath: *metrics, parallel: *parallel,
-		chaos: *chaos, seed: *seed,
+		chaos: *chaos, seed: *seed, sim: *simulate,
 	}
 	if err := run(conf); err != nil {
 		fmt.Fprintln(os.Stderr, "soak:", err)
@@ -87,6 +90,7 @@ type soakFlags struct {
 	parallel                    bool
 	chaos                       bool
 	seed                        int64
+	sim                         bool
 }
 
 func run(f soakFlags) error {
@@ -158,14 +162,30 @@ func run(f soakFlags) error {
 	// only the convergence verdict (not any golden output) depends on here.
 	// Under chaos the flushes stay serial: every flush applies twice (leader
 	// + follower) behind the replication lock, and a 32-way flush convoy
-	// there would outlast the retry policy's patience.
-	conf.ParallelMembers = f.parallel
-	conf.ParallelFlush = f.parallel && !f.chaos
+	// there would outlast the retry policy's patience. The simulator IS the
+	// serial schedule, so -sim forces both off.
+	conf.ParallelMembers = f.parallel && !f.sim
+	conf.ParallelFlush = f.parallel && !f.chaos && !f.sim
 
-	fmt.Fprintf(os.Stderr, "soaking %d nodes (%d aggregators, %d adversaries, churn: %v) x %d attacks (batched: %v, parallel: %v)...\n",
-		f.nodes, f.aggregators, f.adversaries, f.churn, len(attacks), f.batch, f.parallel)
+	mode := "goroutine-per-node"
+	if f.sim {
+		mode = "discrete-event sim"
+	}
+	fmt.Fprintf(os.Stderr, "soaking %d nodes (%d aggregators, %d adversaries, churn: %v) x %d attacks (batched: %v, %s)...\n",
+		f.nodes, f.aggregators, f.adversaries, f.churn, len(attacks), f.batch, mode)
 	start := time.Now()
-	rep, err := community.RunSoak(conf)
+	var rep *community.SoakReport
+	if f.sim {
+		var simRep *sim.Report
+		simRep, err = sim.Run(conf)
+		if simRep != nil {
+			rep = &simRep.SoakReport
+			fmt.Fprintf(os.Stderr, "sim: %d events, virtual time %d, %d memo hits / %d misses / %d genuine runs\n",
+				simRep.Events, simRep.VirtualTime, simRep.MemoHits, simRep.MemoMisses, simRep.GenuineRuns)
+		}
+	} else {
+		rep, err = community.RunSoak(conf)
+	}
 	elapsed := time.Since(start)
 	if err != nil {
 		// The soak died mid-campaign. Emit whatever telemetry accumulated

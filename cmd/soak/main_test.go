@@ -154,3 +154,67 @@ func TestMetricsFileStages(t *testing.T) {
 	}
 	checkSnapshotFile(t, path)
 }
+
+// simStages is every scheduler event kind a churning sim soak with
+// adversaries must have fired, on top of the shared pipeline stages —
+// the discrete-event equivalent of the goroutine soak's stage table.
+var simStages = []string{
+	"sim.sync", "sim.execute", "sim.detect", "sim.report", "sim.adopt",
+	"sim.flush", "sim.churn", "sim.converge", "sim.tamper", "sim.decoy",
+}
+
+// checkSimSnapshotFile layers the simulator's telemetry contract on the
+// shared one: every sim.* event kind sampled, and the scheduler's own
+// counters (events fired, member turns, memoized executions) nonzero.
+func checkSimSnapshotFile(t *testing.T, path string) {
+	t.Helper()
+	checkSnapshotFile(t, path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range simStages {
+		st := snap.Stage(name)
+		if st == nil {
+			t.Errorf("sim stage %q missing from metrics", name)
+		} else if st.Spans == 0 {
+			t.Errorf("sim stage %q reports zero samples", name)
+		}
+	}
+	for _, name := range []string{"sim.events", "sim.turns", "sim.memo_hits"} {
+		if snap.Counter(name) == 0 {
+			t.Errorf("counter %q is zero; the sim run proved nothing", name)
+		}
+	}
+}
+
+// TestSimSoakSmokeMetrics runs the smoke-shaped soak through the
+// discrete-event simulator (-sim) and asserts the same telemetry
+// contract plus the sim scheduler's own stages and counters.
+func TestSimSoakSmokeMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak smoke skipped in -short mode")
+	}
+	f := smokeFlags(t)
+	f.sim = true
+	if err := run(f); err != nil {
+		t.Fatalf("sim soak failed: %v", err)
+	}
+	checkSimSnapshotFile(t, f.metricsPath)
+}
+
+// TestSimMetricsFileStages lets CI assert the -metrics snapshot from an
+// externally run `soak -sim` (SIM_METRICS_FILE) without re-running it —
+// the sim-soak smoke gate parses its own 10k-node run through this.
+// Skipped when the variable is unset.
+func TestSimMetricsFileStages(t *testing.T) {
+	path := os.Getenv("SIM_METRICS_FILE")
+	if path == "" {
+		t.Skip("SIM_METRICS_FILE not set")
+	}
+	checkSimSnapshotFile(t, path)
+}

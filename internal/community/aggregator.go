@@ -287,14 +287,14 @@ type vettedRec struct {
 func (a *Aggregator) decode(env Envelope, bound *string, sp *obs.Span) (decoded, error) {
 	switch env.Kind {
 	case MsgHello:
-		var h Hello
-		if err := decodePayload(env.Payload, &h); err != nil {
+		nodeID, err := decodeHello(env.Payload)
+		if err != nil {
 			return decoded{}, err
 		}
-		if err := bindSender(bound, h.NodeID); err != nil {
+		if err := bindSender(bound, nodeID); err != nil {
 			return decoded{}, err
 		}
-		return decoded{kind: env.Kind, nodeID: h.NodeID, hello: true}, nil
+		return decoded{kind: env.Kind, nodeID: nodeID, hello: true}, nil
 	case MsgRunReport:
 		var rep RunReport
 		if err := decodePayload(env.Payload, &rep); err != nil {
@@ -497,7 +497,7 @@ func (a *Aggregator) cachedDirectives(nodeID string) (Envelope, error) {
 	if !ok {
 		d = Directives{}
 	}
-	return NewEnvelope(MsgDirectives, d)
+	return directivesEnvelope(d)
 }
 
 // bufferReportVetted queues one pre-vetted run report for the next flush,

@@ -1,0 +1,205 @@
+package community
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/daikon"
+)
+
+// This file is the directives wire-form cache. Every member contact is
+// answered with a MsgDirectives snapshot, and within a phase almost
+// every member of a region receives the identical snapshot — but gob
+// pays its full per-stream price (type descriptors on encode, engine
+// compilation on decode) for each one, which at deployment scale
+// (cmd/soak, internal/community/sim) makes serializing identical
+// directives the dominant campaign cost. The cache collapses that:
+// identical snapshots are encoded once per process (keyed by an exact
+// structural fingerprint) and decoded once (keyed by the payload bytes,
+// handing out deep copies so callers own their value as if they had
+// decoded it themselves). Entries are only ever whole snapshots keyed
+// by their full content, so a hit is exactly the bytes or value a
+// fresh gob run would produce.
+
+// dirCacheLimit bounds each cache side. A campaign cycles through few
+// distinct snapshots; the bound only matters across many campaigns in
+// one long-lived process, where the maps are reset wholesale.
+const dirCacheLimit = 4096
+
+// helloCacheLimit bounds the hello caches: one entry per community
+// member, sized for the deployment-scale simulation.
+const helloCacheLimit = 1 << 18
+
+var dirWire = struct {
+	sync.Mutex
+	enc map[string][]byte     // dirKey fingerprint -> encoded payload
+	dec map[string]Directives // payload bytes -> decoded template
+}{
+	enc: make(map[string][]byte),
+	dec: make(map[string]Directives),
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendInv(b []byte, inv *daikon.Invariant) []byte {
+	b = append(b, byte(inv.Kind))
+	b = binary.AppendUvarint(b, uint64(inv.Var.PC))
+	b = append(b, inv.Var.Slot)
+	b = binary.AppendUvarint(b, uint64(inv.Var2.PC))
+	b = append(b, inv.Var2.Slot)
+	b = binary.AppendUvarint(b, uint64(len(inv.Values)))
+	for _, v := range inv.Values {
+		b = binary.AppendUvarint(b, uint64(v))
+	}
+	b = binary.AppendVarint(b, int64(inv.Bound))
+	return binary.AppendUvarint(b, inv.Samples)
+}
+
+// dirKey is a collision-free fingerprint of d: every field, length-
+// prefixed where variable — two directives share a key iff they are
+// equal. Reflection-free, so it costs a fraction of encoding d.
+func dirKey(d *Directives) string {
+	b := make([]byte, 0, 48+64*(len(d.Checks)+len(d.Repairs)))
+	b = binary.AppendUvarint(b, d.Seq)
+	b = binary.AppendUvarint(b, uint64(d.LearnLo))
+	b = binary.AppendUvarint(b, uint64(d.LearnHi))
+	b = binary.AppendUvarint(b, uint64(len(d.Checks)))
+	for i := range d.Checks {
+		b = appendStr(b, d.Checks[i].FailureID)
+		b = appendInv(b, &d.Checks[i].Invariant)
+	}
+	b = binary.AppendUvarint(b, uint64(len(d.Repairs)))
+	for i := range d.Repairs {
+		r := &d.Repairs[i]
+		b = appendStr(b, r.FailureID)
+		b = appendInv(b, &r.Invariant)
+		b = append(b, byte(r.Strategy))
+		b = binary.AppendUvarint(b, uint64(r.Value))
+		b = binary.AppendUvarint(b, uint64(r.SPDelta))
+		b = binary.AppendUvarint(b, uint64(r.PC))
+		b = binary.AppendVarint(b, int64(r.Depth))
+	}
+	return string(b)
+}
+
+// cloneDirectives deep-copies d, so cache consumers own their value
+// exactly as if they had gob-decoded it.
+func cloneDirectives(d Directives) Directives {
+	out := d
+	out.Checks = append([]CheckSpec(nil), d.Checks...)
+	for i := range out.Checks {
+		out.Checks[i].Invariant.Values = append([]uint32(nil), out.Checks[i].Invariant.Values...)
+	}
+	out.Repairs = append([]RepairSpec(nil), d.Repairs...)
+	for i := range out.Repairs {
+		out.Repairs[i].Invariant.Values = append([]uint32(nil), out.Repairs[i].Invariant.Values...)
+	}
+	return out
+}
+
+// helloWire is the same idea for MsgHello, the other every-contact
+// payload: a node's hello bytes depend only on its identity, so each
+// node encodes them once and each server decodes each distinct
+// registration once.
+var helloWire = struct {
+	sync.Mutex
+	enc map[string][]byte // node ID -> encoded Hello payload
+	dec map[string]string // payload bytes -> node ID
+}{
+	enc: make(map[string][]byte),
+	dec: make(map[string]string),
+}
+
+// helloEnvelope builds a node's MsgHello envelope through the encode
+// cache.
+func helloEnvelope(nodeID string) (Envelope, error) {
+	helloWire.Lock()
+	payload, ok := helloWire.enc[nodeID]
+	helloWire.Unlock()
+	if ok {
+		return Envelope{Kind: MsgHello, Payload: payload}, nil
+	}
+	payload, err := encodePayload(Hello{NodeID: nodeID})
+	if err != nil {
+		return Envelope{}, fmt.Errorf("community: encode %v: %w", MsgHello, err)
+	}
+	helloWire.Lock()
+	if len(helloWire.enc) >= helloCacheLimit {
+		helloWire.enc = make(map[string][]byte)
+	}
+	helloWire.enc[nodeID] = payload
+	helloWire.Unlock()
+	return Envelope{Kind: MsgHello, Payload: payload}, nil
+}
+
+// decodeHello extracts the registering node's identity through the
+// decode cache.
+func decodeHello(payload []byte) (string, error) {
+	key := string(payload)
+	helloWire.Lock()
+	id, ok := helloWire.dec[key]
+	helloWire.Unlock()
+	if ok {
+		return id, nil
+	}
+	var h Hello
+	if err := decodePayload(payload, &h); err != nil {
+		return "", err
+	}
+	helloWire.Lock()
+	if len(helloWire.dec) >= helloCacheLimit {
+		helloWire.dec = make(map[string]string)
+	}
+	helloWire.dec[key] = h.NodeID
+	helloWire.Unlock()
+	return h.NodeID, nil
+}
+
+// directivesEnvelope is NewEnvelope(MsgDirectives, d) through the
+// encode cache.
+func directivesEnvelope(d Directives) (Envelope, error) {
+	key := dirKey(&d)
+	dirWire.Lock()
+	payload, ok := dirWire.enc[key]
+	dirWire.Unlock()
+	if ok {
+		return Envelope{Kind: MsgDirectives, Payload: payload}, nil
+	}
+	payload, err := encodePayload(d)
+	if err != nil {
+		return Envelope{}, fmt.Errorf("community: encode %v: %w", MsgDirectives, err)
+	}
+	dirWire.Lock()
+	if len(dirWire.enc) >= dirCacheLimit {
+		dirWire.enc = make(map[string][]byte)
+	}
+	dirWire.enc[key] = payload
+	dirWire.Unlock()
+	return Envelope{Kind: MsgDirectives, Payload: payload}, nil
+}
+
+// decodeDirectives is decodePayload(payload, &d) through the decode
+// cache.
+func decodeDirectives(payload []byte) (Directives, error) {
+	key := string(payload)
+	dirWire.Lock()
+	d, ok := dirWire.dec[key]
+	dirWire.Unlock()
+	if ok {
+		return cloneDirectives(d), nil
+	}
+	if err := decodePayload(payload, &d); err != nil {
+		return Directives{}, err
+	}
+	dirWire.Lock()
+	if len(dirWire.dec) >= dirCacheLimit {
+		dirWire.dec = make(map[string]Directives)
+	}
+	dirWire.dec[key] = cloneDirectives(d)
+	dirWire.Unlock()
+	return d, nil
+}

@@ -1,0 +1,114 @@
+package community
+
+import (
+	"fmt"
+
+	"repro/internal/image"
+	"repro/internal/vm"
+)
+
+// The Handle entry points below are the synchronous twins of the Serve
+// loops: one envelope in, one reply out, with the request token echoed
+// exactly as Serve would echo it. They exist for transports without a
+// serving goroutine — the discrete-event simulator in
+// internal/community/sim drives entire campaigns through them over a
+// loopback Conn, so a 100k-node simulated community needs no goroutine
+// per connection. bound is the connection's pinned sender identity and
+// must persist for the connection's lifetime (see bindSender); pass a
+// pointer to a per-connection string, zero-valued before the first
+// envelope.
+
+// HandleEnvelope applies one envelope to the manager exactly as one
+// Serve loop iteration would and returns the reply with the request
+// token echoed.
+func (m *Manager) HandleEnvelope(env Envelope, bound *string) (Envelope, error) {
+	reply, err := m.handle(env, bound)
+	if err != nil {
+		return Envelope{}, err
+	}
+	reply.Token = env.Token // correlate; see Envelope.Token
+	return reply, nil
+}
+
+// HandleEnvelope applies one envelope to the aggregator exactly as one
+// Serve loop iteration would and returns the reply with the request
+// token echoed. A closed aggregator rejects the envelope, mirroring
+// Serve's refusal to accept connections after Close.
+func (a *Aggregator) HandleEnvelope(env Envelope, bound *string) (Envelope, error) {
+	a.mu.Lock()
+	closed := a.closed
+	a.mu.Unlock()
+	if closed {
+		return Envelope{}, fmt.Errorf("community: aggregator %s is closed", a.conf.ID)
+	}
+	reply, err := a.handle(env, bound)
+	if err != nil {
+		return Envelope{}, err
+	}
+	reply.Token = env.Token // correlate; see Envelope.Token
+	return reply, nil
+}
+
+// HandleEnvelope applies one envelope to the root group — leader plus
+// followers, appended to the replication log — exactly as one Serve loop
+// iteration would, and returns the reply with the request token echoed.
+// A closed group rejects the envelope, mirroring Serve.
+func (g *RootGroup) HandleEnvelope(env Envelope, bound *string) (Envelope, error) {
+	g.mu.Lock()
+	closed := g.closed
+	g.mu.Unlock()
+	if closed {
+		return Envelope{}, fmt.Errorf("community: root group is closed")
+	}
+	reply, err := g.handle(env, bound)
+	if err != nil {
+		return Envelope{}, err
+	}
+	reply.Token = env.Token // correlate; see Envelope.Token
+	return reply, nil
+}
+
+// RunLocal executes one input under the node's current directives —
+// compile, monitored run, failure detection, observation drain, optional
+// recording — without shipping anything upstream. It returns the VM
+// result, the run report the node would send, and the sealed recording
+// bytes when the node records failures (nil otherwise). It is RunOnce
+// minus the protocol round trips; the simulator uses it to execute
+// modeled nodes and ship the envelopes on its own schedule.
+func (n *Node) RunLocal(input []byte) (vm.RunResult, RunReport, []byte, error) {
+	return n.runLocal(input)
+}
+
+// RoundTrip sends one envelope upstream and applies the reply, with the
+// node's full wire discipline — token correlation, resilience retries
+// when enabled, directives adoption. It is the exported form of the
+// node's internal round trip, for callers (adversary models, the
+// simulator) that assemble their own envelopes.
+func (n *Node) RoundTrip(env Envelope) error {
+	return n.roundTrip(env)
+}
+
+// RepairSpecID derives the canonical repair identifier for a wire-form
+// repair spec — the same identity Manager.Adoptions reports, so tests
+// and the soak's convergence checks can compare holdings across nodes.
+func RepairSpecID(spec *RepairSpec) string {
+	return repairSpecID(spec)
+}
+
+// DirectivesFingerprint returns a compact, collision-free fingerprint
+// of d with the sequence number masked out: two directive sets share a
+// fingerprint iff they are equal apart from Seq. The simulator's
+// execution memo keys on it — execution depends on the installed
+// patches, not on which directive sequence delivered them.
+func DirectivesFingerprint(d Directives) string {
+	d.Seq = 0
+	return dirKey(&d)
+}
+
+// ProbeFailurePC runs input against a pristine image under the full
+// monitor set and reports the failure PC and monitor it trips. It is how
+// the soak harness learns each attack's expected defect site; exported
+// for the simulator's identical probe.
+func ProbeFailurePC(img *image.Image, input []byte) (uint32, string, error) {
+	return probeFailurePC(img, input)
+}

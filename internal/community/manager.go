@@ -130,6 +130,40 @@ type caseState struct {
 	// time required to find a successful repair"). Once a repair is
 	// adopted (StatePatched) every node runs the adopted one.
 	assigned map[string]*evaluate.Entry
+	// taken counts how many nodes hold each assigned candidate — the
+	// multiset view of assigned, kept in step so assignFor's spread
+	// check is a lookup rather than a rebuild (rebuilding per first
+	// contact is quadratic in community size).
+	taken map[*evaluate.Entry]int
+}
+
+// assign records nodeID's candidate, keeping the taken multiset in step.
+func (c *caseState) assign(nodeID string, e *evaluate.Entry) {
+	if c.assigned == nil {
+		c.assigned = make(map[string]*evaluate.Entry)
+		c.taken = make(map[*evaluate.Entry]int)
+	}
+	c.assigned[nodeID] = e
+	c.taken[e]++
+}
+
+// unassign releases nodeID's candidate, if any, for reassignment.
+func (c *caseState) unassign(nodeID string) {
+	e, ok := c.assigned[nodeID]
+	if !ok {
+		return
+	}
+	delete(c.assigned, nodeID)
+	if c.taken[e]--; c.taken[e] == 0 {
+		delete(c.taken, e)
+	}
+}
+
+// clearAssignments opens a new phase: every node is reassigned on its
+// next contact.
+func (c *caseState) clearAssignments() {
+	c.assigned = nil
+	c.taken = nil
 }
 
 // assignFor picks the repair a node should evaluate: the node keeps its
@@ -142,20 +176,13 @@ func (c *caseState) assignFor(nodeID string) *evaluate.Entry {
 	if e, ok := c.assigned[nodeID]; ok {
 		return e
 	}
-	if c.assigned == nil {
-		c.assigned = make(map[string]*evaluate.Entry)
-	}
 	ranked := c.evaluator.Ranked()
 	if len(ranked) == 0 {
 		return nil
 	}
-	taken := map[*evaluate.Entry]bool{}
-	for _, e := range c.assigned {
-		taken[e] = true
-	}
 	var pick *evaluate.Entry
 	for _, e := range ranked {
-		if !taken[e] && e.Failures == 0 {
+		if c.taken[e] == 0 && e.Failures == 0 {
 			pick = e
 			break
 		}
@@ -163,7 +190,7 @@ func (c *caseState) assignFor(nodeID string) *evaluate.Entry {
 	if pick == nil {
 		pick = ranked[0] // all assigned or all failed: share the best
 	}
-	c.assigned[nodeID] = pick
+	c.assign(nodeID, pick)
 	return pick
 }
 
@@ -335,19 +362,19 @@ func (m *Manager) handle(env Envelope, bound *string) (Envelope, error) {
 	defer sp.Finish()
 	switch env.Kind {
 	case MsgHello:
-		var h Hello
-		if err := decodePayload(env.Payload, &h); err != nil {
+		nodeID, err := decodeHello(env.Payload)
+		if err != nil {
 			return Envelope{}, err
 		}
-		if err := bindSender(bound, h.NodeID); err != nil {
+		if err := bindSender(bound, nodeID); err != nil {
 			return Envelope{}, err
 		}
 		done := sp.Block("mgr.mu")
 		m.mu.Lock()
 		done()
-		m.registerLocked(h.NodeID)
+		m.registerLocked(nodeID)
 		m.mu.Unlock()
-		return m.directivesFor(h.NodeID)
+		return m.directivesFor(nodeID)
 	case MsgLearnUpload:
 		var up LearnUpload
 		if err := decodePayload(env.Payload, &up); err != nil {
@@ -838,11 +865,11 @@ func (m *Manager) processReportLocked(rep *RunReport) {
 				// reassigned; peers evaluating other candidates in the
 				// same round keep reporting (the §3 parallelism).
 				c.evaluator.RecordFailure(id)
-				delete(c.assigned, rep.NodeID)
+				c.unassign(rep.NodeID)
 				if c.evaluator.Exhausted() {
 					c.state = core.StateUnrepaired
 					c.current = nil
-					c.assigned = nil
+					c.clearAssignments()
 				} else {
 					c.current = c.evaluator.Best()
 				}
@@ -853,7 +880,7 @@ func (m *Manager) processReportLocked(rep *RunReport) {
 					// peer node was evaluating, not the global best.
 					c.state = core.StatePatched
 					c.current = entry
-					c.assigned = nil
+					c.clearAssignments()
 					c.adoptedBy = rep.NodeID
 					m.cAdoptions.Inc()
 				}
@@ -911,7 +938,7 @@ func (m *Manager) finishChecking(c *caseState) {
 func (m *Manager) redeploy(c *caseState) {
 	m.seq++
 	c.phaseSeq = m.seq
-	c.assigned = nil // new phase: reassign candidates to nodes
+	c.clearAssignments() // new phase: reassign candidates to nodes
 	c.adoptedBy = ""
 	if c.evaluator.Exhausted() {
 		c.state = core.StateUnrepaired
@@ -996,7 +1023,7 @@ func (m *Manager) farmSeed(c *caseState, rec *replay.Recording, sp *obs.Span) {
 	m.cReplayRuns.Add(int64(len(verdicts)))
 	m.seq++
 	c.phaseSeq = m.seq
-	c.assigned = nil
+	c.clearAssignments()
 	if c.evaluator.Exhausted() {
 		c.state = core.StateUnrepaired
 		c.current = nil
@@ -1038,7 +1065,7 @@ func (m *Manager) quarantineLocked(nodeID, reason string) {
 	// A node already holding a candidate assignment must not keep it: its
 	// future reports are ignored, so the assignment would starve.
 	for _, c := range m.cases {
-		delete(c.assigned, nodeID)
+		c.unassign(nodeID)
 	}
 }
 
@@ -1133,7 +1160,7 @@ func (m *Manager) directivesFor(nodeID string) (Envelope, error) {
 	d := m.directivesLocked(nodeID)
 	m.mu.Unlock()
 	sp.Finish()
-	return NewEnvelope(MsgDirectives, d)
+	return directivesEnvelope(d)
 }
 
 // directivesSetFor snapshots the current patch set for every listed node

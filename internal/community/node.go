@@ -96,7 +96,7 @@ func (n *Node) nextToken() uint64 {
 
 // Connect registers with the manager and fetches initial directives.
 func (n *Node) Connect() error {
-	env, err := NewEnvelope(MsgHello, Hello{NodeID: n.ID})
+	env, err := helloEnvelope(n.ID)
 	if err != nil {
 		return err
 	}
@@ -155,12 +155,12 @@ func (n *Node) roundTripOnce(sp *obs.Span, env Envelope) (sent bool, err error) 
 	}
 	switch reply.Kind {
 	case MsgDirectives:
-		// Decode into a fresh value: gob merges into existing structures
-		// (zero fields are omitted on the wire and keep their old bytes on
-		// decode), so reusing n.dir would let directives from a previous
-		// phase bleed into this one.
-		var dir Directives
-		if err := decodePayload(reply.Payload, &dir); err != nil {
+		// decodeDirectives hands back a fresh value: gob merges into
+		// existing structures (zero fields are omitted on the wire and keep
+		// their old bytes on decode), so reusing n.dir would let directives
+		// from a previous phase bleed into this one.
+		dir, err := decodeDirectives(reply.Payload)
+		if err != nil {
 			return true, err
 		}
 		if n.rt != nil && dir.Seq < n.dir.Seq {
@@ -250,7 +250,7 @@ func (n *Node) reconnect(sp *obs.Span) error {
 	n.conn = conn
 	n.applyRecvTimeout()
 	n.cReconnects.Inc()
-	henv, err := NewEnvelope(MsgHello, Hello{NodeID: n.ID})
+	henv, err := helloEnvelope(n.ID)
 	if err != nil {
 		return err
 	}
@@ -264,7 +264,7 @@ func (n *Node) Directives() Directives { return n.dir }
 
 // Sync pulls the manager's current directives.
 func (n *Node) Sync() error {
-	env, err := NewEnvelope(MsgHello, Hello{NodeID: n.ID})
+	env, err := helloEnvelope(n.ID)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,81 @@
+// Package sim is a deterministic discrete-event simulator for the
+// community soak: a virtual clock and an event heap drive modeled-node
+// state machines that emit real protocol envelopes into real Manager /
+// Aggregator / RootGroup instances over loopback connections — no
+// goroutine per node, no wall-clock sleeps. At small populations a
+// simulated campaign is byte-identical to community.RunSoak with the
+// same configuration (the equivalence oracle TestSimMatchesGoroutineSoak
+// enforces); at large populations it reaches the paper's deployment
+// scale (100k+ modeled nodes) in seconds.
+package sim
+
+// event is one scheduled simulator action: a virtual timestamp, a
+// monotonic sequence number breaking timestamp ties in schedule order, a
+// kind naming the obs stage the scheduler accounts it under, and the
+// action itself.
+type event struct {
+	at   int64        // virtual time, abstract ticks
+	seq  uint64       // schedule order; deterministic tie-break at equal times
+	kind string       // event type; the scheduler's obs stage is "sim."+kind
+	fn   func() error // the action
+}
+
+// before is the heap order: by time, then by schedule order — so
+// same-time events fire exactly in the order they were scheduled.
+func (e *event) before(o *event) bool {
+	return e.at < o.at || (e.at == o.at && e.seq < o.seq)
+}
+
+// eventHeap is a binary min-heap of events ordered by (at, seq). It is
+// hand-rolled rather than built on container/heap so Push and Pop stay
+// monomorphic and allocation-free beyond the backing slice — the
+// simulator schedules one event per node state transition, hundreds of
+// thousands per round.
+type eventHeap struct {
+	items []*event
+}
+
+// Len reports how many events are pending.
+func (h *eventHeap) Len() int { return len(h.items) }
+
+// Push inserts an event.
+func (h *eventHeap) Push(e *event) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.items[i].before(h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+// Pop removes and returns the earliest event, nil when empty.
+func (h *eventHeap) Pop() *event {
+	if len(h.items) == 0 {
+		return nil
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items[last] = nil // release for GC
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.items) && h.items[l].before(h.items[smallest]) {
+			smallest = l
+		}
+		if r < len(h.items) && h.items[r].before(h.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

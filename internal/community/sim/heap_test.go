@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// popAll drains the heap, asserting each popped event is no later than
+// its successor under the (time, seq) order.
+func popAll(t *testing.T, h *eventHeap) []*event {
+	t.Helper()
+	var out []*event
+	for {
+		e := h.Pop()
+		if e == nil {
+			break
+		}
+		if n := len(out); n > 0 && e.before(out[n-1]) {
+			t.Fatalf("pop %d (at=%d seq=%d) fired before its predecessor (at=%d seq=%d)",
+				n, e.at, e.seq, out[n-1].at, out[n-1].seq)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// TestEventHeapProperty is the heap's randomized property test: push a
+// few thousand events with heavily colliding timestamps and verify the
+// pop sequence against a plain sort oracle — events fire in (time, seq)
+// order, so same-time events fire exactly in schedule order.
+func TestEventHeapProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(3000)
+		span := 1 + rng.Intn(16) // few distinct times → many (at) ties
+		var h eventHeap
+		oracle := make([]*event, 0, n)
+		for seq := 1; seq <= n; seq++ {
+			e := &event{at: int64(rng.Intn(span)), seq: uint64(seq)}
+			h.Push(e)
+			oracle = append(oracle, e)
+		}
+		if h.Len() != n {
+			t.Fatalf("trial %d: Len = %d after %d pushes", trial, h.Len(), n)
+		}
+		sort.Slice(oracle, func(i, j int) bool { return oracle[i].before(oracle[j]) })
+		got := popAll(t, &h)
+		for i := range oracle {
+			if got[i] != oracle[i] {
+				t.Fatalf("trial %d: pop %d = (at=%d seq=%d), oracle says (at=%d seq=%d)",
+					trial, i, got[i].at, got[i].seq, oracle[i].at, oracle[i].seq)
+			}
+		}
+		if h.Pop() != nil {
+			t.Fatalf("trial %d: pop from drained heap returned an event", trial)
+		}
+	}
+}
+
+// TestEventHeapInterleaved mixes pushes and pops the way the scheduler
+// does (events scheduled while earlier ones fire): every pop must return
+// the minimum of everything still pending.
+func TestEventHeapInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var h eventHeap
+	pending := map[*event]bool{}
+	var seq uint64
+	var now int64
+	for op := 0; op < 10000; op++ {
+		if h.Len() == 0 || rng.Intn(3) != 0 {
+			seq++
+			// Schedule relative to the popped clock, like scheduler.schedule
+			// clamping to now — the heap itself must not care.
+			e := &event{at: now + int64(rng.Intn(5)), seq: seq}
+			h.Push(e)
+			pending[e] = true
+			continue
+		}
+		var min *event
+		for e := range pending {
+			if min == nil || e.before(min) {
+				min = e
+			}
+		}
+		got := h.Pop()
+		if got != min {
+			t.Fatalf("op %d: popped (at=%d seq=%d), pending minimum is (at=%d seq=%d)",
+				op, got.at, got.seq, min.at, min.seq)
+		}
+		delete(pending, got)
+		now = got.at
+	}
+	got := popAll(t, &h)
+	if len(got) != len(pending) {
+		t.Fatalf("drained %d events, %d were pending", len(got), len(pending))
+	}
+}

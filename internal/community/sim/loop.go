@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/community"
+)
+
+// handler is the server half a loopback connection drives: the exported
+// synchronous HandleEnvelope of a Manager, Aggregator, or RootGroup.
+type handler func(env community.Envelope, bound *string) (community.Envelope, error)
+
+// errTimeout mirrors a transport receive deadline expiring; it satisfies
+// community.IsTimeout through the net.Error Timeout contract.
+type errTimeout struct{}
+
+func (errTimeout) Error() string   { return "sim: recv timed out" }
+func (errTimeout) Timeout() bool   { return true }
+func (errTimeout) Temporary() bool { return true }
+
+// loopConn is the simulator's client-side Conn: Send invokes the
+// server's handler inline on the caller's goroutine and queues the
+// reply; Recv pops it. One loopConn replaces one Pipe plus one Serve
+// goroutine — same handler, same per-connection sender binding, same
+// token echo — which is what lets a simulated campaign drive real
+// community tiers with no goroutine per connection.
+//
+// Because every exchange completes synchronously inside Send, an empty
+// receive queue can never fill later. Recv with a deadline armed
+// reports the timeout immediately (in virtual time — the same outcome a
+// wall-clock wait would reach), and Recv with no deadline on an empty
+// queue is a protocol bug reported loudly instead of a deadlock.
+type loopConn struct {
+	h       handler
+	bound   string // per-connection sender identity (see bindSender)
+	queue   []community.Envelope
+	closed  bool
+	timed   bool // a receive deadline is armed
+	onClose func(*loopConn)
+}
+
+// Send hands the envelope to the server handler and queues the reply.
+// A handler error closes the connection, mirroring a Serve loop's exit
+// tearing down its transport: the client sees a dead wire and recovers
+// through its retry path, exactly as it would against a live tier.
+func (c *loopConn) Send(e community.Envelope) error {
+	if c.closed {
+		return fmt.Errorf("sim: send on closed loopback")
+	}
+	reply, err := c.h(e, &c.bound)
+	if err != nil {
+		c.close()
+		return err
+	}
+	c.queue = append(c.queue, reply)
+	return nil
+}
+
+// Recv pops the next queued reply. Queued envelopes beat the close,
+// like the pipe transport's buffered-beats-close semantics.
+func (c *loopConn) Recv() (community.Envelope, error) {
+	if len(c.queue) > 0 {
+		e := c.queue[0]
+		c.queue = c.queue[1:]
+		return e, nil
+	}
+	if c.closed {
+		return community.Envelope{}, fmt.Errorf("sim: recv on closed loopback")
+	}
+	if c.timed {
+		return community.Envelope{}, errTimeout{}
+	}
+	return community.Envelope{}, fmt.Errorf("sim: recv would block forever (no reply queued, no receive deadline)")
+}
+
+// SetRecvTimeout arms (d > 0) or disarms the receive deadline.
+func (c *loopConn) SetRecvTimeout(d time.Duration) { c.timed = d > 0 }
+
+func (c *loopConn) close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.onClose != nil {
+		c.onClose(c)
+	}
+}
+
+// Close marks the connection dead; already-queued replies stay readable.
+func (c *loopConn) Close() error {
+	c.close()
+	return nil
+}

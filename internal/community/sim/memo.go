@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"repro/internal/community"
+	"repro/internal/obs"
+	"repro/internal/vm"
+)
+
+// execMemo deduplicates modeled-node executions. The VM is
+// deterministic, so two nodes running the same input under the same
+// directives produce the same result and the same report (up to the
+// NodeID/Seq stamp) — one genuine run stands in for the whole cohort's.
+// This is what turns a 100k-node round from 500k VM executions into a
+// handful: the distinct (directives, input) pairs per round number in
+// the tens, not the hundreds of thousands.
+//
+// A node is ineligible when its execution has node-local side effects:
+// failure recorders seal recordings naming the node and sequence, and a
+// learning assignment (LearnHi > LearnLo) feeds the node's own
+// invariant engine. Those nodes always run genuinely.
+type execMemo struct {
+	entries map[string]*memoEntry
+	hits    int
+	misses  int
+	genuine int
+	cHits   *obs.Counter
+	cMisses *obs.Counter
+}
+
+type memoEntry struct {
+	res vm.RunResult
+	rep community.RunReport // NodeID/Seq cleared; re-stamped per node
+}
+
+func newExecMemo(reg *obs.Registry) *execMemo {
+	return &execMemo{
+		entries: make(map[string]*memoEntry),
+		cHits:   reg.Counter("sim.memo_hits"),
+		cMisses: reg.Counter("sim.memo_misses"),
+	}
+}
+
+// memoKey fingerprints the execution-relevant directives plus the
+// input. The fingerprint masks Seq: the report echoes it but execution
+// ignores it, so directives differing only by sequence number share an
+// entry. DirectivesFingerprint is collision-free, so distinct directive
+// sets never share an entry.
+func memoKey(dir community.Directives, input []byte) string {
+	return community.DirectivesFingerprint(dir) + "\x00" + string(input)
+}
+
+// run executes input on n — through the memo when the node is eligible,
+// genuinely otherwise. The returned report is always stamped with n's
+// identity and current directives sequence, exactly as n's own run
+// would stamp it.
+func (e *execMemo) run(n *community.Node, input []byte) (vm.RunResult, community.RunReport, []byte, error) {
+	dir := n.Directives()
+	if n.RecordFailures || dir.LearnHi > dir.LearnLo {
+		e.genuine++
+		return n.RunLocal(input)
+	}
+	key := memoKey(dir, input)
+	if ent, hit := e.entries[key]; hit {
+		e.hits++
+		e.cHits.Inc()
+		rep := ent.rep
+		rep.NodeID = n.ID
+		rep.Seq = dir.Seq
+		return ent.res, rep, nil, nil
+	}
+	res, rep, raw, err := n.RunLocal(input)
+	if err != nil {
+		return res, rep, raw, err
+	}
+	e.misses++
+	e.cMisses.Inc()
+	ent := &memoEntry{res: res, rep: rep}
+	ent.rep.NodeID = ""
+	ent.rep.Seq = 0
+	e.entries[key] = ent
+	return res, rep, raw, nil
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"repro/internal/community"
+)
+
+// NodeState is one phase of a modeled node's per-round state machine.
+// An honest member's turn walks sync → (execute → detect?)* → report →
+// adopt; adversaries walk tamper or decoy; crashed members sit out the
+// round. Each state is one scheduler event, so the obs snapshot meters
+// every phase of every modeled turn ("sim.execute", "sim.report", ...).
+type NodeState uint8
+
+const (
+	// StateIdle parks the machine between rounds.
+	StateIdle NodeState = iota
+	// StateSync refreshes directives from upstream (MsgHello).
+	StateSync
+	// StateExecute runs the current input under the directives.
+	StateExecute
+	// StateDetect accounts a failure detection. The run report already
+	// carries the monitor's FailureInfo; this state is where the
+	// simulator meters detections as their own event type.
+	StateDetect
+	// StateReport ships the turn's accumulated traffic upstream: the
+	// MsgBatch in batched mode, the MsgRunReport (and MsgRecording, for
+	// a recorder with a failing run) per input otherwise.
+	StateReport
+	// StateAdopt folds the reply directives into the member's
+	// bookkeeping; the wire-level adoption already happened inside the
+	// round trip, exactly as it does for a live node.
+	StateAdopt
+	// StateTamper is an adversary's active turn: a spoofed report plus a
+	// poisoned learning upload, or a forged recording.
+	StateTamper
+	// StateDecoy is a tampered (usually quarantined-by-now) adversary's
+	// later turn: a well-formed benign report the community must keep
+	// ignoring.
+	StateDecoy
+	// StateCrashed marks a member sitting out the round entirely.
+	StateCrashed
+)
+
+// kind names the state's scheduler event type; the obs stage is
+// "sim."+kind.
+func (s NodeState) kind() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateSync:
+		return "sync"
+	case StateExecute:
+		return "execute"
+	case StateDetect:
+		return "detect"
+	case StateReport:
+		return "report"
+	case StateAdopt:
+		return "adopt"
+	case StateTamper:
+		return "tamper"
+	case StateDecoy:
+		return "decoy"
+	case StateCrashed:
+		return "crashed"
+	}
+	return "unknown"
+}
+
+// String names the state for test failures.
+func (s NodeState) String() string { return s.kind() }
+
+// simMember is one modeled community member: the real Node it fronts
+// (directives cache, token framing, resilience — the wire behavior must
+// be the live soak's exactly) plus the state machine that walks it
+// through each round one scheduler event at a time.
+type simMember struct {
+	n   *community.Node
+	agg int // attached aggregator index; -1 = direct to the root
+	// adversary / forger / advIndex mirror soakMember's adversary
+	// flavors; resilient adversaries re-offend every round.
+	adversary bool
+	forger    bool
+	advIndex  int
+	tampered  bool
+	crashed   bool
+	resilient bool
+
+	// Per-turn machine state.
+	state    NodeState
+	inputs   [][]byte
+	idx      int  // current input
+	detected bool // the last execute detected a failure
+	batched  bool
+	batch    community.Batch     // batched mode: the accumulating MsgBatch
+	rep      community.RunReport // per-message mode: last run's report
+	raw      []byte              // per-message mode: last run's recording
+	trace    []NodeState         // visited states this turn (nil = not tracing)
+}
+
+// beginState is the state a member's turn opens in. A tampered
+// adversary goes decoy unless resilience is armed — an at-most-once
+// retry may have surrendered the tamper to an injected fault, and the
+// quarantine guarantee must hold against an attacker who keeps
+// attacking (the live adversaryTurn's exact rule).
+func (m *simMember) beginState() NodeState {
+	switch {
+	case m.crashed:
+		return StateCrashed
+	case m.adversary && (!m.tampered || m.resilient):
+		return StateTamper
+	case m.adversary:
+		return StateDecoy
+	default:
+		return StateSync
+	}
+}
+
+// next advances the machine past the current state, updating the input
+// cursor when the walk moves to the next input. It is pure protocol
+// shape — no I/O — so the table tests can walk every role's turn
+// without a community behind it.
+func (m *simMember) next() NodeState {
+	last := m.idx >= len(m.inputs)-1
+	switch m.state {
+	case StateSync:
+		return StateExecute
+	case StateExecute:
+		if m.detected {
+			return StateDetect
+		}
+		return m.afterInput(last)
+	case StateDetect:
+		return m.afterInput(last)
+	case StateReport:
+		return StateAdopt
+	case StateAdopt:
+		if !m.batched && !last {
+			// Per-message mode re-syncs before each input, mirroring
+			// RunOnce-per-input turns.
+			m.idx++
+			return StateSync
+		}
+		return StateIdle
+	default: // Tamper, Decoy, Crashed: single-event turns
+		return StateIdle
+	}
+}
+
+// afterInput routes the walk once an input's execute (and detect) is
+// done: batched mode works through every input before one report,
+// per-message mode reports each input as it lands.
+func (m *simMember) afterInput(last bool) NodeState {
+	if m.batched && !last {
+		m.idx++
+		return StateExecute
+	}
+	return StateReport
+}

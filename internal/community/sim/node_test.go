@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/community"
+	"repro/internal/webapp"
+)
+
+// walk drives a member's state machine through one full turn without a
+// community behind it: beginState, then next() until the machine parks,
+// feeding detected from the detects table at each execute (the rig sets
+// it from the real run's failure info; here it is scripted).
+func walk(m *simMember, detects []bool) []NodeState {
+	m.idx = 0
+	m.state = m.beginState()
+	var visited []NodeState
+	for m.state != StateIdle {
+		visited = append(visited, m.state)
+		if m.state == StateExecute {
+			m.detected = detects[m.idx]
+		}
+		next := m.next()
+		if len(visited) > 64 {
+			panic("state machine did not park")
+		}
+		m.state = next
+	}
+	return visited
+}
+
+// TestNodeStateMachine tables every modeled role through a turn:
+// honest members in both shipping modes, each adversary flavor fresh
+// and after tampering (with and without resilience — the re-offender),
+// and crashed members. The walks are the protocol shapes the rig
+// schedules one event apiece, so this is the state machine's ground
+// truth.
+func TestNodeStateMachine(t *testing.T) {
+	inputs := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	cases := []struct {
+		name    string
+		m       simMember
+		inputs  int
+		detects []bool
+		want    []NodeState
+	}{
+		{
+			name: "honest-batched", m: simMember{batched: true},
+			inputs: 3, detects: []bool{true, false, true},
+			// One sync, every input executed into the batch (failures
+			// metered as they land), one report, one adopt.
+			want: []NodeState{StateSync, StateExecute, StateDetect, StateExecute,
+				StateExecute, StateDetect, StateReport, StateAdopt},
+		},
+		{
+			name: "honest-per-message", m: simMember{},
+			inputs: 2, detects: []bool{false, true},
+			// Per-message mode re-syncs and reports per input, mirroring
+			// RunOnce-per-input turns.
+			want: []NodeState{StateSync, StateExecute, StateReport, StateAdopt,
+				StateSync, StateExecute, StateDetect, StateReport, StateAdopt},
+		},
+		{
+			name: "honest-single-input", m: simMember{batched: true},
+			inputs: 1, detects: []bool{false},
+			want: []NodeState{StateSync, StateExecute, StateReport, StateAdopt},
+		},
+		{
+			name: "spoofer-fresh", m: simMember{adversary: true},
+			inputs: 3, want: []NodeState{StateTamper},
+		},
+		{
+			name: "forger-fresh", m: simMember{adversary: true, forger: true, advIndex: 1},
+			inputs: 3, want: []NodeState{StateTamper},
+		},
+		{
+			name: "adversary-tampered", m: simMember{adversary: true, tampered: true},
+			inputs: 3, want: []NodeState{StateDecoy},
+		},
+		{
+			name: "re-offender", m: simMember{adversary: true, tampered: true, resilient: true},
+			inputs: 3, want: []NodeState{StateTamper},
+		},
+		{
+			name: "crashed", m: simMember{crashed: true},
+			inputs: 3, want: []NodeState{StateCrashed},
+		},
+		{
+			name: "crashed-adversary", m: simMember{crashed: true, adversary: true},
+			inputs: 3, want: []NodeState{StateCrashed},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := tc.m
+			m.inputs = inputs[:tc.inputs]
+			got := walk(&m, tc.detects)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("turn walked %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSimChurnTransitions runs a small simulated campaign with every
+// churn transition live — per-round crashes (the crashed member sits a
+// round out, then rejoins under a different aggregator), mid-campaign
+// joins, and both adversary flavors — and checks the report accounts
+// each transition and the campaign still converges with the adversaries
+// quarantined.
+func TestSimChurnTransitions(t *testing.T) {
+	app := webapp.MustBuild()
+	conf := simSoakConfig(t, app, 18, true)
+	conf.Aggregators = 3
+	conf.Adversaries = 2 // adv000 spoofer, adv001 forger
+	conf.Churn = &community.ChurnConfig{CrashPerRound: 2, JoinPerRound: 1}
+	rep, err := Run(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Fatalf("campaign did not converge: %+v", rep)
+	}
+	if rep.Crashes == 0 || rep.Rejoins == 0 || rep.Joins == 0 {
+		t.Fatalf("churn transitions not all exercised: crashes=%d rejoins=%d joins=%d",
+			rep.Crashes, rep.Rejoins, rep.Joins)
+	}
+	if rep.Rejoins != rep.Crashes-2 {
+		// Every crash rejoins next round except the final round's batch.
+		t.Fatalf("rejoins %d, want crashes-2 = %d", rep.Rejoins, rep.Crashes-2)
+	}
+	if got, want := rep.Quarantined, []string{"adv000", "adv001"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("quarantined %v, want %v", got, want)
+	}
+	if rep.QuarantinedAdoptions != 0 {
+		t.Fatalf("%d adoptions credited to quarantined nodes", rep.QuarantinedAdoptions)
+	}
+}

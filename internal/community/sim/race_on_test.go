@@ -1,0 +1,10 @@
+//go:build race
+
+package sim
+
+// raceDetectorEnabled reports whether this test binary was built with
+// the race detector; the 100k-node simulation is skipped there (the
+// simulator is single-threaded — the small equivalence soaks provide the
+// race coverage — and the detector's ~10x slowdown would dominate the
+// suite).
+const raceDetectorEnabled = true

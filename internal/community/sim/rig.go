@@ -1,0 +1,590 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/community"
+	"repro/internal/core"
+	"repro/internal/daikon"
+	"repro/internal/obs"
+	"repro/internal/replay"
+	"repro/internal/vm"
+)
+
+// simRig is the assembled simulated community: the same tiers the live
+// soakRig builds — one root (single Manager or replicated RootGroup),
+// an optional aggregator tier, the member population — wired over
+// loopback connections and driven by the scheduler instead of per-node
+// goroutines. Every ordering decision (setup order, churn order, member
+// turn order, flush order, convergence sync order, chaos stream
+// numbering) replicates RunSoak's serial execution exactly; that is the
+// whole equivalence argument.
+type simRig struct {
+	conf    community.SoakConfig
+	sched   *scheduler
+	mgr     *community.Manager
+	root    *community.RootGroup
+	aggs    []*community.Aggregator
+	aggDead []bool
+	members []*simMember
+	report  *Report
+	defects []community.SoakDefect
+	tr      *obs.Tracer
+	reg     *obs.Registry
+	retry   *community.RetryPolicy
+	memo    *execMemo
+
+	crashCursor int
+	joinSeq     int
+	connSeq     int64 // chaos stream numbers; same dial order as RunSoak
+
+	// rootConns tracks live loopbacks into the root tier. A live
+	// FailLeader severs its tracked Serve connections; loopbacks have no
+	// Serve loop, so the rig severs these itself at the same point.
+	rootConns []*loopConn
+
+	cTurns      *obs.Counter
+	cDetections *obs.Counter
+}
+
+// rootMgr is the manager accounting and convergence read: the group's
+// current leader, or the single manager.
+func (r *simRig) rootMgr() *community.Manager {
+	if r.root != nil {
+		return r.root.Leader()
+	}
+	return r.mgr
+}
+
+// rootHandler is the root tier's synchronous handler. The RootGroup
+// resolves its leader per envelope, so the same handler value keeps
+// working across a failover.
+func (r *simRig) rootHandler() handler {
+	if r.root != nil {
+		return r.root.HandleEnvelope
+	}
+	return r.mgr.HandleEnvelope
+}
+
+// wrap injects the chaos schedule into one client-side connection (a
+// no-op without Chaos), consuming stream numbers in the same order
+// RunSoak's dials do — the chaos arm's bit-equivalence rides on it.
+func (r *simRig) wrap(c community.Conn) community.Conn {
+	if r.conf.Chaos == nil {
+		return c
+	}
+	r.connSeq++
+	fc, err := community.NewFaultConn(c, r.conf.Chaos, r.connSeq, r.reg)
+	if err != nil {
+		return c // config was validated up front; unreachable
+	}
+	return fc
+}
+
+// trackRoot registers a root-tier loopback for failover severing.
+func (r *simRig) trackRoot(lc *loopConn) {
+	lc.onClose = r.untrackRoot
+	r.rootConns = append(r.rootConns, lc)
+}
+
+func (r *simRig) untrackRoot(c *loopConn) {
+	for i, rc := range r.rootConns {
+		if rc == c {
+			r.rootConns = append(r.rootConns[:i], r.rootConns[i+1:]...)
+			return
+		}
+	}
+}
+
+// severRoot closes every live root-tier loopback — the failover's
+// severed connections. Clients discover the dead wire on their next
+// operation and re-dial onto the promoted leader, exactly as the live
+// retry path does.
+func (r *simRig) severRoot() {
+	conns := append([]*loopConn(nil), r.rootConns...)
+	for _, c := range conns {
+		c.close()
+	}
+}
+
+// dialRoot opens a fresh loopback to the root tier: the initial
+// aggregator upstream dial and the Redial path after a root failover.
+func (r *simRig) dialRoot() (community.Conn, error) {
+	lc := &loopConn{h: r.rootHandler()}
+	r.trackRoot(lc)
+	return r.wrap(lc), nil
+}
+
+// attach connects (or re-connects) a member to aggregator agg, or to
+// the root when agg < 0.
+func (r *simRig) attach(m *simMember, agg int) error {
+	lc := &loopConn{}
+	if agg >= 0 {
+		lc.h = r.aggs[agg].HandleEnvelope
+	} else {
+		lc.h = r.rootHandler()
+		r.trackRoot(lc)
+	}
+	m.agg = agg
+	return m.n.Attach(r.wrap(lc))
+}
+
+// redialMember is a member's retry-path redial, failing over to the
+// next alive aggregator when its home has died (soakRig.redialMember's
+// mirror).
+func (r *simRig) redialMember(m *simMember) (community.Conn, error) {
+	agg := m.agg
+	if agg >= 0 && (agg >= len(r.aggs) || r.aggDead[agg]) {
+		agg = r.nextAliveAgg(agg)
+		m.agg = agg
+	}
+	lc := &loopConn{}
+	if agg >= 0 {
+		lc.h = r.aggs[agg].HandleEnvelope
+	} else {
+		lc.h = r.rootHandler()
+		r.trackRoot(lc)
+	}
+	return r.wrap(lc), nil
+}
+
+// enlist arms a member's resilience when the campaign runs a
+// fault-tolerant shape.
+func (r *simRig) enlist(m *simMember) {
+	m.resilient = r.retry != nil
+	if r.retry == nil {
+		return
+	}
+	m.n.EnableResilience(r.retry, func() (community.Conn, error) { return r.redialMember(m) }, r.reg)
+}
+
+// nextAliveAgg picks the aggregator a re-attaching member fails over
+// to; -1 in flat topology.
+func (r *simRig) nextAliveAgg(after int) int {
+	if len(r.aggs) == 0 {
+		return -1
+	}
+	for i := 1; i <= len(r.aggs); i++ {
+		cand := (after + i) % len(r.aggs)
+		if !r.aggDead[cand] {
+			return cand
+		}
+	}
+	return -1
+}
+
+// scheduleRound enqueues round round's opening event. Churn changes the
+// membership, so the round's member turns, flushes, and convergence
+// check are scheduled from inside the churn event, once the membership
+// is final.
+func (r *simRig) scheduleRound(round int) {
+	r.sched.schedule(r.sched.now+1, "churn", func() error { return r.roundEvents(round) })
+}
+
+// roundEvents applies churn and lays out the round: one turn-opening
+// event per alive member at distinct times (in member order — time
+// dominates the heap order, so member i's whole turn chain fires before
+// member i+1's first event, replicating the live serial loop), then the
+// aggregator flushes, then the convergence check, which decides whether
+// a next round is scheduled.
+func (r *simRig) roundEvents(round int) error {
+	if err := r.churnStep(round); err != nil {
+		return err
+	}
+
+	inputs := make([][]byte, 0, len(r.conf.Attacks)+1)
+	for _, atk := range r.conf.Attacks {
+		inputs = append(inputs, atk.Input)
+	}
+	if len(r.conf.Benign) > 0 {
+		inputs = append(inputs, r.conf.Benign[(round-1)%len(r.conf.Benign)])
+	}
+
+	base := r.sched.now
+	slot := int64(0)
+	for _, m := range r.members {
+		if m.crashed {
+			continue
+		}
+		m := m
+		slot++
+		r.sched.schedule(base+slot, m.beginState().kind(), func() error {
+			return r.beginTurn(m, inputs)
+		})
+	}
+	flushBase := base + slot + 1
+	for i, a := range r.aggs {
+		// Aliveness is decided at schedule time, like the live flush
+		// loop's skip — nothing re-kills an aggregator mid-round.
+		if r.aggDead[i] {
+			continue
+		}
+		a := a
+		r.sched.schedule(flushBase+int64(i), "flush", func() error { return a.Flush() })
+	}
+	r.sched.schedule(flushBase+int64(len(r.aggs))+1, "converge", func() error {
+		r.report.RoundsRun = round
+		all := r.converged(round)
+		// A churn campaign runs its whole schedule (convergence must
+		// hold under churn, not just be reached); a static one stops at
+		// first full agreement. RunSoak's exact stopping rule.
+		if (all && r.conf.Churn == nil) || round >= r.conf.Rounds {
+			return nil // campaign over; the heap drains
+		}
+		r.scheduleRound(round + 1)
+		return nil
+	})
+	return nil
+}
+
+// beginTurn resets a member's machine for the round and fires its first
+// state.
+func (r *simRig) beginTurn(m *simMember, inputs [][]byte) error {
+	r.cTurns.Inc()
+	m.inputs = inputs
+	m.idx = 0
+	m.detected = false
+	m.raw = nil
+	m.rep = community.RunReport{}
+	m.batch = community.Batch{NodeID: m.n.ID}
+	m.batched = r.conf.Batched
+	m.state = m.beginState()
+	if m.trace != nil {
+		m.trace = m.trace[:0]
+	}
+	return r.stepMember(m)
+}
+
+// stepMember performs the machine's current state and schedules the
+// next one at the same virtual time (fresh seq, so the chain stays in
+// order yet whole turns of different members never interleave — times
+// differ).
+func (r *simRig) stepMember(m *simMember) error {
+	if m.trace != nil {
+		m.trace = append(m.trace, m.state)
+	}
+	if err := r.perform(m); err != nil {
+		return err
+	}
+	next := m.next()
+	m.state = next
+	if next == StateIdle {
+		return nil
+	}
+	r.sched.schedule(r.sched.now, next.kind(), func() error { return r.stepMember(m) })
+	return nil
+}
+
+// perform runs the current state's side effects against the real
+// community.
+func (r *simRig) perform(m *simMember) error {
+	switch m.state {
+	case StateSync:
+		return m.n.Sync()
+	case StateExecute:
+		return r.execute(m)
+	case StateDetect:
+		r.cDetections.Inc()
+		return nil
+	case StateReport:
+		return r.ship(m)
+	case StateAdopt:
+		// The round trip already folded the reply directives into the
+		// node, as it does live; the state exists so adoption is metered
+		// as its own event type.
+		return nil
+	case StateTamper:
+		m.tampered = true
+		if m.forger {
+			return r.sendForgedRecording(m.n, m.advIndex)
+		}
+		return r.sendSpoofedTraffic(m.n)
+	case StateDecoy:
+		return r.sendDecoyReport(m.n)
+	default: // Idle, Crashed: nothing to do
+		return nil
+	}
+}
+
+// execute runs the member's current input through the execution memo
+// and accumulates the turn's outgoing traffic.
+func (r *simRig) execute(m *simMember) error {
+	_, rep, raw, err := r.memo.run(m.n, m.inputs[m.idx])
+	if err != nil {
+		return err
+	}
+	m.detected = rep.Failure != nil
+	if m.batched {
+		m.batch.Reports = append(m.batch.Reports, rep)
+		if raw != nil {
+			m.batch.Recordings = append(m.batch.Recordings, raw)
+		}
+	} else {
+		m.rep = rep
+		m.raw = raw
+	}
+	return nil
+}
+
+// ship sends the turn's accumulated traffic upstream: the whole batch
+// in batched mode (RunBatch's envelope, byte for byte), the current
+// input's report and recording otherwise (RunOnce's envelopes).
+func (r *simRig) ship(m *simMember) error {
+	if m.batched {
+		env, err := community.NewEnvelope(community.MsgBatch, m.batch)
+		if err != nil {
+			return err
+		}
+		return m.n.RoundTrip(env)
+	}
+	env, err := community.NewEnvelope(community.MsgRunReport, m.rep)
+	if err != nil {
+		return err
+	}
+	if err := m.n.RoundTrip(env); err != nil {
+		return err
+	}
+	if m.raw != nil {
+		env, err := community.NewEnvelope(community.MsgRecording, community.RecordingUpload{NodeID: m.n.ID, Recording: m.raw})
+		if err != nil {
+			return err
+		}
+		return m.n.RoundTrip(env)
+	}
+	return nil
+}
+
+// churnStep is soakRig.churnStep's mirror: root failover, aggregator
+// failover, rejoins, crashes, joins — same order, same counters, same
+// naming, so the envelope stream downstream is identical.
+func (r *simRig) churnStep(round int) error {
+	churn := r.conf.Churn
+	if churn == nil || round < 2 {
+		return nil
+	}
+
+	if churn.RootCrashRound == round && r.root != nil {
+		if err := r.root.FailLeader(); err != nil {
+			return err
+		}
+		// FailLeader severed its Serve connections; sever the loopbacks
+		// it cannot see.
+		r.severRoot()
+		r.report.RootFailovers++
+	}
+
+	if churn.AggregatorCrashRound == round && len(r.aggs) >= 2 && !r.aggDead[0] {
+		_ = r.aggs[0].Close()
+		r.aggDead[0] = true
+		r.report.AggregatorFailovers++
+		for _, m := range r.members {
+			if m.agg == 0 && !m.crashed {
+				if err := r.attach(m, r.nextAliveAgg(0)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	for _, m := range r.members {
+		if m.crashed {
+			if err := r.attach(m, r.nextAliveAgg(m.agg)); err != nil {
+				return err
+			}
+			m.crashed = false
+			r.report.Rejoins++
+		}
+	}
+
+	honestPool := make([]*simMember, 0, len(r.members))
+	for _, m := range r.members {
+		if !m.adversary && !m.n.RecordFailures && !m.crashed {
+			honestPool = append(honestPool, m)
+		}
+	}
+	for i := 0; i < churn.CrashPerRound && len(honestPool) > 1; i++ {
+		idx := r.crashCursor % len(honestPool)
+		m := honestPool[idx]
+		honestPool = append(honestPool[:idx], honestPool[idx+1:]...)
+		r.crashCursor++
+		_ = m.n.Close()
+		m.crashed = true
+		r.report.Crashes++
+	}
+
+	for i := 0; i < churn.JoinPerRound; i++ {
+		m := &simMember{n: community.NewNode(fmt.Sprintf("join%03d", r.joinSeq), r.conf.Image, nil)}
+		m.n.Obs = r.tr
+		r.enlist(m)
+		r.joinSeq++
+		agg := -1
+		if len(r.aggs) > 0 {
+			agg = r.nextAliveAgg(r.joinSeq % len(r.aggs))
+		}
+		if err := r.attach(m, agg); err != nil {
+			return err
+		}
+		r.members = append(r.members, m)
+		r.report.Joins++
+	}
+	return nil
+}
+
+// sendDecoyReport is a tampered adversary's later-round traffic: a
+// plausible, well-formed report that must change nothing once the node
+// is quarantined.
+func (r *simRig) sendDecoyReport(n *community.Node) error {
+	rep := community.RunReport{NodeID: n.ID, Seq: n.Directives().Seq, Outcome: uint8(vm.OutcomeExit)}
+	env, err := community.NewEnvelope(community.MsgRunReport, rep)
+	if err != nil {
+		return err
+	}
+	return n.RoundTrip(env)
+}
+
+// sendSpoofedTraffic ships the edge-checkable tampers — a failure
+// report and a poisoned learning upload with out-of-range PCs
+// (soakRig.sendSpoofedTraffic verbatim).
+func (r *simRig) sendSpoofedTraffic(n *community.Node) error {
+	img := r.conf.Image
+	badPC := img.End() + 0x1000
+	rep := community.RunReport{
+		NodeID:  n.ID,
+		Seq:     n.Directives().Seq,
+		Outcome: uint8(vm.OutcomeFailure),
+		Failure: &community.FailureInfo{PC: badPC, Monitor: "MemoryFirewall", Kind: "spoofed"},
+	}
+	env, err := community.NewEnvelope(community.MsgRunReport, rep)
+	if err != nil {
+		return err
+	}
+	if err := n.RoundTrip(env); err != nil {
+		return err
+	}
+
+	poisoned := daikon.NewDB()
+	poisoned.Add(&daikon.Invariant{
+		Kind:    daikon.KindLowerBound,
+		Var:     daikon.VarID{PC: badPC},
+		Bound:   -1,
+		Samples: 1 << 20,
+	})
+	raw, err := poisoned.Marshal()
+	if err != nil {
+		return err
+	}
+	env, err = community.NewEnvelope(community.MsgLearnUpload, community.LearnUpload{NodeID: n.ID, DB: raw})
+	if err != nil {
+		return err
+	}
+	return n.RoundTrip(env)
+}
+
+// sendForgedRecording ships the farm-checkable tamper — a healthy run's
+// recording relabelled as a failure at a plausible in-range location
+// (soakRig.sendForgedRecording verbatim).
+func (r *simRig) sendForgedRecording(n *community.Node, advIndex int) error {
+	img := r.conf.Image
+	input := []byte("forged")
+	if len(r.conf.Benign) > 0 {
+		input = r.conf.Benign[0]
+	}
+	rec, _, err := replay.Record(n.ID+"/forged", img, input, nil, replay.Options{})
+	if err != nil {
+		return err
+	}
+	claimPC := img.Base + uint32((int(img.Entry-img.Base)+4*advIndex)%len(img.Code))
+	rec.Outcome = vm.OutcomeFailure
+	rec.ExitCode = 0
+	rec.Failure = &vm.Failure{PC: claimPC, Monitor: "MemoryFirewall", Kind: "forged"}
+	raw, err := rec.Marshal()
+	if err != nil {
+		return err
+	}
+	env, err := community.NewEnvelope(community.MsgRecording, community.RecordingUpload{NodeID: n.ID, Recording: raw})
+	if err != nil {
+		return err
+	}
+	return n.RoundTrip(env)
+}
+
+// converged is soakRig.converged's serial mirror: sync every eligible
+// member in member order, update the convergence table, report whether
+// every defect holds full agreement.
+func (r *simRig) converged(round int) bool {
+	root := r.rootMgr()
+	states := root.CaseStates()
+	quarantined := root.Quarantined()
+
+	type held struct {
+		ids   map[string]string // failureID -> repair ID
+		valid bool
+	}
+	var eligible []*simMember
+	for _, m := range r.members {
+		if m.crashed || m.adversary {
+			continue
+		}
+		if _, q := quarantined[m.n.ID]; q {
+			continue
+		}
+		eligible = append(eligible, m)
+	}
+	holdings := make([]held, len(eligible))
+	for i, m := range eligible {
+		if err := m.n.Sync(); err != nil {
+			continue // invalid holding, like the live collect
+		}
+		h := held{ids: make(map[string]string), valid: true}
+		dir := m.n.Directives()
+		for j := range dir.Repairs {
+			spec := &dir.Repairs[j]
+			h.ids[spec.FailureID] = community.RepairSpecID(spec)
+		}
+		holdings[i] = h
+	}
+
+	all := true
+	for i := range r.defects {
+		d := &r.defects[i]
+		if states[d.FailurePC] != core.StatePatched {
+			d.Converged = false
+			all = false
+			continue
+		}
+		failureID := fmt.Sprintf("fail@%#x", d.FailurePC)
+		agree := 0
+		var adopted string
+		uniform := true
+		for _, h := range holdings {
+			if !h.valid {
+				uniform = false
+				continue
+			}
+			id, ok := h.ids[failureID]
+			if !ok {
+				uniform = false
+				continue
+			}
+			if adopted == "" {
+				adopted = id
+			}
+			if id == adopted {
+				agree++
+			} else {
+				uniform = false
+			}
+		}
+		d.Agree = agree
+		d.Converged = uniform && adopted != "" && agree == len(holdings)
+		if d.Converged {
+			d.Adopted = adopted
+			if d.Rounds == 0 {
+				d.Rounds = round
+			}
+		} else {
+			all = false
+		}
+	}
+	return all
+}

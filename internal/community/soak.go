@@ -205,13 +205,17 @@ type SoakReport struct {
 	AggregatorFailovers int `json:"aggregator_failovers,omitempty"` // aggregator crashes executed
 	// Fault-tolerance accounting (chaos / replicated-root soaks): proof
 	// the injected faults actually fired and were absorbed.
-	Retries          int          `json:"retries,omitempty"`            // round trips retried (nodes + aggregators)
-	Reconnects       int          `json:"reconnects,omitempty"`         // fresh connections dialed past faults
-	DroppedEnvelopes int          `json:"dropped_envelopes,omitempty"`  // envelopes the chaos schedule silently lost
-	RootFailovers    int          `json:"root_failovers,omitempty"`     // root leader crashes survived
-	ReplayLogEntries int          `json:"replay_log_entries,omitempty"` // envelopes in the root replication log
-	Defects          []SoakDefect `json:"defects"`                      // per-defect convergence rows
-	Converged        bool         `json:"converged"`                    // every defect converged
+	Retries          int `json:"retries,omitempty"`            // round trips retried (nodes + aggregators)
+	Reconnects       int `json:"reconnects,omitempty"`         // fresh connections dialed past faults
+	DroppedEnvelopes int `json:"dropped_envelopes,omitempty"`  // envelopes the chaos schedule silently lost
+	RootFailovers    int `json:"root_failovers,omitempty"`     // root leader crashes survived
+	ReplayLogEntries int `json:"replay_log_entries,omitempty"` // envelopes in the root replication log
+	// LearnInvariants is the invariant count in the manager's merged
+	// learn DB at campaign end — the learn-DB outcome the sim-vs-live
+	// differential oracle compares.
+	LearnInvariants int          `json:"learn_invariants"`
+	Defects         []SoakDefect `json:"defects"`   // per-defect convergence rows
+	Converged       bool         `json:"converged"` // every defect converged
 	// Obs is the final telemetry snapshot (nil unless SoakConfig.Obs was
 	// set): every counter and per-stage wall/on-CPU/blocked row the rig
 	// recorded.
@@ -694,6 +698,7 @@ func RunSoak(conf SoakConfig) (*SoakReport, error) {
 	if rig.root != nil {
 		report.ReplayLogEntries = rig.root.LogLen()
 	}
+	report.LearnInvariants = root.InvariantCount()
 	report.Converged = true
 	for i := range defects {
 		if !defects[i].Converged {
