@@ -61,22 +61,40 @@ type Block struct {
 	links    [2]blockLink
 	linkRR   uint8
 	hasHooks bool
+
+	// Trace tier (trace.go). heat counts dispatch entries; when it crosses
+	// the VM's trace threshold the executed chain through this head is
+	// recorded and installed as sb. A superblock is valid only for the
+	// cache generation it was built under (same rule as links), so patch
+	// application invalidates every trace in O(1).
+	heat uint32
+	sb   *superblock
+	// noFuse marks blocks the fused sweep must not run: COPYB's step cost
+	// is input-dependent (one step per copied byte, so the per-step budget
+	// check cannot be hoisted), and an out-of-range register operand on a
+	// hot opcode must keep the interpreter's exact failure behavior. Such
+	// blocks always run under the per-step loops.
+	noFuse bool
 }
 
-// AddHook attaches a hook in front of instruction index i.
+// AddHook attaches a hook in front of instruction index i. The entry list
+// stays ordered by (priority, insertion sequence); because sequence numbers
+// are monotonically increasing, the new entry's position is simply after
+// the last entry with priority <= prio — a single backward scan and shift
+// instead of re-sorting the whole list on every insert.
 func (b *Block) AddHook(i, prio int, h Hook) {
 	b.hasHooks = true
 	if b.hooks == nil {
 		b.hooks = make([][]hookEntry, len(b.Insts))
 	}
 	b.nextSq++
-	list := append(b.hooks[i], hookEntry{prio: prio, seq: b.nextSq, h: h})
-	sort.SliceStable(list, func(x, y int) bool {
-		if list[x].prio != list[y].prio {
-			return list[x].prio < list[y].prio
-		}
-		return list[x].seq < list[y].seq
-	})
+	list := append(b.hooks[i], hookEntry{})
+	pos := len(list) - 1
+	for pos > 0 && list[pos-1].prio > prio {
+		list[pos] = list[pos-1]
+		pos--
+	}
+	list[pos] = hookEntry{prio: prio, seq: b.nextSq, h: h}
 	b.hooks[i] = list
 }
 
@@ -153,19 +171,48 @@ func (v *VM) PatchIDs() []string {
 }
 
 func (v *VM) flushBlocksContaining(addr uint32) {
-	flushed := false
-	for start, b := range v.cache {
-		if b.contains(addr) {
-			delete(v.cache, start)
-			flushed = true
+	// The address index maps every instruction address covered by a cached
+	// block to the blocks containing it, so a patch flush touches exactly
+	// the affected blocks instead of walking the whole code cache (blocks
+	// may overlap: a jump into the middle of a block decodes a second
+	// block sharing the tail). The index is built lazily on the first
+	// flush — until a patch actually lands, decode stays index-free.
+	if v.addrIndex == nil {
+		v.addrIndex = make(map[uint32][]*Block, len(v.cache))
+		for _, b := range v.cache {
+			for _, a := range b.Addrs {
+				v.addrIndex[a] = append(v.addrIndex[a], b)
+			}
 		}
 	}
-	if flushed {
-		// Invalidate every successor link in one step: links carry the
-		// generation they were created under, so bumping it orphans links
-		// into (and out of) the ejected blocks without walking the cache.
-		v.cacheGen++
+	victims := v.addrIndex[addr]
+	if len(victims) == 0 {
+		return
 	}
+	for _, b := range victims {
+		if v.cache[b.Start] != b {
+			continue // already ejected via another address
+		}
+		delete(v.cache, b.Start)
+		for _, a := range b.Addrs {
+			list := v.addrIndex[a]
+			for i, q := range list {
+				if q == b {
+					list[i] = list[len(list)-1]
+					v.addrIndex[a] = list[:len(list)-1]
+					break
+				}
+			}
+			if len(v.addrIndex[a]) == 0 {
+				delete(v.addrIndex, a)
+			}
+		}
+	}
+	// Invalidate every successor link and superblock in one step: both
+	// carry the generation they were created under, so bumping it orphans
+	// links into (and out of) the ejected blocks — and every recorded
+	// trace — without walking the cache.
+	v.cacheGen++
 }
 
 // dispatch returns the block starting at pc. This is the code cache's
@@ -192,8 +239,20 @@ func (v *VM) dispatch(prev *Block, pc uint32) (*Block, error) {
 		return nil, err
 	}
 	if prev != nil {
-		prev.links[prev.linkRR&1] = blockLink{pc: pc, gen: v.cacheGen, b: b}
-		prev.linkRR++
+		// After a cache-generation bump, a slot may already hold this pc
+		// with a stale gen. Refresh that slot in place rather than
+		// claiming the round-robin slot: otherwise both slots end up
+		// duplicating one successor and the live second target is evicted
+		// (link thrash on every two-successor block after a patch).
+		switch {
+		case prev.links[0].b != nil && prev.links[0].pc == pc:
+			prev.links[0] = blockLink{pc: pc, gen: v.cacheGen, b: b}
+		case prev.links[1].b != nil && prev.links[1].pc == pc:
+			prev.links[1] = blockLink{pc: pc, gen: v.cacheGen, b: b}
+		default:
+			prev.links[prev.linkRR&1] = blockLink{pc: pc, gen: v.cacheGen, b: b}
+			prev.linkRR++
+		}
 	}
 	return b, nil
 }
@@ -219,6 +278,11 @@ func (v *VM) fetchBlock(pc uint32) (*Block, error) {
 		}
 	}
 	v.cache[pc] = b
+	if v.addrIndex != nil {
+		for _, addr := range b.Addrs {
+			v.addrIndex[addr] = append(v.addrIndex[addr], b)
+		}
+	}
 	v.blocks++
 	return b, nil
 }
@@ -240,6 +304,9 @@ func (v *VM) decodeBlock(pc uint32) (*Block, error) {
 		}
 		b.Insts = append(b.Insts, in)
 		b.Addrs = append(b.Addrs, addr)
+		if in.Op == isa.COPYB || !fuseSafe(&in) {
+			b.noFuse = true
+		}
 		if in.Op.EndsBlock() {
 			return b, nil
 		}

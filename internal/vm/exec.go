@@ -10,14 +10,28 @@ import (
 
 // Ctx is the machine context a hook sees: the instruction about to execute
 // and the disposition controls a repair patch may use to alter execution.
+// Dispositions are plain values (not pointers) so that the per-VM reusable
+// contexts stay allocation-free even when a repair fires.
 type Ctx struct {
 	VM   *VM
 	PC   uint32
 	Inst isa.Inst
 
 	skip           bool
-	jumpTo         *uint32
-	overrideTarget *uint32
+	hasJump        bool
+	hasOverride    bool
+	jumpTo         uint32
+	overrideTarget uint32
+}
+
+// reset clears the dispositions for the next instruction; the reusable
+// per-VM contexts call it instead of being reconstructed.
+func (c *Ctx) reset(pc uint32, in isa.Inst) {
+	c.PC = pc
+	c.Inst = in
+	c.skip = false
+	c.hasJump = false
+	c.hasOverride = false
 }
 
 // Skip suppresses the instruction's execution; control falls through to the
@@ -27,12 +41,12 @@ func (c *Ctx) Skip() { c.skip = true }
 // Jump transfers control to target instead of executing the instruction.
 // This implements the "return immediately from the enclosing procedure"
 // repair (after the patch has adjusted the stack pointer).
-func (c *Ctx) Jump(target uint32) { c.jumpTo = &target }
+func (c *Ctx) Jump(target uint32) { c.jumpTo = target; c.hasJump = true }
 
 // OverrideTarget replaces the runtime-computed target of an indirect
 // transfer. This implements the one-of enforcement that redirects a
 // corrupted function pointer to a previously observed callee.
-func (c *Ctx) OverrideTarget(target uint32) { c.overrideTarget = &target }
+func (c *Ctx) OverrideTarget(target uint32) { c.overrideTarget = target; c.hasOverride = true }
 
 // Reg reads a register.
 func (c *Ctx) Reg(r isa.Reg) uint32 { return c.VM.CPU.Regs[r] }
@@ -47,8 +61,8 @@ func (c *Ctx) EffAddr() uint32 { return c.VM.effAddr(c.Inst) }
 // TransferTarget computes the target of the current indirect control
 // transfer as the interpreter would, honouring any override already set.
 func (c *Ctx) TransferTarget() (uint32, error) {
-	if c.overrideTarget != nil {
-		return *c.overrideTarget, nil
+	if c.hasOverride {
+		return c.overrideTarget, nil
 	}
 	return c.VM.computeTarget(c.Inst)
 }
@@ -180,10 +194,26 @@ func (v *VM) condHolds(op isa.Op) bool {
 	return false
 }
 
-// errExit carries a normal SYS exit out of the dispatch path; the exit
-// code travels in VM.exitCode. A shared sentinel (rather than a value
-// error) keeps the termination path allocation-free.
-var errExit = errors.New("exit")
+// intrCode identifies a pending software interrupt. Following the classic
+// emulator design (a syscall stores its request on the machine and the
+// dispatch loop services it at the block boundary), a SYS exit no longer
+// threads a sentinel error through exec: syscall raises intrExit, exec
+// returns normally, and the block executors service the interrupt after
+// the terminating instruction. SYS ends a basic block, so the check costs
+// one compare per block, not per instruction.
+type intrCode uint8
+
+const (
+	intrNone intrCode = iota
+	intrExit
+)
+
+// serviceInterrupt consumes the pending interrupt and produces the final
+// run result. Only intrExit exists today.
+func (v *VM) serviceInterrupt() RunResult {
+	v.intr = intrNone
+	return v.result(OutcomeExit, v.exitCode, nil, nil)
+}
 
 // errDivZero is the arithmetic fault DIVRR/MODRR raise on a zero divisor.
 // Unguarded it terminates the run as a crash; monitor.FaultGuard checks
@@ -304,8 +334,8 @@ func (v *VM) exec(in isa.Inst, addr uint32, ctx *Ctx) (uint32, error) {
 		}
 		return t, nil
 	case isa.RET:
-		if ctx.overrideTarget != nil {
-			t := *ctx.overrideTarget
+		if ctx.hasOverride {
+			t := ctx.overrideTarget
 			v.CPU.Regs[isa.ESP] += 4
 			return t, nil
 		}
@@ -404,7 +434,8 @@ func (v *VM) syscall(num int32) error {
 	switch num {
 	case isa.SysExit:
 		v.exitCode = regs[isa.EAX]
-		return errExit
+		v.intr = intrExit
+		return nil
 	case isa.SysAlloc:
 		addr, err := v.Heap.Alloc(regs[isa.EAX])
 		if err != nil {
@@ -491,9 +522,6 @@ func (v *VM) dispatchException(pc uint32, execErr error) (uint32, *Failure, bool
 // and instrumented dispatch loops so the two agree bit-for-bit on
 // termination semantics.
 func (v *VM) finishExec(addr uint32, err error) (pc uint32, res RunResult, done bool) {
-	if err == errExit {
-		return 0, v.result(OutcomeExit, v.exitCode, nil, nil), true
-	}
 	if f, ok := err.(*Failure); ok {
 		if f.Stack == nil {
 			f.Stack = v.snapshotStack()
@@ -515,15 +543,26 @@ func (v *VM) finishExec(addr uint32, err error) (pc uint32, res RunResult, done 
 // Run executes until normal exit, monitor-detected failure, crash, or the
 // step limit (treated as a hang crash).
 //
-// Dispatch is two-tier. Blocks with no hooks on a machine with no
-// snapshot sink run the fast loop: no per-instruction Ctx construction,
-// no snapshot or hook checks, and no allocations — the reusable fastCtx
-// carries the (always nil) disposition state exec consults for indirect
-// transfers. Everything else runs the instrumented loop, which is
-// byte-for-byte the pre-optimization interpreter.
+// Dispatch is three-tier. Block heads that cross the trace-heat threshold
+// get the hot path through them recorded and fused into a superblock
+// (trace.go): decode consulted once, per-step guard checks hoisted to
+// logical-block entry, side exits on path divergence or patch-point
+// invalidation. Below that, blocks with no hooks on a machine with no
+// snapshot sink run the fast loop (execBlockFast): no per-instruction Ctx
+// construction, no snapshot or hook checks, and no allocations.
+// Everything else runs the instrumented loop (execBlockHooked), which
+// reuses the per-VM hook context so monitored dispatch is allocation-free
+// too.
 func (v *VM) Run() RunResult {
 	pc := v.CPU.PC
 	var prev *Block
+	// A reused machine must not leak dispatch state between runs: the
+	// entry edge of every run has From == 0 (the coverage.go Edge
+	// contract), no trace recording spans runs, and no software interrupt
+	// is pending.
+	v.lastBlock = 0
+	v.rec.active = false
+	v.intr = intrNone
 	for {
 		if v.hangBudget != 0 && v.steps >= v.hangBudget {
 			f := v.hangFail(pc, v.steps)
@@ -538,92 +577,132 @@ func (v *VM) Run() RunResult {
 		}
 		prev = b
 
+		if sb := b.sb; sb != nil && sb.gen == v.cacheGen {
+			// The trace recorder cannot see the blocks a superblock runs,
+			// so an in-flight recording of some other head is abandoned.
+			v.rec.active = false
+			npc, res, done := v.runSuperblock(sb)
+			if done {
+				return res
+			}
+			pc = npc
+			continue
+		}
+		if v.traceThreshold != 0 {
+			v.observeBlock(b)
+		}
+
+		var npc uint32
+		var res RunResult
+		var done bool
 		if !b.hasHooks && v.snapSink == nil {
-			// Fast path: unhooked block, no snapshot capture.
-			insts := b.Insts
-			for i := range insts {
-				addr := b.Addrs[i]
-				in := insts[i]
-				v.CPU.PC = addr
-				if v.steps >= v.maxSteps {
-					return v.result(OutcomeCrash, 0, nil, &Crash{PC: addr, Reason: "step limit exceeded (hang)"})
-				}
-				v.steps++
-				v.fastCtx.PC = addr
-				v.fastCtx.Inst = in
-				next, err := v.exec(in, addr, &v.fastCtx)
-				if err != nil {
-					target, res, done := v.finishExec(addr, err)
-					if done {
-						return res
+			npc, res, done = v.execBlockFast(b)
+		} else {
+			npc, res, done = v.execBlockHooked(b)
+		}
+		if done {
+			return res
+		}
+		pc = npc
+	}
+}
+
+// execBlockFast runs one unhooked basic block on a machine with no
+// snapshot sink: no per-instruction Ctx construction and no allocations —
+// the reusable fastCtx carries the (never set) disposition state exec
+// consults for indirect transfers. Returns the successor pc, or the final
+// result when the run terminated inside the block.
+func (v *VM) execBlockFast(b *Block) (uint32, RunResult, bool) {
+	insts := b.Insts
+	for i := range insts {
+		addr := b.Addrs[i]
+		in := insts[i]
+		v.CPU.PC = addr
+		if v.steps >= v.maxSteps {
+			return 0, v.result(OutcomeCrash, 0, nil, &Crash{PC: addr, Reason: "step limit exceeded (hang)"}), true
+		}
+		v.steps++
+		v.fastCtx.PC = addr
+		v.fastCtx.Inst = in
+		next, err := v.exec(in, addr, &v.fastCtx)
+		if err != nil {
+			target, res, done := v.finishExec(addr, err)
+			if done {
+				return 0, res, true
+			}
+			return target, RunResult{}, false
+		}
+		if in.Op.EndsBlock() {
+			if v.intr != intrNone {
+				return 0, v.serviceInterrupt(), true
+			}
+			return next, RunResult{}, false
+		}
+	}
+	// decodeBlock guarantees a terminator; fall through defensively.
+	return b.Start + uint32(len(insts))*isa.InstSize, RunResult{}, false
+}
+
+// execBlockHooked runs one basic block under full instrumentation: the
+// per-instruction snapshot check and the hook chains. The per-VM hookCtx
+// is reused with its dispositions reset per instruction, so the monitored
+// path performs no per-instruction allocation either.
+func (v *VM) execBlockHooked(b *Block) (uint32, RunResult, bool) {
+	ctx := &v.hookCtx
+	for i := range b.Insts {
+		addr := b.Addrs[i]
+		in := b.Insts[i]
+		v.CPU.PC = addr
+		if v.steps >= v.maxSteps {
+			return 0, v.result(OutcomeCrash, 0, nil, &Crash{PC: addr, Reason: "step limit exceeded (hang)"}), true
+		}
+		v.maybeSnapshot()
+		v.steps++
+		ctx.reset(addr, in)
+		if b.hooks != nil {
+			for _, he := range b.hooks[i] {
+				v.hookRuns++
+				if err := he.h(ctx); err != nil {
+					if f, ok := err.(*Failure); ok {
+						if f.Stack == nil {
+							f.Stack = v.snapshotStack()
+						}
+						return 0, v.result(OutcomeFailure, 0, f, nil), true
 					}
-					pc = target
+					return 0, v.result(OutcomeCrash, 0, nil, &Crash{PC: addr, Reason: err.Error()}), true
+				}
+				// A hook that diverts or suppresses the instruction
+				// replaces it entirely: later hooks (monitors, tracing)
+				// must not observe or validate an instruction that will
+				// not execute.
+				if ctx.hasJump || ctx.skip {
 					break
 				}
-				if in.Op.EndsBlock() {
-					pc = next
-					break
-				}
+			}
+		}
+		if ctx.hasJump {
+			return ctx.jumpTo, RunResult{}, false
+		}
+		if ctx.skip {
+			if in.Op.EndsBlock() {
+				return addr + isa.InstSize, RunResult{}, false
 			}
 			continue
 		}
-
-	insts:
-		for i := range b.Insts {
-			addr := b.Addrs[i]
-			in := b.Insts[i]
-			v.CPU.PC = addr
-			if v.steps >= v.maxSteps {
-				return v.result(OutcomeCrash, 0, nil, &Crash{PC: addr, Reason: "step limit exceeded (hang)"})
+		next, err := v.exec(in, addr, ctx)
+		if err != nil {
+			target, res, done := v.finishExec(addr, err)
+			if done {
+				return 0, res, true
 			}
-			v.maybeSnapshot()
-			v.steps++
-			ctx := Ctx{VM: v, PC: addr, Inst: in}
-			if b.hooks != nil {
-				for _, he := range b.hooks[i] {
-					v.hookRuns++
-					if err := he.h(&ctx); err != nil {
-						if f, ok := err.(*Failure); ok {
-							if f.Stack == nil {
-								f.Stack = v.snapshotStack()
-							}
-							return v.result(OutcomeFailure, 0, f, nil)
-						}
-						return v.result(OutcomeCrash, 0, nil, &Crash{PC: addr, Reason: err.Error()})
-					}
-					// A hook that diverts or suppresses the instruction
-					// replaces it entirely: later hooks (monitors, tracing)
-					// must not observe or validate an instruction that will
-					// not execute.
-					if ctx.jumpTo != nil || ctx.skip {
-						break
-					}
-				}
+			return target, RunResult{}, false
+		}
+		if in.Op.EndsBlock() {
+			if v.intr != intrNone {
+				return 0, v.serviceInterrupt(), true
 			}
-			if ctx.jumpTo != nil {
-				pc = *ctx.jumpTo
-				break insts
-			}
-			if ctx.skip {
-				if in.Op.EndsBlock() {
-					pc = addr + isa.InstSize
-					break insts
-				}
-				continue
-			}
-			next, err := v.exec(in, addr, &ctx)
-			if err != nil {
-				target, res, done := v.finishExec(addr, err)
-				if done {
-					return res
-				}
-				pc = target
-				break insts
-			}
-			if in.Op.EndsBlock() {
-				pc = next
-				break insts
-			}
+			return next, RunResult{}, false
 		}
 	}
+	return b.Start + uint32(len(b.Insts))*isa.InstSize, RunResult{}, false
 }

@@ -111,6 +111,82 @@ func TestRemovePatchInvalidatesLinks(t *testing.T) {
 	}
 }
 
+// TestLinkRefreshAfterGenBump: after a cache-generation bump, re-dispatching
+// a successor whose pc already occupies a link slot (with a stale gen) must
+// refresh that slot in place. Claiming the round-robin slot instead would
+// duplicate one successor across both slots and evict the other live target,
+// thrashing the link cache on every two-successor block after each patch.
+func TestLinkRefreshAfterGenBump(t *testing.T) {
+	im, labels := buildImage(t, func(a *asm.Assembler) {
+		a.Label("main")
+		a.CmpRI(isa.EAX, 0)
+		a.Je("even")
+		a.Label("odd")
+		a.AddRI(isa.ESI, 1)
+		a.Jmp("join")
+		a.Label("even")
+		a.AddRI(isa.EDI, 1)
+		a.Jmp("join")
+		a.Label("join")
+		a.MovRI(isa.EAX, 0)
+		a.Sys(isa.SysExit)
+	})
+	v, err := New(Config{Image: im, TraceThreshold: TraceDisabled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := v.fetchBlock(labels["main"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm both slots: head→odd and head→even.
+	if _, err := v.dispatch(head, labels["odd"]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.dispatch(head, labels["even"]); err != nil {
+		t.Fatal(err)
+	}
+	slots := func() map[uint32]bool {
+		m := map[uint32]bool{}
+		for _, l := range head.links {
+			if l.b != nil {
+				m[l.pc] = true
+			}
+		}
+		return m
+	}
+	if s := slots(); !s[labels["odd"]] || !s[labels["even"]] {
+		t.Fatalf("warmup did not fill both slots: %v", s)
+	}
+	// A patch on an unrelated cached block bumps the generation, orphaning
+	// both links without changing their pcs.
+	if err := v.ApplyPatch(&Patch{ID: "bump", Addr: labels["join"], Prio: PrioTrace,
+		Hook: func(*Ctx) error { return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-dispatch each successor several times, alternating. With in-place
+	// refresh the two slots settle immediately; with blind round-robin
+	// claiming, each dispatch evicts the other successor and at least one
+	// later dispatch misses the link cache again.
+	for pass := 0; pass < 3; pass++ {
+		if _, err := v.dispatch(head, labels["odd"]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := v.dispatch(head, labels["even"]); err != nil {
+			t.Fatal(err)
+		}
+		s := slots()
+		if !s[labels["odd"]] || !s[labels["even"]] {
+			t.Fatalf("pass %d: link slots thrashed after gen bump: %v", pass, s)
+		}
+	}
+	for i, l := range head.links {
+		if l.b != nil && l.gen != v.cacheGen {
+			t.Fatalf("slot %d still stale after re-dispatch: gen %d, want %d", i, l.gen, v.cacheGen)
+		}
+	}
+}
+
 // TestCoverageCountsLinkedDispatch: edge coverage is recorded at the
 // dispatch point, so hit counts must reflect every block entry — linked
 // fast dispatches included — or fuzz fingerprints would change with the

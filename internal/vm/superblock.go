@@ -1,0 +1,487 @@
+package vm
+
+import "repro/internal/isa"
+
+// superblock is a compiled hot trace: the chain of basic blocks execution
+// took through a hot head, run back to back without returning to the
+// dispatch loop between them. The per-step work of the generic interpreter
+// is hoisted to logical-block entry:
+//
+//   - the step/hang budget is checked once per block, not per instruction
+//     (a block whose remaining budget cannot cover it falls back to the
+//     per-step loop, so the limit still interrupts at the exact step);
+//   - the decoded instruction stream is consulted directly — no code-cache
+//     probe, no successor-link lookup between fused blocks;
+//   - hot opcodes execute inline against a register file cached in a local,
+//     skipping the generic exec switch and its context bookkeeping.
+//
+// Side exits keep the trace honest: before each logical block the executor
+// re-checks the cache generation (a patch-point apply/remove bumps it, so
+// the very next logical block re-enters dispatch and picks up the new
+// hooks) and that execution still follows the recorded path. A side exit
+// returns the pc *before* recording that block's coverage edge — the
+// dispatch loop records it — so coverage fingerprints are bit-identical
+// with the trace tier on or off.
+type superblock struct {
+	gen    uint64 // cache generation the trace was recorded under
+	blocks []*Block
+	// loop marks a trace whose recording closed back at its head: the
+	// executor iterates the chain in place (re-running the logical-entry
+	// checks, including the head's coverage edge, each pass) instead of
+	// side-exiting to dispatch after every pass.
+	loop bool
+}
+
+// regMask reduces a 4-bit register nibble to a register-file index. The
+// fused sweeps apply it only to operands fuseSafe proved in range, so the
+// mask is the identity — it exists to let the compiler drop the
+// register-file bounds check on the hottest loads and stores.
+const regMask = isa.NumRegs - 1
+
+// fuseSafe reports whether the fused sweeps may execute the instruction's
+// inlined form: every register operand the inlined case dereferences must
+// be a real register. Out-of-range operands (possible in hand-crafted
+// images: the nibble encoding admits 0..15, the file has NumRegs) keep
+// the generic interpreter's exact failure behavior by disqualifying the
+// whole block from fusion. Opcodes the sweep routes through exec anyway
+// are always safe.
+func fuseSafe(in *isa.Inst) bool {
+	switch in.Op {
+	case isa.MOVRI, isa.ADDRI, isa.SUBRI, isa.MULRI, isa.ANDRI, isa.ORRI,
+		isa.XORRI, isa.SHLRI, isa.SHRRI, isa.SARRI, isa.SEXTB, isa.CMPRI:
+		return in.A < isa.NumRegs
+	case isa.MOVRR, isa.ADDRR, isa.SUBRR, isa.MULRR, isa.ANDRR, isa.ORRR,
+		isa.XORRR, isa.CMPRR:
+		return in.A < isa.NumRegs && in.B < isa.NumRegs
+	case isa.LEA, isa.LOAD, isa.LOADB, isa.STORE, isa.STOREB:
+		return in.A < isa.NumRegs && in.B < isa.NumRegs
+	}
+	return true
+}
+
+// runSuperblock executes the trace starting at its head. The head block's
+// dispatch bookkeeping (hang check, coverage edge, generation guard) was
+// already performed by Run; interior blocks get the identical bookkeeping
+// here. Returns the successor pc on a side exit or trace fall-through, or
+// the final result when the run terminated inside the trace.
+//
+// The common case — an unhooked block whose step cost fits the remaining
+// budget — runs as an inline fused sweep: the register file and step
+// counter live in locals that persist across the fused blocks of the
+// trace, hot opcodes execute without the generic exec switch, and CPU.PC
+// is materialized only where observable (faults, exec fallbacks,
+// terminators). Every path that calls out to code that can observe
+// v.steps flushes the local counter first and reloads it after.
+func (v *VM) runSuperblock(sb *superblock) (uint32, RunResult, bool) {
+	blocks := sb.blocks
+	regs := &v.CPU.Regs
+	vmem := v.Mem
+	maxSteps := v.maxSteps
+	pc := blocks[0].Start
+	entry := true // head entry: Run already did the dispatch bookkeeping
+	steps := v.steps
+	for {
+	blockLoop:
+		for _, b := range blocks {
+			if !entry {
+				if sb.gen != v.cacheGen {
+					v.steps = steps
+					return pc, RunResult{}, false // side exit: patch point invalidated the trace
+				}
+				if b.Start != pc {
+					v.steps = steps
+					return pc, RunResult{}, false // side exit: path diverged from the recording
+				}
+				if v.hangBudget != 0 && steps >= v.hangBudget {
+					v.steps = steps
+					f := v.hangFail(pc, steps)
+					if f.Stack == nil {
+						f.Stack = v.snapshotStack()
+					}
+					return 0, v.result(OutcomeFailure, 0, f, nil), true
+				}
+				if v.cov != nil {
+					v.cov.hit(v.lastBlock, pc)
+					v.lastBlock = pc
+				}
+			}
+			entry = false
+			insts := b.Insts
+			if b.hasHooks || v.snapSink != nil || b.noFuse || steps+uint64(len(insts)) > maxSteps {
+				// Instrumented, snapshot-capturing, variable-step (COPYB),
+				// or the budget may expire mid-block: the per-step loops
+				// preserve exact hook and limit semantics.
+				v.steps = steps
+				var npc uint32
+				var res RunResult
+				var done bool
+				if b.hasHooks || v.snapSink != nil {
+					if v.snapSink == nil && !b.noFuse && steps+uint64(len(insts)) <= maxSteps {
+						npc, res, done = v.execBlockFusedHooked(b)
+					} else {
+						npc, res, done = v.execBlockHooked(b)
+					}
+				} else {
+					npc, res, done = v.execBlockFast(b)
+				}
+				if done {
+					return 0, res, true
+				}
+				pc = npc
+				steps = v.steps
+				continue blockLoop
+			}
+			for i := range insts {
+				in := &insts[i]
+				steps++
+				switch in.Op {
+				case isa.NOP:
+				case isa.MOVRI:
+					regs[in.A&regMask] = uint32(in.Imm)
+				case isa.MOVRR:
+					regs[in.A&regMask] = regs[in.B&regMask]
+				case isa.ADDRR:
+					regs[in.A&regMask] += regs[in.B&regMask]
+				case isa.ADDRI:
+					regs[in.A&regMask] += uint32(in.Imm)
+				case isa.SUBRR:
+					regs[in.A&regMask] -= regs[in.B&regMask]
+				case isa.SUBRI:
+					regs[in.A&regMask] -= uint32(in.Imm)
+				case isa.MULRR:
+					regs[in.A&regMask] *= regs[in.B&regMask]
+				case isa.MULRI:
+					regs[in.A&regMask] *= uint32(in.Imm)
+				case isa.ANDRR:
+					regs[in.A&regMask] &= regs[in.B&regMask]
+				case isa.ANDRI:
+					regs[in.A&regMask] &= uint32(in.Imm)
+				case isa.ORRR:
+					regs[in.A&regMask] |= regs[in.B&regMask]
+				case isa.ORRI:
+					regs[in.A&regMask] |= uint32(in.Imm)
+				case isa.XORRR:
+					regs[in.A&regMask] ^= regs[in.B&regMask]
+				case isa.XORRI:
+					regs[in.A&regMask] ^= uint32(in.Imm)
+				case isa.SHLRI:
+					regs[in.A&regMask] <<= uint32(in.Imm) & 31
+				case isa.SHRRI:
+					regs[in.A&regMask] >>= uint32(in.Imm) & 31
+				case isa.SARRI:
+					regs[in.A&regMask] = uint32(int32(regs[in.A&regMask]) >> (uint32(in.Imm) & 31))
+				case isa.SEXTB:
+					regs[in.A&regMask] = uint32(int32(int8(regs[in.A&regMask])))
+				case isa.CMPRR:
+					v.setCmpFlags(regs[in.A&regMask], regs[in.B&regMask])
+				case isa.CMPRI:
+					v.setCmpFlags(regs[in.A&regMask], uint32(in.Imm))
+				case isa.LEA:
+					a := regs[in.B&regMask] + uint32(in.Imm)
+					if in.X.Valid() {
+						a += regs[in.X&regMask] << in.Scale
+					}
+					regs[in.A&regMask] = a
+				case isa.LOAD:
+					a := regs[in.B&regMask] + uint32(in.Imm)
+					if in.X.Valid() {
+						a += regs[in.X&regMask] << in.Scale
+					}
+					val, err := vmem.Read32(a)
+					if err != nil {
+						v.steps = steps
+						return v.fusedFault(b, i, err)
+					}
+					regs[in.A&regMask] = val
+				case isa.LOADB:
+					a := regs[in.B&regMask] + uint32(in.Imm)
+					if in.X.Valid() {
+						a += regs[in.X&regMask] << in.Scale
+					}
+					val, err := vmem.Read8(a)
+					if err != nil {
+						v.steps = steps
+						return v.fusedFault(b, i, err)
+					}
+					regs[in.A&regMask] = uint32(val)
+				case isa.STORE:
+					a := regs[in.B&regMask] + uint32(in.Imm)
+					if in.X.Valid() {
+						a += regs[in.X&regMask] << in.Scale
+					}
+					if err := vmem.Write32(a, regs[in.A&regMask]); err != nil {
+						v.steps = steps
+						return v.fusedFault(b, i, err)
+					}
+				case isa.STOREB:
+					a := regs[in.B&regMask] + uint32(in.Imm)
+					if in.X.Valid() {
+						a += regs[in.X&regMask] << in.Scale
+					}
+					if err := vmem.Write8(a, byte(regs[in.A&regMask])); err != nil {
+						v.steps = steps
+						return v.fusedFault(b, i, err)
+					}
+				case isa.JMP:
+					addr := b.Addrs[i]
+					v.CPU.PC = addr
+					pc = addr + isa.InstSize + uint32(in.Imm)
+					continue blockLoop
+				case isa.JE, isa.JNE, isa.JL, isa.JLE, isa.JG, isa.JGE,
+					isa.JB, isa.JBE, isa.JA, isa.JAE:
+					// Conditional terminator with the flag test inlined
+					// (condHolds is beyond the inliner's budget).
+					addr := b.Addrs[i]
+					v.CPU.PC = addr
+					next := addr + isa.InstSize
+					f := v.CPU.Flags
+					var take bool
+					switch in.Op {
+					case isa.JE:
+						take = f.Z
+					case isa.JNE:
+						take = !f.Z
+					case isa.JL:
+						take = f.S != f.O
+					case isa.JLE:
+						take = f.Z || f.S != f.O
+					case isa.JG:
+						take = !f.Z && f.S == f.O
+					case isa.JGE:
+						take = f.S == f.O
+					case isa.JB:
+						take = f.C
+					case isa.JBE:
+						take = f.C || f.Z
+					case isa.JA:
+						take = !f.C && !f.Z
+					case isa.JAE:
+						take = !f.C
+					}
+					if take {
+						pc = next + uint32(in.Imm)
+					} else {
+						pc = next
+					}
+					continue blockLoop
+				default:
+					addr := b.Addrs[i]
+					v.CPU.PC = addr
+					if in.Op.IsCondBranch() {
+						next := addr + isa.InstSize
+						if v.condHolds(in.Op) {
+							pc = next + uint32(in.Imm)
+						} else {
+							pc = next
+						}
+						continue blockLoop
+					}
+					// Cold opcode or non-branch terminator: full
+					// interpreter semantics for this one instruction.
+					v.steps = steps
+					v.fastCtx.PC = addr
+					v.fastCtx.Inst = *in
+					next, err := v.exec(*in, addr, &v.fastCtx)
+					if err != nil {
+						target, res, done := v.finishExec(addr, err)
+						if done {
+							return 0, res, true
+						}
+						pc = target
+						continue blockLoop
+					}
+					if in.Op.EndsBlock() {
+						if v.intr != intrNone {
+							return 0, v.serviceInterrupt(), true
+						}
+						pc = next
+						continue blockLoop
+					}
+				}
+			}
+			// decodeBlock guarantees a terminator; fall through defensively.
+			pc = b.Start + uint32(len(insts))*isa.InstSize
+		}
+		if !sb.loop {
+			v.steps = steps
+			return pc, RunResult{}, false
+		}
+		// Loop trace: iterate in place. The head's logical-entry checks
+		// (generation, divergence, hang, coverage) run at the top of the
+		// next pass exactly as dispatch would run them.
+	}
+}
+
+// fusedFault materializes the faulting instruction's PC (the fused loop
+// skips the per-instruction PC write) and routes the fault through the
+// shared termination/exception-dispatch logic.
+func (v *VM) fusedFault(b *Block, i int, err error) (uint32, RunResult, bool) {
+	addr := b.Addrs[i]
+	v.CPU.PC = addr
+	target, res, done := v.finishExec(addr, err)
+	if done {
+		return 0, res, true
+	}
+	return target, RunResult{}, false
+}
+
+// execBlockFusedHooked runs one hooked basic block inside a superblock:
+// the caller has discharged the step budget for the whole block and
+// guaranteed no snapshot sink, so the per-instruction work is the hook
+// chain plus inlined hot opcodes — the generic exec call survives only
+// for cold opcodes and non-branch terminators. Unlike the unhooked fused
+// sweep, CPU.PC and v.steps stay live per instruction: hooks observe both
+// through ctx.VM.
+func (v *VM) execBlockFusedHooked(b *Block) (uint32, RunResult, bool) {
+	ctx := &v.hookCtx
+	regs := &v.CPU.Regs
+	insts := b.Insts
+	for i := range insts {
+		addr := b.Addrs[i]
+		in := insts[i]
+		v.CPU.PC = addr
+		v.steps++
+		ctx.reset(addr, in)
+		if b.hooks != nil {
+			for _, he := range b.hooks[i] {
+				v.hookRuns++
+				if err := he.h(ctx); err != nil {
+					if f, ok := err.(*Failure); ok {
+						if f.Stack == nil {
+							f.Stack = v.snapshotStack()
+						}
+						return 0, v.result(OutcomeFailure, 0, f, nil), true
+					}
+					return 0, v.result(OutcomeCrash, 0, nil, &Crash{PC: addr, Reason: err.Error()}), true
+				}
+				// A hook that diverts or suppresses the instruction
+				// replaces it entirely (see execBlockHooked).
+				if ctx.hasJump || ctx.skip {
+					break
+				}
+			}
+			if ctx.hasJump {
+				return ctx.jumpTo, RunResult{}, false
+			}
+			if ctx.skip {
+				if in.Op.EndsBlock() {
+					return addr + isa.InstSize, RunResult{}, false
+				}
+				continue
+			}
+		}
+		switch in.Op {
+		case isa.NOP:
+		case isa.MOVRI:
+			regs[in.A&regMask] = uint32(in.Imm)
+		case isa.MOVRR:
+			regs[in.A&regMask] = regs[in.B&regMask]
+		case isa.ADDRR:
+			regs[in.A&regMask] += regs[in.B&regMask]
+		case isa.ADDRI:
+			regs[in.A&regMask] += uint32(in.Imm)
+		case isa.SUBRR:
+			regs[in.A&regMask] -= regs[in.B&regMask]
+		case isa.SUBRI:
+			regs[in.A&regMask] -= uint32(in.Imm)
+		case isa.MULRR:
+			regs[in.A&regMask] *= regs[in.B&regMask]
+		case isa.MULRI:
+			regs[in.A&regMask] *= uint32(in.Imm)
+		case isa.ANDRR:
+			regs[in.A&regMask] &= regs[in.B&regMask]
+		case isa.ANDRI:
+			regs[in.A&regMask] &= uint32(in.Imm)
+		case isa.ORRR:
+			regs[in.A&regMask] |= regs[in.B&regMask]
+		case isa.ORRI:
+			regs[in.A&regMask] |= uint32(in.Imm)
+		case isa.XORRR:
+			regs[in.A&regMask] ^= regs[in.B&regMask]
+		case isa.XORRI:
+			regs[in.A&regMask] ^= uint32(in.Imm)
+		case isa.SHLRI:
+			regs[in.A&regMask] <<= uint32(in.Imm) & 31
+		case isa.SHRRI:
+			regs[in.A&regMask] >>= uint32(in.Imm) & 31
+		case isa.SARRI:
+			regs[in.A&regMask] = uint32(int32(regs[in.A&regMask]) >> (uint32(in.Imm) & 31))
+		case isa.SEXTB:
+			regs[in.A&regMask] = uint32(int32(int8(regs[in.A&regMask])))
+		case isa.CMPRR:
+			v.setCmpFlags(regs[in.A&regMask], regs[in.B&regMask])
+		case isa.CMPRI:
+			v.setCmpFlags(regs[in.A&regMask], uint32(in.Imm))
+		case isa.LEA:
+			a := regs[in.B&regMask] + uint32(in.Imm)
+			if in.X.Valid() {
+				a += regs[in.X&regMask] << in.Scale
+			}
+			regs[in.A&regMask] = a
+		case isa.LOAD:
+			a := regs[in.B&regMask] + uint32(in.Imm)
+			if in.X.Valid() {
+				a += regs[in.X&regMask] << in.Scale
+			}
+			val, err := v.Mem.Read32(a)
+			if err != nil {
+				return v.fusedFault(b, i, err)
+			}
+			regs[in.A&regMask] = val
+		case isa.LOADB:
+			a := regs[in.B&regMask] + uint32(in.Imm)
+			if in.X.Valid() {
+				a += regs[in.X&regMask] << in.Scale
+			}
+			val, err := v.Mem.Read8(a)
+			if err != nil {
+				return v.fusedFault(b, i, err)
+			}
+			regs[in.A&regMask] = uint32(val)
+		case isa.STORE:
+			a := regs[in.B&regMask] + uint32(in.Imm)
+			if in.X.Valid() {
+				a += regs[in.X&regMask] << in.Scale
+			}
+			if err := v.Mem.Write32(a, regs[in.A&regMask]); err != nil {
+				return v.fusedFault(b, i, err)
+			}
+		case isa.STOREB:
+			a := regs[in.B&regMask] + uint32(in.Imm)
+			if in.X.Valid() {
+				a += regs[in.X&regMask] << in.Scale
+			}
+			if err := v.Mem.Write8(a, byte(regs[in.A&regMask])); err != nil {
+				return v.fusedFault(b, i, err)
+			}
+		case isa.JMP:
+			return addr + isa.InstSize + uint32(in.Imm), RunResult{}, false
+		default:
+			if in.Op.IsCondBranch() {
+				next := addr + isa.InstSize
+				if v.condHolds(in.Op) {
+					return next + uint32(in.Imm), RunResult{}, false
+				}
+				return next, RunResult{}, false
+			}
+			// Cold opcode or non-branch terminator: full interpreter
+			// semantics for this one instruction, honouring any
+			// disposition a hook set (indirect-target override).
+			next, err := v.exec(in, addr, ctx)
+			if err != nil {
+				target, res, done := v.finishExec(addr, err)
+				if done {
+					return 0, res, true
+				}
+				return target, RunResult{}, false
+			}
+			if in.Op.EndsBlock() {
+				if v.intr != intrNone {
+					return 0, v.serviceInterrupt(), true
+				}
+				return next, RunResult{}, false
+			}
+		}
+	}
+	return b.Start + uint32(len(insts))*isa.InstSize, RunResult{}, false
+}

@@ -1,0 +1,74 @@
+package vm
+
+// Trace recording: the profiling half of the trace tier.
+//
+// The dispatch loop counts block-entry heat at the same point that records
+// edge coverage. When a head crosses the VM's trace threshold, the recorder
+// turns on and captures the chain of blocks execution actually takes —
+// not a static CFG walk, but the hot path as run, exactly as Dynamo-style
+// trace selection does. The recording closes when execution returns to the
+// head (a loop trace) or hits the length cap (a linear trace), and is
+// installed as a superblock on the head block (superblock.go).
+//
+// A recording is abandoned whenever its view of the world goes stale:
+// the cache generation bumps (a patch landed mid-recording), a different
+// superblock executes (the recorder cannot see the blocks it runs), or the
+// run ends (Run resets the recorder on entry).
+
+// maxTraceBlocks caps the logical blocks fused into one superblock. Inner
+// loops shorter than the cap unroll into the trace; longer chains become
+// linear traces whose tail side-exits back to dispatch.
+const maxTraceBlocks = 16
+
+// traceRecorder is the per-VM in-flight recording state.
+type traceRecorder struct {
+	active bool
+	gen    uint64 // cache generation the recording is valid for
+	head   *Block
+	blocks []*Block // the chain as executed, head first
+}
+
+// observeBlock is called at the dispatch point for every block entry that
+// does not run as a superblock. It advances an active recording or counts
+// heat toward starting one.
+func (v *VM) observeBlock(b *Block) {
+	if v.rec.active {
+		switch {
+		case v.rec.gen != v.cacheGen:
+			// A patch landed mid-recording; the captured chain may not
+			// reflect the patched code. Drop it and let heat re-arm.
+			v.rec.active = false
+		case b == v.rec.head:
+			// Execution closed the loop back to the head: the recorded
+			// chain is the loop body, and the superblock may iterate it
+			// in place instead of side-exiting after every pass.
+			v.installTrace(true)
+			return
+		default:
+			v.rec.blocks = append(v.rec.blocks, b)
+			if len(v.rec.blocks) >= maxTraceBlocks {
+				v.installTrace(false)
+			}
+			return
+		}
+	}
+	b.heat++
+	if b.heat >= v.traceThreshold && (b.sb == nil || b.sb.gen != v.cacheGen) {
+		v.rec.active = true
+		v.rec.gen = v.cacheGen
+		v.rec.head = b
+		v.rec.blocks = append(v.rec.blocks[:0], b)
+	}
+}
+
+// installTrace freezes the current recording into a superblock on its head
+// block. The superblock carries the cache generation it was recorded
+// under; any subsequent patch apply/remove bumps the generation and the
+// trace dies without being visited (same O(1) invalidation rule as
+// successor links).
+func (v *VM) installTrace(loop bool) {
+	v.rec.active = false
+	blocks := make([]*Block, len(v.rec.blocks))
+	copy(blocks, v.rec.blocks)
+	v.rec.head.sb = &superblock{gen: v.rec.gen, blocks: blocks, loop: loop}
+}
